@@ -1,0 +1,88 @@
+"""Ablation study — how much each design choice of the paper contributes.
+
+DESIGN.md calls out three design choices whose benefit the paper quantifies
+only indirectly; this benchmark isolates each one:
+
+1. short WL pulse + BL boosting vs WLUD        (cycle time / max frequency)
+2. transmission-gate FA-Logics vs logic-gate FA (logic-delay slice)
+3. BL separator on vs off                       (write-back energy of MULT)
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.wlud import WLUDMacroModel
+from repro.circuits.delay import CycleDelayModel
+from repro.circuits.energy import OperationEnergyModel
+from repro.circuits.fa import AdderStyle, FullAdderTiming
+from repro.tech import CALIBRATED_28NM, OperatingPoint, default_macro_calibration
+
+
+def _run():
+    technology = CALIBRATED_28NM
+    calibration = default_macro_calibration()
+    point = OperatingPoint(vdd=0.9)
+
+    proposed_delay = CycleDelayModel(technology, calibration)
+    wlud = WLUDMacroModel(technology=technology, calibration=calibration)
+    fa = FullAdderTiming(technology, calibration)
+    energy = OperationEnergyModel(calibration)
+
+    proposed_cycle = proposed_delay.cycle_time(point, precision_bits=8)
+    wlud_cycle = wlud.cycle_time_s(point, precision_bits=8)
+    tg_logic = fa.critical_path_delay(16, point, AdderStyle.TRANSMISSION_GATE)
+    gate_logic = fa.critical_path_delay(16, point, AdderStyle.LOGIC_GATE)
+    mult_sep = energy.mult_energy(8, bl_separator=True).total_fj
+    mult_nosep = energy.mult_energy(8, bl_separator=False).total_fj
+
+    return {
+        "wl_scheme": {
+            "proposed_cycle_ps": proposed_cycle * 1e12,
+            "wlud_cycle_ps": wlud_cycle * 1e12,
+            "speedup": wlud_cycle / proposed_cycle,
+        },
+        "fa_style": {
+            "tg_ps": tg_logic * 1e12,
+            "logic_ps": gate_logic * 1e12,
+            "speedup": gate_logic / tg_logic,
+        },
+        "bl_separator": {
+            "mult_with_fj": mult_sep,
+            "mult_without_fj": mult_nosep,
+            "saving_percent": 100.0 * (1.0 - mult_sep / mult_nosep),
+        },
+    }
+
+
+def _render(result) -> str:
+    rows = [
+        [
+            "short WL + boost vs WLUD",
+            f"{result['wl_scheme']['proposed_cycle_ps']:.0f} ps cycle",
+            f"{result['wl_scheme']['wlud_cycle_ps']:.0f} ps cycle",
+            f"{result['wl_scheme']['speedup']:.2f}x faster clock",
+        ],
+        [
+            "TG FA-Logics vs logic FA",
+            f"{result['fa_style']['tg_ps']:.0f} ps (16b)",
+            f"{result['fa_style']['logic_ps']:.0f} ps (16b)",
+            f"{result['fa_style']['speedup']:.2f}x faster carry path",
+        ],
+        [
+            "BL separator on vs off",
+            f"{result['bl_separator']['mult_with_fj']:.0f} fJ 8b MULT",
+            f"{result['bl_separator']['mult_without_fj']:.0f} fJ 8b MULT",
+            f"{result['bl_separator']['saving_percent']:.1f}% energy saved",
+        ],
+    ]
+    return format_table(
+        ["design choice", "with (proposed)", "without (baseline)", "benefit"],
+        rows,
+        title="Ablation of the three main design choices (0.9 V, NN, 8-bit)",
+    )
+
+
+def test_ablation_design_choices(benchmark, reporter):
+    result = benchmark(_run)
+    reporter("Ablation — contribution of each design choice", _render(result))
+    assert result["wl_scheme"]["speedup"] > 2.0
+    assert 1.7 < result["fa_style"]["speedup"] < 2.3
+    assert result["bl_separator"]["saving_percent"] > 10.0

@@ -1,0 +1,49 @@
+"""Extension study — quantised MLP accuracy and per-inference IMC cost at
+2/4/8-bit precision (the machine-learning use case that motivates the
+reconfigurable precision of the paper)."""
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+
+
+def _run():
+    return experiments.dnn_precision_study(
+        precisions=(8, 4, 2),
+        samples=480,
+        features=12,
+        classes=3,
+        hidden_sizes=(20, 12),
+        epochs=20,
+        verify_samples=1,
+    )
+
+
+def _render(study) -> str:
+    rows = []
+    for bits in sorted(study.accuracy_by_precision, reverse=True):
+        rows.append(
+            [
+                bits,
+                study.accuracy_by_precision[bits] * 100.0,
+                study.energy_per_inference_j[bits] * 1e9,
+                study.latency_per_inference_s[bits] * 1e6,
+            ]
+        )
+    table = format_table(
+        ["precision [bits]", "accuracy [%]", "energy/inference [nJ]", "latency/inference [us]"],
+        rows,
+        title=(
+            f"Reconfigurable-precision inference (float accuracy "
+            f"{study.float_accuracy * 100:.1f} %, {study.mac_count_per_inference} MACs/inference, "
+            f"IMC backend bit-exact: {study.imc_backend_verified})"
+        ),
+    )
+    return table
+
+
+def test_dnn_precision_study(benchmark, reporter):
+    study = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter("Extension — DNN accuracy/cost vs bit precision", _render(study))
+    assert study.imc_backend_verified
+    assert study.accuracy_by_precision[8] >= study.accuracy_by_precision[2]
+    assert study.energy_per_inference_j[8] > study.energy_per_inference_j[4]

@@ -1,0 +1,72 @@
+"""Extension — in-memory computing vs the processor-centric path.
+
+The paper's introduction motivates IMC by the cost of moving data between the
+memory and the processing units.  This benchmark quantifies that argument
+with the :class:`repro.baselines.processor.ProcessorCentricBaseline`: for each
+element-wise operation it compares the per-word energy and throughput of
+
+* reading the operands out of the SRAM, moving them across the on-chip
+  interconnect, computing in a conventional ALU and writing the result back,
+  against
+* computing directly on the bit lines with the proposed macro.
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.processor import ProcessorCentricBaseline
+from repro.core import IMCMacro, MacroConfig, Opcode
+
+
+def _run():
+    macro = IMCMacro(MacroConfig())
+    baseline = ProcessorCentricBaseline()
+    rows = []
+    for opcode in (Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.MULT):
+        comparison = baseline.compare(
+            opcode,
+            precision_bits=8,
+            vdd=0.9,
+            imc_parallel_words=(
+                macro.mult_slots_per_row() if opcode is Opcode.MULT else macro.words_per_row()
+            ),
+            imc_cycle_time_s=macro.cycle_time_s(),
+        )
+        rows.append(
+            [
+                opcode.name,
+                comparison["processor_energy_j"] * 1e15,
+                comparison["imc_energy_j"] * 1e15,
+                comparison["energy_ratio"],
+                comparison["data_movement_share"] * 100.0,
+                comparison["throughput_ratio"],
+            ]
+        )
+    return rows
+
+
+def _render(rows) -> str:
+    return format_table(
+        [
+            "operation",
+            "processor path [fJ/word]",
+            "in-memory [fJ/word]",
+            "energy ratio",
+            "data movement share [%]",
+            "throughput ratio",
+        ],
+        rows,
+        title=(
+            "Extension — processor-centric vs in-memory execution "
+            "(8-bit, 0.9 V, one 128x128 macro)"
+        ),
+    )
+
+
+def test_data_movement_comparison(benchmark, reporter):
+    rows = benchmark(_run)
+    reporter("Extension — the data-movement argument, quantified", _render(rows))
+    by_name = {row[0]: row for row in rows}
+    # Element-wise operations: the IMC path must win clearly on energy.
+    for name in ("ADD", "SUB", "XOR"):
+        assert by_name[name][3] > 2.0
+    # Data movement must dominate the processor-centric energy.
+    assert all(row[4] > 50.0 for row in rows)

@@ -1,0 +1,69 @@
+"""Extension — cost of application-level kernels on the macro.
+
+Measures the in-memory cycle count and energy of the signed vector kernels
+(dot product, matrix-vector product, FIR filter) that the example programs
+and the DNN backend are built from, at 8-bit and 4-bit precision.  Not a
+paper figure; it quantifies the application-level value of the single-cycle
+ADD / (N+2)-cycle MULT primitives.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core import IMCMacro, MacroConfig, VectorKernels
+
+
+def _run():
+    rng = np.random.default_rng(7)
+    rows = []
+    for bits in (8, 4):
+        limit = (1 << (bits - 1)) - 1
+        kernels = VectorKernels(IMCMacro(MacroConfig(precision_bits=bits)), precision_bits=bits)
+        a = rng.integers(-limit, limit + 1, size=16).tolist()
+        b = rng.integers(-limit, limit + 1, size=16).tolist()
+        dot = kernels.dot(a, b)
+        matrix = rng.integers(-limit, limit + 1, size=(4, 8)).tolist()
+        vector = rng.integers(-limit, limit + 1, size=8).tolist()
+        matvec = kernels.matvec(matrix, vector)
+        signal = rng.integers(-limit, limit + 1, size=12).tolist()
+        taps = rng.integers(-limit // 2, limit // 2 + 1, size=3).tolist()
+        fir = kernels.fir_filter(signal, taps)
+        correct = (
+            dot.value == int(np.dot(a, b))
+            and matvec.values == (np.array(matrix) @ np.array(vector)).tolist()
+            and fir.values == np.convolve(signal, taps)[: len(signal)].tolist()
+        )
+        for name, result, outputs in (
+            ("dot-16", dot, 1),
+            ("matvec-4x8", matvec, 4),
+            ("fir-12x3", fir, 12),
+        ):
+            rows.append(
+                [
+                    bits,
+                    name,
+                    outputs,
+                    result.cycles,
+                    result.energy_j * 1e12,
+                    "yes" if correct else "NO",
+                ]
+            )
+    return rows
+
+
+def _render(rows) -> str:
+    return format_table(
+        ["precision", "kernel", "outputs", "cycles", "energy [pJ]", "bit-exact"],
+        rows,
+        title="Extension — signed kernels executed entirely with in-memory operations",
+    )
+
+
+def test_kernel_costs(benchmark, reporter):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    reporter("Extension — application kernels on the macro", _render(rows))
+    assert all(row[-1] == "yes" for row in rows)
+    # Lower precision must cost less energy for the same kernel.
+    dot8 = next(row for row in rows if row[0] == 8 and row[1] == "dot-16")
+    dot4 = next(row for row in rows if row[0] == 4 and row[1] == "dot-16")
+    assert dot4[4] < dot8[4]

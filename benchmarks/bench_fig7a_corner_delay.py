@@ -1,0 +1,37 @@
+"""Fig. 7(a) — BL computing delay across process corners (WLUD vs proposed)."""
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+
+
+def _render(result) -> str:
+    rows = []
+    for corner in ("SF", "SS", "NN", "FS", "FF"):
+        entry = result[corner]
+        rows.append(
+            [
+                corner,
+                entry["wlud_s"] * 1e9,
+                entry["proposed_s"] * 1e9,
+                entry["ratio"],
+            ]
+        )
+    rows.append(
+        [
+            "worst case",
+            result["worst_case"]["wlud_s"] * 1e9,
+            result["worst_case"]["proposed_s"] * 1e9,
+            result["worst_case"]["ratio"],
+        ]
+    )
+    return format_table(
+        ["corner", "WLUD [ns]", "proposed [ns]", "proposed/WLUD"],
+        rows,
+        title="Fig. 7(a) — BL computing delay per corner (0.9 V, 25 C); paper: 0.22x at worst case",
+    )
+
+
+def test_fig7a_corner_delays(benchmark, reporter):
+    result = benchmark(experiments.fig7a_corner_delays)
+    reporter("Figure 7(a) — BL computing delay across corners", _render(result))
+    assert result["worst_case"]["ratio"] < 0.35

@@ -1,0 +1,36 @@
+"""Fig. 7(b) — FA critical-path delay vs supply voltage (proposed TG FA vs
+logic-gate FA, 8-bit and 16-bit ripple chains)."""
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+
+
+def _render(result) -> str:
+    rows = []
+    for bits in sorted(result):
+        for vdd in sorted(result[bits]):
+            entry = result[bits][vdd]
+            rows.append(
+                [
+                    bits,
+                    vdd,
+                    entry["proposed_s"] * 1e12,
+                    entry["logic_s"] * 1e12,
+                    entry["speedup"],
+                ]
+            )
+    return format_table(
+        ["bits", "VDD [V]", "proposed FA [ps]", "logic FA [ps]", "speed-up"],
+        rows,
+        title="Fig. 7(b) — FA critical path; paper: proposed improves 1.8x-2.2x",
+    )
+
+
+def test_fig7b_fa_critical_path(benchmark, reporter):
+    result = benchmark(experiments.fig7b_fa_critical_path)
+    reporter("Figure 7(b) — FA critical-path delay vs supply", _render(result))
+    speedups = [
+        entry["speedup"] for per_bits in result.values() for entry in per_bits.values()
+    ]
+    assert min(speedups) > 1.7
+    assert max(speedups) < 2.3

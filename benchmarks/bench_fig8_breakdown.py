@@ -1,0 +1,33 @@
+"""Fig. 8 (left) — cycle-delay breakdown of the proposed macro."""
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+
+
+def _render(breakdown) -> str:
+    paper = experiments.PAPER["fig8_breakdown_ps"]
+    rows = []
+    for name, value in breakdown.as_dict().items():
+        rows.append(
+            [
+                name,
+                value * 1e12,
+                breakdown.fractions()[name] * 100.0,
+                paper[name],
+            ]
+        )
+    rows.append(["total", breakdown.total_s * 1e12, 100.0, sum(paper.values())])
+    return format_table(
+        ["component", "measured [ps]", "share [%]", "paper [ps]"],
+        rows,
+        title=(
+            "Fig. 8 (left) — cycle breakdown at 0.9 V / NN / 8-bit; "
+            f"max frequency {breakdown.max_frequency_hz / 1e9:.2f} GHz"
+        ),
+    )
+
+
+def test_fig8_breakdown(benchmark, reporter):
+    breakdown = benchmark(experiments.fig8_breakdown)
+    reporter("Figure 8 (left) — cycle-delay breakdown", _render(breakdown))
+    assert abs(breakdown.total_s - 603e-12) / 603e-12 < 0.05

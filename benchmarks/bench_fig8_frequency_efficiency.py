@@ -1,0 +1,40 @@
+"""Fig. 8 (right) — maximum frequency and ADD/MULT TOPS/W vs supply voltage."""
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+
+
+def _render(sweep) -> str:
+    rows = []
+    for vdd in sorted(sweep):
+        entry = sweep[vdd]
+        rows.append(
+            [
+                vdd,
+                entry["frequency_hz"] / 1e9,
+                entry["add_tops_per_watt"],
+                entry["mult_tops_per_watt"],
+                entry["mult_tops_per_watt_no_separator"],
+            ]
+        )
+    return format_table(
+        [
+            "VDD [V]",
+            "f_max [GHz]",
+            "ADD TOPS/W",
+            "MULT TOPS/W (w/ sep)",
+            "MULT TOPS/W (w/o sep)",
+        ],
+        rows,
+        title=(
+            "Fig. 8 (right) — paper anchors: 2.25 GHz @ 1.0 V, 372 MHz @ 0.6 V, "
+            "8.09 / 0.68 TOPS/W (ADD / MULT) @ 0.6 V"
+        ),
+    )
+
+
+def test_fig8_frequency_and_efficiency(benchmark, reporter):
+    sweep = benchmark(experiments.fig8_frequency_and_efficiency)
+    reporter("Figure 8 (right) — frequency and energy efficiency", _render(sweep))
+    assert abs(sweep[1.0]["frequency_hz"] - 2.25e9) / 2.25e9 < 0.05
+    assert abs(sweep[0.6]["add_tops_per_watt"] - 8.09) / 8.09 < 0.05

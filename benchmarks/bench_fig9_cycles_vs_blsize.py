@@ -1,0 +1,46 @@
+"""Fig. 9 — cycles per operation vs bit-line count, proposed bit-parallel
+macro vs the bit-serial baseline [2].
+
+The proposed side runs an actual 8-bit workload through the functional macro
+at every BL size (128-1024 columns); the conventional side runs the same
+workload through the bit-serial functional model.  See EXPERIMENTS.md for the
+parallelism assumptions behind the comparison.
+"""
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+
+
+def _render(result) -> str:
+    rows = []
+    for op_name in ("ADD", "SUB", "MULT"):
+        for bl_size in sorted(result[op_name]):
+            entry = result[op_name][bl_size]
+            rows.append(
+                [
+                    op_name,
+                    bl_size,
+                    entry["proposed"],
+                    entry["conventional"],
+                    entry["ratio"],
+                ]
+            )
+    return format_table(
+        ["operation", "BL size", "proposed [cyc/op]", "bit-serial [cyc/op]", "ratio"],
+        rows,
+        title=(
+            "Fig. 9 — cycles/operation vs BL size (8-bit); paper ratios: "
+            "ADD 0.38-0.16, SUB 0.23-0.08, MULT 1.19-0.19"
+        ),
+    )
+
+
+def test_fig9_cycles_vs_blsize(benchmark, reporter):
+    result = benchmark.pedantic(
+        experiments.fig9_cycles_vs_blsize, rounds=1, iterations=1
+    )
+    reporter("Figure 9 — cycles per operation vs BL size", _render(result))
+    for op_name, per_size in result.items():
+        ratios = [per_size[size]["ratio"] for size in sorted(per_size)]
+        assert all(a > b for a, b in zip(ratios, ratios[1:])), op_name
+    assert result["MULT"][1024]["ratio"] < 0.5

@@ -1,0 +1,33 @@
+"""Table I — supported operations and their cycle counts.
+
+The "measured" column is counted by the macro's statistics ledger while the
+operation actually executes on the functional model; the "specified" column
+is the Table I formula (1 cycle for everything except SUB = 2 and
+MULT = N + 2).
+"""
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+
+
+def _render(table) -> str:
+    rows = []
+    for op_name in sorted(table):
+        for bits in sorted(table[op_name]):
+            entry = table[op_name][bits]
+            rows.append([op_name, bits, entry["measured"], entry["specified"]])
+    return format_table(
+        ["operation", "precision [bits]", "measured cycles", "Table I cycles"],
+        rows,
+        title="Table I — operations and cycle counts (measured on the functional macro)",
+    )
+
+
+def test_table1_operation_cycles(benchmark, reporter):
+    table = benchmark.pedantic(
+        experiments.table1_operation_cycles, rounds=1, iterations=1
+    )
+    reporter("Table I — supported operations and cycles", _render(table))
+    for per_bits in table.values():
+        for entry in per_bits.values():
+            assert entry["measured"] == entry["specified"]

@@ -1,0 +1,46 @@
+"""Table II — energy per operation for ADD/SUB/MULT at 2/4/8-bit, with and
+without the BL separator."""
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+
+
+def _render(table) -> str:
+    rows = []
+    for op_name in ("ADD", "SUB", "MULT"):
+        for bits in sorted(table[op_name]):
+            entry = table[op_name][bits]
+            rows.append(
+                [
+                    op_name,
+                    bits,
+                    entry["with_separator"],
+                    entry["paper_with"],
+                    entry["without_separator"],
+                    entry["paper_without"],
+                ]
+            )
+    return format_table(
+        [
+            "operation",
+            "bits",
+            "w/ sep [fJ]",
+            "paper w/ sep [fJ]",
+            "w/o sep [fJ]",
+            "paper w/o sep [fJ]",
+        ],
+        rows,
+        title="Table II — energy per operation at 0.9 V (ADD has no write-back phase)",
+    )
+
+
+def test_table2_energy(benchmark, reporter):
+    table = benchmark(experiments.table2_energy)
+    reporter("Table II — energy per operation", _render(table))
+    for per_bits in table.values():
+        for entry in per_bits.values():
+            assert abs(entry["with_separator"] - entry["paper_with"]) / entry["paper_with"] < 0.08
+            assert (
+                abs(entry["without_separator"] - entry["paper_without"]) / entry["paper_without"]
+                < 0.08
+            )

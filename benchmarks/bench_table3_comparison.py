@@ -1,0 +1,53 @@
+"""Table III — comparison with the state of the art.
+
+Prior-work rows reproduce the published descriptors; the "Proposed
+(measured)" row is produced by this reproduction's models and the bit-serial
+baseline row is recomputed from our own model of reference [2].
+"""
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+
+
+def _format_frequency(value) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e9:
+        return f"{value / 1e9:.2f} GHz"
+    return f"{value / 1e6:.0f} MHz"
+
+
+def _render(table) -> str:
+    headers = [
+        "design",
+        "cell",
+        "area ovh",
+        "read disturb",
+        "max freq",
+        "reconfig",
+        "TOPS/W ADD",
+        "TOPS/W MULT",
+    ]
+    rows = []
+    for name, entry in table.items():
+        rows.append(
+            [
+                name,
+                entry["cell"],
+                "-" if entry["area_overhead"] is None else f"{entry['area_overhead'] * 100:.1f}%",
+                entry["read_disturb"],
+                _format_frequency(entry["max_frequency_hz"]),
+                "yes" if entry["reconfigurable"] else "no",
+                "-" if entry["tops_per_watt_add"] is None else f"{entry['tops_per_watt_add']:.2f}",
+                "-" if entry["tops_per_watt_mult"] is None else f"{entry['tops_per_watt_mult']:.2f}",
+            ]
+        )
+    return format_table(headers, rows, title="Table III — comparison with prior work")
+
+
+def test_table3_comparison(benchmark, reporter):
+    table = benchmark(experiments.table3_comparison)
+    reporter("Table III — state-of-the-art comparison", _render(table))
+    measured = table["Proposed (measured)"]
+    assert measured["tops_per_watt_add"] > table["19' JSSC [2]"]["tops_per_watt_add"]
+    assert measured["max_frequency_hz"] > 2e9

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, times the
+experiment with pytest-benchmark, and prints the regenerated rows/series so
+the output can be compared line by line against the publication (the
+paper-vs-measured record lives in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _format_block(title: str, body: str) -> str:
+    banner = "=" * max(len(title), 20)
+    return f"\n{banner}\n{title}\n{banner}\n{body}\n"
+
+
+@pytest.fixture()
+def reporter(capsys):
+    """Print helper that bypasses pytest's output capture.
+
+    Using ``capsys.disabled()`` means the regenerated tables/figures appear
+    directly in the terminal output, so
+    ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+    them without needing ``-s``.
+    """
+
+    def print_block(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(_format_block(title, body))
+
+    return print_block

@@ -1,0 +1,72 @@
+"""End-to-end quantised CNN inference on the IMC macro.
+
+Run with::
+
+    python examples/cnn_pattern_classification.py
+
+A small convolutional pipeline (one conv layer of fixed feature extractors +
+a trained MLP head) classifies synthetic 8x8 pattern images.  The whole
+integer arithmetic — the im2col convolution and the dense head — runs through
+the same matmul backend, so the example can execute a sample batch directly
+on the bit-parallel macro and report the in-memory cost per image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IMCMacro, MacroConfig
+from repro.dnn import IMCMatmulBackend, make_pattern_image_dataset, train_pattern_cnn
+
+
+def main() -> None:
+    print("=== Synthetic pattern-image classification ===")
+    dataset = make_pattern_image_dataset(samples=360, size=8, noise=0.3, seed=21)
+    channels, height, width = dataset.image_shape
+    print(f"images: {channels}x{height}x{width}, "
+          f"{dataset.train_images.shape[0]} train / {dataset.test_images.shape[0]} test, "
+          f"{dataset.class_count} classes (horizontal / vertical / checkerboard)")
+
+    print("\n=== Accuracy vs quantisation width ===")
+    results = {}
+    for bits in (8, 4, 2):
+        cnn, training = train_pattern_cnn(
+            dataset,
+            conv_channels=(4,),
+            hidden_sizes=(16,),
+            weight_bits=bits,
+            epochs=20,
+            seed=2,
+        )
+        accuracy = cnn.accuracy(dataset.test_images, dataset.test_labels)
+        results[bits] = (cnn, training, accuracy)
+        print(f"{bits}-bit pipeline: head float accuracy "
+              f"{training.test_accuracy * 100:.1f} %, quantised accuracy {accuracy * 100:.1f} %")
+
+    print("\n=== Running one batch on the IMC macro (8-bit pipeline) ===")
+    cnn8, _, _ = results[8]
+    macro = IMCMacro(MacroConfig(precision_bits=8))
+    backend = IMCMatmulBackend(macro, precision_bits=8)
+    on_imc = cnn8.with_backend(backend)
+    batch = dataset.test_images[:2]
+    labels = dataset.test_labels[:2]
+    predictions = on_imc.predict(batch)
+    reference = cnn8.predict(batch)
+    print(f"predictions on the macro      : {predictions.tolist()} (labels {labels.tolist()})")
+    print(f"match the integer reference   : {bool(np.array_equal(predictions, reference))}")
+
+    stats = macro.stats.summary()
+    macs = cnn8.mac_count(batch)
+    print(f"MACs executed in memory       : {macs}")
+    print(f"in-memory cycles              : {stats['cycles']:.0f}")
+    print(f"in-memory energy              : {stats['energy_j'] * 1e9:.2f} nJ "
+          f"({stats['energy_j'] * 1e9 / batch.shape[0]:.2f} nJ per image)")
+    print(f"execution time at f_max       : "
+          f"{stats['cycles'] * macro.cycle_time_s() * 1e6:.1f} us for the batch")
+
+    print("\nThe same pipeline reconfigures to 4-bit or 2-bit precision at runtime, "
+          "trading accuracy for roughly quadratic energy savings per MAC.")
+
+
+if __name__ == "__main__":
+    main()

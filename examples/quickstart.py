@@ -1,0 +1,65 @@
+"""Quickstart: compute inside the SRAM macro.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script walks through the public API of the bit-parallel IMC macro:
+storing words, running bit-line logic and arithmetic, reconfiguring the bit
+precision, and reading back the cycle/energy accounting.
+"""
+
+from __future__ import annotations
+
+from repro import IMCMacro, MacroConfig, Opcode
+
+
+def main() -> None:
+    # A default macro is the paper's 128x128 array at 0.9 V, NN corner,
+    # 8-bit precision, with the BL separator enabled.
+    macro = IMCMacro(MacroConfig())
+
+    print("=== Macro geometry ===")
+    print(f"array                : {macro.config.rows} x {macro.config.cols} 6T cells")
+    print(f"dummy rows           : {macro.config.dummy_rows}")
+    print(f"active columns       : {macro.config.active_columns} (4:1 interleaved)")
+    print(f"words per row access : {macro.words_per_row()} x {macro.precision_bits}-bit")
+    print(f"cycle time           : {macro.cycle_time_s() * 1e12:.0f} ps "
+          f"({macro.max_frequency_hz() / 1e9:.2f} GHz)")
+
+    print("\n=== Scalar in-memory operations (8-bit) ===")
+    print(f"ADD   100 + 55   = {macro.add(100, 55)}")
+    print(f"SUB   200 - 77   = {macro.subtract(200, 77)}")
+    print(f"MULT  173 x 201  = {macro.multiply(173, 201)}")
+    print(f"AND   0b1100 & 0b1010 = {macro.compute(Opcode.AND, 0b1100, 0b1010):#06b}")
+    print(f"XOR   0b1100 ^ 0b1010 = {macro.compute(Opcode.XOR, 0b1100, 0b1010):#06b}")
+    print(f"NOT   0b10101010      = {macro.compute(Opcode.NOT, 0b10101010):#010b}")
+
+    print("\n=== Vector operation (one row access, all words in parallel) ===")
+    macro.write_words(0, [10, 20, 30, 40])
+    macro.write_words(1, [1, 2, 3, 4])
+    result = macro.execute(Opcode.ADD, 0, 1, dest_row=2)
+    print(f"row0 + row1 -> row2   : {macro.read_words(2)}")
+    print(f"cycles                : {result.cycles}")
+    print(f"energy                : {result.energy_j * 1e15:.1f} fJ "
+          f"({result.energy_per_word_j * 1e15:.1f} fJ per word)")
+    print(f"latency               : {result.latency_s * 1e12:.0f} ps")
+
+    print("\n=== Reconfigurable bit precision ===")
+    for bits in (8, 4, 2):
+        macro.set_precision(bits)
+        limit = (1 << bits) - 1
+        product = macro.multiply(limit, limit)
+        print(
+            f"{bits}-bit mode: {macro.words_per_row():>2} words/access, "
+            f"MULT takes {bits + 2:>2} cycles, "
+            f"{limit} x {limit} = {product}"
+        )
+
+    print("\n=== Accounting ===")
+    for key, value in macro.stats.summary().items():
+        print(f"{key:>16}: {value:.4g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Bulk vector processing inside the memory: image blending and differencing.
+
+Run with::
+
+    python examples/vector_image_processing.py
+
+The paper motivates in-memory computing with data-centric streaming /
+visual workloads.  This example stores two synthetic 8-bit "images" in a
+banked IMC memory and performs three whole-image operations without moving
+the pixels to a CPU:
+
+* saturating average (alpha blend with alpha = 0.5) via ADD-SHIFT-style math,
+* absolute difference via SUB + conditional NOT,
+* binary masking via AND.
+
+Results are verified against numpy and the in-memory cycle/energy cost is
+reported, together with the throughput implied by the macro's clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IMCMacro, MacroConfig, Opcode
+
+
+def make_images(size: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Two synthetic 8-bit images: a gradient and a noisy checkerboard."""
+    rng = np.random.default_rng(seed)
+    gradient = np.linspace(0, 255, size * size).reshape(size, size)
+    checker = ((np.indices((size, size)).sum(axis=0) % 2) * 180 + rng.integers(0, 60, (size, size)))
+    return gradient.astype(np.uint8), np.clip(checker, 0, 255).astype(np.uint8)
+
+
+def in_memory_average(macro: IMCMacro, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(a + b) / 2 computed as a 9-bit add followed by a right shift.
+
+    The macro's ADD returns the modulo-256 sum; the carry bit is recovered by
+    running the addition at 16-bit precision so nothing is lost.
+    """
+    flat_a = [int(x) for x in a.reshape(-1)]
+    flat_b = [int(x) for x in b.reshape(-1)]
+    macro.set_precision(16)
+    sums = macro.elementwise(Opcode.ADD, flat_a, flat_b)
+    macro.set_precision(8)
+    return (np.array(sums, dtype=np.int64) // 2).astype(np.uint8).reshape(a.shape)
+
+
+def in_memory_absdiff(macro: IMCMacro, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """|a - b| from two in-memory subtractions (a-b and b-a, pick positive)."""
+    flat_a = [int(x) for x in a.reshape(-1)]
+    flat_b = [int(x) for x in b.reshape(-1)]
+    macro.set_precision(8)
+    forward = np.array(macro.elementwise(Opcode.SUB, flat_a, flat_b), dtype=np.int64)
+    backward = np.array(macro.elementwise(Opcode.SUB, flat_b, flat_a), dtype=np.int64)
+    positive = np.array(flat_a, dtype=np.int64) >= np.array(flat_b, dtype=np.int64)
+    return np.where(positive, forward, backward).astype(np.uint8).reshape(a.shape)
+
+
+def in_memory_mask(macro: IMCMacro, a: np.ndarray, mask_value: int) -> np.ndarray:
+    """Bit-wise AND of every pixel with a constant mask."""
+    flat_a = [int(x) for x in a.reshape(-1)]
+    flat_m = [mask_value] * len(flat_a)
+    macro.set_precision(8)
+    return (
+        np.array(macro.elementwise(Opcode.AND, flat_a, flat_m), dtype=np.uint8)
+        .reshape(a.shape)
+    )
+
+
+def main() -> None:
+    size = 16
+    image_a, image_b = make_images(size)
+    macro = IMCMacro(MacroConfig())
+
+    print(f"=== In-memory image processing on {size}x{size} 8-bit images ===")
+    macro.reset_stats()
+
+    blended = in_memory_average(macro, image_a, image_b)
+    expected_blend = ((image_a.astype(np.int64) + image_b.astype(np.int64)) // 2).astype(np.uint8)
+    print(f"alpha blend matches numpy      : {np.array_equal(blended, expected_blend)}")
+
+    difference = in_memory_absdiff(macro, image_a, image_b)
+    expected_diff = np.abs(image_a.astype(np.int64) - image_b.astype(np.int64)).astype(np.uint8)
+    print(f"absolute difference matches    : {np.array_equal(difference, expected_diff)}")
+
+    masked = in_memory_mask(macro, image_a, 0xF0)
+    print(f"masking (AND 0xF0) matches     : {np.array_equal(masked, image_a & 0xF0)}")
+
+    print("\n=== Cost of the whole pipeline ===")
+    summary = macro.stats.summary()
+    cycle_time = macro.cycle_time_s()
+    print(f"word-level operations          : {summary['operations']:.0f}")
+    print(f"in-memory cycles               : {summary['cycles']:.0f}")
+    print(f"total energy                   : {summary['energy_j'] * 1e9:.2f} nJ")
+    print(f"energy per pixel-op            : {summary['energy_per_op_j'] * 1e15:.1f} fJ")
+    print(f"execution time at f_max        : "
+          f"{macro.stats.execution_time_s(cycle_time) * 1e6:.2f} us")
+
+    pixels_per_access = macro.words_per_row()
+    throughput = pixels_per_access * macro.max_frequency_hz()
+    print(f"\nsteady-state ADD throughput of one macro: "
+          f"{throughput / 1e9:.1f} G pixel-ops/s "
+          f"({pixels_per_access} pixels/access x {macro.max_frequency_hz() / 1e9:.2f} GHz)")
+    print("A 128 KB memory (64 macros) scales this by 64x without extra data movement.")
+
+
+if __name__ == "__main__":
+    main()

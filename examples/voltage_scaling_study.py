@@ -1,0 +1,91 @@
+"""Supply-voltage scaling study (the Fig. 8 trade-off, user-facing).
+
+Run with::
+
+    python examples/voltage_scaling_study.py
+
+Sweeps the supply from 0.6 V to 1.1 V and reports, for each operating point:
+
+* the maximum clock frequency of the macro,
+* the energy of an 8-bit ADD and MULT,
+* the resulting TOPS/W, and
+* how the WLUD baseline would clock at the same supply (the reason the
+  short-WL + BL-boosting scheme exists).
+
+It also shows the read-disturb model's view of the design space: the WL
+under-drive voltage and the short-pulse width that hit the paper's 2.5e-5
+failure-rate target.
+"""
+
+from __future__ import annotations
+
+from repro import CALIBRATED_28NM, OperatingPoint, ProcessCorner
+from repro.analysis.report import format_table
+from repro.baselines.wlud import WLUDMacroModel
+from repro.circuits.energy import OperationEnergyModel
+from repro.circuits.frequency import FrequencyModel
+from repro.circuits.readdisturb import ReadDisturbModel
+from repro.tech import default_macro_calibration
+
+
+def main() -> None:
+    technology = CALIBRATED_28NM
+    calibration = default_macro_calibration()
+    frequency = FrequencyModel(technology, calibration)
+    energy = OperationEnergyModel(calibration)
+    wlud = WLUDMacroModel(technology=technology, calibration=calibration)
+    disturb = ReadDisturbModel(technology, calibration)
+
+    rows = []
+    for vdd in (0.6, 0.7, 0.8, 0.9, 1.0, 1.1):
+        proposed = frequency.max_frequency(vdd, corner=ProcessCorner.FF)
+        baseline_hz = wlud.max_frequency_hz(
+            OperatingPoint(vdd=vdd, corner=ProcessCorner.FF)
+        )
+        add = energy.add_energy(8, vdd=vdd)
+        mult = energy.mult_energy(8, vdd=vdd, bl_separator=True)
+        rows.append(
+            [
+                vdd,
+                proposed.max_frequency_hz / 1e9,
+                baseline_hz / 1e9,
+                add.total_fj,
+                1.0 / (add.total_j * 1e12),
+                mult.total_fj,
+                1.0 / (mult.total_j * 1e12),
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "VDD [V]",
+                "proposed f_max [GHz]",
+                "WLUD f_max [GHz]",
+                "ADD [fJ]",
+                "ADD TOPS/W",
+                "MULT [fJ]",
+                "MULT TOPS/W",
+            ],
+            rows,
+            title="Voltage/frequency/efficiency scaling (FF corner, 8-bit operations)",
+        )
+    )
+
+    print("\n=== Read-disturb design space (what sets the drive schemes) ===")
+    target = 2.5e-5
+    print(f"target failure rate                  : {target:.1e}")
+    print(f"WLUD voltage meeting the target      : "
+          f"{disturb.wlud_voltage_for_rate(target):.3f} V (paper: 0.55 V)")
+    print(f"full-VDD pulse width meeting target  : "
+          f"{disturb.pulse_width_for_rate(target, 0.9) * 1e12:.0f} ps (paper: 140 ps)")
+    naive = disturb.failure_rate(0.9, calibration.disturb.conventional_pulse_s)
+    print(f"naive full-VDD long-pulse failure    : {naive:.1e} "
+          "(why a conventional full drive is not an option)")
+
+    print("\nTakeaway: the proposed scheme keeps the full-VDD BL discharge speed "
+          "(2-3x the WLUD clock) while staying at the same disturb failure rate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file only exists so
+that fully offline environments (no access to PyPI for the ``wheel`` build
+dependency) can still do an editable install with::
+
+    python setup.py develop
+
+which is what ``pip install -e .`` falls back to when wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

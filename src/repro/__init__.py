@@ -1,0 +1,76 @@
+"""repro — reproduction of "Bit Parallel 6T SRAM In-memory Computing with
+Reconfigurable Bit-Precision" (Lee et al., DAC 2020).
+
+The package is organised into:
+
+* :mod:`repro.core`      — the bit-parallel IMC macro, banked memory, opcode set
+* :mod:`repro.circuits`  — behavioural circuit models (BL computing, boosting,
+  read disturb, Monte-Carlo, delay/energy/frequency)
+* :mod:`repro.tech`      — calibrated 28 nm technology profile and constants
+* :mod:`repro.baselines` — conventional WLUD and bit-serial IMC baselines
+* :mod:`repro.dnn`       — quantised-MLP inference on the IMC macro
+* :mod:`repro.analysis`  — metrics, sweeps and the per-figure experiment drivers
+
+Quickstart::
+
+    from repro import IMCMacro, Opcode
+
+    macro = IMCMacro()                  # 128x128, 8-bit precision, 0.9 V
+    print(macro.add(100, 55))           # 155, computed on the bit lines
+    print(macro.multiply(173, 201))     # 34773, N+2 = 10 cycles
+    macro.set_precision(4)              # reconfigure the carry chain
+    print(macro.multiply(11, 13))       # 143
+"""
+
+from repro.core import (
+    IMCBank,
+    IMCMacro,
+    IMCMemory,
+    MacroConfig,
+    MacroStatistics,
+    Opcode,
+    OperationResult,
+    SUPPORTED_PRECISIONS,
+    cycles_for,
+)
+from repro.circuits import (
+    CycleDelayModel,
+    FrequencyModel,
+    MonteCarloEngine,
+    OperationEnergyModel,
+    ReadDisturbModel,
+    WordlineScheme,
+)
+from repro.tech import (
+    CALIBRATED_28NM,
+    MacroCalibration,
+    OperatingPoint,
+    ProcessCorner,
+    TechnologyProfile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IMCMacro",
+    "IMCBank",
+    "IMCMemory",
+    "MacroConfig",
+    "MacroStatistics",
+    "Opcode",
+    "OperationResult",
+    "SUPPORTED_PRECISIONS",
+    "cycles_for",
+    "CycleDelayModel",
+    "FrequencyModel",
+    "MonteCarloEngine",
+    "OperationEnergyModel",
+    "ReadDisturbModel",
+    "WordlineScheme",
+    "CALIBRATED_28NM",
+    "MacroCalibration",
+    "OperatingPoint",
+    "ProcessCorner",
+    "TechnologyProfile",
+    "__version__",
+]

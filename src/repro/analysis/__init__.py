@@ -1,0 +1,29 @@
+"""Analysis layer: metrics, sweeps, report rendering and the per-figure
+experiment drivers that regenerate every table and figure of the paper's
+evaluation section.
+"""
+
+from repro.analysis.area import AreaBreakdown, AreaParameters, MacroAreaModel
+from repro.analysis.metrics import (
+    EfficiencyPoint,
+    tops_per_watt,
+    throughput_ops_per_second,
+)
+from repro.analysis.report import format_table, histogram_text
+from repro.analysis.sweeps import sweep_corners, sweep_precisions, sweep_voltages
+from repro.analysis import experiments
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaParameters",
+    "MacroAreaModel",
+    "EfficiencyPoint",
+    "tops_per_watt",
+    "throughput_ops_per_second",
+    "format_table",
+    "histogram_text",
+    "sweep_corners",
+    "sweep_precisions",
+    "sweep_voltages",
+    "experiments",
+]

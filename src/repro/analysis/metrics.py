@@ -1,0 +1,71 @@
+"""Throughput and energy-efficiency metrics (TOPS/W, ops/s).
+
+The paper reports energy efficiency as TOPS/W where one "operation" is one
+word-level ADD or MULT at the stated precision, so::
+
+    TOPS/W = 1 / (energy per operation in joules x 1e12)
+
+Throughput combines the vector width of an access (words per row, scaled by
+the number of macros operating in parallel) with the clock frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+__all__ = ["tops_per_watt", "throughput_ops_per_second", "EfficiencyPoint"]
+
+
+def tops_per_watt(energy_per_op_j: float) -> float:
+    """Tera-operations per second per watt for a given per-op energy."""
+    if energy_per_op_j <= 0:
+        raise ConfigurationError(
+            f"energy per operation must be positive, got {energy_per_op_j}"
+        )
+    return 1.0 / (energy_per_op_j * 1e12)
+
+
+def throughput_ops_per_second(
+    operations_per_cycle: float, frequency_hz: float, cycles_per_operation: float = 1.0
+) -> float:
+    """Word-level operations per second.
+
+    ``operations_per_cycle`` is the vector width of one access (e.g. words
+    per row x parallel macros) and ``cycles_per_operation`` the cycle count
+    of the operation (Table I).
+    """
+    check_positive("operations_per_cycle", operations_per_cycle)
+    check_positive("frequency_hz", frequency_hz)
+    check_positive("cycles_per_operation", cycles_per_operation)
+    return operations_per_cycle * frequency_hz / cycles_per_operation
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """Energy efficiency of one operation type at one operating point."""
+
+    operation: str
+    precision_bits: int
+    vdd: float
+    frequency_hz: float
+    energy_per_op_j: float
+    bl_separator: bool = True
+
+    @property
+    def tops_per_watt(self) -> float:
+        """Energy efficiency in TOPS/W."""
+        return tops_per_watt(self.energy_per_op_j)
+
+    @property
+    def energy_per_op_fj(self) -> float:
+        """Energy per operation in femtojoules."""
+        return self.energy_per_op_j * 1e15
+
+    def throughput(self, operations_per_cycle: float, cycles_per_operation: float) -> float:
+        """Operations per second at this point for a given vector width."""
+        return throughput_ops_per_second(
+            operations_per_cycle, self.frequency_hz, cycles_per_operation
+        )

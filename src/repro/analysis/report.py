@@ -1,0 +1,90 @@
+"""Plain-text rendering of tables and distributions.
+
+The benchmark harness prints the regenerated tables/figures as text so that a
+reader can compare them line by line against the paper without any plotting
+dependency.  Two renderers cover everything:
+
+* :func:`format_table` — a fixed-width ASCII table, and
+* :func:`histogram_text` — a horizontal-bar histogram used for the Fig. 2
+  delay distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_table", "histogram_text", "format_float"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Human-friendly float formatting (scientific for very small/large)."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 10 ** (-digits):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}g}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as a fixed-width ASCII table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append(
+            [
+                format_float(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[column])), *(len(row[column]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(headers[column]))
+        for column in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def histogram_text(
+    samples: np.ndarray,
+    bins: int = 20,
+    width: int = 50,
+    unit_scale: float = 1.0,
+    unit_label: str = "",
+) -> str:
+    """Render a sample population as a horizontal-bar text histogram."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise ConfigurationError("cannot render an empty sample population")
+    counts, edges = np.histogram(samples, bins=bins)
+    peak = counts.max() if counts.max() else 1
+    lines: List[str] = []
+    for index, count in enumerate(counts):
+        low = edges[index] * unit_scale
+        high = edges[index + 1] * unit_scale
+        bar = "#" * int(round(width * count / peak))
+        lines.append(
+            f"{low:8.3f} - {high:8.3f} {unit_label} | {bar} ({count})"
+        )
+    return "\n".join(lines)

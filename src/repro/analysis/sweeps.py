@@ -1,0 +1,59 @@
+"""Generic parameter-sweep helpers.
+
+The experiment drivers sweep three parameters over and over: supply voltage,
+process corner and bit precision.  These helpers keep that code in one place
+and return plain dictionaries that are easy to tabulate or assert on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Sequence, TypeVar
+
+from repro.tech.technology import OperatingPoint, ProcessCorner, TechnologyProfile
+
+__all__ = ["sweep_voltages", "sweep_corners", "sweep_precisions"]
+
+T = TypeVar("T")
+
+
+def sweep_voltages(
+    evaluate: Callable[[OperatingPoint], T],
+    technology: TechnologyProfile,
+    voltages: Optional[Iterable[float]] = None,
+    corner: ProcessCorner = ProcessCorner.NN,
+    temperature_c: float = 25.0,
+) -> Dict[float, T]:
+    """Evaluate a function at a list of supply voltages."""
+    if voltages is None:
+        voltages = technology.supply_range(points=6)
+    results: Dict[float, T] = {}
+    for vdd in voltages:
+        point = OperatingPoint(vdd=vdd, temperature_c=temperature_c, corner=corner)
+        technology.validate_operating_point(point)
+        results[round(vdd, 4)] = evaluate(point)
+    return results
+
+
+def sweep_corners(
+    evaluate: Callable[[OperatingPoint], T],
+    vdd: float = 0.9,
+    temperature_c: float = 25.0,
+    corners: Optional[Sequence[ProcessCorner]] = None,
+) -> Dict[ProcessCorner, T]:
+    """Evaluate a function at every process corner (Fig. 7a ordering)."""
+    if corners is None:
+        corners = ProcessCorner.evaluation_order()
+    return {
+        corner: evaluate(
+            OperatingPoint(vdd=vdd, temperature_c=temperature_c, corner=corner)
+        )
+        for corner in corners
+    }
+
+
+def sweep_precisions(
+    evaluate: Callable[[int], T],
+    precisions: Sequence[int] = (2, 4, 8),
+) -> Dict[int, T]:
+    """Evaluate a function at every requested bit precision."""
+    return {bits: evaluate(bits) for bits in precisions}

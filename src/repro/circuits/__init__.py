@@ -1,0 +1,53 @@
+"""Behavioural circuit models of the IMC macro's analogue/mixed-signal parts.
+
+This package replaces the paper's post-layout SPICE simulation.  It contains:
+
+* word-line drive schemes (full static, WLUD, short pulse) — :mod:`wordline`
+* the bit-line RC/transient compute model — :mod:`bitline`
+* the BL boosting circuit — :mod:`blboost`
+* the single-ended sense amplifier — :mod:`senseamp`
+* the read-disturb / access-disturb-margin model — :mod:`readdisturb`
+* Monte-Carlo local-variation sampling — :mod:`montecarlo`
+* transmission-gate vs logic-gate full-adder timing — :mod:`fa`
+* cycle-delay breakdown, maximum frequency and per-operation energy models —
+  :mod:`delay`, :mod:`frequency`, :mod:`energy`
+"""
+
+from repro.circuits.wordline import WordlinePulse, WordlineScheme, WordlineDriver
+from repro.circuits.bitline import (
+    Bitline,
+    BitlineComputeModel,
+    BitlineComputeResult,
+)
+from repro.circuits.blboost import BitlineBooster
+from repro.circuits.senseamp import SenseAmplifier
+from repro.circuits.readdisturb import ReadDisturbModel
+from repro.circuits.montecarlo import DelayDistribution, MonteCarloEngine
+from repro.circuits.fa import AdderStyle, FullAdderTiming, full_adder_bit
+from repro.circuits.delay import CycleBreakdown, CycleDelayModel
+from repro.circuits.frequency import FrequencyModel
+from repro.circuits.energy import OperationEnergyModel
+from repro.circuits.leakage import LeakageModel, LeakageParameters
+
+__all__ = [
+    "WordlineScheme",
+    "WordlinePulse",
+    "WordlineDriver",
+    "Bitline",
+    "BitlineComputeModel",
+    "BitlineComputeResult",
+    "BitlineBooster",
+    "SenseAmplifier",
+    "ReadDisturbModel",
+    "MonteCarloEngine",
+    "DelayDistribution",
+    "AdderStyle",
+    "FullAdderTiming",
+    "full_adder_bit",
+    "CycleBreakdown",
+    "CycleDelayModel",
+    "FrequencyModel",
+    "OperationEnergyModel",
+    "LeakageModel",
+    "LeakageParameters",
+]

@@ -1,0 +1,222 @@
+"""Bit-line compute transient model.
+
+This is the model behind Fig. 2 (delay distribution), Fig. 7(a) (delay
+across corners) and the "WL activation" / "BL sensing" slices of the Fig. 8
+breakdown.  It approximates the BL discharge as piecewise-constant-current
+phases:
+
+1. **Cell phase** — while the WL pulse is high, the accessed cell(s)
+   discharge the BL with the access-transistor current at the WL drive
+   voltage.
+2. **Boost phase** (proposed scheme only) — once the swing crosses the boost
+   trigger, the booster's large LVT pull-down stack takes over and finishes
+   the swing, even after the WL has closed.
+3. **Sensing** — once the swing reaches the single-ended SA requirement, the
+   SA resolves after its strobe-to-output delay.
+
+For the conventional WLUD scheme there is no boost phase: the weakened cell
+must develop the whole sensing swing on its own, which is what produces the
+long, variation-sensitive delays of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.circuits.blboost import BitlineBooster
+from repro.circuits.senseamp import SenseAmplifier
+from repro.circuits.wordline import WordlineDriver, WordlinePulse, WordlineScheme
+from repro.tech.calibration import MacroCalibration
+from repro.tech.devices import DeviceType, Transistor
+from repro.tech.technology import OperatingPoint, TechnologyProfile
+from repro.utils.validation import check_positive
+
+__all__ = ["Bitline", "BitlineComputeResult", "BitlineComputeModel"]
+
+
+@dataclass(frozen=True)
+class Bitline:
+    """Physical description of one bit line."""
+
+    rows: int
+    calibration: MacroCalibration
+
+    def __post_init__(self) -> None:
+        check_positive("rows", self.rows)
+
+    @property
+    def capacitance(self) -> float:
+        """Total BL capacitance in farads (cell diffusion + wire)."""
+        bitline = self.calibration.bitline
+        return self.rows * bitline.cell_bl_cap_f + bitline.bl_fixed_cap_f
+
+
+@dataclass(frozen=True)
+class BitlineComputeResult:
+    """Timing outcome of one BL-computing access."""
+
+    scheme: WordlineScheme
+    pulse: WordlinePulse
+    trigger_time_s: float
+    swing_complete_time_s: float
+    sense_resolve_s: float
+    total_delay_s: float
+    boosted: bool
+    swing_at_pulse_end_v: float
+
+
+class BitlineComputeModel:
+    """Computes BL-computing delay for a given drive scheme.
+
+    Parameters
+    ----------
+    technology / calibration:
+        Technology profile and calibrated constants.
+    rows:
+        Number of cells on the bit line (128 for the paper's macro).
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyProfile,
+        calibration: MacroCalibration,
+        rows: int = 128,
+    ) -> None:
+        self.technology = technology
+        self.calibration = calibration
+        self.bitline = Bitline(rows=rows, calibration=calibration)
+        self.booster = BitlineBooster(technology=technology, calibration=calibration)
+        self.sense_amp = SenseAmplifier(technology=technology, calibration=calibration)
+        self._cell = Transistor(
+            technology=technology,
+            device_type=DeviceType.NMOS,
+            drive_factor=calibration.bitline.cell_drive_factor,
+            width_factor=1.0,
+            lvt=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Device-level helpers
+    # ------------------------------------------------------------------ #
+    def cell_discharge_current(
+        self,
+        point: OperatingPoint,
+        wl_voltage: float,
+        cell_vth_shift: float = 0.0,
+    ) -> float:
+        """Discharge current (A) of the accessed cell's access/pull-down path."""
+        return self._cell.on_current(point, vgs=wl_voltage, vth_shift=cell_vth_shift)
+
+    def _driver(self, scheme: WordlineScheme) -> WordlineDriver:
+        return WordlineDriver(
+            technology=self.technology, calibration=self.calibration, scheme=scheme
+        )
+
+    # ------------------------------------------------------------------ #
+    # Transient evaluation
+    # ------------------------------------------------------------------ #
+    def compute(
+        self,
+        point: OperatingPoint,
+        scheme: WordlineScheme = WordlineScheme.SHORT_PULSE_BOOST,
+        cell_vth_shift: float = 0.0,
+        boost_vth_shift: float = 0.0,
+        sa_offset_s: float = 0.0,
+    ) -> BitlineComputeResult:
+        """Evaluate one BL-computing access and return its timing.
+
+        The optional ``*_shift``/``offset`` arguments inject local variation
+        (used by :class:`repro.circuits.montecarlo.MonteCarloEngine`).
+        """
+        if scheme not in WordlineScheme:
+            raise ConfigurationError(f"unknown word-line scheme {scheme!r}")
+
+        capacitance = self.bitline.capacitance
+        pulse = self._driver(scheme).pulse(point)
+        cell_current = self.cell_discharge_current(
+            point, wl_voltage=pulse.voltage, cell_vth_shift=cell_vth_shift
+        )
+        sense_swing = self.sense_amp.required_swing
+        use_boost = scheme is WordlineScheme.SHORT_PULSE_BOOST
+
+        if not use_boost:
+            # The cell alone must develop the whole sensing swing; the WL is
+            # held long enough in these schemes (WLUD / naive full drive).
+            swing_time = capacitance * sense_swing / cell_current
+            trigger_time = swing_time
+            swing_at_pulse_end = min(
+                sense_swing, cell_current * pulse.width_s / capacitance
+            )
+            boosted = False
+        else:
+            trigger_swing = self.booster.trigger_swing
+            trigger_time = capacitance * trigger_swing / cell_current
+            swing_at_pulse_end = min(
+                point.vdd, cell_current * pulse.width_s / capacitance
+            )
+            if trigger_time >= pulse.width_s:
+                # The cell was too weak to trip the booster inside the pulse;
+                # whatever swing exists at pulse end keeps developing only if
+                # it already crossed the trigger, otherwise sensing fails
+                # slow: fall back to a conservative cell-only evaluation with
+                # the swing frozen at pulse end plus booster leakage-free
+                # continuation from the trigger point.
+                boosted = False
+                swing_time = capacitance * sense_swing / cell_current
+            else:
+                boosted = True
+                boost_current = self.booster.boost_current(
+                    point, vth_shift=boost_vth_shift
+                )
+                remaining = sense_swing - trigger_swing
+                # While the WL is still high both the cell and the booster
+                # discharge the BL; afterwards only the booster does.  Treat
+                # the combined phase first.
+                combined_current = cell_current + boost_current
+                time_left_in_pulse = pulse.width_s - trigger_time
+                swing_during_pulse = combined_current * time_left_in_pulse / capacitance
+                if swing_during_pulse >= remaining:
+                    swing_time = trigger_time + capacitance * remaining / combined_current
+                else:
+                    after_pulse_swing = remaining - swing_during_pulse
+                    swing_time = pulse.width_s + (
+                        capacitance * after_pulse_swing / boost_current
+                    )
+
+        sense_resolve = self.sense_amp.resolve_time(point, offset_s=sa_offset_s)
+        if use_boost:
+            # The SA strobe is generated off the WL-pulse timing chain, so the
+            # evaluation window is never shorter than the pulse itself.
+            evaluation_window = max(swing_time, pulse.width_s)
+        else:
+            evaluation_window = swing_time
+        total = evaluation_window + sense_resolve
+
+        return BitlineComputeResult(
+            scheme=scheme,
+            pulse=pulse,
+            trigger_time_s=trigger_time,
+            swing_complete_time_s=swing_time,
+            sense_resolve_s=sense_resolve,
+            total_delay_s=total,
+            boosted=boosted,
+            swing_at_pulse_end_v=swing_at_pulse_end,
+        )
+
+    def compute_delay(
+        self,
+        point: OperatingPoint,
+        scheme: WordlineScheme = WordlineScheme.SHORT_PULSE_BOOST,
+        **variation: float,
+    ) -> float:
+        """Convenience wrapper returning only the total delay in seconds."""
+        return self.compute(point, scheme=scheme, **variation).total_delay_s
+
+    def sensing_component(self, point: OperatingPoint) -> float:
+        """The 'BL sensing' slice of the Fig. 8 breakdown for the proposed
+        scheme: whatever swing time extends past the WL pulse, plus the SA
+        resolve time."""
+        result = self.compute(point, scheme=WordlineScheme.SHORT_PULSE_BOOST)
+        residual = max(0.0, result.swing_complete_time_s - result.pulse.width_s)
+        return residual + result.sense_resolve_s

@@ -1,0 +1,147 @@
+"""Cycle-delay breakdown model (Fig. 8, left).
+
+One in-memory-computing cycle consists of five serial components:
+
+1. bit-line precharge,
+2. word-line activation (the calibrated short pulse),
+3. bit-line sensing (boost completion past the pulse + SA resolve),
+4. logic delay (the ripple-carry critical path of the FA-Logics chain — for
+   N-bit precision the carry may traverse 2N Y-Paths because the
+   multiplication product spans two precision units, which is why the paper
+   charges the 16-bit adder delay in 8-bit mode), and
+5. write-back (shortened when the BL separator disconnects the main-array
+   BL capacitance).
+
+The total is the minimum clock period; its reciprocal is the maximum
+operating frequency plotted on the right of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuits.bitline import BitlineComputeModel
+from repro.circuits.fa import AdderStyle, FullAdderTiming
+from repro.circuits.wordline import WordlineDriver, WordlineScheme
+from repro.tech.calibration import MacroCalibration
+from repro.tech.technology import OperatingPoint, TechnologyProfile
+from repro.utils.validation import check_positive
+
+__all__ = ["CycleBreakdown", "CycleDelayModel"]
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Per-component delay of one IMC cycle (seconds)."""
+
+    bl_precharge_s: float
+    wl_activation_s: float
+    bl_sensing_s: float
+    logic_s: float
+    writeback_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Minimum cycle time."""
+        return (
+            self.bl_precharge_s
+            + self.wl_activation_s
+            + self.bl_sensing_s
+            + self.logic_s
+            + self.writeback_s
+        )
+
+    @property
+    def max_frequency_hz(self) -> float:
+        """Maximum operating frequency implied by the breakdown."""
+        return 1.0 / self.total_s
+
+    def as_dict(self) -> Dict[str, float]:
+        """Component name to delay (seconds), in pipeline order."""
+        return {
+            "bl_precharge": self.bl_precharge_s,
+            "wl_activation": self.wl_activation_s,
+            "bl_sensing": self.bl_sensing_s,
+            "logic": self.logic_s,
+            "writeback": self.writeback_s,
+        }
+
+    def fractions(self) -> Dict[str, float]:
+        """Component name to fraction of the total cycle time."""
+        total = self.total_s
+        return {name: value / total for name, value in self.as_dict().items()}
+
+
+class CycleDelayModel:
+    """Builds :class:`CycleBreakdown` objects for arbitrary operating points."""
+
+    def __init__(
+        self,
+        technology: TechnologyProfile,
+        calibration: MacroCalibration,
+        rows: int = 128,
+    ) -> None:
+        self.technology = technology
+        self.calibration = calibration
+        self.bitline_model = BitlineComputeModel(
+            technology=technology, calibration=calibration, rows=rows
+        )
+        self.adder_timing = FullAdderTiming(
+            technology=technology, calibration=calibration
+        )
+        self.wordline_driver = WordlineDriver(
+            technology=technology,
+            calibration=calibration,
+            scheme=WordlineScheme.SHORT_PULSE_BOOST,
+        )
+
+    def _component_scale(self, point: OperatingPoint) -> float:
+        shift = self.technology.corner_spec(point.corner).dvth_n
+        return self.calibration.timing.voltage_scale(point.vdd, vth_shift=shift)
+
+    def logic_delay(self, point: OperatingPoint, precision_bits: int) -> float:
+        """Ripple-carry logic delay for the given precision.
+
+        The carry chain must cover the double-width product of the
+        reconfigurable multiplication, so an N-bit precision mode is charged
+        the 2N-bit adder critical path (222 ps for 8-bit mode at 0.9 V).
+        """
+        check_positive("precision_bits", precision_bits)
+        return self.adder_timing.critical_path_delay(
+            bits=2 * precision_bits,
+            point=point,
+            style=AdderStyle.TRANSMISSION_GATE,
+        )
+
+    def breakdown(
+        self,
+        point: OperatingPoint,
+        precision_bits: int = 8,
+        bl_separator: bool = True,
+    ) -> CycleBreakdown:
+        """Compute the five-component cycle breakdown at an operating point."""
+        timing = self.calibration.timing
+        scale = self._component_scale(point)
+        pulse = self.wordline_driver.pulse(point)
+        writeback_ref = (
+            timing.writeback_separator_s
+            if bl_separator
+            else timing.writeback_no_separator_s
+        )
+        return CycleBreakdown(
+            bl_precharge_s=timing.bl_precharge_s * scale,
+            wl_activation_s=pulse.width_s,
+            bl_sensing_s=self.bitline_model.sensing_component(point),
+            logic_s=self.logic_delay(point, precision_bits),
+            writeback_s=writeback_ref * scale,
+        )
+
+    def cycle_time(
+        self,
+        point: OperatingPoint,
+        precision_bits: int = 8,
+        bl_separator: bool = True,
+    ) -> float:
+        """Minimum cycle time (seconds) at an operating point."""
+        return self.breakdown(point, precision_bits, bl_separator).total_s

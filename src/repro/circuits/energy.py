@@ -1,0 +1,260 @@
+"""Per-operation energy model (Table II, Fig. 8 right, Table III).
+
+The model decomposes every supported in-memory operation into the per-bit
+energy components calibrated in
+:class:`repro.tech.calibration.EnergyCalibration`:
+
+* ``bl_compute_dual``  — dual-WL BL computation (precharge + short pulse +
+  boost + SA) per accessed column,
+* ``bl_compute_single`` — single-WL access per accessed column,
+* ``logic``            — FA-Logics / Y-Path switching per column,
+* ``writeback``        — write-back per column, reduced when the BL separator
+  disconnects the main-array BL capacitance,
+* ``flipflop``         — multiplier flip-flop update per column.
+
+Cycle recipes (matching Table I):
+
+* logic ops / ADD / ADD-SHIFT: one dual-WL cycle,
+* NOT / COPY / SHIFT: one single-WL cycle + write-back,
+* SUB: NOT (write-back to dummy) + ADD,
+* MULT (N-bit): two initialisation cycles (zero write + multiplicand copy)
+  followed by N add-and-shift cycles, each over the N columns of a precision
+  unit.
+
+Energy scales with supply as ``(VDD / 0.9)^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.tech.calibration import MacroCalibration
+from repro.utils.validation import check_positive
+
+__all__ = ["EnergyReport", "OperationEnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one operation, split by phase (joules)."""
+
+    operation: str
+    precision_bits: int
+    bl_separator: bool
+    vdd: float
+    bl_compute_j: float
+    logic_j: float
+    writeback_j: float
+    flipflop_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total energy of the operation in joules."""
+        return self.bl_compute_j + self.logic_j + self.writeback_j + self.flipflop_j
+
+    @property
+    def total_fj(self) -> float:
+        """Total energy of the operation in femtojoules."""
+        return self.total_j * 1e15
+
+
+class OperationEnergyModel:
+    """Energy per in-memory operation as a function of precision and supply."""
+
+    def __init__(self, calibration: MacroCalibration) -> None:
+        self.calibration = calibration
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _scale(self, vdd: float) -> float:
+        return self.calibration.energy.voltage_scale(vdd)
+
+    def _report(
+        self,
+        operation: str,
+        precision_bits: int,
+        bl_separator: bool,
+        vdd: float,
+        bl_compute: float,
+        logic: float,
+        writeback: float,
+        flipflop: float = 0.0,
+    ) -> EnergyReport:
+        scale = self._scale(vdd)
+        return EnergyReport(
+            operation=operation,
+            precision_bits=precision_bits,
+            bl_separator=bl_separator,
+            vdd=vdd,
+            bl_compute_j=bl_compute * scale,
+            logic_j=logic * scale,
+            writeback_j=writeback * scale,
+            flipflop_j=flipflop * scale,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-operation recipes
+    # ------------------------------------------------------------------ #
+    def logic_energy(
+        self, precision_bits: int, vdd: float = 0.9, bl_separator: bool = True
+    ) -> EnergyReport:
+        """Single-cycle bit-wise logic operation (AND/NAND/OR/NOR/XOR/XNOR)."""
+        check_positive("precision_bits", precision_bits)
+        energy = self.calibration.energy
+        n = precision_bits
+        return self._report(
+            "LOGIC",
+            n,
+            bl_separator,
+            vdd,
+            bl_compute=n * energy.bl_compute_dual_per_bit_j,
+            logic=n * energy.logic_per_bit_j,
+            writeback=0.0,
+        )
+
+    def add_energy(
+        self, precision_bits: int, vdd: float = 0.9, bl_separator: bool = True
+    ) -> EnergyReport:
+        """Single-cycle N-bit addition (Table II, ADD row)."""
+        check_positive("precision_bits", precision_bits)
+        energy = self.calibration.energy
+        n = precision_bits
+        return self._report(
+            "ADD",
+            n,
+            bl_separator,
+            vdd,
+            bl_compute=n * energy.bl_compute_dual_per_bit_j,
+            logic=n * energy.logic_per_bit_j,
+            writeback=0.0,
+        )
+
+    def add_shift_energy(
+        self, precision_bits: int, vdd: float = 0.9, bl_separator: bool = True
+    ) -> EnergyReport:
+        """Single-cycle add-and-shift (includes the dummy-array write-back)."""
+        check_positive("precision_bits", precision_bits)
+        energy = self.calibration.energy
+        n = precision_bits
+        return self._report(
+            "ADD_SHIFT",
+            n,
+            bl_separator,
+            vdd,
+            bl_compute=n * energy.bl_compute_dual_per_bit_j,
+            logic=n * energy.logic_per_bit_j,
+            writeback=n * energy.writeback_per_bit(bl_separator),
+            flipflop=n * energy.flipflop_per_bit_j,
+        )
+
+    def copy_energy(
+        self, precision_bits: int, vdd: float = 0.9, bl_separator: bool = True
+    ) -> EnergyReport:
+        """Single-WL read followed by a write-back (COPY / NOT / SHIFT)."""
+        check_positive("precision_bits", precision_bits)
+        energy = self.calibration.energy
+        n = precision_bits
+        return self._report(
+            "COPY",
+            n,
+            bl_separator,
+            vdd,
+            bl_compute=n * energy.bl_compute_single_per_bit_j,
+            logic=0.0,
+            writeback=n * energy.writeback_per_bit(bl_separator),
+        )
+
+    def sub_energy(
+        self, precision_bits: int, vdd: float = 0.9, bl_separator: bool = True
+    ) -> EnergyReport:
+        """Two-cycle subtraction: NOT with write-back, then ADD (Table II)."""
+        check_positive("precision_bits", precision_bits)
+        energy = self.calibration.energy
+        n = precision_bits
+        bl_compute = n * (
+            energy.bl_compute_single_per_bit_j + energy.bl_compute_dual_per_bit_j
+        )
+        logic = n * energy.logic_per_bit_j
+        writeback = n * energy.writeback_per_bit(bl_separator)
+        return self._report("SUB", n, bl_separator, vdd, bl_compute, logic, writeback)
+
+    def mult_energy(
+        self, precision_bits: int, vdd: float = 0.9, bl_separator: bool = True
+    ) -> EnergyReport:
+        """(N+2)-cycle multiplication (Table II, MULT rows).
+
+        Two initialisation cycles (zero write to the dummy row, multiplicand
+        copy) plus N add-and-shift cycles over the N columns of the precision
+        unit.
+        """
+        check_positive("precision_bits", precision_bits)
+        energy = self.calibration.energy
+        n = precision_bits
+        writeback_bit = energy.writeback_per_bit(bl_separator)
+        # Initialisation: write zeros (write-back only) + copy multiplicand.
+        init_bl = n * energy.bl_compute_single_per_bit_j
+        init_wb = 2 * n * writeback_bit
+        init_ff = n * energy.flipflop_per_bit_j
+        # N add-and-shift iterations over an N-column precision unit.
+        iter_bl = n * n * energy.bl_compute_dual_per_bit_j
+        iter_logic = n * n * energy.logic_per_bit_j
+        iter_wb = n * n * writeback_bit
+        return self._report(
+            "MULT",
+            n,
+            bl_separator,
+            vdd,
+            bl_compute=init_bl + iter_bl,
+            logic=iter_logic,
+            writeback=init_wb + iter_wb,
+            flipflop=init_ff,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Generic dispatch
+    # ------------------------------------------------------------------ #
+    def energy_for(
+        self,
+        operation: str,
+        precision_bits: int,
+        vdd: float = 0.9,
+        bl_separator: bool = True,
+    ) -> EnergyReport:
+        """Dispatch on an operation mnemonic (case-insensitive)."""
+        table = {
+            "and": self.logic_energy,
+            "nand": self.logic_energy,
+            "or": self.logic_energy,
+            "nor": self.logic_energy,
+            "xor": self.logic_energy,
+            "xnor": self.logic_energy,
+            "logic": self.logic_energy,
+            "not": self.copy_energy,
+            "copy": self.copy_energy,
+            "shift": self.copy_energy,
+            "add": self.add_energy,
+            "add_shift": self.add_shift_energy,
+            "sub": self.sub_energy,
+            "mult": self.mult_energy,
+        }
+        key = operation.lower()
+        if key not in table:
+            raise ConfigurationError(f"unknown operation mnemonic {operation!r}")
+        return table[key](precision_bits, vdd=vdd, bl_separator=bl_separator)
+
+    def table2(
+        self, vdd: float = 0.9, precisions: tuple[int, ...] = (2, 4, 8)
+    ) -> Dict[str, Dict[int, Dict[str, float]]]:
+        """Regenerate Table II: energy in fJ per op/precision/separator setting."""
+        table: Dict[str, Dict[int, Dict[str, float]]] = {}
+        for name, method in (("ADD", self.add_energy), ("SUB", self.sub_energy), ("MULT", self.mult_energy)):
+            table[name] = {}
+            for bits in precisions:
+                table[name][bits] = {
+                    "with_separator": method(bits, vdd=vdd, bl_separator=True).total_fj,
+                    "without_separator": method(bits, vdd=vdd, bl_separator=False).total_fj,
+                }
+        return table

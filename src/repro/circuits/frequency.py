@@ -1,0 +1,89 @@
+"""Maximum-frequency model (Fig. 8, right).
+
+The maximum clock frequency is the reciprocal of the single-cycle delay
+produced by :class:`repro.circuits.delay.CycleDelayModel`.  The paper sweeps
+the supply from 0.6 V to 1.1 V at the FF corner and reports 372 MHz at 0.6 V
+and 2.25 GHz at 1.0 V; the same sweep is available here for any corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.circuits.delay import CycleDelayModel
+from repro.tech.calibration import MacroCalibration
+from repro.tech.technology import OperatingPoint, ProcessCorner, TechnologyProfile
+
+__all__ = ["FrequencyPoint", "FrequencyModel"]
+
+
+@dataclass(frozen=True)
+class FrequencyPoint:
+    """Maximum frequency at one supply voltage."""
+
+    vdd: float
+    corner: ProcessCorner
+    cycle_time_s: float
+    max_frequency_hz: float
+
+
+class FrequencyModel:
+    """Maximum operating frequency across supply voltages and corners."""
+
+    def __init__(
+        self,
+        technology: TechnologyProfile,
+        calibration: MacroCalibration,
+        rows: int = 128,
+        precision_bits: int = 8,
+    ) -> None:
+        self.technology = technology
+        self.calibration = calibration
+        self.precision_bits = precision_bits
+        self.delay_model = CycleDelayModel(
+            technology=technology, calibration=calibration, rows=rows
+        )
+
+    def max_frequency(
+        self,
+        vdd: float,
+        corner: ProcessCorner = ProcessCorner.FF,
+        temperature_c: float = 25.0,
+        bl_separator: bool = True,
+    ) -> FrequencyPoint:
+        """Maximum frequency at one operating point."""
+        point = OperatingPoint(vdd=vdd, temperature_c=temperature_c, corner=corner)
+        self.technology.validate_operating_point(point)
+        cycle = self.delay_model.cycle_time(
+            point, precision_bits=self.precision_bits, bl_separator=bl_separator
+        )
+        return FrequencyPoint(
+            vdd=vdd,
+            corner=corner,
+            cycle_time_s=cycle,
+            max_frequency_hz=1.0 / cycle,
+        )
+
+    def voltage_sweep(
+        self,
+        voltages: Optional[Iterable[float]] = None,
+        corner: ProcessCorner = ProcessCorner.FF,
+        bl_separator: bool = True,
+    ) -> List[FrequencyPoint]:
+        """Fig. 8 (right) frequency-vs-supply sweep."""
+        if voltages is None:
+            voltages = self.technology.supply_range(points=6)
+        return [
+            self.max_frequency(vdd, corner=corner, bl_separator=bl_separator)
+            for vdd in voltages
+        ]
+
+    def corner_map(
+        self, vdd: float, bl_separator: bool = True
+    ) -> Dict[ProcessCorner, FrequencyPoint]:
+        """Maximum frequency at every process corner for one supply."""
+        return {
+            corner: self.max_frequency(vdd, corner=corner, bl_separator=bl_separator)
+            for corner in ProcessCorner
+        }

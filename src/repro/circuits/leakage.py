@@ -1,0 +1,182 @@
+"""Static (leakage) power model of the macro.
+
+The paper's headline TOPS/W numbers are dynamic-energy figures (Table II /
+Fig. 8); this module adds the piece a system designer needs on top of them:
+how much the idle array leaks, and how that leakage eats into the effective
+energy efficiency when the macro is clocked slowly (e.g. at 0.6 V / 372 MHz)
+or sits partially idle.
+
+The model is deliberately first-order:
+
+* every 6T cell leaks a sub-threshold current that grows exponentially with
+  supply voltage and temperature and shifts with the process corner,
+* the added peripheral devices (booster, FA-Logics, flip-flops) contribute a
+  fixed multiple of the cell leakage per active column, and
+* the LVT devices of the BL booster leak roughly an order of magnitude more
+  per width than regular-Vt devices, which is why the paper gates them with
+  the BSTRS reset.
+
+The default constants give a 128x128 macro roughly 15 uW of leakage at
+0.9 V / 25 C — a typical figure for a 16 Kb 28 nm array — and the tests only
+rely on the qualitative behaviour (monotonicity with V/T/corner and the
+relative size of the contributions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech.technology import OperatingPoint, TechnologyProfile
+from repro.tech.calibration import CALIBRATED_28NM
+from repro.utils.validation import check_positive
+
+__all__ = ["LeakageParameters", "LeakageModel"]
+
+
+@dataclass(frozen=True)
+class LeakageParameters:
+    """Constants of the leakage model."""
+
+    #: Per-cell leakage current at the nominal supply / 25 C / NN corner.
+    cell_leakage_a: float = 8.0e-10
+    #: Exponential supply sensitivity (decades per volt ~ 1/0.3 natural).
+    supply_sensitivity_per_v: float = 3.0
+    #: Leakage doubles roughly every ``temperature_doubling_c`` degrees.
+    temperature_doubling_c: float = 12.0
+    #: Corner sensitivity: leakage change per volt of threshold shift.
+    vth_sensitivity_per_v: float = 25.0
+    #: Peripheral (Y-Path) leakage per active column, in cell equivalents.
+    peripheral_cells_per_column: float = 8.0
+    #: Extra leakage factor of the LVT boost devices (per active column,
+    #: expressed in cell equivalents after the 10x LVT penalty).
+    lvt_booster_cells_per_column: float = 6.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cell_leakage_a",
+            "supply_sensitivity_per_v",
+            "temperature_doubling_c",
+            "vth_sensitivity_per_v",
+            "peripheral_cells_per_column",
+            "lvt_booster_cells_per_column",
+        ):
+            check_positive(name, getattr(self, name))
+
+
+class LeakageModel:
+    """Static power of one macro and its effect on energy efficiency.
+
+    The macro geometry is passed directly (rows / columns / dummy rows /
+    interleave) so this module stays below :mod:`repro.core` in the layering
+    and can be used for arbitrary array shapes.
+    """
+
+    def __init__(
+        self,
+        rows: int = 128,
+        cols: int = 128,
+        dummy_rows: int = 3,
+        interleave: int = 4,
+        technology: TechnologyProfile = CALIBRATED_28NM,
+        parameters: LeakageParameters | None = None,
+    ) -> None:
+        check_positive("rows", rows)
+        check_positive("cols", cols)
+        check_positive("dummy_rows", dummy_rows)
+        check_positive("interleave", interleave)
+        self.rows = rows
+        self.cols = cols
+        self.dummy_rows = dummy_rows
+        self.interleave = interleave
+        self.technology = technology
+        self.parameters = parameters if parameters is not None else LeakageParameters()
+
+    @property
+    def active_columns(self) -> int:
+        """Columns served by a Y-Path (one per interleave group)."""
+        return self.cols // self.interleave
+
+    # ------------------------------------------------------------------ #
+    # Per-device and per-macro leakage
+    # ------------------------------------------------------------------ #
+    def cell_leakage_current(self, point: OperatingPoint) -> float:
+        """Leakage current of one 6T cell (amperes) at an operating point."""
+        parameters = self.parameters
+        reference_vdd = self.technology.vdd_nominal
+        supply_factor = math.exp(
+            parameters.supply_sensitivity_per_v * (point.vdd - reference_vdd)
+        )
+        temperature_factor = 2.0 ** (
+            (point.temperature_c - 25.0) / parameters.temperature_doubling_c
+        )
+        vth_shift = self.technology.corner_spec(point.corner).dvth_n
+        corner_factor = math.exp(-parameters.vth_sensitivity_per_v * vth_shift)
+        return (
+            parameters.cell_leakage_a * supply_factor * temperature_factor * corner_factor
+        )
+
+    def leakage_power(self, point: OperatingPoint) -> float:
+        """Total static power of the macro (watts)."""
+        parameters = self.parameters
+        cell_current = self.cell_leakage_current(point)
+        array_cells = self.rows * self.cols
+        dummy_cells = self.dummy_rows * self.cols
+        peripheral_cells = self.active_columns * (
+            parameters.peripheral_cells_per_column
+            + parameters.lvt_booster_cells_per_column
+        )
+        total_current = cell_current * (array_cells + dummy_cells + peripheral_cells)
+        return total_current * point.vdd
+
+    def peripheral_share(self, point: OperatingPoint) -> float:
+        """Fraction of the macro's leakage due to the added computing blocks."""
+        parameters = self.parameters
+        peripheral_cells = self.active_columns * (
+            parameters.peripheral_cells_per_column
+            + parameters.lvt_booster_cells_per_column
+        )
+        array_cells = self.rows * self.cols
+        dummy_cells = self.dummy_rows * self.cols
+        return peripheral_cells / (array_cells + dummy_cells + peripheral_cells)
+
+    # ------------------------------------------------------------------ #
+    # Effect on energy efficiency
+    # ------------------------------------------------------------------ #
+    def energy_per_operation_with_leakage(
+        self,
+        dynamic_energy_j: float,
+        operation_cycles: int,
+        cycle_time_s: float,
+        point: OperatingPoint,
+        parallel_operations: int = 1,
+    ) -> float:
+        """Dynamic energy plus the leakage charged to one operation.
+
+        The macro leaks for the whole duration of the operation; when
+        ``parallel_operations`` word-level results are produced by the same
+        access, the leakage is shared between them.
+        """
+        check_positive("operation_cycles", operation_cycles)
+        check_positive("cycle_time_s", cycle_time_s)
+        check_positive("parallel_operations", parallel_operations)
+        leak = self.leakage_power(point) * operation_cycles * cycle_time_s
+        return dynamic_energy_j + leak / parallel_operations
+
+    def effective_tops_per_watt(
+        self,
+        dynamic_energy_j: float,
+        operation_cycles: int,
+        cycle_time_s: float,
+        point: OperatingPoint,
+        parallel_operations: int = 1,
+    ) -> float:
+        """TOPS/W including the leakage contribution."""
+        energy = self.energy_per_operation_with_leakage(
+            dynamic_energy_j,
+            operation_cycles,
+            cycle_time_s,
+            point,
+            parallel_operations,
+        )
+        return 1.0 / (energy * 1e12)

@@ -1,0 +1,56 @@
+"""Single-ended sense amplifier model.
+
+The proposed macro senses BLT and BLB with *single-ended* sense amplifiers
+(one per bit line) so that both BL-computation results (``A AND B`` on BLT,
+``NOR(A, B)`` on BLB) are available simultaneously.  The behavioural model
+captures:
+
+* the swing the SA needs before it can be strobed (``required_swing``), and
+* the resolve time from strobe to valid digital output, which scales with
+  supply voltage and corner like every other digital component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.calibration import MacroCalibration
+from repro.tech.technology import OperatingPoint, TechnologyProfile
+
+__all__ = ["SenseAmplifier"]
+
+
+@dataclass
+class SenseAmplifier:
+    """Per-column single-ended sense amplifier."""
+
+    technology: TechnologyProfile
+    calibration: MacroCalibration
+
+    @property
+    def required_swing(self) -> float:
+        """BL swing (volts) needed for reliable single-ended sensing."""
+        return self.calibration.bitline.sense_swing_v
+
+    def resolve_time(
+        self, point: OperatingPoint, offset_s: float = 0.0
+    ) -> float:
+        """Strobe-to-output delay (seconds) at the given operating point.
+
+        ``offset_s`` adds a per-instance random offset, used by the
+        Monte-Carlo engine to model SA input-referred offset / resolve-time
+        variation.
+        """
+        timing = self.calibration.timing
+        shift = self.technology.corner_spec(point.corner).dvth_n
+        scale = timing.voltage_scale(point.vdd, vth_shift=shift)
+        resolve = timing.sense_amp_resolve_s * scale + offset_s
+        return max(resolve, 1e-12)
+
+    def output(self, bitline_low: bool) -> int:
+        """Digital output of the SA given whether its BL discharged.
+
+        The SA output is high when the BL stayed high.  For a dual-WL access
+        on BLT this yields ``A AND B``; on BLB it yields ``NOR(A, B)``.
+        """
+        return 0 if bitline_low else 1

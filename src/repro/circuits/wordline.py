@@ -1,0 +1,99 @@
+"""Word-line drive schemes.
+
+The paper contrasts two ways of activating word lines during bit-line
+computing:
+
+* **WLUD** (word-line under-drive): the WL is driven to a reduced voltage
+  (0.55 V) for the whole evaluation window so that the weakened access
+  transistor cannot flip the cell — at the cost of a very slow BL discharge.
+* **Short pulse + BL boosting** (proposed): the WL is driven to full VDD but
+  only for a short, delay-line generated pulse (140 ps at 0.9 V); the small
+  resulting BL swing is then amplified by the BL booster.
+
+A third scheme, ``FULL_STATIC``, models a naive full-VDD long pulse and is
+used by the read-disturb model to show why that option is not viable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.calibration import MacroCalibration
+from repro.tech.technology import OperatingPoint, TechnologyProfile
+
+__all__ = ["WordlineScheme", "WordlinePulse", "WordlineDriver"]
+
+
+class WordlineScheme(enum.Enum):
+    """How the word line is driven during a BL-computing access."""
+
+    SHORT_PULSE_BOOST = "short_pulse_boost"
+    WLUD = "wlud"
+    FULL_STATIC = "full_static"
+
+
+@dataclass(frozen=True)
+class WordlinePulse:
+    """A word-line activation: drive voltage and pulse width."""
+
+    voltage: float
+    width_s: float
+
+    def __post_init__(self) -> None:
+        if self.voltage <= 0:
+            raise ConfigurationError(f"WL voltage must be > 0, got {self.voltage}")
+        if self.width_s <= 0:
+            raise ConfigurationError(f"WL pulse width must be > 0, got {self.width_s}")
+
+
+class WordlineDriver:
+    """Generates :class:`WordlinePulse` objects for a given drive scheme.
+
+    The short pulse is produced by a replica delay line in hardware, so its
+    width tracks the logic delay across supply voltage and process corner;
+    the model applies the same alpha-power-law scaling used for every other
+    digital component.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyProfile,
+        calibration: MacroCalibration,
+        scheme: WordlineScheme = WordlineScheme.SHORT_PULSE_BOOST,
+    ) -> None:
+        self.technology = technology
+        self.calibration = calibration
+        self.scheme = scheme
+
+    def _corner_shift(self, point: OperatingPoint) -> float:
+        return self.technology.corner_spec(point.corner).dvth_n
+
+    def pulse(self, point: OperatingPoint) -> WordlinePulse:
+        """The WL pulse applied for a BL-computing access at ``point``."""
+        timing = self.calibration.timing
+        scale = timing.voltage_scale(point.vdd, vth_shift=self._corner_shift(point))
+        if self.scheme is WordlineScheme.SHORT_PULSE_BOOST:
+            return WordlinePulse(voltage=point.vdd, width_s=timing.wl_pulse_s * scale)
+        if self.scheme is WordlineScheme.WLUD:
+            return WordlinePulse(
+                voltage=self.calibration.bitline.wlud_wl_voltage,
+                width_s=self.calibration.disturb.conventional_pulse_s * scale,
+            )
+        if self.scheme is WordlineScheme.FULL_STATIC:
+            return WordlinePulse(
+                voltage=point.vdd,
+                width_s=self.calibration.disturb.conventional_pulse_s * scale,
+            )
+        raise ConfigurationError(f"unknown word-line scheme {self.scheme!r}")
+
+    def activation_delay(self, point: OperatingPoint) -> float:
+        """Decoder + driver delay before the WL actually rises.
+
+        This is folded into the 'WL activation' slice of the Fig. 8
+        breakdown; the breakdown model accounts for the pulse width itself,
+        so the extra driver delay is kept at zero by default.
+        """
+        del point
+        return 0.0

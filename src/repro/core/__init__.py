@@ -1,0 +1,67 @@
+"""Core bit-parallel IMC architecture (the paper's primary contribution).
+
+The package is organised bottom-up:
+
+* :mod:`cell`, :mod:`array`     — 6T storage, dummy rows, BL computing
+* :mod:`layout`                 — interleaved column / word layout
+* :mod:`ypath`, :mod:`periphery`— FA-Logics, carry chain, precision groups
+* :mod:`decoder`                — dual-WL row decoder
+* :mod:`operations`             — opcode set and Table I cycle counts
+* :mod:`controller`             — SUB / MULT micro-sequencer
+* :mod:`config`, :mod:`stats`   — configuration and accounting
+* :mod:`macro`, :mod:`bank`     — the macro and the banked 128 KB memory
+"""
+
+from repro.core.array import ArraySpace, BitlineComputeOutput, RowRef, SRAMArray
+from repro.core.bank import IMCBank, IMCMemory, WordLocation
+from repro.core.cell import CellState, DummyCell, SixTransistorCell
+from repro.core.config import MacroConfig
+from repro.core.controller import MicroOp, MicroOpKind, MicroSequencer
+from repro.core.decoder import RowDecoder, WordlineSelection
+from repro.core.kernels import KernelResult, VectorKernels
+from repro.core.layout import ColumnLayout
+from repro.core.macro import IMCMacro, OperationResult
+from repro.core.operations import Opcode, OperationCategory, SUPPORTED_PRECISIONS, cycles_for
+from repro.core.periphery import ColumnPeriphery, RippleResult
+from repro.core.program import Instruction, Program, ProgramExecutor, ProgramTrace
+from repro.core.stats import MacroStatistics, OperationRecord
+from repro.core.ypath import YPath, fa_from_bitline, logic_from_bitline
+
+__all__ = [
+    "ArraySpace",
+    "BitlineComputeOutput",
+    "RowRef",
+    "SRAMArray",
+    "IMCBank",
+    "IMCMemory",
+    "WordLocation",
+    "CellState",
+    "DummyCell",
+    "SixTransistorCell",
+    "MacroConfig",
+    "MicroOp",
+    "MicroOpKind",
+    "MicroSequencer",
+    "RowDecoder",
+    "WordlineSelection",
+    "KernelResult",
+    "VectorKernels",
+    "ColumnLayout",
+    "IMCMacro",
+    "OperationResult",
+    "Opcode",
+    "OperationCategory",
+    "SUPPORTED_PRECISIONS",
+    "cycles_for",
+    "ColumnPeriphery",
+    "RippleResult",
+    "Instruction",
+    "Program",
+    "ProgramExecutor",
+    "ProgramTrace",
+    "MacroStatistics",
+    "OperationRecord",
+    "YPath",
+    "fa_from_bitline",
+    "logic_from_bitline",
+]

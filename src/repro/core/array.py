@@ -1,0 +1,247 @@
+"""Functional model of the 6T SRAM array with dummy rows and BL separator.
+
+The array is the storage substrate of the IMC macro:
+
+* ``rows x cols`` conventional 6T cells (128 x 128 in the paper's macro),
+* three *dummy rows* placed below the BL separator that hold intermediate
+  values during multi-cycle operations (SUB write-back, MULT accumulator and
+  multiplicand copies),
+* the *BL separator*, a pass-gate that disconnects the main-array bit-line
+  capacitance during dummy-array write-backs (it changes energy/delay, not
+  function — the accounting happens in the macro).
+
+Bit-line computing semantics (Section 2.1 / Fig. 1 of the paper): activating
+two word lines discharges BLT unless **both** accessed cells store '1' and
+discharges BLB unless both store '0', so the single-ended sense amplifiers
+observe ``A AND B`` on BLT and ``NOR(A, B)`` on BLB.  A single-WL activation
+simply returns ``A`` and ``NOT A``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AddressError, ConfigurationError
+from repro.utils.validation import check_positive
+
+__all__ = ["ArraySpace", "RowRef", "BitlineComputeOutput", "SRAMArray"]
+
+
+class ArraySpace(enum.Enum):
+    """Which physical row group a row address refers to."""
+
+    MAIN = "main"
+    DUMMY = "dummy"
+
+
+@dataclass(frozen=True)
+class RowRef:
+    """A row reference: main-array row or dummy-array row."""
+
+    index: int
+    space: ArraySpace = ArraySpace.MAIN
+
+    @classmethod
+    def main(cls, index: int) -> "RowRef":
+        """Reference to a main-array row."""
+        return cls(index=index, space=ArraySpace.MAIN)
+
+    @classmethod
+    def dummy(cls, index: int) -> "RowRef":
+        """Reference to a dummy-array row."""
+        return cls(index=index, space=ArraySpace.DUMMY)
+
+    @property
+    def is_dummy(self) -> bool:
+        """Whether the reference points into the dummy array."""
+        return self.space is ArraySpace.DUMMY
+
+
+@dataclass(frozen=True)
+class BitlineComputeOutput:
+    """Sense-amplifier outputs of one bit-line computing access.
+
+    ``and_bits``/``nor_bits`` are little-endian-per-column numpy arrays over
+    the *active* columns handed in by the caller (the column periphery only
+    sees one interleave phase at a time).
+    """
+
+    and_bits: np.ndarray
+    nor_bits: np.ndarray
+    dual_wordline: bool
+
+    @property
+    def or_bits(self) -> np.ndarray:
+        """``A OR B`` — complement of the BLB result."""
+        return 1 - self.nor_bits
+
+    @property
+    def xor_bits(self) -> np.ndarray:
+        """``A XOR B`` derived from the two BL results."""
+        return 1 - self.and_bits - self.nor_bits
+
+
+class SRAMArray:
+    """The 6T SRAM cell array plus dummy rows."""
+
+    def __init__(
+        self,
+        rows: int = 128,
+        cols: int = 128,
+        dummy_rows: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        check_positive("rows", rows)
+        check_positive("cols", cols)
+        check_positive("dummy_rows", dummy_rows)
+        self.rows = rows
+        self.cols = cols
+        self.dummy_rows = dummy_rows
+        self._main = np.zeros((rows, cols), dtype=np.uint8)
+        self._dummy = np.zeros((dummy_rows, cols), dtype=np.uint8)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.disturb_events = 0
+        self.access_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Addressing helpers
+    # ------------------------------------------------------------------ #
+    def _storage(self, ref: RowRef) -> Tuple[np.ndarray, int]:
+        if ref.space is ArraySpace.MAIN:
+            if not 0 <= ref.index < self.rows:
+                raise AddressError(
+                    f"main-array row {ref.index} outside [0, {self.rows})"
+                )
+            return self._main, ref.index
+        if not 0 <= ref.index < self.dummy_rows:
+            raise AddressError(
+                f"dummy-array row {ref.index} outside [0, {self.dummy_rows})"
+            )
+        return self._dummy, ref.index
+
+    def _check_columns(self, columns: np.ndarray) -> np.ndarray:
+        columns = np.asarray(columns, dtype=np.int64)
+        if columns.size == 0:
+            raise AddressError("an access must touch at least one column")
+        if columns.min() < 0 or columns.max() >= self.cols:
+            raise AddressError(
+                f"column indices must lie in [0, {self.cols}), got "
+                f"[{columns.min()}, {columns.max()}]"
+            )
+        return columns
+
+    # ------------------------------------------------------------------ #
+    # Plain storage accesses
+    # ------------------------------------------------------------------ #
+    def write_bits(self, ref: RowRef, columns: np.ndarray, bits: np.ndarray) -> None:
+        """Write individual bits to (row, columns)."""
+        columns = self._check_columns(columns)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != columns.shape:
+            raise ConfigurationError(
+                f"bits shape {bits.shape} does not match columns shape {columns.shape}"
+            )
+        if bits.size and (bits.max() > 1):
+            raise ConfigurationError("bits must be 0 or 1")
+        storage, row = self._storage(ref)
+        storage[row, columns] = bits
+
+    def read_bits(self, ref: RowRef, columns: np.ndarray) -> np.ndarray:
+        """Read individual bits from (row, columns)."""
+        columns = self._check_columns(columns)
+        storage, row = self._storage(ref)
+        return storage[row, columns].copy()
+
+    def read_row(self, ref: RowRef) -> np.ndarray:
+        """Read a full physical row (all columns)."""
+        storage, row = self._storage(ref)
+        return storage[row, :].copy()
+
+    def write_row(self, ref: RowRef, bits: np.ndarray) -> None:
+        """Write a full physical row (all columns)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.cols,):
+            raise ConfigurationError(
+                f"row write expects {self.cols} bits, got shape {bits.shape}"
+            )
+        storage, row = self._storage(ref)
+        storage[row, :] = bits
+
+    def clear(self) -> None:
+        """Reset every cell (main and dummy) to zero."""
+        self._main.fill(0)
+        self._dummy.fill(0)
+
+    @property
+    def capacity_bits(self) -> int:
+        """Number of data bits in the main array (dummy rows excluded)."""
+        return self.rows * self.cols
+
+    # ------------------------------------------------------------------ #
+    # Bit-line computing accesses
+    # ------------------------------------------------------------------ #
+    def single_wordline_access(
+        self, ref: RowRef, columns: np.ndarray
+    ) -> BitlineComputeOutput:
+        """Single-WL access: SA outputs are ``A`` (BLT) and ``NOT A`` (BLB).
+
+        Following the AND/NOR convention of the dual-WL access, the returned
+        ``and_bits`` equal ``A`` and ``nor_bits`` equal ``NOT A``.
+        """
+        self.access_count += 1
+        bits = self.read_bits(ref, columns)
+        return BitlineComputeOutput(
+            and_bits=bits.astype(np.uint8),
+            nor_bits=(1 - bits).astype(np.uint8),
+            dual_wordline=False,
+        )
+
+    def dual_wordline_access(
+        self,
+        ref_a: RowRef,
+        ref_b: RowRef,
+        columns: np.ndarray,
+        disturb_probability: float = 0.0,
+    ) -> BitlineComputeOutput:
+        """Dual-WL access: SA outputs are ``A AND B`` and ``NOR(A, B)``.
+
+        ``disturb_probability`` optionally injects read-disturb flips: each
+        accessed cell whose stored value is exposed to a discharging bit line
+        (i.e. the two cells disagree, Fig. 1) flips with that probability
+        *after* the bit lines sample the original data.
+        """
+        if ref_a == ref_b:
+            raise ConfigurationError(
+                "dual-WL access needs two distinct rows (got the same row twice)"
+            )
+        self.access_count += 1
+        columns = self._check_columns(columns)
+        storage_a, row_a = self._storage(ref_a)
+        storage_b, row_b = self._storage(ref_b)
+        bits_a = storage_a[row_a, columns].astype(np.int64)
+        bits_b = storage_b[row_b, columns].astype(np.int64)
+        and_bits = (bits_a & bits_b).astype(np.uint8)
+        nor_bits = (1 - (bits_a | bits_b)).astype(np.uint8)
+
+        if disturb_probability > 0.0:
+            disagree = bits_a != bits_b
+            flips_a = disagree & (
+                self._rng.random(columns.shape) < disturb_probability
+            )
+            flips_b = disagree & (
+                self._rng.random(columns.shape) < disturb_probability
+            )
+            if np.any(flips_a):
+                storage_a[row_a, columns[flips_a]] ^= 1
+                self.disturb_events += int(np.count_nonzero(flips_a))
+            if np.any(flips_b):
+                storage_b[row_b, columns[flips_b]] ^= 1
+                self.disturb_events += int(np.count_nonzero(flips_b))
+
+        return BitlineComputeOutput(
+            and_bits=and_bits, nor_bits=nor_bits, dual_wordline=True
+        )

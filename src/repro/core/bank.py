@@ -1,0 +1,249 @@
+"""Banked memory built from IMC macros.
+
+The paper evaluates a 128 KB memory organised as four banks of 128x128
+macros.  :class:`IMCBank` groups several macros that share a control path and
+can execute the same vector operation simultaneously (one macro per issue
+slot); :class:`IMCMemory` groups banks and provides byte-capacity accounting,
+a flat word-address space and aggregate statistics.
+
+The bank layer is intentionally thin: all functional behaviour lives in
+:class:`repro.core.macro.IMCMacro`, and the bank simply fans operations out
+and merges the returned statistics — which is also how the physical design
+scales (each macro has its own column periphery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import AddressError, ConfigurationError
+from repro.core.config import MacroConfig
+from repro.core.macro import IMCMacro, OperationResult
+from repro.core.operations import Opcode
+from repro.core.stats import MacroStatistics
+from repro.utils.validation import check_positive
+
+__all__ = ["WordLocation", "IMCBank", "IMCMemory"]
+
+
+@dataclass(frozen=True)
+class WordLocation:
+    """Physical location of one word in the banked memory."""
+
+    bank: int
+    macro: int
+    row: int
+    word_index: int
+
+
+class IMCBank:
+    """A group of macros sharing one controller."""
+
+    def __init__(self, macros_per_bank: int, config: Optional[MacroConfig] = None) -> None:
+        check_positive("macros_per_bank", macros_per_bank)
+        self.config = config if config is not None else MacroConfig()
+        self.macros: List[IMCMacro] = [
+            IMCMacro(self.config) for _ in range(macros_per_bank)
+        ]
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Storage capacity of the bank in bytes."""
+        return sum(macro.config.capacity_bytes for macro in self.macros)
+
+    def macro(self, index: int) -> IMCMacro:
+        """Access one macro of the bank."""
+        if not 0 <= index < len(self.macros):
+            raise AddressError(
+                f"macro index {index} outside [0, {len(self.macros)})"
+            )
+        return self.macros[index]
+
+    def broadcast(
+        self,
+        opcode: Opcode,
+        row_a: int,
+        row_b: Optional[int] = None,
+        dest_row: Optional[int] = None,
+        precision_bits: Optional[int] = None,
+    ) -> List[OperationResult]:
+        """Issue the same vector operation to every macro of the bank."""
+        return [
+            macro.execute(opcode, row_a, row_b, dest_row, precision_bits)
+            for macro in self.macros
+        ]
+
+    def statistics(self) -> MacroStatistics:
+        """Merged statistics of every macro in the bank."""
+        merged = MacroStatistics()
+        for macro in self.macros:
+            merged.merge(macro.stats)
+        return merged
+
+    def reset_stats(self) -> None:
+        """Reset the statistics of every macro."""
+        for macro in self.macros:
+            macro.reset_stats()
+
+
+class IMCMemory:
+    """A multi-bank in-memory-computing memory (128 KB by default)."""
+
+    def __init__(
+        self,
+        banks: int = 4,
+        capacity_bytes: int = 128 * 1024,
+        config: Optional[MacroConfig] = None,
+    ) -> None:
+        check_positive("banks", banks)
+        check_positive("capacity_bytes", capacity_bytes)
+        self.config = config if config is not None else MacroConfig()
+        macro_bytes = self.config.capacity_bytes
+        total_macros = capacity_bytes // macro_bytes
+        if total_macros * macro_bytes != capacity_bytes:
+            raise ConfigurationError(
+                f"capacity {capacity_bytes} B is not a whole number of "
+                f"{macro_bytes} B macros"
+            )
+        if total_macros % banks != 0:
+            raise ConfigurationError(
+                f"{total_macros} macros cannot be split evenly across {banks} banks"
+            )
+        self.banks: List[IMCBank] = [
+            IMCBank(total_macros // banks, self.config) for _ in range(banks)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Capacity / addressing
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity_bytes(self) -> int:
+        """Total storage capacity in bytes."""
+        return sum(bank.capacity_bytes for bank in self.banks)
+
+    @property
+    def macros_per_bank(self) -> int:
+        """Number of macros in each bank."""
+        return len(self.banks[0].macros)
+
+    @property
+    def total_macros(self) -> int:
+        """Total number of macros across all banks."""
+        return self.macros_per_bank * len(self.banks)
+
+    def words_per_row(self, precision_bits: Optional[int] = None) -> int:
+        """Words per row access of one macro."""
+        return self.banks[0].macros[0].words_per_row(precision_bits)
+
+    def locate_word(
+        self, flat_index: int, precision_bits: Optional[int] = None
+    ) -> WordLocation:
+        """Map a flat word index onto (bank, macro, row, word).
+
+        Words are striped across macros first (to maximise the vector width
+        of a single broadcast operation), then across rows, then banks.
+        """
+        words_per_row = self.words_per_row(precision_bits)
+        rows = self.config.rows
+        words_per_macro = words_per_row * rows
+        words_per_bank = words_per_macro * self.macros_per_bank
+        total_words = words_per_bank * len(self.banks)
+        if not 0 <= flat_index < total_words:
+            raise AddressError(
+                f"flat word index {flat_index} outside [0, {total_words})"
+            )
+        bank, remainder = divmod(flat_index, words_per_bank)
+        macro, remainder = divmod(remainder, words_per_macro)
+        row, word_index = divmod(remainder, words_per_row)
+        return WordLocation(bank=bank, macro=macro, row=row, word_index=word_index)
+
+    def write_flat(self, flat_index: int, value: int, precision_bits: Optional[int] = None) -> None:
+        """Write a word at a flat word index."""
+        location = self.locate_word(flat_index, precision_bits)
+        self.banks[location.bank].macro(location.macro).write_word(
+            location.row, location.word_index, value, precision_bits
+        )
+
+    def read_flat(self, flat_index: int, precision_bits: Optional[int] = None) -> int:
+        """Read a word from a flat word index."""
+        location = self.locate_word(flat_index, precision_bits)
+        return self.banks[location.bank].macro(location.macro).read_word(
+            location.row, location.word_index, precision_bits
+        )
+
+    # ------------------------------------------------------------------ #
+    # Operations / statistics
+    # ------------------------------------------------------------------ #
+    def broadcast(
+        self,
+        opcode: Opcode,
+        row_a: int,
+        row_b: Optional[int] = None,
+        dest_row: Optional[int] = None,
+        precision_bits: Optional[int] = None,
+    ) -> List[OperationResult]:
+        """Issue a vector operation to every macro of every bank."""
+        results: List[OperationResult] = []
+        for bank in self.banks:
+            results.extend(
+                bank.broadcast(opcode, row_a, row_b, dest_row, precision_bits)
+            )
+        return results
+
+    def parallel_words(self, precision_bits: Optional[int] = None) -> int:
+        """How many word-level results one broadcast operation produces."""
+        return self.words_per_row(precision_bits) * self.total_macros
+
+    def elementwise(
+        self,
+        opcode: Opcode,
+        a_values: Sequence[int],
+        b_values: Optional[Sequence[int]] = None,
+        precision_bits: Optional[int] = None,
+    ) -> List[int]:
+        """Element-wise operation distributed across every macro.
+
+        Long operand vectors are split into macro-sized chunks and dispatched
+        round-robin across the banks' macros, which is how a real controller
+        would exploit the memory-level parallelism: each macro processes its
+        chunk with its own column periphery, so the whole memory advances
+        ``parallel_words()`` results per (multi-)cycle.  Results come back in
+        input order.
+        """
+        if b_values is not None and len(b_values) != len(a_values):
+            raise ConfigurationError("operand vectors must have the same length")
+        macros = [macro for bank in self.banks for macro in bank.macros]
+        first = macros[0]
+        if opcode is Opcode.MULT:
+            lane_count = first.mult_slots_per_row(precision_bits)
+        else:
+            lane_count = first.words_per_row(precision_bits)
+        results: List[int] = [0] * len(a_values)
+        chunk_starts = list(range(0, len(a_values), lane_count))
+        for chunk_index, start in enumerate(chunk_starts):
+            macro = macros[chunk_index % len(macros)]
+            stop = min(start + lane_count, len(a_values))
+            chunk_a = list(a_values[start:stop])
+            chunk_b = list(b_values[start:stop]) if b_values is not None else None
+            chunk_result = macro.elementwise(
+                opcode, chunk_a, chunk_b, precision_bits=precision_bits
+            )
+            results[start:stop] = chunk_result
+        return results
+
+    def statistics(self) -> MacroStatistics:
+        """Merged statistics across all banks."""
+        merged = MacroStatistics()
+        for bank in self.banks:
+            merged.merge(bank.statistics())
+        return merged
+
+    def reset_stats(self) -> None:
+        """Reset statistics in every bank."""
+        for bank in self.banks:
+            bank.reset_stats()
+
+    def geometry_summary(self) -> Tuple[int, int, int]:
+        """(banks, macros per bank, bytes per macro)."""
+        return len(self.banks), self.macros_per_bank, self.config.capacity_bytes

@@ -1,0 +1,114 @@
+"""Functional model of individual SRAM bit cells.
+
+The bulk array storage is held as a numpy matrix inside
+:class:`repro.core.array.SRAMArray` for speed; this module models the
+behaviour of a *single* cell — including what happens to it during a bit-line
+computing access — and is used by cell-level tests, the read-disturb
+failure-injection hooks and documentation examples.
+
+A standard 6T cell exposes one differential port (BLT/BLB through two access
+transistors).  During a dual-WL bit-line computation the cell that stores '1'
+can be disturbed if its BL is pulled low by the other activated cell; the
+probability of that flip is supplied by
+:class:`repro.circuits.readdisturb.ReadDisturbModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import OperandError
+
+__all__ = ["SixTransistorCell", "DummyCell", "CellState"]
+
+
+@dataclass
+class CellState:
+    """Mutable storage node state of one cell."""
+
+    q: int = 0
+
+    @property
+    def qb(self) -> int:
+        """Complementary storage node."""
+        return 1 - self.q
+
+
+@dataclass
+class SixTransistorCell:
+    """A conventional 6T SRAM bit cell.
+
+    The cell is purely functional: it stores one bit, drives the bit-line
+    pair on a read, and may flip during a disturb-prone access when a random
+    draw falls below the supplied flip probability.
+    """
+
+    state: CellState = field(default_factory=CellState)
+    disturb_count: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Basic port behaviour
+    # ------------------------------------------------------------------ #
+    def write(self, bit: int) -> None:
+        """Write a bit through the differential port."""
+        if bit not in (0, 1):
+            raise OperandError(f"cell write expects 0 or 1, got {bit!r}")
+        self.state.q = bit
+
+    def read(self) -> int:
+        """Non-destructive read of the stored bit."""
+        return self.state.q
+
+    def drives_blt_low(self) -> bool:
+        """Whether this cell discharges BLT when its WL is raised.
+
+        A cell storing '0' has Q = 0, so its BLT-side pass gate pulls BLT
+        low; a cell storing '1' leaves BLT high and pulls BLB low instead.
+        """
+        return self.state.q == 0
+
+    def drives_blb_low(self) -> bool:
+        """Whether this cell discharges BLB when its WL is raised."""
+        return self.state.q == 1
+
+    # ------------------------------------------------------------------ #
+    # Disturb behaviour
+    # ------------------------------------------------------------------ #
+    def access(
+        self,
+        flip_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> int:
+        """Access the cell for bit-line computing.
+
+        ``flip_probability`` is the per-access disturb probability produced
+        by the read-disturb model for the active word-line drive scheme.  If
+        a flip occurs, the stored value toggles (this is exactly the failure
+        the short-WL + boosting scheme is designed to keep below 2.5e-5).
+
+        Returns the value that was present *before* any flip, which is what
+        the bit lines sample.
+        """
+        value = self.state.q
+        if flip_probability > 0.0:
+            generator = rng if rng is not None else np.random.default_rng()
+            if generator.random() < flip_probability:
+                self.state.q = 1 - self.state.q
+                self.disturb_count += 1
+        return value
+
+
+@dataclass
+class DummyCell(SixTransistorCell):
+    """A cell in the dummy array.
+
+    Electrically identical to a main-array cell, but it sits behind the BL
+    separator, so write-backs to it avoid charging the long main-array bit
+    line.  The flag exists so that array-level bookkeeping can tell the two
+    apart when accounting for write-back energy.
+    """
+
+    behind_separator: bool = True

@@ -1,0 +1,130 @@
+"""Configuration of one IMC macro.
+
+A :class:`MacroConfig` bundles the geometric, electrical and operational
+choices of a macro instance:
+
+* geometry — rows, columns, dummy rows, interleave factor (the paper's macro
+  is 128 x 128 with three dummy rows and 4:1 interleaving),
+* the word-line drive scheme (proposed short pulse + boost, or the WLUD
+  baseline),
+* whether the BL separator is used during write-backs,
+* the operating point (supply, temperature, corner) and the default
+  bit-precision,
+* the technology profile and calibrated constants.
+
+The configuration is immutable; the macro derives its column layout, delay
+model and energy model from it at construction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.core.layout import ColumnLayout
+from repro.core.operations import SUPPORTED_PRECISIONS
+from repro.circuits.wordline import WordlineScheme
+from repro.tech.calibration import CALIBRATED_28NM, MacroCalibration, default_macro_calibration
+from repro.tech.technology import OperatingPoint, TechnologyProfile
+from repro.utils.validation import check_positive
+
+__all__ = ["MacroConfig"]
+
+
+@dataclass(frozen=True)
+class MacroConfig:
+    """Static configuration of an IMC macro instance."""
+
+    rows: int = 128
+    cols: int = 128
+    dummy_rows: int = 3
+    interleave: int = 4
+    phase: int = 0
+    precision_bits: int = 8
+    wordline_scheme: WordlineScheme = WordlineScheme.SHORT_PULSE_BOOST
+    bl_separator: bool = True
+    operating_point: OperatingPoint = field(default_factory=OperatingPoint)
+    technology: TechnologyProfile = CALIBRATED_28NM
+    calibration: MacroCalibration = field(default_factory=default_macro_calibration)
+    inject_read_disturb: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("rows", self.rows)
+        check_positive("cols", self.cols)
+        check_positive("dummy_rows", self.dummy_rows)
+        check_positive("interleave", self.interleave)
+        if self.dummy_rows < 3:
+            raise ConfigurationError(
+                "the multiplication sequencer needs at least three dummy rows "
+                f"(accumulator ping-pong + multiplicand), got {self.dummy_rows}"
+            )
+        if self.precision_bits not in SUPPORTED_PRECISIONS:
+            raise ConfigurationError(
+                f"precision {self.precision_bits} not in supported set "
+                f"{SUPPORTED_PRECISIONS}"
+            )
+        # Validate the layout and the operating point eagerly so that a bad
+        # configuration fails at construction, not at the first operation.
+        layout = ColumnLayout(
+            columns=self.cols, interleave=self.interleave, phase=self.phase
+        )
+        layout.check_precision(self.precision_bits)
+        self.technology.validate_operating_point(self.operating_point)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def layout(self) -> ColumnLayout:
+        """The column layout implied by the geometry."""
+        return ColumnLayout(
+            columns=self.cols, interleave=self.interleave, phase=self.phase
+        )
+
+    @property
+    def active_columns(self) -> int:
+        """Number of active (non-interleaved-away) columns per access."""
+        return self.cols // self.interleave
+
+    @property
+    def capacity_bits(self) -> int:
+        """Storage capacity of the main array in bits."""
+        return self.rows * self.cols
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Storage capacity of the main array in bytes."""
+        return self.capacity_bits // 8
+
+    def words_per_row(self, precision_bits: int | None = None) -> int:
+        """Words available per row access at a given precision."""
+        bits = self.precision_bits if precision_bits is None else precision_bits
+        return self.layout().words_per_row(bits)
+
+    def mult_slots_per_row(self, precision_bits: int | None = None) -> int:
+        """Multiplication slots available per row access at a given precision."""
+        bits = self.precision_bits if precision_bits is None else precision_bits
+        return self.layout().mult_slots_per_row(bits)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    def with_precision(self, precision_bits: int) -> "MacroConfig":
+        """Copy of this configuration at a different bit precision."""
+        return replace(self, precision_bits=precision_bits)
+
+    def with_operating_point(self, point: OperatingPoint) -> "MacroConfig":
+        """Copy of this configuration at a different operating point."""
+        return replace(self, operating_point=point)
+
+    def with_bl_separator(self, enabled: bool) -> "MacroConfig":
+        """Copy of this configuration with the BL separator on or off."""
+        return replace(self, bl_separator=enabled)
+
+    def with_wordline_scheme(self, scheme: WordlineScheme) -> "MacroConfig":
+        """Copy of this configuration with a different WL drive scheme."""
+        return replace(self, wordline_scheme=scheme)
+
+    def with_geometry(self, rows: int, cols: int) -> "MacroConfig":
+        """Copy of this configuration with a different array geometry."""
+        return replace(self, rows=rows, cols=cols)

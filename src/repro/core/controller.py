@@ -1,0 +1,162 @@
+"""Micro-sequencer for the multi-cycle operations (SUB, MULT).
+
+The single-cycle primitives of the macro (logic, ADD, ADD-SHIFT, moves) are
+executed directly; SUB and MULT are *composite* operations that the control
+logic expands into a fixed sequence of those primitives:
+
+* **SUB** (2 cycles, Fig. 4 bottom-left):
+
+  1. ``NOT`` the subtrahend and write it back to a dummy row,
+  2. ``ADD`` the minuend and the inverted subtrahend with a forced carry-in
+     of 1 (two's complement).
+
+* **MULT** (N + 2 cycles, Fig. 5): left-shift multiplication.
+
+  1. write zeros into the accumulator dummy row and load the multiplier into
+     the Y-Path flip-flops,
+  2. copy the multiplicand into a dummy row,
+  3. N - 1 ``ADD-SHIFT`` cycles that consume the multiplier bits MSB-first —
+     when the current bit is 1 the FA sum is written back shifted, when it is
+     0 the propagated (old accumulator) value is written back shifted,
+  4. a final plain ``ADD`` for the last partial product.
+
+The sequencer only produces the *plan*; the macro interprets each micro-op
+against its array, periphery and accounting machinery.  Keeping the plan
+explicit makes the cycle counts of Table I auditable: the length of the plan
+(excluding zero-cost bookkeeping steps) is exactly the cycle count.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.operations import Opcode, cycles_for
+from repro.errors import SequencerError
+from repro.utils.validation import check_positive
+
+__all__ = ["MicroOpKind", "MicroOp", "MicroSequencer"]
+
+
+class MicroOpKind(enum.Enum):
+    """Primitive steps the macro knows how to execute."""
+
+    #: Write zeros into the accumulator dummy row and load the multiplier
+    #: words into the Y-Path flip-flops (one cycle).
+    INIT_ACCUMULATOR = "init_accumulator"
+    #: Copy a main-array operand row into a dummy row (one cycle).
+    COPY_TO_DUMMY = "copy_to_dummy"
+    #: Invert a main-array operand row into a dummy row (one cycle).
+    NOT_TO_DUMMY = "not_to_dummy"
+    #: Dual-WL add of two rows, result written to the destination (one cycle).
+    ADD = "add"
+    #: Dual-WL add with carry-in forced to 1 at every precision boundary.
+    ADD_WITH_CARRY = "add_with_carry"
+    #: Dual-WL add, result written back shifted by one (one cycle); the
+    #: write-back source is selected per slot by the current multiplier bit.
+    ADD_SHIFT_SELECT = "add_shift_select"
+    #: Final accumulation of the multiplication (plain add with per-slot
+    #: multiplier-bit selection, result to the destination row).
+    FINAL_ADD_SELECT = "final_add_select"
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One step of a composite operation."""
+
+    kind: MicroOpKind
+    #: Which multiplier bit (little-endian index) this step consumes, if any.
+    multiplier_bit_index: Optional[int] = None
+    #: Free-form note used in traces and error messages.
+    note: str = ""
+
+    @property
+    def consumes_multiplier_bit(self) -> bool:
+        """Whether the step reads a multiplier flip-flop bit."""
+        return self.multiplier_bit_index is not None
+
+
+@dataclass
+class MicroSequence:
+    """A fully expanded composite operation."""
+
+    opcode: Opcode
+    precision_bits: int
+    steps: List[MicroOp] = field(default_factory=list)
+
+    @property
+    def cycle_count(self) -> int:
+        """Number of macro cycles the sequence occupies."""
+        return len(self.steps)
+
+    def validate(self) -> None:
+        """Cross-check the plan length against Table I."""
+        expected = cycles_for(self.opcode, self.precision_bits)
+        if self.cycle_count != expected:
+            raise SequencerError(
+                f"{self.opcode.name} at {self.precision_bits}-bit expanded to "
+                f"{self.cycle_count} cycles, expected {expected} (Table I)"
+            )
+
+
+class MicroSequencer:
+    """Expands composite opcodes into micro-op plans."""
+
+    def expand_sub(self, precision_bits: int) -> MicroSequence:
+        """Two-cycle subtraction plan."""
+        check_positive("precision_bits", precision_bits)
+        sequence = MicroSequence(
+            opcode=Opcode.SUB,
+            precision_bits=precision_bits,
+            steps=[
+                MicroOp(MicroOpKind.NOT_TO_DUMMY, note="invert subtrahend into dummy row"),
+                MicroOp(MicroOpKind.ADD_WITH_CARRY, note="add with carry-in 1 (two's complement)"),
+            ],
+        )
+        sequence.validate()
+        return sequence
+
+    def expand_mult(self, precision_bits: int) -> MicroSequence:
+        """(N + 2)-cycle left-shift multiplication plan."""
+        check_positive("precision_bits", precision_bits)
+        steps: List[MicroOp] = [
+            MicroOp(
+                MicroOpKind.INIT_ACCUMULATOR,
+                note="zero accumulator row, load multiplier flip-flops",
+            ),
+            MicroOp(MicroOpKind.COPY_TO_DUMMY, note="copy multiplicand into dummy row"),
+        ]
+        # Multiplier bits are consumed MSB-first; the last bit (LSB) is the
+        # final plain add.
+        for step_index in range(precision_bits - 1):
+            bit_index = precision_bits - 1 - step_index
+            steps.append(
+                MicroOp(
+                    MicroOpKind.ADD_SHIFT_SELECT,
+                    multiplier_bit_index=bit_index,
+                    note=f"add-and-shift for multiplier bit {bit_index}",
+                )
+            )
+        steps.append(
+            MicroOp(
+                MicroOpKind.FINAL_ADD_SELECT,
+                multiplier_bit_index=0,
+                note="final accumulation (multiplier bit 0)",
+            )
+        )
+        sequence = MicroSequence(
+            opcode=Opcode.MULT, precision_bits=precision_bits, steps=steps
+        )
+        sequence.validate()
+        return sequence
+
+    def expand(self, opcode: Opcode, precision_bits: int) -> MicroSequence:
+        """Expand any composite opcode."""
+        if opcode is Opcode.SUB:
+            return self.expand_sub(precision_bits)
+        if opcode is Opcode.MULT:
+            return self.expand_mult(precision_bits)
+        raise SequencerError(
+            f"{opcode.name} is a single-cycle operation and needs no expansion"
+        )

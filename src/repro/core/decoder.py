@@ -1,0 +1,98 @@
+"""Word-line decoder / driver functional model.
+
+The decoder has two jobs in the proposed architecture:
+
+* translate a :class:`repro.core.array.RowRef` into the physical word line
+  to pulse (main-array rows and dummy-array rows are driven by the same
+  decoder, Fig. 3), and
+* allow *two* word lines to be asserted in the same cycle for bit-line
+  computing (one of the things a conventional SRAM decoder cannot do).
+
+The decoder also owns the :class:`repro.circuits.wordline.WordlineDriver`
+that shapes the pulse according to the configured drive scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import AddressError, ConfigurationError
+from repro.core.array import ArraySpace, RowRef
+from repro.circuits.wordline import WordlineDriver, WordlinePulse, WordlineScheme
+from repro.tech.calibration import MacroCalibration
+from repro.tech.technology import OperatingPoint, TechnologyProfile
+
+__all__ = ["WordlineSelection", "RowDecoder"]
+
+
+@dataclass(frozen=True)
+class WordlineSelection:
+    """The word lines asserted in one access."""
+
+    rows: Tuple[RowRef, ...]
+    pulse: WordlinePulse
+
+    @property
+    def is_dual(self) -> bool:
+        """Whether two word lines are asserted simultaneously."""
+        return len(self.rows) == 2
+
+
+class RowDecoder:
+    """Functional row decoder with dual-WL support."""
+
+    def __init__(
+        self,
+        rows: int,
+        dummy_rows: int,
+        technology: TechnologyProfile,
+        calibration: MacroCalibration,
+        scheme: WordlineScheme = WordlineScheme.SHORT_PULSE_BOOST,
+    ) -> None:
+        self.rows = rows
+        self.dummy_rows = dummy_rows
+        self.driver = WordlineDriver(
+            technology=technology, calibration=calibration, scheme=scheme
+        )
+        self.activation_history: List[WordlineSelection] = []
+
+    def _validate(self, ref: RowRef) -> None:
+        limit = self.dummy_rows if ref.space is ArraySpace.DUMMY else self.rows
+        if not 0 <= ref.index < limit:
+            raise AddressError(
+                f"{ref.space.value} row {ref.index} outside [0, {limit})"
+            )
+
+    def select(
+        self,
+        point: OperatingPoint,
+        row_a: RowRef,
+        row_b: Optional[RowRef] = None,
+        record: bool = True,
+    ) -> WordlineSelection:
+        """Assert one or two word lines and return the pulse applied."""
+        self._validate(row_a)
+        rows: Tuple[RowRef, ...]
+        if row_b is None:
+            rows = (row_a,)
+        else:
+            self._validate(row_b)
+            if row_a == row_b:
+                raise ConfigurationError(
+                    "dual-WL selection requires two distinct rows"
+                )
+            rows = (row_a, row_b)
+        selection = WordlineSelection(rows=rows, pulse=self.driver.pulse(point))
+        if record:
+            self.activation_history.append(selection)
+        return selection
+
+    def reset_history(self) -> None:
+        """Forget the recorded activations (used between experiments)."""
+        self.activation_history.clear()
+
+    @property
+    def dual_activation_count(self) -> int:
+        """How many dual-WL accesses have been issued."""
+        return sum(1 for item in self.activation_history if item.is_dual)

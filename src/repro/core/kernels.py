@@ -1,0 +1,262 @@
+"""Vector kernels built on top of the IMC macro.
+
+The macro's native interface works on unsigned words in rows.  Real
+applications (the paper's motivation: deep learning and streaming signal
+processing) need a slightly higher-level vocabulary:
+
+* element-wise operations on arbitrarily long **signed** vectors,
+* multiply-accumulate style kernels (dot product, matrix-vector product,
+  FIR filter), and
+* reductions.
+
+:class:`VectorKernels` provides exactly that, keeps the two's-complement /
+sign-magnitude bookkeeping in one place, and accounts every in-memory
+operation through the macro's statistics ledger so callers get honest
+cycle/energy numbers for whole kernels.
+
+Signed handling
+---------------
+Additions and subtractions use the macro's native modular arithmetic (two's
+complement wraps around for free).  Multiplications run on magnitudes — the
+macro's MULT produces the full 2N-bit unsigned product — and the sign is
+re-applied by the near-memory logic, which is also how the paper's
+column-peripheral multiplier would be used for signed operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.macro import IMCMacro
+from repro.core.operations import Opcode
+from repro.errors import OperandError, PrecisionError
+from repro.utils.bitops import from_twos_complement, to_twos_complement
+
+__all__ = ["KernelResult", "VectorKernels"]
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Result of a kernel plus the in-memory cost of producing it."""
+
+    values: List[int]
+    cycles: int
+    energy_j: float
+    operations: int
+
+    @property
+    def value(self) -> int:
+        """First (or only) result value."""
+        return self.values[0]
+
+    @property
+    def energy_per_result_j(self) -> float:
+        """Energy divided by the number of produced results."""
+        return self.energy_j / len(self.values) if self.values else 0.0
+
+
+class VectorKernels:
+    """Signed vector kernels executed with in-memory operations."""
+
+    def __init__(self, macro: Optional[IMCMacro] = None, precision_bits: Optional[int] = None) -> None:
+        self.macro = macro if macro is not None else IMCMacro()
+        self.precision_bits = (
+            precision_bits if precision_bits is not None else self.macro.precision_bits
+        )
+        self.macro.set_precision(self.precision_bits)
+
+    # ------------------------------------------------------------------ #
+    # Signed encoding helpers
+    # ------------------------------------------------------------------ #
+    def _signed_limit(self) -> int:
+        return (1 << (self.precision_bits - 1)) - 1
+
+    def _check_signed(self, name: str, values: Sequence[int]) -> np.ndarray:
+        array = np.asarray(list(values), dtype=np.int64)
+        limit = self._signed_limit()
+        if array.size and (array.min() < -limit - 1 or array.max() > limit):
+            raise OperandError(
+                f"{name} contains values outside the signed {self.precision_bits}-bit "
+                f"range [{-limit - 1}, {limit}]"
+            )
+        return array
+
+    def _encode(self, values: np.ndarray) -> List[int]:
+        return [to_twos_complement(int(v), self.precision_bits) for v in values]
+
+    def _decode(self, patterns: Sequence[int]) -> List[int]:
+        return [from_twos_complement(int(p), self.precision_bits) for p in patterns]
+
+    def _collect(self, values: List[int], stats_before: Dict[str, float]) -> KernelResult:
+        summary = self.macro.stats.summary()
+        return KernelResult(
+            values=values,
+            cycles=int(summary["cycles"] - stats_before["cycles"]),
+            energy_j=summary["energy_j"] - stats_before["energy_j"],
+            operations=int(summary["operations"] - stats_before["operations"]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Element-wise signed kernels
+    # ------------------------------------------------------------------ #
+    def add(self, a: Sequence[int], b: Sequence[int]) -> KernelResult:
+        """Element-wise signed addition (wraps on overflow, like the hardware)."""
+        array_a = self._check_signed("a", a)
+        array_b = self._check_signed("b", b)
+        if array_a.size != array_b.size:
+            raise OperandError("operand vectors must have the same length")
+        before = self.macro.stats.summary()
+        raw = self.macro.elementwise(
+            Opcode.ADD, self._encode(array_a), self._encode(array_b), self.precision_bits
+        )
+        return self._collect(self._decode(raw), before)
+
+    def subtract(self, a: Sequence[int], b: Sequence[int]) -> KernelResult:
+        """Element-wise signed subtraction."""
+        array_a = self._check_signed("a", a)
+        array_b = self._check_signed("b", b)
+        if array_a.size != array_b.size:
+            raise OperandError("operand vectors must have the same length")
+        before = self.macro.stats.summary()
+        raw = self.macro.elementwise(
+            Opcode.SUB, self._encode(array_a), self._encode(array_b), self.precision_bits
+        )
+        return self._collect(self._decode(raw), before)
+
+    def multiply(self, a: Sequence[int], b: Sequence[int]) -> KernelResult:
+        """Element-wise signed multiplication (full double-width products)."""
+        array_a = self._check_signed("a", a)
+        array_b = self._check_signed("b", b)
+        if array_a.size != array_b.size:
+            raise OperandError("operand vectors must have the same length")
+        before = self.macro.stats.summary()
+        magnitudes = self.macro.elementwise(
+            Opcode.MULT,
+            np.abs(array_a).tolist(),
+            np.abs(array_b).tolist(),
+            self.precision_bits,
+        )
+        signs = np.sign(array_a) * np.sign(array_b)
+        values = [int(sign) * int(magnitude) for sign, magnitude in zip(signs, magnitudes)]
+        return self._collect(values, before)
+
+    def scale(self, a: Sequence[int], scalar: int) -> KernelResult:
+        """Multiply every element by a signed scalar."""
+        array_a = self._check_signed("a", a)
+        return self.multiply(array_a.tolist(), [scalar] * array_a.size)
+
+    # ------------------------------------------------------------------ #
+    # Reductions and MAC-style kernels
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, values: Sequence[int]) -> int:
+        """Tree reduction of (possibly wide) signed values using in-memory ADDs.
+
+        The accumulator precision is the widest mode the macro supports so
+        that dot products of realistic length do not overflow; values wider
+        than that fall back to exact Python addition (and are counted as a
+        configuration error in tests if they would overflow).
+        """
+        accumulator_bits = 32
+        try:
+            self.macro.layout.check_precision(accumulator_bits)
+        except PrecisionError:
+            accumulator_bits = self.precision_bits * 2
+        limit = (1 << (accumulator_bits - 1)) - 1
+        total = 0
+        pending = [int(v) for v in values]
+        modulus = 1 << accumulator_bits
+        for value in pending:
+            encoded_total = to_twos_complement(total, accumulator_bits)
+            encoded_value = to_twos_complement(value, accumulator_bits)
+            raw = self.macro.compute(
+                Opcode.ADD, encoded_total, encoded_value, precision_bits=accumulator_bits
+            )
+            total = from_twos_complement(raw % modulus, accumulator_bits)
+            if abs(total) > limit:  # pragma: no cover - guarded by operand checks
+                raise OperandError("accumulator overflow in reduction")
+        return total
+
+    def sum(self, a: Sequence[int]) -> KernelResult:
+        """Signed sum of a vector (in-memory accumulation)."""
+        array_a = self._check_signed("a", a)
+        before = self.macro.stats.summary()
+        total = self._accumulate(array_a.tolist())
+        return self._collect([total], before)
+
+    def dot(self, a: Sequence[int], b: Sequence[int]) -> KernelResult:
+        """Signed dot product: element-wise MULT + in-memory accumulation."""
+        products = self.multiply(a, b)
+        before = self.macro.stats.summary()
+        total = self._accumulate(products.values)
+        tail = self._collect([total], before)
+        return KernelResult(
+            values=[total],
+            cycles=products.cycles + tail.cycles,
+            energy_j=products.energy_j + tail.energy_j,
+            operations=products.operations + tail.operations,
+        )
+
+    def matvec(self, matrix: Sequence[Sequence[int]], vector: Sequence[int]) -> KernelResult:
+        """Signed matrix-vector product, one dot product per output row."""
+        rows = [list(row) for row in matrix]
+        if not rows:
+            raise OperandError("matrix must have at least one row")
+        width = len(rows[0])
+        if any(len(row) != width for row in rows):
+            raise OperandError("matrix rows must all have the same length")
+        if len(vector) != width:
+            raise OperandError(
+                f"vector length {len(vector)} does not match matrix width {width}"
+            )
+        values: List[int] = []
+        cycles = 0
+        energy = 0.0
+        operations = 0
+        for row in rows:
+            result = self.dot(row, vector)
+            values.append(result.value)
+            cycles += result.cycles
+            energy += result.energy_j
+            operations += result.operations
+        return KernelResult(
+            values=values, cycles=cycles, energy_j=energy, operations=operations
+        )
+
+    def fir_filter(self, signal: Sequence[int], taps: Sequence[int]) -> KernelResult:
+        """FIR filter: output[n] = sum_k taps[k] * signal[n - k].
+
+        The signal is zero-padded at the left, so the output has the same
+        length as the input.
+        """
+        signal_array = self._check_signed("signal", signal)
+        taps_array = self._check_signed("taps", taps)
+        if taps_array.size == 0:
+            raise OperandError("the filter needs at least one tap")
+        padded = np.concatenate([np.zeros(taps_array.size - 1, dtype=np.int64), signal_array])
+        values: List[int] = []
+        cycles = 0
+        energy = 0.0
+        operations = 0
+        for index in range(signal_array.size):
+            window = padded[index : index + taps_array.size][::-1]
+            result = self.dot(window.tolist(), taps_array.tolist())
+            values.append(result.value)
+            cycles += result.cycles
+            energy += result.energy_j
+            operations += result.operations
+        return KernelResult(
+            values=values, cycles=cycles, energy_j=energy, operations=operations
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cost reporting
+    # ------------------------------------------------------------------ #
+    def cost_summary(self) -> Dict[str, float]:
+        """The macro's cumulative statistics (all kernels run so far)."""
+        summary = self.macro.stats.summary()
+        summary["cycle_time_s"] = self.macro.cycle_time_s()
+        summary["execution_time_s"] = summary["cycles"] * summary["cycle_time_s"]
+        return summary

@@ -1,0 +1,151 @@
+"""Column/word layout of the interleaved macro.
+
+The paper's macro uses a 4:1 column-interleaved SRAM: of every four physical
+columns only one belongs to the currently accessed interleave phase (the grey
+cells of Fig. 6), and only those columns have an active Y-Path during an
+in-memory operation.
+
+Words are laid out **bit-parallel along a row**: an N-bit word occupies N
+consecutive *active* columns, least-significant bit first, so the ripple
+carry travels from lower to higher active-column index.  A multiplication
+needs 2N bits of intermediate storage (Fig. 6: "additional 2-bit storages"
+for the 2-bit precision unit), so MULT operands occupy *slots* of two
+adjacent precision units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import AddressError, ConfigurationError, PrecisionError
+from repro.core.operations import SUPPORTED_PRECISIONS
+from repro.utils.validation import check_positive
+
+__all__ = ["ColumnLayout"]
+
+
+@dataclass(frozen=True)
+class ColumnLayout:
+    """Maps logical words to physical columns for one interleave phase."""
+
+    columns: int = 128
+    interleave: int = 4
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("columns", self.columns)
+        check_positive("interleave", self.interleave)
+        if not 0 <= self.phase < self.interleave:
+            raise ConfigurationError(
+                f"interleave phase must be in [0, {self.interleave}), got {self.phase}"
+            )
+        if self.columns % self.interleave != 0:
+            raise ConfigurationError(
+                f"columns ({self.columns}) must be a multiple of the interleave "
+                f"factor ({self.interleave})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Active columns
+    # ------------------------------------------------------------------ #
+    @property
+    def active_column_count(self) -> int:
+        """Number of columns that belong to the accessed interleave phase."""
+        return self.columns // self.interleave
+
+    def active_columns(self) -> np.ndarray:
+        """Physical column indices of the accessed interleave phase."""
+        return np.arange(self.phase, self.columns, self.interleave, dtype=np.int64)
+
+    def active_index_to_column(self, index: int) -> int:
+        """Physical column of the ``index``-th active column."""
+        if not 0 <= index < self.active_column_count:
+            raise AddressError(
+                f"active-column index {index} outside [0, {self.active_column_count})"
+            )
+        return self.phase + index * self.interleave
+
+    # ------------------------------------------------------------------ #
+    # Word layout
+    # ------------------------------------------------------------------ #
+    def check_precision(self, precision_bits: int) -> None:
+        """Raise unless the precision is supported and fits the row."""
+        if precision_bits not in SUPPORTED_PRECISIONS:
+            raise PrecisionError(
+                f"precision {precision_bits} not in supported set {SUPPORTED_PRECISIONS}"
+            )
+        if self.active_column_count % precision_bits != 0:
+            raise PrecisionError(
+                f"{precision_bits}-bit words do not tile the {self.active_column_count} "
+                "active columns of this layout"
+            )
+
+    def words_per_row(self, precision_bits: int) -> int:
+        """How many N-bit words fit in one row access."""
+        self.check_precision(precision_bits)
+        return self.active_column_count // precision_bits
+
+    def mult_slots_per_row(self, precision_bits: int) -> int:
+        """How many NxN multiplications fit in one row access.
+
+        Each multiplication needs a 2N-bit accumulator, i.e. two adjacent
+        precision units.
+        """
+        words = self.words_per_row(precision_bits)
+        if words < 2:
+            raise PrecisionError(
+                f"a {precision_bits}-bit multiplication needs two precision units, "
+                f"but the row only holds {words}"
+            )
+        return words // 2
+
+    def word_active_indices(self, word_index: int, precision_bits: int) -> np.ndarray:
+        """Active-column indices of a word (LSB first)."""
+        words = self.words_per_row(precision_bits)
+        if not 0 <= word_index < words:
+            raise AddressError(
+                f"word index {word_index} outside [0, {words}) at "
+                f"{precision_bits}-bit precision"
+            )
+        start = word_index * precision_bits
+        return np.arange(start, start + precision_bits, dtype=np.int64)
+
+    def word_columns(self, word_index: int, precision_bits: int) -> np.ndarray:
+        """Physical columns of a word (LSB first)."""
+        indices = self.word_active_indices(word_index, precision_bits)
+        return self.phase + indices * self.interleave
+
+    def slot_active_indices(self, slot_index: int, precision_bits: int) -> np.ndarray:
+        """Active-column indices of a multiplication slot (2N columns)."""
+        slots = self.mult_slots_per_row(precision_bits)
+        if not 0 <= slot_index < slots:
+            raise AddressError(
+                f"multiplication slot {slot_index} outside [0, {slots}) at "
+                f"{precision_bits}-bit precision"
+            )
+        start = slot_index * 2 * precision_bits
+        return np.arange(start, start + 2 * precision_bits, dtype=np.int64)
+
+    def slot_columns(self, slot_index: int, precision_bits: int) -> np.ndarray:
+        """Physical columns of a multiplication slot (LSB first)."""
+        indices = self.slot_active_indices(slot_index, precision_bits)
+        return self.phase + indices * self.interleave
+
+    # ------------------------------------------------------------------ #
+    # Group structure for the ripple-carry chain
+    # ------------------------------------------------------------------ #
+    def precision_groups(self, precision_bits: int) -> List[Tuple[int, int]]:
+        """(start, stop) active-index ranges of each precision unit."""
+        words = self.words_per_row(precision_bits)
+        return [
+            (w * precision_bits, (w + 1) * precision_bits) for w in range(words)
+        ]
+
+    def slot_groups(self, precision_bits: int) -> List[Tuple[int, int]]:
+        """(start, stop) active-index ranges of each multiplication slot."""
+        slots = self.mult_slots_per_row(precision_bits)
+        width = 2 * precision_bits
+        return [(s * width, (s + 1) * width) for s in range(slots)]

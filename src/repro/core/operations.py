@@ -1,0 +1,143 @@
+"""Operation set of the bit-parallel IMC macro (Table I of the paper).
+
+The macro supports three categories of in-memory operations:
+
+* **single-WL** operations — INV (NOT), SHIFT (<<1) and COPY — that read one
+  row and write the (possibly inverted / shifted) data back;
+* **dual-WL** operations — bit-wise logic, ADD, SUB, ADD-SHIFT and MULT —
+  that activate two word lines and combine the BL-computing results in the
+  column peripheral FA-Logics;
+* the multi-cycle operations SUB and MULT, which the micro-sequencer expands
+  into sequences of the single-cycle primitives above.
+
+``cycles_for`` reproduces Table I exactly: every operation takes one cycle
+except SUB (2 cycles) and N-bit MULT (N + 2 cycles).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+__all__ = ["Opcode", "OperationCategory", "cycles_for", "SUPPORTED_PRECISIONS"]
+
+
+#: Bit precisions the reconfigurable carry chain supports out of the box.
+#: The paper demonstrates 2/4/8-bit and notes that 16/32-bit follow the same
+#: construction, so they are enabled here as well.
+SUPPORTED_PRECISIONS = (2, 4, 8, 16, 32)
+
+
+class OperationCategory(enum.Enum):
+    """Coarse grouping used by the cycle/energy accounting."""
+
+    MOVE = "move"          # single-WL: NOT / COPY / SHIFT
+    LOGIC = "logic"        # dual-WL bit-wise logic
+    ARITHMETIC = "arith"   # dual-WL ADD / ADD-SHIFT
+    COMPOSITE = "composite"  # multi-cycle SUB / MULT
+
+
+class Opcode(enum.Enum):
+    """Every operation the macro can execute."""
+
+    NOT = "not"
+    COPY = "copy"
+    SHIFT_LEFT = "shift_left"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    ADD = "add"
+    ADD_SHIFT = "add_shift"
+    SUB = "sub"
+    MULT = "mult"
+
+    @property
+    def category(self) -> OperationCategory:
+        """The operation's category (drives cycle/energy accounting)."""
+        return _CATEGORY[self]
+
+    @property
+    def is_dual_wordline(self) -> bool:
+        """Whether the operation activates two word lines simultaneously."""
+        return self not in (Opcode.NOT, Opcode.COPY, Opcode.SHIFT_LEFT)
+
+    @property
+    def is_logic(self) -> bool:
+        """Whether the operation is a single-cycle bit-wise logic op."""
+        return self.category is OperationCategory.LOGIC
+
+    @property
+    def writes_back(self) -> bool:
+        """Whether the single-cycle operation includes a write-back phase.
+
+        ADD and the logic operations deliver their result through the Y-Path
+        output (and can optionally be written back by the caller); the move
+        operations and ADD-SHIFT always write back, which matters for the
+        BL-separator energy accounting.
+        """
+        return self in (Opcode.NOT, Opcode.COPY, Opcode.SHIFT_LEFT, Opcode.ADD_SHIFT)
+
+    @property
+    def energy_mnemonic(self) -> str:
+        """Key used by :class:`repro.circuits.energy.OperationEnergyModel`."""
+        return _ENERGY_KEY[self]
+
+
+_CATEGORY: Dict[Opcode, OperationCategory] = {
+    Opcode.NOT: OperationCategory.MOVE,
+    Opcode.COPY: OperationCategory.MOVE,
+    Opcode.SHIFT_LEFT: OperationCategory.MOVE,
+    Opcode.AND: OperationCategory.LOGIC,
+    Opcode.NAND: OperationCategory.LOGIC,
+    Opcode.OR: OperationCategory.LOGIC,
+    Opcode.NOR: OperationCategory.LOGIC,
+    Opcode.XOR: OperationCategory.LOGIC,
+    Opcode.XNOR: OperationCategory.LOGIC,
+    Opcode.ADD: OperationCategory.ARITHMETIC,
+    Opcode.ADD_SHIFT: OperationCategory.ARITHMETIC,
+    Opcode.SUB: OperationCategory.COMPOSITE,
+    Opcode.MULT: OperationCategory.COMPOSITE,
+}
+
+_ENERGY_KEY: Dict[Opcode, str] = {
+    Opcode.NOT: "not",
+    Opcode.COPY: "copy",
+    Opcode.SHIFT_LEFT: "shift",
+    Opcode.AND: "and",
+    Opcode.NAND: "nand",
+    Opcode.OR: "or",
+    Opcode.NOR: "nor",
+    Opcode.XOR: "xor",
+    Opcode.XNOR: "xnor",
+    Opcode.ADD: "add",
+    Opcode.ADD_SHIFT: "add_shift",
+    Opcode.SUB: "sub",
+    Opcode.MULT: "mult",
+}
+
+
+def cycles_for(opcode: Opcode, precision_bits: int) -> int:
+    """Cycle count of an operation at a given precision (Table I).
+
+    * every logic / move / ADD / ADD-SHIFT operation: 1 cycle,
+    * SUB: 2 cycles (NOT with write-back, then ADD with carry-in 1),
+    * N-bit MULT: N + 2 cycles (two initialisation cycles plus N iterative
+      add-and-shift / final-add cycles).
+    """
+    check_positive("precision_bits", precision_bits)
+    if precision_bits not in SUPPORTED_PRECISIONS:
+        raise ConfigurationError(
+            f"precision {precision_bits} not supported; choose from "
+            f"{SUPPORTED_PRECISIONS}"
+        )
+    if opcode is Opcode.SUB:
+        return 2
+    if opcode is Opcode.MULT:
+        return precision_bits + 2
+    return 1

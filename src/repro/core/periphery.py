@@ -1,0 +1,230 @@
+"""Column periphery: the array of Y-Paths plus the reconfigurable carry chain.
+
+The periphery owns one :class:`repro.core.ypath.YPath` per active column and
+implements the vector operations that happen in a single cycle:
+
+* bit-wise logic on the BL-computing results,
+* the ripple-carry addition whose carry is cut at precision-unit boundaries
+  (the MX3 multiplexer of Fig. 6), optionally with a forced carry-in of 1 at
+  every boundary (used by SUB), and
+* the one-position left shift realised through the propagate flip-flops
+  during write-back (used by SHIFT, ADD-SHIFT and the MULT inner loop).
+
+Everything operates on little-endian bit arrays indexed by *active column*;
+the mapping to physical columns is handled by
+:class:`repro.core.layout.ColumnLayout`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.array import BitlineComputeOutput
+from repro.core.operations import Opcode
+from repro.core.ypath import YPath, fa_from_bitline
+from repro.utils.validation import check_positive
+
+__all__ = ["RippleResult", "ColumnPeriphery"]
+
+
+class RippleResult:
+    """Outcome of one ripple-carry evaluation across the active columns."""
+
+    def __init__(
+        self,
+        sum_bits: np.ndarray,
+        carry_out: List[int],
+        groups: List[Tuple[int, int]],
+    ) -> None:
+        self.sum_bits = sum_bits
+        self.carry_out = carry_out
+        self.groups = groups
+
+    def group_value(self, group_index: int) -> int:
+        """Integer value of the sum within one group (little-endian)."""
+        start, stop = self.groups[group_index]
+        bits = self.sum_bits[start:stop]
+        return int(sum(int(bit) << position for position, bit in enumerate(bits)))
+
+
+class ColumnPeriphery:
+    """The column peripheral units of one macro (one Y-Path per active column)."""
+
+    def __init__(self, active_columns: int) -> None:
+        check_positive("active_columns", active_columns)
+        self.active_columns = active_columns
+        self.ypaths = [YPath(column=index) for index in range(active_columns)]
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+    def _check_bits(self, name: str, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits)
+        if bits.ndim != 1 or bits.size > self.active_columns:
+            raise ConfigurationError(
+                f"{name} must be a 1-D array of at most {self.active_columns} bits, "
+                f"got shape {bits.shape}"
+            )
+        return bits.astype(np.int64)
+
+    @staticmethod
+    def _check_groups(
+        groups: Sequence[Tuple[int, int]], total_bits: int
+    ) -> List[Tuple[int, int]]:
+        checked: List[Tuple[int, int]] = []
+        covered = 0
+        for start, stop in groups:
+            if stop <= start:
+                raise ConfigurationError(f"empty carry group ({start}, {stop})")
+            if start != covered:
+                raise ConfigurationError(
+                    "carry groups must tile the active columns contiguously"
+                )
+            covered = stop
+            checked.append((start, stop))
+        if covered != total_bits:
+            raise ConfigurationError(
+                f"carry groups cover {covered} bits but the operands have {total_bits}"
+            )
+        return checked
+
+    # ------------------------------------------------------------------ #
+    # Single-cycle combinational functions
+    # ------------------------------------------------------------------ #
+    def compute_logic(
+        self, opcode: Opcode, output: BitlineComputeOutput
+    ) -> np.ndarray:
+        """Bit-wise logic over every active column in one cycle."""
+        and_bits = self._check_bits("and_bits", output.and_bits)
+        nor_bits = self._check_bits("nor_bits", output.nor_bits)
+        result = np.empty_like(and_bits)
+        for index in range(and_bits.size):
+            result[index] = self.ypaths[index].logic_output(
+                opcode, int(and_bits[index]), int(nor_bits[index])
+            )
+        return result.astype(np.uint8)
+
+    def ripple_add(
+        self,
+        output: BitlineComputeOutput,
+        groups: Sequence[Tuple[int, int]],
+        carry_in: int = 0,
+    ) -> RippleResult:
+        """Ripple-carry addition with the carry cut at every group boundary.
+
+        ``carry_in`` is injected at the start of *each* group (0 for ADD,
+        1 for the second cycle of SUB, matching the MX3 boundary mux).
+        """
+        if carry_in not in (0, 1):
+            raise ConfigurationError(f"carry_in must be 0 or 1, got {carry_in!r}")
+        and_bits = self._check_bits("and_bits", output.and_bits)
+        nor_bits = self._check_bits("nor_bits", output.nor_bits)
+        if and_bits.shape != nor_bits.shape:
+            raise ConfigurationError("AND and NOR bit arrays must have the same shape")
+        checked_groups = self._check_groups(groups, and_bits.size)
+
+        sums = np.zeros_like(and_bits)
+        carries: List[int] = []
+        for start, stop in checked_groups:
+            carry = carry_in
+            for index in range(start, stop):
+                sum_bit, carry = self.ypaths[index].adder_outputs(
+                    int(and_bits[index]), int(nor_bits[index]), carry
+                )
+                sums[index] = sum_bit
+            carries.append(carry)
+        return RippleResult(
+            sum_bits=sums.astype(np.uint8), carry_out=carries, groups=checked_groups
+        )
+
+    def shift_left_within_groups(
+        self,
+        bits: np.ndarray,
+        groups: Sequence[Tuple[int, int]],
+        fill_bit: int = 0,
+    ) -> np.ndarray:
+        """One-position left shift of each group, realised via the propagate FFs.
+
+        The value written back at column ``k`` is the value produced at
+        column ``k-1`` (captured in that Y-Path's propagate flip-flop); the
+        least-significant column of each group receives ``fill_bit``.  The
+        most-significant bit of each group is dropped (it would land in the
+        next group, which the MX3 boundary blocks).
+        """
+        if fill_bit not in (0, 1):
+            raise ConfigurationError(f"fill_bit must be 0 or 1, got {fill_bit!r}")
+        values = self._check_bits("bits", bits)
+        checked_groups = self._check_groups(groups, values.size)
+        shifted = np.zeros_like(values)
+        for start, stop in checked_groups:
+            for index in range(start, stop):
+                self.ypaths[index].capture_propagated(
+                    int(values[index - 1]) if index > start else fill_bit
+                )
+            for index in range(start, stop):
+                shifted[index] = self.ypaths[index].release_propagated()
+        return shifted.astype(np.uint8)
+
+    # ------------------------------------------------------------------ #
+    # Multiplier flip-flop management
+    # ------------------------------------------------------------------ #
+    def load_multiplier_bits(
+        self, bits: Iterable[int], groups: Sequence[Tuple[int, int]]
+    ) -> None:
+        """Load multiplier words into the Y-Path flip-flops (one word/group).
+
+        ``bits`` supplies, per group, the multiplier word as a little-endian
+        bit list whose length equals the group width; the bits are stored in
+        the group's Y-Paths so that the MULT sequencer can consume them
+        MSB-first, exactly as the reversed ``B[3:0] -> B[0:3]`` loading of
+        Fig. 5 does.
+        """
+        bit_list = list(bits)
+        checked_groups = self._check_groups(
+            groups, sum(stop - start for start, stop in groups)
+        )
+        expected = sum(stop - start for start, stop in checked_groups)
+        if len(bit_list) != expected:
+            raise ConfigurationError(
+                f"expected {expected} multiplier bits, got {len(bit_list)}"
+            )
+        cursor = 0
+        for start, stop in checked_groups:
+            for index in range(start, stop):
+                self.ypaths[index].load_multiplier_bit(int(bit_list[cursor]))
+                cursor += 1
+
+    def multiplier_bit(self, group: Tuple[int, int], position: int) -> int:
+        """Read back one multiplier bit (little-endian position) of a group."""
+        start, stop = group
+        if not 0 <= position < stop - start:
+            raise ConfigurationError(
+                f"multiplier bit position {position} outside group of width {stop - start}"
+            )
+        return self.ypaths[start + position].multiplier_ff
+
+    def reset(self) -> None:
+        """Clear every Y-Path flip-flop."""
+        for ypath in self.ypaths:
+            ypath.reset()
+
+    # ------------------------------------------------------------------ #
+    # Reference helpers (used by tests)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def reference_add(a_bits: np.ndarray, b_bits: np.ndarray, carry_in: int = 0) -> Tuple[np.ndarray, int]:
+        """Bit-exact reference addition used to cross-check the ripple chain."""
+        a_bits = np.asarray(a_bits, dtype=np.int64)
+        b_bits = np.asarray(b_bits, dtype=np.int64)
+        if a_bits.shape != b_bits.shape:
+            raise ConfigurationError("operands must have the same bit width")
+        carry = carry_in
+        sums = np.zeros_like(a_bits)
+        for index in range(a_bits.size):
+            and_ab = int(a_bits[index] & b_bits[index])
+            nor_ab = int(1 - (a_bits[index] | b_bits[index]))
+            sums[index], carry = fa_from_bitline(and_ab, nor_ab, carry)
+        return sums.astype(np.uint8), carry

@@ -1,0 +1,182 @@
+"""In-memory programs: sequences of vector operations executed by the macro.
+
+The paper's macro is driven by a controller that issues one in-memory
+operation per (multi-)cycle.  For anything beyond a single instruction —
+e.g. the SUB-then-ADD idiom, a multiply-accumulate chain, or the image
+pipeline of the examples — a user wants to express the whole schedule once,
+validate it against the macro geometry, and execute it while collecting a
+per-instruction trace.  That is what this module provides:
+
+* :class:`Instruction` — one vector operation (opcode, source rows,
+  destination row, optional precision override),
+* :class:`Program` — an ordered list of instructions with static validation
+  (row bounds, operand requirements, precision support),
+* :class:`ProgramTrace` — the per-instruction results plus aggregate
+  cycle/energy/latency totals,
+* :class:`ProgramExecutor` — runs a program on an :class:`IMCMacro`.
+
+The layer is intentionally small — it adds no new hardware behaviour, only a
+convenient, checkable way to drive the existing functional model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.core.config import MacroConfig
+from repro.core.macro import IMCMacro, OperationResult
+from repro.core.operations import Opcode, SUPPORTED_PRECISIONS, cycles_for
+from repro.errors import AddressError, ConfigurationError, PrecisionError
+
+__all__ = ["Instruction", "Program", "ProgramTrace", "ProgramExecutor"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One vector operation of a program."""
+
+    opcode: Opcode
+    row_a: int
+    row_b: Optional[int] = None
+    dest_row: Optional[int] = None
+    precision_bits: Optional[int] = None
+    label: str = ""
+
+    def needs_second_operand(self) -> bool:
+        """Whether the instruction requires a second source row."""
+        return self.opcode.is_dual_wordline
+
+    def needs_destination(self) -> bool:
+        """Whether the instruction requires a destination row."""
+        return self.opcode in (
+            Opcode.NOT,
+            Opcode.COPY,
+            Opcode.SHIFT_LEFT,
+            Opcode.ADD_SHIFT,
+            Opcode.SUB,
+            Opcode.MULT,
+        )
+
+    def cycle_count(self, default_precision: int) -> int:
+        """Cycles this instruction will take (Table I)."""
+        bits = self.precision_bits or default_precision
+        return cycles_for(self.opcode, bits)
+
+
+@dataclass
+class Program:
+    """An ordered list of instructions plus static validation."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    name: str = "program"
+
+    def append(self, instruction: Instruction) -> "Program":
+        """Append one instruction (returns self for chaining)."""
+        self.instructions.append(instruction)
+        return self
+
+    def extend(self, instructions: Iterable[Instruction]) -> "Program":
+        """Append several instructions (returns self for chaining)."""
+        self.instructions.extend(instructions)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # ------------------------------------------------------------------ #
+    # Static validation
+    # ------------------------------------------------------------------ #
+    def validate(self, config: MacroConfig) -> None:
+        """Check every instruction against a macro configuration.
+
+        Raises on out-of-range rows, missing operands/destinations and
+        unsupported precisions, *before* anything executes.
+        """
+        if not self.instructions:
+            raise ConfigurationError(f"program '{self.name}' has no instructions")
+        layout = config.layout()
+        for index, instruction in enumerate(self.instructions):
+            where = f"instruction {index} ({instruction.opcode.name})"
+            rows = [instruction.row_a]
+            if instruction.row_b is not None:
+                rows.append(instruction.row_b)
+            if instruction.dest_row is not None:
+                rows.append(instruction.dest_row)
+            for row in rows:
+                if not 0 <= row < config.rows:
+                    raise AddressError(
+                        f"{where}: row {row} outside [0, {config.rows})"
+                    )
+            if instruction.needs_second_operand() and instruction.row_b is None:
+                raise ConfigurationError(f"{where}: missing second source row")
+            if instruction.needs_destination() and instruction.dest_row is None:
+                raise ConfigurationError(f"{where}: missing destination row")
+            bits = instruction.precision_bits
+            if bits is not None:
+                if bits not in SUPPORTED_PRECISIONS:
+                    raise PrecisionError(f"{where}: unsupported precision {bits}")
+                layout.check_precision(bits)
+
+    def cycle_estimate(self, default_precision: int) -> int:
+        """Total cycles the program will take (sum of Table I counts)."""
+        return sum(
+            instruction.cycle_count(default_precision)
+            for instruction in self.instructions
+        )
+
+
+@dataclass(frozen=True)
+class ProgramTrace:
+    """Execution record of a program."""
+
+    program_name: str
+    results: tuple
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of executed instructions."""
+        return len(self.results)
+
+    @property
+    def total_cycles(self) -> int:
+        """Total macro cycles consumed."""
+        return sum(result.cycles for result in self.results)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy consumed (joules)."""
+        return sum(result.energy_j for result in self.results)
+
+    @property
+    def total_latency_s(self) -> float:
+        """Total execution time (seconds)."""
+        return sum(result.latency_s for result in self.results)
+
+    def result(self, index: int) -> OperationResult:
+        """The result of one instruction."""
+        return self.results[index]
+
+
+class ProgramExecutor:
+    """Runs :class:`Program` objects on an :class:`IMCMacro`."""
+
+    def __init__(self, macro: Optional[IMCMacro] = None) -> None:
+        self.macro = macro if macro is not None else IMCMacro()
+
+    def run(self, program: Program, validate: bool = True) -> ProgramTrace:
+        """Validate (optionally) and execute a program, returning its trace."""
+        if validate:
+            program.validate(self.macro.config)
+        results: List[OperationResult] = []
+        for instruction in program.instructions:
+            results.append(
+                self.macro.execute(
+                    instruction.opcode,
+                    instruction.row_a,
+                    instruction.row_b,
+                    instruction.dest_row,
+                    precision_bits=instruction.precision_bits,
+                )
+            )
+        return ProgramTrace(program_name=program.name, results=tuple(results))

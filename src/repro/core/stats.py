@@ -1,0 +1,144 @@
+"""Run-time statistics of a macro / bank / memory instance.
+
+Every in-memory operation the macro executes is recorded here: how many
+cycles it took (Table I), how much energy it consumed (Table II model), and
+how many word-level results it produced (the vector width of the access).
+The statistics object can be merged across macros and converted into the
+throughput / efficiency metrics (TOPS/W) reported in Fig. 8 and Table III.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.operations import Opcode
+
+__all__ = ["OperationRecord", "MacroStatistics"]
+
+
+@dataclass
+class OperationRecord:
+    """Aggregated statistics for one opcode."""
+
+    invocations: int = 0
+    words: int = 0
+    cycles: int = 0
+    energy_j: float = 0.0
+
+    def add(self, words: int, cycles: int, energy_j: float) -> None:
+        """Accumulate one executed operation."""
+        self.invocations += 1
+        self.words += words
+        self.cycles += cycles
+        self.energy_j += energy_j
+
+    def merge(self, other: "OperationRecord") -> None:
+        """Merge another record into this one."""
+        self.invocations += other.invocations
+        self.words += other.words
+        self.cycles += other.cycles
+        self.energy_j += other.energy_j
+
+
+@dataclass
+class MacroStatistics:
+    """Statistics of everything a macro executed since the last reset."""
+
+    records: Dict[Opcode, OperationRecord] = field(
+        default_factory=lambda: defaultdict(OperationRecord)
+    )
+    array_accesses: int = 0
+    disturb_events: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(
+        self, opcode: Opcode, words: int, cycles: int, energy_j: float
+    ) -> None:
+        """Record one executed vector operation."""
+        self.records[opcode].add(words=words, cycles=cycles, energy_j=energy_j)
+
+    def merge(self, other: "MacroStatistics") -> None:
+        """Merge another statistics object (e.g. from another macro)."""
+        for opcode, record in other.records.items():
+            self.records[opcode].merge(record)
+        self.array_accesses += other.array_accesses
+        self.disturb_events += other.disturb_events
+
+    def reset(self) -> None:
+        """Clear every counter."""
+        self.records.clear()
+        self.array_accesses = 0
+        self.disturb_events = 0
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cycles(self) -> int:
+        """Total number of macro cycles spent on operations."""
+        return sum(record.cycles for record in self.records.values())
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total operation energy in joules."""
+        return sum(record.energy_j for record in self.records.values())
+
+    @property
+    def total_operations(self) -> int:
+        """Total number of word-level results produced."""
+        return sum(record.words for record in self.records.values())
+
+    @property
+    def total_invocations(self) -> int:
+        """Total number of vector operations issued."""
+        return sum(record.invocations for record in self.records.values())
+
+    def cycles_for(self, opcode: Opcode) -> int:
+        """Cycles spent on one opcode."""
+        return self.records[opcode].cycles if opcode in self.records else 0
+
+    def energy_for(self, opcode: Opcode) -> float:
+        """Energy (joules) spent on one opcode."""
+        return self.records[opcode].energy_j if opcode in self.records else 0.0
+
+    def words_for(self, opcode: Opcode) -> int:
+        """Word-level results produced by one opcode."""
+        return self.records[opcode].words if opcode in self.records else 0
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    def execution_time_s(self, cycle_time_s: float) -> float:
+        """Wall-clock time of the recorded work at a given cycle time."""
+        return self.total_cycles * cycle_time_s
+
+    def energy_per_operation_j(self) -> float:
+        """Average energy per word-level operation."""
+        operations = self.total_operations
+        if operations == 0:
+            return 0.0
+        return self.total_energy_j / operations
+
+    def cycles_per_operation(self) -> float:
+        """Average cycles per word-level operation (the Fig. 9 metric)."""
+        operations = self.total_operations
+        if operations == 0:
+            return 0.0
+        return self.total_cycles / operations
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary dictionary (useful for reports and logging)."""
+        return {
+            "invocations": float(self.total_invocations),
+            "operations": float(self.total_operations),
+            "cycles": float(self.total_cycles),
+            "energy_j": self.total_energy_j,
+            "energy_per_op_j": self.energy_per_operation_j(),
+            "cycles_per_op": self.cycles_per_operation(),
+            "array_accesses": float(self.array_accesses),
+            "disturb_events": float(self.disturb_events),
+        }

@@ -1,0 +1,167 @@
+"""Per-column peripheral unit ("Y-Path") functional model.
+
+Each active column of the macro has one Y-Path in the column peripheral area
+(Fig. 3).  It contains:
+
+* the **FA-Logics** block: an OR gate, three inverters and four transmission
+  gates that turn the two BL-computing results (``A AND B`` on BLT and
+  ``NOR(A, B)`` on BLB) into any bit-wise logic output or into the
+  pre-computed full-adder sum/carry pair selected by the incoming carry
+  (eq. 1-2 of the paper);
+* three multiplexers — MX0 selects what is forwarded to the neighbouring
+  Y-Path (sum for add-and-shift, data for shift), MX1 selects the write-back
+  value (local result or the value propagated from the lower-order Y-Path),
+  MX2/LogicSEL select which logic function leaves the FA-Logics block;
+* a **flip-flop pair** that stores one multiplier bit and the value
+  propagated from the lower-order Y-Path during add-and-shift operations;
+* the MX3 precision-boundary multiplexer that either accepts the carry from
+  the right neighbour or forces a constant carry-in (0, or 1 for
+  subtraction) at the start of a precision unit.
+
+The Y-Path is purely combinational apart from its flip-flops, so the model is
+a small state machine with explicit methods for each function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigurationError, OperandError
+from repro.core.operations import Opcode
+
+__all__ = ["fa_from_bitline", "logic_from_bitline", "YPath"]
+
+
+def _check_bit(name: str, value: int) -> int:
+    if value not in (0, 1):
+        raise OperandError(f"{name} must be 0 or 1, got {value!r}")
+    return value
+
+
+def fa_from_bitline(and_ab: int, nor_ab: int, carry_in: int) -> Tuple[int, int]:
+    """Full-adder sum/carry from the BL-computing primitives (eq. 1-2).
+
+    The FA-Logics block never recomputes the addition when the carry
+    arrives: both candidate results are already present (that is what makes
+    the transmission-gate ripple path fast), and the carry merely selects:
+
+    * ``carry_in = 0``: sum = ``A XOR B``,  carry-out = ``A AND B``
+    * ``carry_in = 1``: sum = ``A XNOR B``, carry-out = ``A OR B``
+    """
+    _check_bit("and_ab", and_ab)
+    _check_bit("nor_ab", nor_ab)
+    _check_bit("carry_in", carry_in)
+    if and_ab and nor_ab:
+        raise OperandError("AND and NOR of the same operands cannot both be 1")
+    xor_ab = 1 - and_ab - nor_ab
+    or_ab = 1 - nor_ab
+    if carry_in:
+        return 1 - xor_ab, or_ab
+    return xor_ab, and_ab
+
+
+def logic_from_bitline(opcode: Opcode, and_ab: int, nor_ab: int) -> int:
+    """Any supported bit-wise logic output from the BL-computing primitives."""
+    _check_bit("and_ab", and_ab)
+    _check_bit("nor_ab", nor_ab)
+    xor_ab = 1 - and_ab - nor_ab
+    table = {
+        Opcode.AND: and_ab,
+        Opcode.NAND: 1 - and_ab,
+        Opcode.NOR: nor_ab,
+        Opcode.OR: 1 - nor_ab,
+        Opcode.XOR: xor_ab,
+        Opcode.XNOR: 1 - xor_ab,
+    }
+    if opcode not in table:
+        raise ConfigurationError(f"{opcode} is not a bit-wise logic operation")
+    return table[opcode]
+
+
+@dataclass
+class YPath:
+    """One column peripheral unit.
+
+    Attributes
+    ----------
+    column:
+        The physical column index this Y-Path senses (one per interleave
+        group of four columns).
+    multiplier_ff:
+        Flip-flop holding one multiplier bit during MULT.
+    propagate_ff:
+        Flip-flop holding the value propagated from the lower-order Y-Path,
+        released during the shifted write-back of add-and-shift operations.
+    """
+
+    column: int
+    multiplier_ff: int = 0
+    propagate_ff: int = 0
+    #: carry produced by the most recent adder evaluation (diagnostic).
+    last_carry_out: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Flip-flop management
+    # ------------------------------------------------------------------ #
+    def load_multiplier_bit(self, bit: int) -> None:
+        """Load one multiplier bit into the Y-Path flip-flop."""
+        self.multiplier_ff = _check_bit("multiplier bit", bit)
+
+    def shift_multiplier(self, incoming_bit: int) -> int:
+        """Shift the multiplier FF chain by one position.
+
+        The MULT sequencer consumes one multiplier bit per add-and-shift
+        cycle; the chain behaves as a shift register so no extra read of the
+        multiplier word is needed.  Returns the bit shifted out.
+        """
+        outgoing = self.multiplier_ff
+        self.multiplier_ff = _check_bit("incoming multiplier bit", incoming_bit)
+        return outgoing
+
+    def capture_propagated(self, bit: int) -> None:
+        """Latch the value arriving from the lower-order Y-Path."""
+        self.propagate_ff = _check_bit("propagated bit", bit)
+
+    def release_propagated(self) -> int:
+        """Release the latched propagated value onto the write-back path."""
+        return self.propagate_ff
+
+    def reset(self) -> None:
+        """Clear both flip-flops (used between vector operations)."""
+        self.multiplier_ff = 0
+        self.propagate_ff = 0
+        self.last_carry_out = 0
+
+    # ------------------------------------------------------------------ #
+    # Combinational paths
+    # ------------------------------------------------------------------ #
+    def logic_output(self, opcode: Opcode, and_ab: int, nor_ab: int) -> int:
+        """MX2/LogicSEL path: one of the six bit-wise logic functions."""
+        return logic_from_bitline(opcode, and_ab, nor_ab)
+
+    def adder_outputs(
+        self, and_ab: int, nor_ab: int, carry_in: int
+    ) -> Tuple[int, int]:
+        """FA path: (sum, carry-out) selected by the incoming carry."""
+        sum_bit, carry_out = fa_from_bitline(and_ab, nor_ab, carry_in)
+        self.last_carry_out = carry_out
+        return sum_bit, carry_out
+
+    def writeback_value(
+        self,
+        local_result: int,
+        use_propagated: bool,
+    ) -> int:
+        """MX1 path: choose the value driven back into the array.
+
+        For plain operations the local result is written back; for shifted
+        write-backs (SHIFT, ADD-SHIFT, the MULT inner loop) the value
+        captured from the lower-order neighbour is used instead, which is
+        exactly how the one-position left shift is realised without any
+        extra cycle.
+        """
+        _check_bit("local_result", local_result)
+        if use_propagated:
+            return self.propagate_ff
+        return local_result

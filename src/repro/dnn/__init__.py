@@ -1,0 +1,51 @@
+"""Quantised DNN inference on the bit-parallel IMC macro.
+
+The paper motivates reconfigurable bit-precision with machine-learning
+inference.  This package provides the end-to-end demonstration:
+
+* :mod:`datasets`      — synthetic classification data (offline environment,
+  no external datasets)
+* :mod:`layers`        — float and quantised dense layers
+* :mod:`model`         — a small multi-layer perceptron
+* :mod:`training`      — numpy SGD training of the float reference model
+* :mod:`quantization`  — symmetric fixed-point quantisation to 2/4/8-bit
+* :mod:`imc_backend`   — executes the quantised integer arithmetic on the
+  :class:`repro.core.macro.IMCMacro` (bit-exact) and accounts for the
+  energy/cycles of the in-memory operations
+"""
+
+from repro.dnn.conv import Conv2DLayer, QuantizedConv2DLayer, im2col
+from repro.dnn.datasets import DatasetSplit, make_classification_dataset
+from repro.dnn.imc_backend import IMCMatmulBackend, NumpyIntBackend
+from repro.dnn.layers import DenseLayer, QuantizedDenseLayer
+from repro.dnn.model import MLP, QuantizedMLP
+from repro.dnn.pipeline import (
+    ImageDatasetSplit,
+    QuantizedCNN,
+    make_pattern_image_dataset,
+    train_pattern_cnn,
+)
+from repro.dnn.quantization import QuantizedTensor, quantize_tensor
+from repro.dnn.training import TrainingResult, train_mlp
+
+__all__ = [
+    "Conv2DLayer",
+    "QuantizedConv2DLayer",
+    "im2col",
+    "DatasetSplit",
+    "make_classification_dataset",
+    "IMCMatmulBackend",
+    "NumpyIntBackend",
+    "DenseLayer",
+    "QuantizedDenseLayer",
+    "MLP",
+    "QuantizedMLP",
+    "ImageDatasetSplit",
+    "QuantizedCNN",
+    "make_pattern_image_dataset",
+    "train_pattern_cnn",
+    "QuantizedTensor",
+    "quantize_tensor",
+    "TrainingResult",
+    "train_mlp",
+]

@@ -1,0 +1,181 @@
+"""Quantised 2-D convolution layer for IMC inference.
+
+The CONV-SRAM / Neural-Cache line of work the paper cites targets
+convolutional networks, so the DNN package also provides a small quantised
+``Conv2D`` layer.  It is implemented with the standard im2col lowering: every
+output position's receptive field is flattened into a row of an activation
+matrix, and the convolution becomes exactly the integer matrix product the
+:class:`repro.dnn.imc_backend.IMCMatmulBackend` already executes on the
+macro.  This keeps a single, well-tested integer code path for both dense and
+convolutional layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.dnn.quantization import QuantizedTensor, quantize_tensor
+from repro.errors import ConfigurationError
+
+__all__ = ["Conv2DLayer", "QuantizedConv2DLayer", "im2col"]
+
+
+def im2col(
+    images: np.ndarray, kernel_size: int, stride: int = 1
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Lower a batch of images into the im2col matrix.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(batch, channels, height, width)``.
+    kernel_size / stride:
+        Square kernel size and stride (no padding).
+
+    Returns
+    -------
+    (matrix, (out_height, out_width)) where ``matrix`` has shape
+    ``(batch * out_height * out_width, channels * kernel_size^2)``.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ConfigurationError(
+            f"im2col expects (batch, channels, height, width), got shape {images.shape}"
+        )
+    batch, channels, height, width = images.shape
+    if kernel_size <= 0 or stride <= 0:
+        raise ConfigurationError("kernel_size and stride must be positive")
+    if height < kernel_size or width < kernel_size:
+        raise ConfigurationError("image smaller than the convolution kernel")
+    out_height = (height - kernel_size) // stride + 1
+    out_width = (width - kernel_size) // stride + 1
+    columns = np.empty(
+        (batch * out_height * out_width, channels * kernel_size * kernel_size),
+        dtype=np.float64,
+    )
+    row = 0
+    for image_index in range(batch):
+        for out_y in range(out_height):
+            for out_x in range(out_width):
+                y0 = out_y * stride
+                x0 = out_x * stride
+                patch = images[image_index, :, y0 : y0 + kernel_size, x0 : x0 + kernel_size]
+                columns[row] = patch.reshape(-1)
+                row += 1
+    return columns, (out_height, out_width)
+
+
+@dataclass
+class Conv2DLayer:
+    """A float 2-D convolution layer (square kernel, no padding)."""
+
+    weights: np.ndarray  # (out_channels, in_channels, k, k)
+    bias: np.ndarray  # (out_channels,)
+    stride: int = 1
+    relu: bool = True
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        self.bias = np.asarray(self.bias, dtype=np.float64)
+        if self.weights.ndim != 4 or self.weights.shape[2] != self.weights.shape[3]:
+            raise ConfigurationError(
+                "conv weights must have shape (out_channels, in_channels, k, k)"
+            )
+        if self.bias.shape != (self.weights.shape[0],):
+            raise ConfigurationError("bias length must equal the output channel count")
+        if self.stride <= 0:
+            raise ConfigurationError("stride must be positive")
+
+    @property
+    def out_channels(self) -> int:
+        """Number of output channels."""
+        return self.weights.shape[0]
+
+    @property
+    def kernel_size(self) -> int:
+        """Square kernel size."""
+        return self.weights.shape[2]
+
+    @classmethod
+    def random(
+        cls,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        relu: bool = True,
+        seed: int = 0,
+    ) -> "Conv2DLayer":
+        """He-initialised random convolution layer."""
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kernel_size * kernel_size
+        weights = rng.normal(
+            0.0, np.sqrt(2.0 / fan_in), size=(out_channels, in_channels, kernel_size, kernel_size)
+        )
+        return cls(weights=weights, bias=np.zeros(out_channels), stride=stride, relu=relu)
+
+    def _weight_matrix(self) -> np.ndarray:
+        return self.weights.reshape(self.out_channels, -1).T  # (C*k*k, out_channels)
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Float forward pass; returns (batch, out_channels, out_h, out_w)."""
+        columns, (out_height, out_width) = im2col(images, self.kernel_size, self.stride)
+        outputs = columns @ self._weight_matrix() + self.bias
+        if self.relu:
+            outputs = np.maximum(outputs, 0.0)
+        batch = images.shape[0]
+        return (
+            outputs.reshape(batch, out_height, out_width, self.out_channels)
+            .transpose(0, 3, 1, 2)
+        )
+
+
+@dataclass
+class QuantizedConv2DLayer:
+    """Integer-arithmetic convolution derived from a float layer."""
+
+    float_layer: Conv2DLayer
+    weight_bits: int
+    activation_bits: int
+    quantized_weights: Optional[QuantizedTensor] = None
+
+    def __post_init__(self) -> None:
+        if self.weight_bits < 2 or self.activation_bits < 2:
+            raise ConfigurationError("quantisation widths must be at least 2 bits")
+        if self.quantized_weights is None:
+            self.quantized_weights = quantize_tensor(
+                self.float_layer._weight_matrix(), self.weight_bits
+            )
+
+    def forward(
+        self, images: np.ndarray, matmul: Optional[Callable] = None
+    ) -> np.ndarray:
+        """Quantised forward pass through an integer matmul backend."""
+        layer = self.float_layer
+        columns, (out_height, out_width) = im2col(images, layer.kernel_size, layer.stride)
+        activations = quantize_tensor(columns, self.activation_bits)
+        if matmul is None:
+            accumulator = activations.codes.astype(np.int64) @ self.quantized_weights.codes
+        else:
+            accumulator = matmul(activations.codes, self.quantized_weights.codes)
+        outputs = (
+            accumulator.astype(np.float64) * activations.scale * self.quantized_weights.scale
+            + layer.bias
+        )
+        if layer.relu:
+            outputs = np.maximum(outputs, 0.0)
+        batch = images.shape[0]
+        return (
+            outputs.reshape(batch, out_height, out_width, layer.out_channels)
+            .transpose(0, 3, 1, 2)
+        )
+
+    def mac_count(self, images: np.ndarray) -> int:
+        """Multiply-accumulate operations for a batch of images."""
+        layer = self.float_layer
+        _, (out_height, out_width) = im2col(images, layer.kernel_size, layer.stride)
+        per_position = layer.weights[0].size
+        return images.shape[0] * out_height * out_width * layer.out_channels * per_position

@@ -1,0 +1,153 @@
+"""Multi-layer perceptron models (float reference and quantised)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.dnn.layers import DenseLayer, QuantizedDenseLayer
+
+__all__ = ["MLP", "QuantizedMLP"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=1, keepdims=True)
+
+
+@dataclass
+class MLP:
+    """A float multi-layer perceptron classifier."""
+
+    layers: List[DenseLayer]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ConfigurationError("an MLP needs at least one layer")
+        for previous, current in zip(self.layers, self.layers[1:]):
+            if previous.output_size != current.input_size:
+                raise ConfigurationError(
+                    f"layer sizes do not chain: {previous.output_size} -> "
+                    f"{current.input_size}"
+                )
+
+    @classmethod
+    def create(
+        cls, layer_sizes: Sequence[int], seed: int = 0
+    ) -> "MLP":
+        """Build an MLP from a size list, e.g. ``[16, 32, 16, 4]``.
+
+        Hidden layers use ReLU; the final layer is linear (logits).
+        """
+        if len(layer_sizes) < 2:
+            raise ConfigurationError("layer_sizes needs an input and an output size")
+        layers = []
+        for index in range(len(layer_sizes) - 1):
+            layers.append(
+                DenseLayer.random(
+                    layer_sizes[index],
+                    layer_sizes[index + 1],
+                    relu=index < len(layer_sizes) - 2,
+                    seed=seed + index,
+                )
+            )
+        return cls(layers=layers)
+
+    @property
+    def input_size(self) -> int:
+        """Input feature count."""
+        return self.layers[0].input_size
+
+    @property
+    def output_size(self) -> int:
+        """Number of classes."""
+        return self.layers[-1].output_size
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Logits for a batch."""
+        values = np.asarray(inputs, dtype=np.float64)
+        for layer in self.layers:
+            values = layer.forward(values)
+        return values
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        """Class probabilities for a batch."""
+        return _softmax(self.forward(inputs))
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Predicted class indices for a batch."""
+        return np.argmax(self.forward(inputs), axis=1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a labelled batch."""
+        return float(np.mean(self.predict(inputs) == np.asarray(labels)))
+
+    def quantize(self, weight_bits: int, activation_bits: Optional[int] = None) -> "QuantizedMLP":
+        """Produce the quantised version of this network."""
+        return QuantizedMLP.from_float(
+            self, weight_bits=weight_bits, activation_bits=activation_bits
+        )
+
+
+@dataclass
+class QuantizedMLP:
+    """An MLP whose matrix products run in integer arithmetic."""
+
+    layers: List[QuantizedDenseLayer]
+    weight_bits: int
+    activation_bits: int
+    matmul: Optional[Callable] = field(default=None, repr=False)
+
+    @classmethod
+    def from_float(
+        cls,
+        model: MLP,
+        weight_bits: int,
+        activation_bits: Optional[int] = None,
+    ) -> "QuantizedMLP":
+        """Quantise a trained float model."""
+        if activation_bits is None:
+            activation_bits = weight_bits
+        layers = [
+            QuantizedDenseLayer(
+                float_layer=layer,
+                weight_bits=weight_bits,
+                activation_bits=activation_bits,
+            )
+            for layer in model.layers
+        ]
+        return cls(
+            layers=layers, weight_bits=weight_bits, activation_bits=activation_bits
+        )
+
+    def with_backend(self, matmul: Callable) -> "QuantizedMLP":
+        """Return a copy of this model bound to an integer-matmul backend."""
+        return QuantizedMLP(
+            layers=self.layers,
+            weight_bits=self.weight_bits,
+            activation_bits=self.activation_bits,
+            matmul=matmul,
+        )
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Logits for a batch, via the configured integer backend."""
+        values = np.asarray(inputs, dtype=np.float64)
+        for layer in self.layers:
+            values = layer.forward(values, matmul=self.matmul)
+        return values
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Predicted class indices for a batch."""
+        return np.argmax(self.forward(inputs), axis=1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a labelled batch."""
+        return float(np.mean(self.predict(inputs) == np.asarray(labels)))
+
+    def mac_count(self, batch: int) -> int:
+        """Total multiply-accumulates for a batch of inferences."""
+        return sum(layer.mac_count(batch) for layer in self.layers)

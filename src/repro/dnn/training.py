@@ -1,0 +1,117 @@
+"""Plain-numpy SGD training of the float reference MLP.
+
+Nothing fancy is needed: mini-batch SGD with momentum on a softmax
+cross-entropy loss reaches ~95 % accuracy on the synthetic dataset in a few
+hundred steps, which is all the precision study requires as a float
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.dnn.datasets import DatasetSplit
+from repro.dnn.model import MLP, _softmax
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["TrainingResult", "train_mlp"]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run."""
+
+    model: MLP
+    train_accuracy: float
+    test_accuracy: float
+    loss_history: List[float]
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the final training epoch."""
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+
+def _one_hot(labels: np.ndarray, classes: int) -> np.ndarray:
+    encoded = np.zeros((labels.size, classes), dtype=np.float64)
+    encoded[np.arange(labels.size), labels] = 1.0
+    return encoded
+
+
+def train_mlp(
+    dataset: DatasetSplit,
+    hidden_sizes: tuple[int, ...] = (32, 16),
+    epochs: int = 40,
+    batch_size: int = 64,
+    learning_rate: float = 0.05,
+    momentum: float = 0.9,
+    seed: int = 0,
+) -> TrainingResult:
+    """Train a float MLP on a dataset split and report accuracies."""
+    check_positive("epochs", epochs)
+    check_positive("batch_size", batch_size)
+    check_positive("learning_rate", learning_rate)
+    check_in_range("momentum", momentum, 0.0, 0.999)
+    if not hidden_sizes:
+        raise ConfigurationError("at least one hidden layer is required")
+
+    classes = dataset.class_count
+    sizes = [dataset.feature_count, *hidden_sizes, classes]
+    model = MLP.create(sizes, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    velocities = [
+        (np.zeros_like(layer.weights), np.zeros_like(layer.bias))
+        for layer in model.layers
+    ]
+    targets = _one_hot(dataset.train_y, classes)
+    loss_history: List[float] = []
+
+    for _ in range(epochs):
+        order = rng.permutation(dataset.train_x.shape[0])
+        epoch_losses: List[float] = []
+        for start in range(0, order.size, batch_size):
+            batch = order[start : start + batch_size]
+            inputs = dataset.train_x[batch]
+            labels = targets[batch]
+
+            # Forward pass keeping intermediate activations.
+            activations = [inputs]
+            for layer in model.layers:
+                activations.append(layer.forward(activations[-1]))
+            probabilities = _softmax(activations[-1])
+            loss = -float(
+                np.mean(np.sum(labels * np.log(probabilities + 1e-12), axis=1))
+            )
+            epoch_losses.append(loss)
+
+            # Backward pass.
+            gradient = (probabilities - labels) / batch.size
+            for index in range(len(model.layers) - 1, -1, -1):
+                layer = model.layers[index]
+                layer_input = activations[index]
+                grad_weights = layer_input.T @ gradient
+                grad_bias = gradient.sum(axis=0)
+                if index > 0:
+                    gradient = gradient @ layer.weights.T
+                    # ReLU derivative of the previous layer's output.
+                    gradient = gradient * (activations[index] > 0)
+                velocity_w, velocity_b = velocities[index]
+                velocity_w *= momentum
+                velocity_w -= learning_rate * grad_weights
+                velocity_b *= momentum
+                velocity_b -= learning_rate * grad_bias
+                layer.weights += velocity_w
+                layer.bias += velocity_b
+        loss_history.append(float(np.mean(epoch_losses)))
+
+    return TrainingResult(
+        model=model,
+        train_accuracy=model.accuracy(dataset.train_x, dataset.train_y),
+        test_accuracy=model.accuracy(dataset.test_x, dataset.test_y),
+        loss_history=loss_history,
+    )

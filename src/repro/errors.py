@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything produced by this package with a single ``except`` clause
+while still being able to distinguish configuration problems from runtime
+(operation-level) problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object (technology profile, macro geometry, precision
+    setting, ...) is inconsistent or out of the supported range."""
+
+
+class OperandError(ReproError):
+    """An operand value or address does not fit the requested bit-precision or
+    lies outside the addressed array."""
+
+
+class AddressError(OperandError):
+    """A row/column/word address is outside the array geometry."""
+
+
+class PrecisionError(ConfigurationError):
+    """The requested bit-precision is not supported by the current
+    reconfiguration state of the macro."""
+
+
+class DisturbanceError(ReproError):
+    """Raised when a read-disturb event corrupts stored data and the macro is
+    configured to treat disturbances as fatal."""
+
+
+class SequencerError(ReproError):
+    """The multi-cycle micro-sequencer was driven with an illegal sequence of
+    micro-operations (e.g. write-back before a BL computation)."""
+
+
+class CalibrationError(ConfigurationError):
+    """A calibrated technology constant is missing or non-physical."""

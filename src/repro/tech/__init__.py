@@ -1,0 +1,39 @@
+"""Technology substrate: process corners, operating conditions and the
+calibrated 28 nm behavioural technology profile.
+
+The paper's results come from 28 nm post-layout SPICE simulation.  This
+package replaces the SPICE/PDK stack with an analytical alpha-power-law
+device model plus a set of calibrated constants (see
+:mod:`repro.tech.calibration`) so that the circuit-level behavioural models in
+:mod:`repro.circuits` reproduce the paper's voltage/corner/variation trends.
+"""
+
+from repro.tech.technology import (
+    CornerSpec,
+    OperatingPoint,
+    ProcessCorner,
+    TechnologyProfile,
+)
+from repro.tech.devices import DeviceType, Transistor, alpha_power_current
+from repro.tech.calibration import (
+    CALIBRATED_28NM,
+    EnergyCalibration,
+    MacroCalibration,
+    TimingCalibration,
+    default_macro_calibration,
+)
+
+__all__ = [
+    "ProcessCorner",
+    "CornerSpec",
+    "OperatingPoint",
+    "TechnologyProfile",
+    "DeviceType",
+    "Transistor",
+    "alpha_power_current",
+    "CALIBRATED_28NM",
+    "MacroCalibration",
+    "TimingCalibration",
+    "EnergyCalibration",
+    "default_macro_calibration",
+]

@@ -1,0 +1,159 @@
+"""First-order MOSFET behavioural model (alpha-power law).
+
+The circuit models in :mod:`repro.circuits` only need two device quantities:
+
+* the saturation drive current of a device for a given gate voltage, and
+* an effective resistance for RC-style delay estimates.
+
+Both are derived from the alpha-power law
+
+    I_on = k * width_factor * (Vgs - Vth)^alpha
+
+where ``k`` absorbs mobility, oxide capacitance and nominal sizing and
+``width_factor`` expresses relative device width (a bit-cell access
+transistor has ``width_factor = 1``; the BL-boost pull-down stack is several
+times wider).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import OperatingPoint, TechnologyProfile
+from repro.utils.validation import check_positive
+
+__all__ = ["DeviceType", "Transistor", "alpha_power_current"]
+
+
+class DeviceType(enum.Enum):
+    """Transistor flavour."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+def alpha_power_current(
+    k: float,
+    width_factor: float,
+    vgs: float,
+    vth: float,
+    alpha: float,
+) -> float:
+    """Alpha-power-law saturation current in amperes.
+
+    Parameters
+    ----------
+    k:
+        Technology drive factor in A/V^alpha for a unit-width device.
+    width_factor:
+        Relative device width (1.0 = minimum bit-cell device).
+    vgs:
+        Gate-source voltage (magnitude, volts).
+    vth:
+        Threshold voltage (magnitude, volts).
+    alpha:
+        Velocity-saturation exponent.
+    """
+    if k <= 0 or width_factor <= 0:
+        raise ConfigurationError("drive factor and width factor must be positive")
+    overdrive = vgs - vth
+    if overdrive <= 0:
+        # Behavioural sub-threshold floor: 0.1 % of the current at 100 mV
+        # overdrive, enough to keep delay estimates finite but visibly huge.
+        return 1e-3 * k * width_factor * (0.1 ** alpha)
+    return k * width_factor * (overdrive ** alpha)
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """A behavioural transistor bound to a technology profile.
+
+    Attributes
+    ----------
+    device_type:
+        NMOS or PMOS.
+    drive_factor:
+        Technology drive factor ``k`` in A/V^alpha for ``width_factor = 1``.
+    width_factor:
+        Relative width of this instance.
+    lvt:
+        Whether the device uses the low-threshold flavour (the BL booster's
+        P0/N0/N1 devices are LVT in the paper).
+    """
+
+    technology: TechnologyProfile
+    device_type: DeviceType
+    drive_factor: float
+    width_factor: float = 1.0
+    lvt: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("drive_factor", self.drive_factor)
+        check_positive("width_factor", self.width_factor)
+
+    def threshold(self, point: OperatingPoint) -> float:
+        """Threshold-voltage magnitude at the given operating point."""
+        if self.device_type is DeviceType.NMOS:
+            return self.technology.vth_nmos(point, lvt=self.lvt)
+        return self.technology.vth_pmos(point, lvt=self.lvt)
+
+    def on_current(
+        self,
+        point: OperatingPoint,
+        vgs: float | None = None,
+        vth_shift: float = 0.0,
+    ) -> float:
+        """Saturation current when driven with ``vgs`` (defaults to VDD).
+
+        ``vth_shift`` adds a local-mismatch offset to the threshold, which is
+        how the Monte-Carlo engine injects variation.
+        """
+        gate_drive = point.vdd if vgs is None else vgs
+        vth = self.threshold(point) + vth_shift
+        current = alpha_power_current(
+            self.drive_factor,
+            self.width_factor,
+            gate_drive,
+            vth,
+            self.technology.alpha,
+        )
+        return current * self.technology.temperature_derate(point)
+
+    def effective_resistance(
+        self,
+        point: OperatingPoint,
+        vgs: float | None = None,
+        vth_shift: float = 0.0,
+    ) -> float:
+        """Effective switching resistance ``VDD / I_on`` in ohms."""
+        current = self.on_current(point, vgs=vgs, vth_shift=vth_shift)
+        return point.vdd / current
+
+    def discharge_time(
+        self,
+        capacitance: float,
+        swing: float,
+        point: OperatingPoint,
+        vgs: float | None = None,
+        vth_shift: float = 0.0,
+    ) -> float:
+        """Time to (dis)charge ``capacitance`` by ``swing`` volts at constant
+        drive current (seconds)."""
+        if capacitance <= 0 or swing < 0:
+            raise ConfigurationError("capacitance must be > 0 and swing >= 0")
+        if swing == 0:
+            return 0.0
+        current = self.on_current(point, vgs=vgs, vth_shift=vth_shift)
+        return capacitance * swing / current
+
+    def scaled(self, width_factor: float) -> "Transistor":
+        """Return a copy of this device with a different relative width."""
+        return Transistor(
+            technology=self.technology,
+            device_type=self.device_type,
+            drive_factor=self.drive_factor,
+            width_factor=width_factor,
+            lvt=self.lvt,
+        )

@@ -1,0 +1,201 @@
+"""Process technology description: corners, operating points, profile.
+
+The :class:`TechnologyProfile` collects the handful of electrical parameters
+the behavioural circuit models need:
+
+* nominal NMOS/PMOS threshold voltages and their per-corner shifts,
+* the effective alpha-power-law exponent used for drive-current/delay
+  scaling with supply voltage,
+* local-mismatch sigma for minimum-size bit-cell devices,
+* temperature coefficients.
+
+Everything is deliberately first-order — the goal is to reproduce the
+*relative* trends the paper reports (corner spread, voltage scaling,
+variation tails), not transistor-accurate IV curves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["ProcessCorner", "CornerSpec", "OperatingPoint", "TechnologyProfile"]
+
+
+class ProcessCorner(enum.Enum):
+    """Global process corners, named NMOS-letter / PMOS-letter."""
+
+    SS = "SS"
+    SF = "SF"
+    NN = "NN"
+    FS = "FS"
+    FF = "FF"
+
+    @classmethod
+    def evaluation_order(cls) -> List["ProcessCorner"]:
+        """The corner ordering used on the x-axis of Fig. 7(a)."""
+        return [cls.SF, cls.SS, cls.NN, cls.FS, cls.FF]
+
+
+@dataclass(frozen=True)
+class CornerSpec:
+    """Per-corner threshold-voltage shifts (volts).
+
+    Positive shift means a slower (higher-|Vth|) device.
+    """
+
+    dvth_n: float
+    dvth_p: float
+
+
+#: Default corner table for the calibrated 28 nm profile.  The shifts are
+#: modest (15 mV) because the paper's Fig. 7(a) shows a fairly tight corner
+#: spread for the proposed scheme and roughly +-20 % for WLUD.
+DEFAULT_CORNERS: Dict[ProcessCorner, CornerSpec] = {
+    ProcessCorner.SS: CornerSpec(dvth_n=+0.015, dvth_p=+0.015),
+    ProcessCorner.SF: CornerSpec(dvth_n=+0.012, dvth_p=-0.012),
+    ProcessCorner.NN: CornerSpec(dvth_n=0.0, dvth_p=0.0),
+    ProcessCorner.FS: CornerSpec(dvth_n=-0.012, dvth_p=+0.012),
+    ProcessCorner.FF: CornerSpec(dvth_n=-0.015, dvth_p=-0.015),
+}
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A supply-voltage / temperature / corner operating point."""
+
+    vdd: float = 0.9
+    temperature_c: float = 25.0
+    corner: ProcessCorner = ProcessCorner.NN
+
+    def __post_init__(self) -> None:
+        check_in_range("vdd", self.vdd, 0.3, 1.5)
+        check_in_range("temperature_c", self.temperature_c, -55.0, 150.0)
+
+    def at_voltage(self, vdd: float) -> "OperatingPoint":
+        """Return a copy of this operating point at a different supply."""
+        return replace(self, vdd=vdd)
+
+    def at_corner(self, corner: ProcessCorner) -> "OperatingPoint":
+        """Return a copy of this operating point at a different corner."""
+        return replace(self, corner=corner)
+
+
+@dataclass(frozen=True)
+class TechnologyProfile:
+    """Behavioural description of a CMOS technology node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable profile name.
+    node_nm:
+        Feature size in nanometres (28 for the paper).
+    vdd_nominal / vdd_min / vdd_max:
+        Nominal and supported supply range (the paper operates 0.6-1.1 V).
+    vth_n / vth_p:
+        Nominal regular-Vt threshold voltages (absolute values).
+    vth_lvt_offset:
+        How much lower an LVT device's threshold is (the BL booster uses LVT
+        P0/N0/N1 devices).
+    alpha:
+        Effective alpha-power-law exponent for drive current
+        ``I ~ (Vgs - Vth)^alpha``.  Calibrated so that the macro frequency
+        scales from 372 MHz at 0.6 V to 2.25 GHz at 1.0 V as in Fig. 8.
+    sigma_vth_mismatch:
+        One-sigma local threshold mismatch of a minimum-size bit-cell device,
+        used by the Monte-Carlo engine (Fig. 2).
+    boost_mismatch_scale:
+        Relative mismatch of the (larger) BL-boost devices compared to the
+        bit-cell devices; < 1 because mismatch shrinks with sqrt(W*L).
+    temp_coefficient_per_c:
+        Fractional drive-current degradation per degree C above 25 C.
+    corners:
+        Mapping from :class:`ProcessCorner` to threshold shifts.
+    """
+
+    name: str = "generic-28nm"
+    node_nm: float = 28.0
+    vdd_nominal: float = 0.9
+    vdd_min: float = 0.6
+    vdd_max: float = 1.1
+    vth_n: float = 0.38
+    vth_p: float = 0.40
+    vth_lvt_offset: float = 0.10
+    alpha: float = 2.0
+    sigma_vth_mismatch: float = 0.030
+    boost_mismatch_scale: float = 0.4
+    temp_coefficient_per_c: float = 0.002
+    corners: Dict[ProcessCorner, CornerSpec] = field(
+        default_factory=lambda: dict(DEFAULT_CORNERS)
+    )
+
+    def __post_init__(self) -> None:
+        check_positive("node_nm", self.node_nm)
+        check_positive("vdd_nominal", self.vdd_nominal)
+        check_positive("vth_n", self.vth_n)
+        check_positive("vth_p", self.vth_p)
+        check_positive("alpha", self.alpha)
+        check_in_range("sigma_vth_mismatch", self.sigma_vth_mismatch, 0.0, 0.2)
+        check_in_range("boost_mismatch_scale", self.boost_mismatch_scale, 0.0, 1.0)
+        if self.vdd_min >= self.vdd_max:
+            raise ConfigurationError(
+                f"vdd_min ({self.vdd_min}) must be below vdd_max ({self.vdd_max})"
+            )
+        missing = [corner for corner in ProcessCorner if corner not in self.corners]
+        if missing:
+            raise ConfigurationError(
+                f"technology profile is missing corner definitions for {missing}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Threshold / current helpers
+    # ------------------------------------------------------------------ #
+    def corner_spec(self, corner: ProcessCorner) -> CornerSpec:
+        """Threshold shifts for a given process corner."""
+        return self.corners[corner]
+
+    def vth_nmos(self, point: OperatingPoint, lvt: bool = False) -> float:
+        """NMOS threshold at an operating point (corner + LVT option)."""
+        vth = self.vth_n + self.corner_spec(point.corner).dvth_n
+        if lvt:
+            vth -= self.vth_lvt_offset
+        return vth
+
+    def vth_pmos(self, point: OperatingPoint, lvt: bool = False) -> float:
+        """PMOS threshold magnitude at an operating point."""
+        vth = self.vth_p + self.corner_spec(point.corner).dvth_p
+        if lvt:
+            vth -= self.vth_lvt_offset
+        return vth
+
+    def temperature_derate(self, point: OperatingPoint) -> float:
+        """Multiplicative drive-current derating factor for temperature."""
+        delta = point.temperature_c - 25.0
+        factor = 1.0 - self.temp_coefficient_per_c * delta
+        return max(factor, 0.05)
+
+    def overdrive(self, vgs: float, vth: float) -> float:
+        """Gate overdrive, clamped at a small positive floor so that
+        near/sub-threshold operation degrades gracefully instead of dividing
+        by zero."""
+        return max(vgs - vth, 0.01)
+
+    def supply_range(self, points: int = 6) -> Sequence[float]:
+        """Evenly spaced supply voltages across the supported range."""
+        if points < 2:
+            raise ConfigurationError("supply_range needs at least two points")
+        step = (self.vdd_max - self.vdd_min) / (points - 1)
+        return [round(self.vdd_min + i * step, 4) for i in range(points)]
+
+    def validate_operating_point(self, point: OperatingPoint) -> None:
+        """Raise if the operating point lies outside the supported range."""
+        if not (self.vdd_min - 1e-9 <= point.vdd <= self.vdd_max + 1e-9):
+            raise ConfigurationError(
+                f"supply voltage {point.vdd} V outside supported range "
+                f"[{self.vdd_min}, {self.vdd_max}] V"
+            )

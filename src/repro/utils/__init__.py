@@ -1,0 +1,52 @@
+"""Generic helpers shared by every subsystem.
+
+The helpers are intentionally free of any architecture knowledge: they deal
+with bits, two's-complement encodings, fixed-point values and argument
+validation only.
+"""
+
+from repro.utils.bitops import (
+    bit_length_for,
+    bits_to_int,
+    bitwise_not,
+    from_twos_complement,
+    int_to_bits,
+    mask,
+    popcount,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+    sign_extend,
+    to_twos_complement,
+)
+from repro.utils.fixedpoint import FixedPointFormat, dequantize_value, quantize_value
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+__all__ = [
+    "bit_length_for",
+    "bits_to_int",
+    "bitwise_not",
+    "from_twos_complement",
+    "int_to_bits",
+    "mask",
+    "popcount",
+    "reverse_bits",
+    "rotate_left",
+    "rotate_right",
+    "sign_extend",
+    "to_twos_complement",
+    "FixedPointFormat",
+    "quantize_value",
+    "dequantize_value",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_power_of_two",
+    "check_probability",
+]

@@ -1,0 +1,162 @@
+"""Bit-level helpers used throughout the functional IMC model.
+
+The in-memory-computing macro stores every operand as a row of individual
+bit cells, so the functional model constantly converts between Python
+integers and little-endian bit lists.  The conversions here are the single
+source of truth for that encoding:
+
+* ``int_to_bits``/``bits_to_int`` use **little-endian** ordering (index 0 is
+  the least-significant bit), matching the column ordering of a precision
+  unit where the carry propagates from column 0 upwards.
+* signed values always use two's complement at an explicit width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import OperandError
+
+__all__ = [
+    "mask",
+    "bit_length_for",
+    "int_to_bits",
+    "bits_to_int",
+    "to_twos_complement",
+    "from_twos_complement",
+    "sign_extend",
+    "bitwise_not",
+    "popcount",
+    "reverse_bits",
+    "rotate_left",
+    "rotate_right",
+]
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits (``width`` may be zero)."""
+    if width < 0:
+        raise OperandError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_length_for(value: int, signed: bool = False) -> int:
+    """Minimum number of bits needed to represent ``value``.
+
+    For unsigned values this is ``value.bit_length()`` (with a minimum of 1).
+    For signed values it is the minimum two's-complement width.
+    """
+    if not signed:
+        if value < 0:
+            raise OperandError("unsigned bit_length_for() got a negative value")
+        return max(1, value.bit_length())
+    if value >= 0:
+        return value.bit_length() + 1
+    return (~value).bit_length() + 1
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Encode an unsigned ``value`` as a little-endian list of ``width`` bits.
+
+    Raises :class:`OperandError` if the value does not fit.
+    """
+    if width <= 0:
+        raise OperandError(f"bit width must be positive, got {width}")
+    if value < 0:
+        raise OperandError(
+            f"int_to_bits() expects an unsigned value, got {value}; "
+            "use to_twos_complement() first for signed operands"
+        )
+    if value > mask(width):
+        raise OperandError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Iterable[int]) -> int:
+    """Decode a little-endian bit sequence into an unsigned integer."""
+    result = 0
+    for index, bit in enumerate(bits):
+        bit = int(bit)
+        if bit not in (0, 1):
+            raise OperandError(f"bit at position {index} is {bit!r}, expected 0 or 1")
+        result |= bit << index
+    return result
+
+
+def to_twos_complement(value: int, width: int) -> int:
+    """Encode a signed ``value`` into its unsigned two's-complement pattern."""
+    if width <= 0:
+        raise OperandError(f"bit width must be positive, got {width}")
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    if not lo <= value <= hi:
+        raise OperandError(
+            f"signed value {value} does not fit in {width}-bit two's complement "
+            f"(range [{lo}, {hi}])"
+        )
+    return value & mask(width)
+
+
+def from_twos_complement(pattern: int, width: int) -> int:
+    """Decode an unsigned two's-complement ``pattern`` into a signed integer."""
+    if width <= 0:
+        raise OperandError(f"bit width must be positive, got {width}")
+    if pattern < 0 or pattern > mask(width):
+        raise OperandError(f"pattern {pattern} is not a valid {width}-bit value")
+    if pattern & (1 << (width - 1)):
+        return pattern - (1 << width)
+    return pattern
+
+
+def sign_extend(pattern: int, from_width: int, to_width: int) -> int:
+    """Sign-extend a two's-complement ``pattern`` from ``from_width`` bits to
+    ``to_width`` bits and return the widened pattern."""
+    if to_width < from_width:
+        raise OperandError(
+            f"cannot sign-extend from {from_width} bits down to {to_width} bits"
+        )
+    value = from_twos_complement(pattern, from_width)
+    return to_twos_complement(value, to_width)
+
+
+def bitwise_not(pattern: int, width: int) -> int:
+    """Bitwise complement restricted to ``width`` bits."""
+    if pattern < 0 or pattern > mask(width):
+        raise OperandError(f"pattern {pattern} is not a valid {width}-bit value")
+    return (~pattern) & mask(width)
+
+
+def popcount(pattern: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if pattern < 0:
+        raise OperandError("popcount() expects a non-negative integer")
+    return bin(pattern).count("1")
+
+
+def reverse_bits(pattern: int, width: int) -> int:
+    """Reverse the bit order of ``pattern`` within ``width`` bits.
+
+    The paper's left-shift multiplication feeds the multiplier into the
+    flip-flop chain in reversed order (``B[3:0] -> B[0:3]``); this helper
+    models that reversal.
+    """
+    bits = int_to_bits(pattern, width)
+    return bits_to_int(reversed(bits))
+
+
+def rotate_left(pattern: int, width: int, amount: int = 1) -> int:
+    """Rotate ``pattern`` left by ``amount`` within ``width`` bits."""
+    if width <= 0:
+        raise OperandError(f"bit width must be positive, got {width}")
+    if pattern < 0 or pattern > mask(width):
+        raise OperandError(f"pattern {pattern} is not a valid {width}-bit value")
+    amount %= width
+    return ((pattern << amount) | (pattern >> (width - amount))) & mask(width)
+
+
+def rotate_right(pattern: int, width: int, amount: int = 1) -> int:
+    """Rotate ``pattern`` right by ``amount`` within ``width`` bits."""
+    if width <= 0:
+        raise OperandError(f"bit width must be positive, got {width}")
+    amount %= width
+    return rotate_left(pattern, width, width - amount)

@@ -1,0 +1,50 @@
+"""Small argument-validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` with a message that names
+the offending parameter, which keeps the constructors of configuration
+dataclasses short and uniform.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_power_of_two",
+    "check_probability",
+]
+
+
+def check_positive(name: str, value: Real) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+
+
+def check_non_negative(name: str, value: Real) -> None:
+    """Raise unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+
+
+def check_in_range(name: str, value: Real, low: Real, high: Real) -> None:
+    """Raise unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise unless ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ConfigurationError(f"{name} must be a positive power of two, got {value}")
+
+
+def check_probability(name: str, value: Real) -> None:
+    """Raise unless ``value`` is a valid probability in [0, 1]."""
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be a probability in [0, 1], got {value}")

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IMCMacro, MacroConfig
+from repro.dnn import make_classification_dataset
+from repro.tech import CALIBRATED_28NM, OperatingPoint, default_macro_calibration
+
+
+@pytest.fixture(scope="session")
+def technology():
+    """The calibrated 28 nm technology profile."""
+    return CALIBRATED_28NM
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    """The default calibrated constant bundle."""
+    return default_macro_calibration()
+
+
+@pytest.fixture(scope="session")
+def nominal_point():
+    """The nominal operating point (0.9 V, 25 C, NN)."""
+    return OperatingPoint(vdd=0.9)
+
+
+@pytest.fixture()
+def macro():
+    """A fresh default macro (128x128, 8-bit precision)."""
+    return IMCMacro()
+
+
+@pytest.fixture()
+def small_macro():
+    """A small macro (fast for exhaustive sweeps): 32 rows x 32 cols."""
+    return IMCMacro(MacroConfig(rows=32, cols=32, precision_bits=4))
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small synthetic classification dataset (session-cached)."""
+    return make_classification_dataset(
+        samples=400, features=10, classes=3, seed=5
+    )

@@ -1,0 +1,89 @@
+"""Unit tests for the analysis layer (metrics, sweeps, report rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import EfficiencyPoint, tops_per_watt, throughput_ops_per_second
+from repro.analysis.report import format_float, format_table, histogram_text
+from repro.analysis.sweeps import sweep_corners, sweep_precisions, sweep_voltages
+from repro.errors import ConfigurationError
+from repro.tech import CALIBRATED_28NM, ProcessCorner
+
+
+class TestMetrics:
+    def test_tops_per_watt(self):
+        # 1 pJ per op -> 1 TOPS/W.
+        assert tops_per_watt(1e-12) == pytest.approx(1.0)
+        assert tops_per_watt(0.5e-12) == pytest.approx(2.0)
+
+    def test_tops_per_watt_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            tops_per_watt(0.0)
+
+    def test_throughput(self):
+        assert throughput_ops_per_second(4, 1e9, 1) == pytest.approx(4e9)
+        assert throughput_ops_per_second(4, 1e9, 10) == pytest.approx(4e8)
+
+    def test_efficiency_point(self):
+        point = EfficiencyPoint(
+            operation="ADD",
+            precision_bits=8,
+            vdd=0.6,
+            frequency_hz=372e6,
+            energy_per_op_j=122e-15,
+        )
+        assert point.tops_per_watt == pytest.approx(8.2, rel=0.02)
+        assert point.energy_per_op_fj == pytest.approx(122.0)
+        assert point.throughput(4, 1) == pytest.approx(4 * 372e6)
+
+
+class TestSweeps:
+    def test_sweep_voltages_defaults_to_supply_range(self):
+        results = sweep_voltages(lambda point: point.vdd, CALIBRATED_28NM)
+        assert min(results) == pytest.approx(0.6)
+        assert max(results) == pytest.approx(1.1)
+        assert all(value == key for key, value in results.items())
+
+    def test_sweep_voltages_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            sweep_voltages(lambda point: point.vdd, CALIBRATED_28NM, voltages=[1.4])
+
+    def test_sweep_corners_covers_figure_order(self):
+        results = sweep_corners(lambda point: point.corner.value)
+        assert list(results.keys()) == ProcessCorner.evaluation_order()
+
+    def test_sweep_precisions(self):
+        results = sweep_precisions(lambda bits: bits * 2)
+        assert results == {2: 4, 4: 8, 8: 16}
+
+
+class TestReport:
+    def test_format_float_styles(self):
+        assert format_float(0) == "0"
+        assert "e" in format_float(1.23e-7)
+        assert format_float(3.14159) == "3.14"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["add", 1.0], ["multiply", 22.5]],
+            title="Demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_checks_row_width(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_histogram_text(self):
+        samples = np.random.default_rng(0).normal(1e-9, 1e-10, 300)
+        text = histogram_text(samples, bins=10, unit_scale=1e9, unit_label="ns")
+        assert text.count("\n") == 9
+        assert "ns" in text
+
+    def test_histogram_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            histogram_text(np.array([]))

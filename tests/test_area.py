@@ -1,0 +1,85 @@
+"""Unit tests for the area-overhead model."""
+
+import pytest
+
+from repro.analysis.area import AreaParameters, MacroAreaModel
+from repro.core import MacroConfig
+from repro.errors import ConfigurationError
+
+
+class TestDefaultOverhead:
+    def test_matches_paper_5_2_percent(self):
+        model = MacroAreaModel()
+        assert model.overhead_fraction() == pytest.approx(0.052, abs=0.003)
+
+    def test_breakdown_components_present(self):
+        breakdown = MacroAreaModel().breakdown()
+        for name in (
+            "bl_booster",
+            "fa_logics",
+            "muxes",
+            "flipflops",
+            "bl_separator",
+            "control",
+        ):
+            assert name in breakdown.components
+            assert breakdown.components[name] >= 0
+
+    def test_fractions_sum_to_one(self):
+        breakdown = MacroAreaModel().breakdown()
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_dummy_rows_reported_separately(self):
+        breakdown = MacroAreaModel().breakdown()
+        assert breakdown.dummy_cells == 3 * 128
+        assert "dummy_array" not in breakdown.components
+
+    def test_fa_logics_is_largest_per_column_block(self):
+        components = MacroAreaModel().breakdown().components
+        per_column = {
+            name: components[name]
+            for name in ("bl_booster", "fa_logics", "muxes", "flipflops")
+        }
+        assert max(per_column, key=per_column.get) == "fa_logics"
+
+
+class TestScaling:
+    def test_overhead_shrinks_with_taller_arrays(self):
+        sweep = MacroAreaModel().overhead_vs_geometry((64, 128, 256, 512))
+        values = [sweep[rows] for rows in (64, 128, 256, 512)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_overhead_halves_when_rows_double(self):
+        sweep = MacroAreaModel().overhead_vs_geometry((128, 256))
+        assert sweep[256] == pytest.approx(sweep[128] / 2, rel=0.01)
+
+    def test_invalid_row_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacroAreaModel().overhead_vs_geometry((0,))
+
+    def test_wider_interleave_lowers_overhead(self):
+        narrow = MacroAreaModel(MacroConfig(interleave=4)).overhead_fraction()
+        wide = MacroAreaModel(MacroConfig(interleave=8, precision_bits=4)).overhead_fraction()
+        assert wide < narrow
+
+
+class TestComparisons:
+    def test_peripheral_approach_beats_cell_modification(self):
+        comparison = MacroAreaModel().compare_to_cell_modification()
+        assert (
+            comparison["proposed_peripheral_overhead"]
+            < comparison["cell_modification_overhead"]
+        )
+
+    def test_cell_modification_overhead_formula(self):
+        comparison = MacroAreaModel().compare_to_cell_modification(extra_transistors_per_cell=4)
+        assert comparison["cell_modification_overhead"] == pytest.approx(4 / 6)
+
+    def test_custom_parameters(self):
+        parameters = AreaParameters(control_cells=0.0, bl_separator_cells_per_column=0.0)
+        smaller = MacroAreaModel(parameters=parameters).overhead_fraction()
+        assert smaller < MacroAreaModel().overhead_fraction()
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AreaParameters(control_cells=-1.0)

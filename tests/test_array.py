@@ -1,0 +1,137 @@
+"""Unit tests for the SRAM array functional model (repro.core.array)."""
+
+import numpy as np
+import pytest
+
+from repro.core.array import ArraySpace, RowRef, SRAMArray
+from repro.errors import AddressError, ConfigurationError
+
+
+@pytest.fixture()
+def array():
+    return SRAMArray(rows=16, cols=16, dummy_rows=3)
+
+
+def _cols(*indices):
+    return np.array(indices, dtype=np.int64)
+
+
+class TestRowRef:
+    def test_constructors(self):
+        assert RowRef.main(3).space is ArraySpace.MAIN
+        assert RowRef.dummy(1).space is ArraySpace.DUMMY
+        assert RowRef.dummy(1).is_dummy is True
+        assert RowRef.main(0).is_dummy is False
+
+
+class TestStorage:
+    def test_write_read_bits(self, array):
+        array.write_bits(RowRef.main(2), _cols(0, 3, 5), np.array([1, 0, 1]))
+        assert array.read_bits(RowRef.main(2), _cols(0, 3, 5)).tolist() == [1, 0, 1]
+
+    def test_dummy_rows_are_separate(self, array):
+        array.write_bits(RowRef.main(0), _cols(0), np.array([1]))
+        assert array.read_bits(RowRef.dummy(0), _cols(0)).tolist() == [0]
+
+    def test_row_read_write(self, array):
+        pattern = np.arange(16) % 2
+        array.write_row(RowRef.main(5), pattern)
+        assert array.read_row(RowRef.main(5)).tolist() == pattern.tolist()
+
+    def test_row_write_shape_checked(self, array):
+        with pytest.raises(ConfigurationError):
+            array.write_row(RowRef.main(0), np.zeros(4, dtype=np.uint8))
+
+    def test_out_of_range_row_rejected(self, array):
+        with pytest.raises(AddressError):
+            array.read_row(RowRef.main(99))
+        with pytest.raises(AddressError):
+            array.read_row(RowRef.dummy(3))
+
+    def test_out_of_range_column_rejected(self, array):
+        with pytest.raises(AddressError):
+            array.read_bits(RowRef.main(0), _cols(16))
+
+    def test_empty_column_list_rejected(self, array):
+        with pytest.raises(AddressError):
+            array.read_bits(RowRef.main(0), np.array([], dtype=np.int64))
+
+    def test_non_binary_bits_rejected(self, array):
+        with pytest.raises(ConfigurationError):
+            array.write_bits(RowRef.main(0), _cols(0), np.array([2]))
+
+    def test_clear(self, array):
+        array.write_row(RowRef.main(1), np.ones(16, dtype=np.uint8))
+        array.write_row(RowRef.dummy(1), np.ones(16, dtype=np.uint8))
+        array.clear()
+        assert array.read_row(RowRef.main(1)).sum() == 0
+        assert array.read_row(RowRef.dummy(1)).sum() == 0
+
+    def test_capacity(self, array):
+        assert array.capacity_bits == 256
+
+
+class TestBitlineComputing:
+    def test_single_wordline_returns_data_and_complement(self, array):
+        array.write_bits(RowRef.main(0), _cols(0, 1, 2), np.array([1, 0, 1]))
+        output = array.single_wordline_access(RowRef.main(0), _cols(0, 1, 2))
+        assert output.and_bits.tolist() == [1, 0, 1]
+        assert output.nor_bits.tolist() == [0, 1, 0]
+        assert output.dual_wordline is False
+
+    def test_dual_wordline_and_nor_semantics(self, array):
+        # Truth table of Fig. 1: BLT stays high only when both cells hold 1,
+        # BLB stays high only when both hold 0.
+        array.write_bits(RowRef.main(0), _cols(0, 1, 2, 3), np.array([0, 0, 1, 1]))
+        array.write_bits(RowRef.main(1), _cols(0, 1, 2, 3), np.array([0, 1, 0, 1]))
+        output = array.dual_wordline_access(RowRef.main(0), RowRef.main(1), _cols(0, 1, 2, 3))
+        assert output.and_bits.tolist() == [0, 0, 0, 1]
+        assert output.nor_bits.tolist() == [1, 0, 0, 0]
+        assert output.or_bits.tolist() == [0, 1, 1, 1]
+        assert output.xor_bits.tolist() == [0, 1, 1, 0]
+        assert output.dual_wordline is True
+
+    def test_dual_wordline_with_dummy_row(self, array):
+        array.write_bits(RowRef.main(0), _cols(0), np.array([1]))
+        array.write_bits(RowRef.dummy(1), _cols(0), np.array([1]))
+        output = array.dual_wordline_access(RowRef.main(0), RowRef.dummy(1), _cols(0))
+        assert output.and_bits.tolist() == [1]
+
+    def test_dual_wordline_same_row_rejected(self, array):
+        with pytest.raises(ConfigurationError):
+            array.dual_wordline_access(RowRef.main(0), RowRef.main(0), _cols(0))
+
+    def test_access_counter(self, array):
+        array.single_wordline_access(RowRef.main(0), _cols(0))
+        array.dual_wordline_access(RowRef.main(0), RowRef.main(1), _cols(0))
+        assert array.access_count == 2
+
+    def test_no_disturb_by_default(self, array):
+        array.write_bits(RowRef.main(0), _cols(0, 1), np.array([1, 0]))
+        array.write_bits(RowRef.main(1), _cols(0, 1), np.array([0, 1]))
+        for _ in range(20):
+            array.dual_wordline_access(RowRef.main(0), RowRef.main(1), _cols(0, 1))
+        assert array.disturb_events == 0
+        assert array.read_bits(RowRef.main(0), _cols(0, 1)).tolist() == [1, 0]
+
+    def test_disturb_injection_flips_disagreeing_cells(self):
+        array = SRAMArray(rows=4, cols=8, dummy_rows=3, rng=np.random.default_rng(1))
+        array.write_row(RowRef.main(0), np.ones(8, dtype=np.uint8))
+        array.write_row(RowRef.main(1), np.zeros(8, dtype=np.uint8))
+        array.dual_wordline_access(
+            RowRef.main(0), RowRef.main(1), np.arange(8), disturb_probability=1.0
+        )
+        # With probability 1 every exposed cell flips.
+        assert array.disturb_events == 16
+        assert array.read_row(RowRef.main(0)).sum() == 0
+        assert array.read_row(RowRef.main(1)).sum() == 8
+
+    def test_disturb_does_not_affect_agreeing_cells(self):
+        array = SRAMArray(rows=4, cols=8, dummy_rows=3, rng=np.random.default_rng(1))
+        array.write_row(RowRef.main(0), np.ones(8, dtype=np.uint8))
+        array.write_row(RowRef.main(1), np.ones(8, dtype=np.uint8))
+        array.dual_wordline_access(
+            RowRef.main(0), RowRef.main(1), np.arange(8), disturb_probability=1.0
+        )
+        assert array.disturb_events == 0
+        assert array.read_row(RowRef.main(0)).sum() == 8

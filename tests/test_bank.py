@@ -1,0 +1,113 @@
+"""Unit tests for the banked 128 KB memory (repro.core.bank)."""
+
+import pytest
+
+from repro.core import IMCBank, IMCMemory, MacroConfig, Opcode
+from repro.errors import AddressError, ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def memory():
+    """A small 8 KB memory (4 macros in 2 banks) to keep tests fast."""
+    return IMCMemory(banks=2, capacity_bytes=8 * 1024, config=MacroConfig())
+
+
+class TestBank:
+    def test_capacity(self):
+        bank = IMCBank(macros_per_bank=2)
+        assert bank.capacity_bytes == 2 * 2048
+
+    def test_macro_accessor_bounds(self):
+        bank = IMCBank(macros_per_bank=2)
+        assert bank.macro(0) is not bank.macro(1)
+        with pytest.raises(AddressError):
+            bank.macro(2)
+
+    def test_broadcast_runs_on_every_macro(self):
+        bank = IMCBank(macros_per_bank=3)
+        for macro in bank.macros:
+            macro.write_words(0, [1, 2, 3, 4])
+            macro.write_words(1, [10, 20, 30, 40])
+        results = bank.broadcast(Opcode.ADD, 0, 1)
+        assert len(results) == 3
+        for result in results:
+            assert list(result.values) == [11, 22, 33, 44]
+
+    def test_statistics_merge_and_reset(self):
+        bank = IMCBank(macros_per_bank=2)
+        bank.broadcast(Opcode.ADD, 0, 1)
+        stats = bank.statistics()
+        assert stats.total_invocations == 2
+        bank.reset_stats()
+        assert bank.statistics().total_invocations == 0
+
+
+class TestMemoryGeometry:
+    def test_default_memory_is_128kb_with_4_banks(self):
+        memory = IMCMemory()
+        assert memory.capacity_bytes == 128 * 1024
+        assert len(memory.banks) == 4
+        assert memory.total_macros == 64
+        assert memory.geometry_summary() == (4, 16, 2048)
+
+    def test_small_memory_geometry(self, memory):
+        assert memory.capacity_bytes == 8 * 1024
+        assert memory.total_macros == 4
+        assert memory.macros_per_bank == 2
+
+    def test_capacity_must_be_whole_macros(self):
+        with pytest.raises(ConfigurationError):
+            IMCMemory(banks=2, capacity_bytes=3000)
+
+    def test_macros_must_split_across_banks(self):
+        with pytest.raises(ConfigurationError):
+            IMCMemory(banks=3, capacity_bytes=8 * 1024)
+
+    def test_parallel_words(self, memory):
+        assert memory.parallel_words() == memory.total_macros * 4
+
+
+class TestMemoryAddressing:
+    def test_locate_word_striping(self, memory):
+        first = memory.locate_word(0)
+        assert (first.bank, first.macro, first.row, first.word_index) == (0, 0, 0, 0)
+        second = memory.locate_word(1)
+        assert second.word_index == 1
+        next_row = memory.locate_word(memory.words_per_row())
+        assert next_row.row == 1
+
+    def test_locate_word_bank_boundary(self, memory):
+        words_per_bank = memory.words_per_row() * memory.config.rows * memory.macros_per_bank
+        location = memory.locate_word(words_per_bank)
+        assert location.bank == 1
+
+    def test_locate_word_out_of_range(self, memory):
+        total = memory.words_per_row() * memory.config.rows * memory.total_macros
+        with pytest.raises(AddressError):
+            memory.locate_word(total)
+
+    def test_flat_read_write_roundtrip(self, memory):
+        for index in (0, 7, 130, 1025):
+            memory.write_flat(index, (index * 37) % 256)
+        for index in (0, 7, 130, 1025):
+            assert memory.read_flat(index) == (index * 37) % 256
+
+
+class TestMemoryOperations:
+    def test_broadcast_across_banks(self, memory):
+        for bank in memory.banks:
+            for macro in bank.macros:
+                macro.write_words(2, [5, 6, 7, 8])
+                macro.write_words(3, [1, 1, 1, 1])
+        results = memory.broadcast(Opcode.SUB, 2, 3, dest_row=4)
+        assert len(results) == memory.total_macros
+        for result in results:
+            assert list(result.values) == [4, 5, 6, 7]
+
+    def test_statistics_aggregate(self, memory):
+        memory.reset_stats()
+        memory.broadcast(Opcode.ADD, 0, 1)
+        stats = memory.statistics()
+        assert stats.total_invocations == memory.total_macros
+        memory.reset_stats()
+        assert memory.statistics().total_invocations == 0

@@ -1,0 +1,135 @@
+"""Unit tests for the bit-serial IMC baseline (reference [2] model)."""
+
+import pytest
+
+from repro.baselines.bitserial import BitSerialConfig, BitSerialIMC
+from repro.core import Opcode
+from repro.errors import ConfigurationError, OperandError
+
+
+@pytest.fixture()
+def baseline():
+    return BitSerialIMC()
+
+
+class TestCycleFormulas:
+    def test_add_is_n_plus_one(self):
+        assert BitSerialIMC.cycles_for(Opcode.ADD, 8) == 9
+        assert BitSerialIMC.cycles_for(Opcode.ADD, 4) == 5
+
+    def test_sub_is_n_plus_three(self):
+        assert BitSerialIMC.cycles_for(Opcode.SUB, 8) == 11
+
+    def test_mult_is_quadratic(self):
+        assert BitSerialIMC.cycles_for(Opcode.MULT, 8) == 8 * 8 + 3 * 8 - 2
+        assert BitSerialIMC.cycles_for(Opcode.MULT, 4) > 4 * BitSerialIMC.cycles_for(
+            Opcode.ADD, 4
+        )
+
+    def test_logic_is_n(self):
+        assert BitSerialIMC.cycles_for(Opcode.XOR, 8) == 8
+
+    def test_mult_latency_much_higher_than_proposed(self):
+        # The proposed macro does an 8-bit MULT in 10 cycles; the bit-serial
+        # baseline needs ~9x more, which is the "high latency" drawback the
+        # paper cites.
+        assert BitSerialIMC.cycles_for(Opcode.MULT, 8) >= 8 * 10
+
+
+class TestFunctionalCorrectness:
+    def test_elementwise_add_sub_mult(self, baseline):
+        a = [0, 1, 127, 255, 200]
+        b = [0, 255, 127, 255, 57]
+        assert list(baseline.elementwise(Opcode.ADD, a, b, 8).values) == [
+            (x + y) % 256 for x, y in zip(a, b)
+        ]
+        assert list(baseline.elementwise(Opcode.SUB, a, b, 8).values) == [
+            (x - y) % 256 for x, y in zip(a, b)
+        ]
+        assert list(baseline.elementwise(Opcode.MULT, a, b, 8).values) == [
+            x * y for x, y in zip(a, b)
+        ]
+
+    def test_elementwise_logic(self, baseline):
+        a, b = [0b1100], [0b1010]
+        assert baseline.elementwise(Opcode.AND, a, b, 4).values == (0b1000,)
+        assert baseline.elementwise(Opcode.XOR, a, b, 4).values == (0b0110,)
+        assert baseline.elementwise(Opcode.NOR, a, b, 4).values == (0b0001,)
+
+    def test_single_operand_ops(self, baseline):
+        assert baseline.elementwise(Opcode.NOT, [0b1010], None, 4).values == (0b0101,)
+        assert baseline.elementwise(Opcode.SHIFT_LEFT, [0b0110], None, 4).values == (0b1100,)
+        assert baseline.elementwise(Opcode.COPY, [7], None, 4).values == (7,)
+
+    def test_matches_proposed_macro_results(self, baseline, macro):
+        values_a = [17, 103, 250, 66]
+        values_b = [3, 99, 250, 111]
+        proposed = macro.elementwise(Opcode.MULT, values_a, values_b)
+        serial = baseline.elementwise(Opcode.MULT, values_a, values_b, 8)
+        assert proposed == list(serial.values)
+
+    def test_operand_range_checked(self, baseline):
+        with pytest.raises(OperandError):
+            baseline.elementwise(Opcode.ADD, [256], [0], 8)
+
+    def test_length_mismatch_rejected(self, baseline):
+        with pytest.raises(OperandError):
+            baseline.elementwise(Opcode.ADD, [1, 2], [1], 8)
+
+    def test_missing_second_operand_rejected(self, baseline):
+        with pytest.raises(OperandError):
+            baseline.elementwise(Opcode.ADD, [1, 2], None, 8)
+
+
+class TestParallelismModel:
+    def test_fixed_scaling_saturates_at_lane_limit(self, baseline):
+        assert baseline.effective_lanes(64) == 64
+        assert baseline.effective_lanes(128) == 128
+        assert baseline.effective_lanes(1024) == 128
+
+    def test_local_group_scaling_grows_with_sqrt(self):
+        config = BitSerialConfig(
+            lane_scaling="local_group", lanes_at_reference=20, reference_columns=128
+        )
+        baseline = BitSerialIMC(config)
+        assert baseline.effective_lanes(128) == 20
+        assert baseline.effective_lanes(512) == 40
+        assert baseline.effective_lanes(1024) == pytest.approx(57, abs=1)
+
+    def test_invalid_lane_scaling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitSerialConfig(lane_scaling="linear")
+
+    def test_cycles_per_operation_uses_lanes(self, baseline):
+        cpo = baseline.cycles_per_operation(Opcode.ADD, 8, available_columns=128)
+        assert cpo == pytest.approx(9 / 128)
+
+    def test_batching_counts_extra_cycles(self, baseline):
+        result = baseline.elementwise(Opcode.ADD, [1] * 200, [2] * 200, 8)
+        # 200 elements over 128 lanes need two batches.
+        assert result.cycles == 2 * 9
+        assert result.cycles_per_element == pytest.approx(18 / 200)
+
+
+class TestEfficiencyModel:
+    def test_published_tops_per_watt_reproduced(self, baseline):
+        assert baseline.tops_per_watt(Opcode.ADD, 8, vdd=0.6) == pytest.approx(5.27, rel=0.05)
+        assert baseline.tops_per_watt(Opcode.MULT, 8, vdd=0.6) == pytest.approx(0.56, rel=0.05)
+
+    def test_proposed_is_more_efficient(self, baseline, calibration):
+        from repro.circuits.energy import OperationEnergyModel
+
+        proposed = OperationEnergyModel(calibration)
+        proposed_add = 1.0 / (proposed.add_energy(8, vdd=0.6).total_j * 1e12)
+        assert proposed_add > baseline.tops_per_watt(Opcode.ADD, 8, vdd=0.6)
+
+    def test_energy_scales_with_voltage(self, baseline):
+        assert baseline.energy_per_operation_j(Opcode.ADD, 8, vdd=0.6) < (
+            baseline.energy_per_operation_j(Opcode.ADD, 8, vdd=1.1)
+        )
+
+    def test_summary_counters(self, baseline):
+        baseline.elementwise(Opcode.ADD, [1, 2, 3], [4, 5, 6], 8)
+        summary = baseline.summary()
+        assert summary["total_elements"] == 3
+        assert summary["total_cycles"] >= 9

@@ -1,0 +1,83 @@
+"""Unit tests for the processor-centric (data movement) baseline."""
+
+import pytest
+
+from repro.baselines.processor import ProcessorCentricBaseline, ProcessorCostParameters
+from repro.core import Opcode
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def baseline():
+    return ProcessorCentricBaseline()
+
+
+class TestProcessorEnergy:
+    def test_per_operation_energy_magnitude(self, baseline):
+        energy = baseline.energy_per_operation_j(Opcode.ADD, 8)
+        # A few picojoules per 8-bit operation once data movement is included.
+        assert 1e-12 < energy < 10e-12
+
+    def test_data_movement_dominates(self, baseline):
+        share = baseline.data_movement_share(Opcode.ADD, 8)
+        assert 0.5 < share < 0.95
+
+    def test_mult_costs_more_than_add(self, baseline):
+        assert baseline.energy_per_operation_j(Opcode.MULT, 8) > baseline.energy_per_operation_j(
+            Opcode.ADD, 8
+        )
+
+    def test_energy_scales_with_precision(self, baseline):
+        assert baseline.energy_per_operation_j(Opcode.ADD, 16) > baseline.energy_per_operation_j(
+            Opcode.ADD, 8
+        )
+
+    def test_energy_scales_with_voltage(self, baseline):
+        low = baseline.energy_per_operation_j(Opcode.ADD, 8, vdd=0.6)
+        high = baseline.energy_per_operation_j(Opcode.ADD, 8, vdd=0.9)
+        assert low == pytest.approx(high * (0.6 / 0.9) ** 2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorCostParameters(sram_read_j=0.0)
+
+
+class TestComparisonAgainstIMC:
+    def test_imc_is_more_energy_efficient(self, baseline):
+        for opcode in (Opcode.ADD, Opcode.SUB, Opcode.XOR):
+            comparison = baseline.compare(opcode, 8)
+            assert comparison["energy_ratio"] > 2.0
+
+    def test_mult_energy_ratio_is_smaller_but_positive(self, baseline):
+        # The in-memory multiplication is iterative (N+2 cycles touching the
+        # array every cycle), so its energy advantage over a dedicated ALU
+        # multiplier is smaller than for addition.
+        add_ratio = baseline.compare(Opcode.ADD, 8)["energy_ratio"]
+        mult_ratio = baseline.compare(Opcode.MULT, 8)["energy_ratio"]
+        assert 0.3 < mult_ratio < add_ratio
+
+    def test_throughput_ratio_reflects_parallelism(self, baseline):
+        narrow = baseline.compare(Opcode.ADD, 8, imc_parallel_words=1)
+        wide = baseline.compare(Opcode.ADD, 8, imc_parallel_words=16)
+        assert wide["throughput_ratio"] > narrow["throughput_ratio"]
+
+    def test_comparison_fields_present(self, baseline):
+        comparison = baseline.compare(Opcode.ADD, 8)
+        for key in (
+            "processor_energy_j",
+            "imc_energy_j",
+            "energy_ratio",
+            "data_movement_share",
+            "processor_latency_s",
+            "imc_latency_s",
+            "throughput_ratio",
+        ):
+            assert key in comparison
+
+    def test_unsupported_opcode_rejected(self, baseline):
+        with pytest.raises(ConfigurationError):
+            baseline.compare(Opcode.COPY, 8)
+
+    def test_argument_validation(self, baseline):
+        with pytest.raises(ConfigurationError):
+            baseline.compare(Opcode.ADD, 8, imc_parallel_words=0)

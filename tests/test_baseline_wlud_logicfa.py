@@ -1,0 +1,109 @@
+"""Unit tests for the WLUD conventional baseline and the logic-gate FA."""
+
+import pytest
+
+from repro.baselines.logicfa import LogicGateRippleAdder
+from repro.baselines.reference import ReferenceALU
+from repro.baselines.wlud import WLUDMacroModel
+from repro.core import Opcode
+from repro.errors import OperandError
+from repro.tech import OperatingPoint, ProcessCorner
+
+
+class TestWLUDMacroModel:
+    @pytest.fixture()
+    def model(self):
+        return WLUDMacroModel()
+
+    def test_bl_compute_delay_slower_than_proposed(self, model):
+        point = OperatingPoint()
+        ratio = model.delay_ratio_vs_proposed(point)
+        # The paper reports the proposed scheme at 0.22x of WLUD at the worst
+        # corner; at nominal it should be in the same ballpark.
+        assert 0.1 < ratio < 0.35
+
+    def test_worst_corner_ratio_near_paper(self, model):
+        ratios = [
+            model.delay_ratio_vs_proposed(OperatingPoint(corner=corner))
+            for corner in ProcessCorner
+        ]
+        assert min(ratios) == pytest.approx(0.22, abs=0.07)
+
+    def test_corner_delays_ordered(self, model):
+        delays = model.corner_delays()
+        assert delays[ProcessCorner.SS] > delays[ProcessCorner.NN] > delays[ProcessCorner.FF]
+
+    def test_cycle_time_much_longer_than_proposed(self, model):
+        point = OperatingPoint()
+        assert model.frequency_ratio_vs_proposed(point) > 2.0
+
+    def test_breakdown_total_consistent(self, model):
+        point = OperatingPoint()
+        breakdown = model.cycle_breakdown(point)
+        assert breakdown.total_s == pytest.approx(model.cycle_time_s(point))
+
+    def test_max_frequency_below_1ghz_at_nominal(self, model):
+        assert model.max_frequency_hz(OperatingPoint(vdd=0.9)) < 1e9
+
+
+class TestLogicGateRippleAdder:
+    def test_addition_correct(self):
+        adder = LogicGateRippleAdder(width=8)
+        alu = ReferenceALU(8)
+        for a, b in ((0, 0), (255, 1), (123, 200), (85, 170)):
+            total, carry = adder.add(a, b)
+            assert total == alu.evaluate(Opcode.ADD, a, b)
+            assert carry == ((a + b) >> 8) & 1
+
+    def test_carry_in(self):
+        adder = LogicGateRippleAdder(width=4)
+        total, carry = adder.add(7, 8, carry_in=1)
+        assert total == 0
+        assert carry == 1
+
+    def test_operand_range_checked(self):
+        adder = LogicGateRippleAdder(width=4)
+        with pytest.raises(OperandError):
+            adder.add(16, 0)
+        with pytest.raises(OperandError):
+            adder.add(1, 1, carry_in=2)
+
+    def test_gate_evaluations_scale_with_width(self):
+        assert LogicGateRippleAdder(width=16).gate_evaluations() == 2 * LogicGateRippleAdder(
+            width=8
+        ).gate_evaluations()
+
+    def test_critical_path_slower_than_tg(self):
+        adder = LogicGateRippleAdder(width=16)
+        slowdown = adder.slowdown_vs_transmission_gate(OperatingPoint())
+        assert 1.7 < slowdown < 2.3
+
+    def test_critical_path_matches_shared_timing_model(self, technology, calibration):
+        from repro.circuits.fa import AdderStyle, FullAdderTiming
+
+        adder = LogicGateRippleAdder(width=8, technology=technology, calibration=calibration)
+        timing = FullAdderTiming(technology, calibration)
+        point = OperatingPoint()
+        assert adder.critical_path_delay_s(point) == pytest.approx(
+            timing.critical_path_delay(8, point, AdderStyle.LOGIC_GATE)
+        )
+
+
+class TestReferenceALU:
+    def test_every_opcode_supported(self):
+        alu = ReferenceALU(8)
+        for opcode in Opcode:
+            if opcode.is_dual_wordline:
+                assert alu.evaluate(opcode, 5, 3) is not None
+            else:
+                assert alu.evaluate(opcode, 5) is not None
+
+    def test_operand_range_checked(self):
+        alu = ReferenceALU(4)
+        with pytest.raises(OperandError):
+            alu.evaluate(Opcode.ADD, 16, 1)
+
+    def test_two_operand_opcode_requires_b(self):
+        alu = ReferenceALU(8)
+        with pytest.raises(OperandError):
+            alu.evaluate(Opcode.ADD, 5)

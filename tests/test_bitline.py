@@ -1,0 +1,128 @@
+"""Unit tests for the bit-line compute transient model (repro.circuits.bitline)
+and the BL boosting circuit / sense amplifier it composes."""
+
+import pytest
+
+from repro.circuits.bitline import Bitline, BitlineComputeModel
+from repro.circuits.blboost import BitlineBooster
+from repro.circuits.senseamp import SenseAmplifier
+from repro.circuits.wordline import WordlineScheme
+from repro.tech import OperatingPoint, ProcessCorner
+
+
+@pytest.fixture()
+def model(technology, calibration):
+    return BitlineComputeModel(technology, calibration, rows=128)
+
+
+class TestBitline:
+    def test_capacitance_scales_with_rows(self, calibration):
+        short = Bitline(rows=128, calibration=calibration).capacitance
+        long = Bitline(rows=1024, calibration=calibration).capacitance
+        assert long > short
+        assert long < 8.5 * short  # fixed wire component keeps it sub-linear
+
+    def test_capacitance_is_tens_of_femtofarads(self, calibration):
+        capacitance = Bitline(rows=128, calibration=calibration).capacitance
+        assert 5e-15 < capacitance < 100e-15
+
+
+class TestBitlineBooster:
+    def test_trigger_swing_from_calibration(self, technology, calibration):
+        booster = BitlineBooster(technology, calibration)
+        assert booster.trigger_swing == pytest.approx(
+            calibration.bitline.boost_trigger_v
+        )
+
+    def test_boost_current_exceeds_cell_current(self, technology, calibration, model):
+        booster = BitlineBooster(technology, calibration)
+        point = OperatingPoint()
+        cell = model.cell_discharge_current(point, wl_voltage=point.vdd)
+        assert booster.boost_current(point) > 2 * cell
+
+    def test_residual_time_zero_when_no_swing_left(self, technology, calibration):
+        booster = BitlineBooster(technology, calibration)
+        assert booster.residual_discharge_time(0.0, 20e-15, OperatingPoint()) == 0.0
+
+    def test_residual_time_positive(self, technology, calibration):
+        booster = BitlineBooster(technology, calibration)
+        assert booster.residual_discharge_time(0.1, 20e-15, OperatingPoint()) > 0.0
+
+
+class TestSenseAmplifier:
+    def test_resolve_time_reference(self, technology, calibration):
+        sense_amp = SenseAmplifier(technology, calibration)
+        resolve = sense_amp.resolve_time(OperatingPoint(vdd=0.9))
+        assert resolve == pytest.approx(130e-12, rel=1e-6)
+
+    def test_resolve_time_slows_at_low_voltage(self, technology, calibration):
+        sense_amp = SenseAmplifier(technology, calibration)
+        assert sense_amp.resolve_time(OperatingPoint(vdd=0.6)) > sense_amp.resolve_time(
+            OperatingPoint(vdd=1.0)
+        )
+
+    def test_output_polarity(self, technology, calibration):
+        sense_amp = SenseAmplifier(technology, calibration)
+        assert sense_amp.output(bitline_low=True) == 0
+        assert sense_amp.output(bitline_low=False) == 1
+
+
+class TestBitlineComputeModel:
+    def test_proposed_scheme_triggers_boost(self, model):
+        result = model.compute(OperatingPoint(), WordlineScheme.SHORT_PULSE_BOOST)
+        assert result.boosted is True
+        assert result.trigger_time_s < result.pulse.width_s
+
+    def test_wlud_scheme_does_not_boost(self, model):
+        result = model.compute(OperatingPoint(), WordlineScheme.WLUD)
+        assert result.boosted is False
+
+    def test_proposed_is_much_faster_than_wlud(self, model):
+        point = OperatingPoint()
+        proposed = model.compute_delay(point, WordlineScheme.SHORT_PULSE_BOOST)
+        wlud = model.compute_delay(point, WordlineScheme.WLUD)
+        assert proposed < 0.35 * wlud
+
+    def test_proposed_delay_near_paper_breakdown(self, model):
+        # WL activation (140 ps) + BL sensing (130 ps) = 270 ps at 0.9 V NN.
+        delay = model.compute_delay(OperatingPoint(vdd=0.9))
+        assert delay == pytest.approx(270e-12, rel=0.1)
+
+    def test_weak_cell_increases_delay(self, model):
+        point = OperatingPoint()
+        nominal = model.compute_delay(point, WordlineScheme.WLUD)
+        weak = model.compute_delay(point, WordlineScheme.WLUD, cell_vth_shift=0.05)
+        assert weak > nominal
+
+    def test_weak_cell_affects_proposed_much_less(self, model):
+        point = OperatingPoint()
+        shift = 0.05
+        proposed_ratio = model.compute_delay(
+            point, WordlineScheme.SHORT_PULSE_BOOST, cell_vth_shift=shift
+        ) / model.compute_delay(point, WordlineScheme.SHORT_PULSE_BOOST)
+        wlud_ratio = model.compute_delay(
+            point, WordlineScheme.WLUD, cell_vth_shift=shift
+        ) / model.compute_delay(point, WordlineScheme.WLUD)
+        assert proposed_ratio < wlud_ratio
+
+    def test_delay_increases_at_slow_corner(self, model):
+        nn = model.compute_delay(OperatingPoint(corner=ProcessCorner.NN))
+        ss = model.compute_delay(OperatingPoint(corner=ProcessCorner.SS))
+        ff = model.compute_delay(OperatingPoint(corner=ProcessCorner.FF))
+        assert ss > nn > ff
+
+    def test_sensing_component_matches_breakdown_slice(self, model):
+        sensing = model.sensing_component(OperatingPoint(vdd=0.9))
+        assert sensing == pytest.approx(130e-12, rel=0.05)
+
+    def test_longer_bitline_slows_wlud_compute(self, technology, calibration):
+        short = BitlineComputeModel(technology, calibration, rows=128)
+        long = BitlineComputeModel(technology, calibration, rows=512)
+        point = OperatingPoint()
+        assert long.compute_delay(point, WordlineScheme.WLUD) > short.compute_delay(
+            point, WordlineScheme.WLUD
+        )
+
+    def test_swing_at_pulse_end_reported(self, model):
+        result = model.compute(OperatingPoint(), WordlineScheme.SHORT_PULSE_BOOST)
+        assert 0.0 < result.swing_at_pulse_end_v <= OperatingPoint().vdd

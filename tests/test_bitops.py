@@ -1,0 +1,155 @@
+"""Unit tests for repro.utils.bitops."""
+
+import pytest
+
+from repro.errors import OperandError
+from repro.utils.bitops import (
+    bit_length_for,
+    bits_to_int,
+    bitwise_not,
+    from_twos_complement,
+    int_to_bits,
+    mask,
+    popcount,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+    sign_extend,
+    to_twos_complement,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(8) == 0xFF
+
+    def test_large_width(self):
+        assert mask(64) == (1 << 64) - 1
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(OperandError):
+            mask(-1)
+
+
+class TestBitLengthFor:
+    def test_unsigned_zero(self):
+        assert bit_length_for(0) == 1
+
+    def test_unsigned_values(self):
+        assert bit_length_for(1) == 1
+        assert bit_length_for(2) == 2
+        assert bit_length_for(255) == 8
+        assert bit_length_for(256) == 9
+
+    def test_signed_positive(self):
+        assert bit_length_for(1, signed=True) == 2
+        assert bit_length_for(127, signed=True) == 8
+
+    def test_signed_negative(self):
+        assert bit_length_for(-1, signed=True) == 1
+        assert bit_length_for(-128, signed=True) == 8
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(OperandError):
+            bit_length_for(-5)
+
+
+class TestIntBitsRoundtrip:
+    def test_little_endian_order(self):
+        assert int_to_bits(0b1101, 4) == [1, 0, 1, 1]
+
+    def test_roundtrip(self):
+        for value in (0, 1, 5, 100, 255):
+            assert bits_to_int(int_to_bits(value, 8)) == value
+
+    def test_width_too_small(self):
+        with pytest.raises(OperandError):
+            int_to_bits(256, 8)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(OperandError):
+            int_to_bits(-1, 8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(OperandError):
+            int_to_bits(0, 0)
+
+    def test_bits_to_int_rejects_non_bits(self):
+        with pytest.raises(OperandError):
+            bits_to_int([0, 2, 1])
+
+    def test_bits_to_int_accepts_numpy_like_values(self):
+        import numpy as np
+
+        assert bits_to_int(np.array([1, 0, 0, 1], dtype=np.uint8)) == 9
+
+
+class TestTwosComplement:
+    def test_positive_passthrough(self):
+        assert to_twos_complement(5, 8) == 5
+
+    def test_negative_encoding(self):
+        assert to_twos_complement(-1, 8) == 0xFF
+        assert to_twos_complement(-128, 8) == 0x80
+
+    def test_roundtrip(self):
+        for value in range(-128, 128):
+            assert from_twos_complement(to_twos_complement(value, 8), 8) == value
+
+    def test_out_of_range(self):
+        with pytest.raises(OperandError):
+            to_twos_complement(128, 8)
+        with pytest.raises(OperandError):
+            to_twos_complement(-129, 8)
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(OperandError):
+            from_twos_complement(256, 8)
+
+    def test_sign_extend(self):
+        assert sign_extend(0xF, 4, 8) == 0xFF  # -1 stays -1
+        assert sign_extend(0x7, 4, 8) == 0x07
+
+    def test_sign_extend_narrowing_rejected(self):
+        with pytest.raises(OperandError):
+            sign_extend(0xF, 8, 4)
+
+
+class TestBitwiseHelpers:
+    def test_bitwise_not(self):
+        assert bitwise_not(0b1010, 4) == 0b0101
+        assert bitwise_not(0, 8) == 0xFF
+
+    def test_bitwise_not_range_check(self):
+        with pytest.raises(OperandError):
+            bitwise_not(256, 8)
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(0xFF) == 8
+
+    def test_popcount_negative_rejected(self):
+        with pytest.raises(OperandError):
+            popcount(-1)
+
+    def test_reverse_bits(self):
+        assert reverse_bits(0b1011, 4) == 0b1101
+        assert reverse_bits(0b0001, 4) == 0b1000
+
+    def test_reverse_involution(self):
+        for value in range(16):
+            assert reverse_bits(reverse_bits(value, 4), 4) == value
+
+    def test_rotate_left(self):
+        assert rotate_left(0b1000, 4) == 0b0001
+        assert rotate_left(0b0011, 4, 2) == 0b1100
+
+    def test_rotate_right_inverse_of_left(self):
+        for value in range(16):
+            assert rotate_right(rotate_left(value, 4, 3), 4, 3) == value

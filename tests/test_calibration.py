@@ -1,0 +1,110 @@
+"""Unit tests for the calibrated constants (repro.tech.calibration)."""
+
+import pytest
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.tech.calibration import (
+    BitlineCalibration,
+    DisturbCalibration,
+    EnergyCalibration,
+    MacroCalibration,
+    TimingCalibration,
+    default_macro_calibration,
+)
+
+
+class TestTimingCalibration:
+    def test_reference_breakdown_sums_to_603ps(self):
+        timing = TimingCalibration()
+        total = (
+            timing.bl_precharge_s
+            + timing.wl_pulse_s
+            + timing.sense_amp_resolve_s
+            + timing.writeback_separator_s
+            + timing.fa_tg_setup_s
+            + 16 * timing.fa_tg_per_bit_s
+        )
+        assert total == pytest.approx(603e-12, rel=1e-6)
+
+    def test_voltage_scale_is_one_at_reference(self):
+        timing = TimingCalibration()
+        assert timing.voltage_scale(0.9) == pytest.approx(1.0)
+
+    def test_voltage_scale_monotone_decreasing_with_vdd(self):
+        timing = TimingCalibration()
+        scales = [timing.voltage_scale(v) for v in (0.6, 0.7, 0.8, 0.9, 1.0, 1.1)]
+        assert all(a > b for a, b in zip(scales, scales[1:]))
+
+    def test_voltage_scale_corner_shift(self):
+        timing = TimingCalibration()
+        slow = timing.voltage_scale(0.9, vth_shift=0.015)
+        fast = timing.voltage_scale(0.9, vth_shift=-0.015)
+        assert slow > 1.0 > fast
+
+    def test_logic_fa_scales_faster_at_low_voltage(self):
+        timing = TimingCalibration()
+        tg = timing.voltage_scale(0.7)
+        logic = timing.voltage_scale(0.7, logic_fa=True)
+        assert logic > tg
+
+    def test_rejects_supply_below_threshold(self):
+        timing = TimingCalibration()
+        with pytest.raises(CalibrationError):
+            timing.voltage_scale(0.43)
+
+    def test_rejects_threshold_above_reference_supply(self):
+        with pytest.raises(CalibrationError):
+            TimingCalibration(vth_eff=1.0)
+
+
+class TestEnergyCalibration:
+    def test_voltage_scale_is_quadratic(self):
+        energy = EnergyCalibration()
+        assert energy.voltage_scale(0.9) == pytest.approx(1.0)
+        assert energy.voltage_scale(0.45) == pytest.approx(0.25)
+        assert energy.voltage_scale(1.8) == pytest.approx(4.0)
+
+    def test_writeback_separator_is_cheaper(self):
+        energy = EnergyCalibration()
+        assert energy.writeback_per_bit(True) < energy.writeback_per_bit(False)
+
+    def test_add_per_bit_matches_table2_slope(self):
+        energy = EnergyCalibration()
+        per_bit = energy.bl_compute_dual_per_bit_j + energy.logic_per_bit_j
+        # Table II: 274.8 fJ for an 8-bit ADD -> ~34.35 fJ/bit.
+        assert per_bit * 1e15 == pytest.approx(34.35, rel=0.02)
+
+
+class TestBitlineCalibration:
+    def test_trigger_below_sense_swing(self):
+        bitline = BitlineCalibration()
+        assert bitline.boost_trigger_v < bitline.sense_swing_v
+
+    def test_rejects_trigger_above_swing(self):
+        with pytest.raises((CalibrationError, ConfigurationError)):
+            BitlineCalibration(boost_trigger_v=0.3, sense_swing_v=0.2)
+
+    def test_wlud_voltage_matches_paper(self):
+        assert BitlineCalibration().wlud_wl_voltage == pytest.approx(0.55)
+
+
+class TestDisturbCalibration:
+    def test_defaults_positive(self):
+        disturb = DisturbCalibration()
+        assert disturb.sigma_adm_v > 0
+        assert disturb.conventional_pulse_s > disturb.reference_time_s
+
+
+class TestMacroCalibration:
+    def test_default_bundle(self):
+        bundle = default_macro_calibration()
+        assert isinstance(bundle, MacroCalibration)
+        assert bundle.interleave_factor == 4
+        assert bundle.area_overhead_fraction == pytest.approx(0.052)
+
+    def test_components_present(self):
+        bundle = default_macro_calibration()
+        assert isinstance(bundle.timing, TimingCalibration)
+        assert isinstance(bundle.energy, EnergyCalibration)
+        assert isinstance(bundle.bitline, BitlineCalibration)
+        assert isinstance(bundle.disturb, DisturbCalibration)

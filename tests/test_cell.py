@@ -1,0 +1,76 @@
+"""Unit tests for the single-cell functional model (repro.core.cell)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cell import CellState, DummyCell, SixTransistorCell
+from repro.errors import OperandError
+
+
+class TestCellState:
+    def test_complementary_node(self):
+        state = CellState(q=1)
+        assert state.qb == 0
+        state.q = 0
+        assert state.qb == 1
+
+
+class TestSixTransistorCell:
+    def test_write_read(self):
+        cell = SixTransistorCell()
+        cell.write(1)
+        assert cell.read() == 1
+        cell.write(0)
+        assert cell.read() == 0
+
+    def test_write_rejects_non_binary(self):
+        cell = SixTransistorCell()
+        with pytest.raises(OperandError):
+            cell.write(2)
+
+    def test_bitline_drive_polarity(self):
+        cell = SixTransistorCell()
+        cell.write(0)
+        assert cell.drives_blt_low() is True
+        assert cell.drives_blb_low() is False
+        cell.write(1)
+        assert cell.drives_blt_low() is False
+        assert cell.drives_blb_low() is True
+
+    def test_access_returns_pre_flip_value(self):
+        cell = SixTransistorCell()
+        cell.write(1)
+        rng = np.random.default_rng(0)
+        # Flip probability of 1.0 guarantees a disturb, but the sampled value
+        # must still be the original data (the BL samples before the flip).
+        assert cell.access(flip_probability=1.0, rng=rng) == 1
+        assert cell.read() == 0
+        assert cell.disturb_count == 1
+
+    def test_access_without_disturb(self):
+        cell = SixTransistorCell()
+        cell.write(1)
+        for _ in range(10):
+            assert cell.access(flip_probability=0.0) == 1
+        assert cell.disturb_count == 0
+        assert cell.read() == 1
+
+    def test_disturb_statistics_roughly_match_probability(self):
+        rng = np.random.default_rng(42)
+        flips = 0
+        trials = 2000
+        for _ in range(trials):
+            cell = SixTransistorCell()
+            cell.write(1)
+            cell.access(flip_probability=0.1, rng=rng)
+            flips += cell.disturb_count
+        assert flips / trials == pytest.approx(0.1, abs=0.03)
+
+
+class TestDummyCell:
+    def test_dummy_cell_is_a_cell_behind_the_separator(self):
+        dummy = DummyCell()
+        assert isinstance(dummy, SixTransistorCell)
+        assert dummy.behind_separator is True
+        dummy.write(1)
+        assert dummy.read() == 1

@@ -1,0 +1,150 @@
+"""Unit tests for MacroConfig and MacroStatistics."""
+
+import pytest
+
+from repro.circuits.wordline import WordlineScheme
+from repro.core.config import MacroConfig
+from repro.core.operations import Opcode
+from repro.core.stats import MacroStatistics, OperationRecord
+from repro.errors import ConfigurationError
+from repro.tech import OperatingPoint
+
+
+class TestMacroConfig:
+    def test_defaults_match_paper_macro(self):
+        config = MacroConfig()
+        assert config.rows == 128
+        assert config.cols == 128
+        assert config.dummy_rows == 3
+        assert config.interleave == 4
+        assert config.precision_bits == 8
+        assert config.wordline_scheme is WordlineScheme.SHORT_PULSE_BOOST
+        assert config.bl_separator is True
+
+    def test_capacity(self):
+        config = MacroConfig()
+        assert config.capacity_bits == 128 * 128
+        assert config.capacity_bytes == 2048
+
+    def test_active_columns_and_words(self):
+        config = MacroConfig()
+        assert config.active_columns == 32
+        assert config.words_per_row() == 4
+        assert config.words_per_row(4) == 8
+        assert config.mult_slots_per_row() == 2
+
+    def test_with_precision_copy(self):
+        config = MacroConfig()
+        other = config.with_precision(4)
+        assert other.precision_bits == 4
+        assert config.precision_bits == 8
+
+    def test_with_operating_point_copy(self):
+        config = MacroConfig()
+        other = config.with_operating_point(OperatingPoint(vdd=0.6))
+        assert other.operating_point.vdd == pytest.approx(0.6)
+
+    def test_with_bl_separator_and_scheme(self):
+        config = MacroConfig()
+        assert config.with_bl_separator(False).bl_separator is False
+        assert (
+            config.with_wordline_scheme(WordlineScheme.WLUD).wordline_scheme
+            is WordlineScheme.WLUD
+        )
+
+    def test_with_geometry(self):
+        config = MacroConfig().with_geometry(rows=64, cols=256)
+        assert config.rows == 64
+        assert config.cols == 256
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacroConfig(precision_bits=5)
+
+    def test_too_few_dummy_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacroConfig(dummy_rows=2)
+
+    def test_out_of_range_supply_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacroConfig(operating_point=OperatingPoint(vdd=1.3))
+
+    def test_columns_must_tile_interleave(self):
+        with pytest.raises(ConfigurationError):
+            MacroConfig(cols=130)
+
+
+class TestOperationRecord:
+    def test_accumulation(self):
+        record = OperationRecord()
+        record.add(words=4, cycles=1, energy_j=1e-12)
+        record.add(words=2, cycles=2, energy_j=2e-12)
+        assert record.invocations == 2
+        assert record.words == 6
+        assert record.cycles == 3
+        assert record.energy_j == pytest.approx(3e-12)
+
+    def test_merge(self):
+        first = OperationRecord()
+        first.add(1, 1, 1e-12)
+        second = OperationRecord()
+        second.add(2, 3, 2e-12)
+        first.merge(second)
+        assert first.words == 3
+        assert first.cycles == 4
+
+
+class TestMacroStatistics:
+    def test_record_and_aggregates(self):
+        stats = MacroStatistics()
+        stats.record(Opcode.ADD, words=4, cycles=1, energy_j=4e-13)
+        stats.record(Opcode.MULT, words=2, cycles=10, energy_j=7e-12)
+        assert stats.total_cycles == 11
+        assert stats.total_operations == 6
+        assert stats.total_invocations == 2
+        assert stats.total_energy_j == pytest.approx(7.4e-12)
+
+    def test_per_opcode_accessors(self):
+        stats = MacroStatistics()
+        stats.record(Opcode.ADD, 4, 1, 4e-13)
+        assert stats.cycles_for(Opcode.ADD) == 1
+        assert stats.words_for(Opcode.ADD) == 4
+        assert stats.energy_for(Opcode.ADD) == pytest.approx(4e-13)
+        assert stats.cycles_for(Opcode.MULT) == 0
+
+    def test_merge(self):
+        first = MacroStatistics()
+        first.record(Opcode.ADD, 1, 1, 1e-13)
+        second = MacroStatistics()
+        second.record(Opcode.ADD, 1, 1, 1e-13)
+        second.record(Opcode.SUB, 1, 2, 2e-13)
+        first.merge(second)
+        assert first.total_cycles == 4
+        assert first.records[Opcode.ADD].invocations == 2
+
+    def test_reset(self):
+        stats = MacroStatistics()
+        stats.record(Opcode.ADD, 1, 1, 1e-13)
+        stats.array_accesses = 5
+        stats.reset()
+        assert stats.total_cycles == 0
+        assert stats.array_accesses == 0
+
+    def test_derived_metrics(self):
+        stats = MacroStatistics()
+        stats.record(Opcode.ADD, words=10, cycles=5, energy_j=1e-12)
+        assert stats.cycles_per_operation() == pytest.approx(0.5)
+        assert stats.energy_per_operation_j() == pytest.approx(1e-13)
+        assert stats.execution_time_s(1e-9) == pytest.approx(5e-9)
+
+    def test_empty_statistics_metrics(self):
+        stats = MacroStatistics()
+        assert stats.cycles_per_operation() == 0.0
+        assert stats.energy_per_operation_j() == 0.0
+
+    def test_summary_keys(self):
+        stats = MacroStatistics()
+        stats.record(Opcode.ADD, 1, 1, 1e-13)
+        summary = stats.summary()
+        for key in ("invocations", "operations", "cycles", "energy_j", "cycles_per_op"):
+            assert key in summary

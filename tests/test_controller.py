@@ -1,0 +1,69 @@
+"""Unit tests for the SUB/MULT micro-sequencer."""
+
+import pytest
+
+from repro.core.controller import MicroOp, MicroOpKind, MicroSequencer
+from repro.core.operations import Opcode
+from repro.errors import SequencerError
+
+
+@pytest.fixture()
+def sequencer():
+    return MicroSequencer()
+
+
+class TestSubPlan:
+    def test_two_steps(self, sequencer):
+        plan = sequencer.expand_sub(8)
+        assert plan.cycle_count == 2
+        assert plan.steps[0].kind is MicroOpKind.NOT_TO_DUMMY
+        assert plan.steps[1].kind is MicroOpKind.ADD_WITH_CARRY
+
+    def test_cycle_count_matches_table1_for_all_precisions(self, sequencer):
+        for bits in (2, 4, 8, 16, 32):
+            assert sequencer.expand_sub(bits).cycle_count == 2
+
+
+class TestMultPlan:
+    @pytest.mark.parametrize("bits", [2, 4, 8, 16])
+    def test_cycle_count_is_n_plus_two(self, sequencer, bits):
+        plan = sequencer.expand_mult(bits)
+        assert plan.cycle_count == bits + 2
+
+    def test_structure(self, sequencer):
+        plan = sequencer.expand_mult(4)
+        kinds = [step.kind for step in plan.steps]
+        assert kinds[0] is MicroOpKind.INIT_ACCUMULATOR
+        assert kinds[1] is MicroOpKind.COPY_TO_DUMMY
+        assert kinds[2:-1] == [MicroOpKind.ADD_SHIFT_SELECT] * 3
+        assert kinds[-1] is MicroOpKind.FINAL_ADD_SELECT
+
+    def test_multiplier_bits_consumed_msb_first(self, sequencer):
+        plan = sequencer.expand_mult(4)
+        indices = [
+            step.multiplier_bit_index
+            for step in plan.steps
+            if step.consumes_multiplier_bit
+        ]
+        assert indices == [3, 2, 1, 0]
+
+    def test_init_steps_consume_no_multiplier_bit(self, sequencer):
+        plan = sequencer.expand_mult(8)
+        assert plan.steps[0].consumes_multiplier_bit is False
+        assert plan.steps[1].consumes_multiplier_bit is False
+
+
+class TestDispatchAndValidation:
+    def test_expand_dispatch(self, sequencer):
+        assert sequencer.expand(Opcode.SUB, 8).opcode is Opcode.SUB
+        assert sequencer.expand(Opcode.MULT, 8).opcode is Opcode.MULT
+
+    def test_single_cycle_opcode_rejected(self, sequencer):
+        with pytest.raises(SequencerError):
+            sequencer.expand(Opcode.ADD, 8)
+
+    def test_plan_validation_catches_wrong_length(self, sequencer):
+        plan = sequencer.expand_mult(8)
+        plan.steps.append(MicroOp(MicroOpKind.ADD))
+        with pytest.raises(SequencerError):
+            plan.validate()

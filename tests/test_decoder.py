@@ -1,0 +1,76 @@
+"""Unit tests for the dual-WL row decoder."""
+
+import pytest
+
+from repro.core.array import RowRef
+from repro.core.decoder import RowDecoder
+from repro.circuits.wordline import WordlineScheme
+from repro.errors import AddressError, ConfigurationError
+from repro.tech import OperatingPoint
+
+
+@pytest.fixture()
+def decoder(technology, calibration):
+    return RowDecoder(
+        rows=128, dummy_rows=3, technology=technology, calibration=calibration
+    )
+
+
+class TestSelection:
+    def test_single_selection(self, decoder):
+        selection = decoder.select(OperatingPoint(), RowRef.main(5))
+        assert selection.is_dual is False
+        assert selection.rows == (RowRef.main(5),)
+
+    def test_dual_selection(self, decoder):
+        selection = decoder.select(OperatingPoint(), RowRef.main(5), RowRef.main(9))
+        assert selection.is_dual is True
+
+    def test_dual_selection_with_dummy_row(self, decoder):
+        selection = decoder.select(OperatingPoint(), RowRef.main(5), RowRef.dummy(1))
+        assert selection.is_dual is True
+
+    def test_same_row_twice_rejected(self, decoder):
+        with pytest.raises(ConfigurationError):
+            decoder.select(OperatingPoint(), RowRef.main(5), RowRef.main(5))
+
+    def test_out_of_range_main_row(self, decoder):
+        with pytest.raises(AddressError):
+            decoder.select(OperatingPoint(), RowRef.main(128))
+
+    def test_out_of_range_dummy_row(self, decoder):
+        with pytest.raises(AddressError):
+            decoder.select(OperatingPoint(), RowRef.dummy(3))
+
+    def test_pulse_comes_from_configured_scheme(self, decoder):
+        selection = decoder.select(OperatingPoint(vdd=0.9), RowRef.main(0))
+        assert selection.pulse.voltage == pytest.approx(0.9)
+        assert selection.pulse.width_s == pytest.approx(140e-12, rel=1e-6)
+
+    def test_wlud_decoder_pulse(self, technology, calibration):
+        decoder = RowDecoder(
+            rows=16,
+            dummy_rows=3,
+            technology=technology,
+            calibration=calibration,
+            scheme=WordlineScheme.WLUD,
+        )
+        selection = decoder.select(OperatingPoint(), RowRef.main(0))
+        assert selection.pulse.voltage == pytest.approx(0.55)
+
+
+class TestHistory:
+    def test_history_records_activations(self, decoder):
+        decoder.select(OperatingPoint(), RowRef.main(0))
+        decoder.select(OperatingPoint(), RowRef.main(0), RowRef.main(1))
+        assert len(decoder.activation_history) == 2
+        assert decoder.dual_activation_count == 1
+
+    def test_history_can_be_skipped(self, decoder):
+        decoder.select(OperatingPoint(), RowRef.main(0), record=False)
+        assert len(decoder.activation_history) == 0
+
+    def test_reset_history(self, decoder):
+        decoder.select(OperatingPoint(), RowRef.main(0))
+        decoder.reset_history()
+        assert decoder.activation_history == []

@@ -1,0 +1,102 @@
+"""Unit tests for the cycle breakdown (Fig. 8 left) and max-frequency model
+(Fig. 8 right)."""
+
+import pytest
+
+from repro.circuits.delay import CycleDelayModel
+from repro.circuits.frequency import FrequencyModel
+from repro.tech import OperatingPoint, ProcessCorner
+
+
+@pytest.fixture()
+def delay_model(technology, calibration):
+    return CycleDelayModel(technology, calibration)
+
+
+@pytest.fixture()
+def frequency_model(technology, calibration):
+    return FrequencyModel(technology, calibration)
+
+
+class TestCycleBreakdown:
+    def test_components_match_paper_at_nominal(self, delay_model):
+        breakdown = delay_model.breakdown(OperatingPoint(vdd=0.9), precision_bits=8)
+        expected_ps = {
+            "bl_precharge": 60.0,
+            "wl_activation": 140.0,
+            "bl_sensing": 130.0,
+            "logic": 222.0,
+            "writeback": 51.0,
+        }
+        for name, value in breakdown.as_dict().items():
+            assert value * 1e12 == pytest.approx(expected_ps[name], rel=0.05), name
+
+    def test_total_is_603ps_at_nominal(self, delay_model):
+        breakdown = delay_model.breakdown(OperatingPoint(vdd=0.9), precision_bits=8)
+        assert breakdown.total_s * 1e12 == pytest.approx(603.0, rel=0.05)
+
+    def test_fractions_sum_to_one(self, delay_model):
+        fractions = delay_model.breakdown(OperatingPoint()).fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_logic_delay_dominates(self, delay_model):
+        # The paper's breakdown shows the 16-bit adder (36.8 %) as the largest
+        # single component.
+        fractions = delay_model.breakdown(OperatingPoint(vdd=0.9)).fractions()
+        assert fractions["logic"] == max(fractions.values())
+        assert fractions["logic"] == pytest.approx(0.368, abs=0.05)
+
+    def test_bl_separator_shortens_writeback(self, delay_model):
+        point = OperatingPoint()
+        with_sep = delay_model.breakdown(point, bl_separator=True)
+        without_sep = delay_model.breakdown(point, bl_separator=False)
+        assert with_sep.writeback_s < without_sep.writeback_s
+        assert with_sep.total_s < without_sep.total_s
+
+    def test_lower_precision_has_shorter_logic_delay(self, delay_model):
+        point = OperatingPoint()
+        assert delay_model.logic_delay(point, 2) < delay_model.logic_delay(point, 8)
+
+    def test_cycle_time_wrapper(self, delay_model):
+        point = OperatingPoint()
+        assert delay_model.cycle_time(point) == pytest.approx(
+            delay_model.breakdown(point).total_s
+        )
+
+
+class TestFrequencyModel:
+    def test_2_25_ghz_at_1v(self, frequency_model):
+        point = frequency_model.max_frequency(1.0, corner=ProcessCorner.FF)
+        assert point.max_frequency_hz == pytest.approx(2.25e9, rel=0.05)
+
+    def test_372_mhz_at_0p6v(self, frequency_model):
+        point = frequency_model.max_frequency(0.6, corner=ProcessCorner.FF)
+        assert point.max_frequency_hz == pytest.approx(372e6, rel=0.08)
+
+    def test_frequency_monotone_in_voltage(self, frequency_model):
+        sweep = frequency_model.voltage_sweep()
+        frequencies = [point.max_frequency_hz for point in sweep]
+        assert all(a < b for a, b in zip(frequencies, frequencies[1:]))
+
+    def test_supply_range_covered(self, frequency_model, technology):
+        sweep = frequency_model.voltage_sweep()
+        assert sweep[0].vdd == pytest.approx(technology.vdd_min)
+        assert sweep[-1].vdd == pytest.approx(technology.vdd_max)
+
+    def test_corner_map_orders_ss_slowest(self, frequency_model):
+        corner_map = frequency_model.corner_map(0.9)
+        assert (
+            corner_map[ProcessCorner.SS].max_frequency_hz
+            < corner_map[ProcessCorner.NN].max_frequency_hz
+            < corner_map[ProcessCorner.FF].max_frequency_hz
+        )
+
+    def test_out_of_range_voltage_rejected(self, frequency_model):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            frequency_model.max_frequency(1.3)
+
+    def test_cycle_time_and_frequency_consistent(self, frequency_model):
+        point = frequency_model.max_frequency(0.9)
+        assert point.cycle_time_s * point.max_frequency_hz == pytest.approx(1.0)

@@ -1,0 +1,97 @@
+"""Unit tests for the quantised Conv2D layer (im2col on the IMC backend)."""
+
+import numpy as np
+import pytest
+
+from repro.core import IMCMacro, MacroConfig
+from repro.dnn.conv import Conv2DLayer, QuantizedConv2DLayer, im2col
+from repro.dnn.imc_backend import IMCMatmulBackend
+from repro.errors import ConfigurationError
+
+
+class TestIm2col:
+    def test_output_shape(self):
+        images = np.arange(2 * 3 * 6 * 6, dtype=np.float64).reshape(2, 3, 6, 6)
+        columns, (out_h, out_w) = im2col(images, kernel_size=3)
+        assert (out_h, out_w) == (4, 4)
+        assert columns.shape == (2 * 16, 3 * 9)
+
+    def test_stride(self):
+        images = np.zeros((1, 1, 6, 6))
+        _, (out_h, out_w) = im2col(images, kernel_size=2, stride=2)
+        assert (out_h, out_w) == (3, 3)
+
+    def test_patch_contents(self):
+        images = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        columns, _ = im2col(images, kernel_size=2)
+        assert columns[0].tolist() == [0, 1, 4, 5]
+        assert columns[1].tolist() == [1, 2, 5, 6]
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            im2col(np.zeros((4, 4)), 2)
+        with pytest.raises(ConfigurationError):
+            im2col(np.zeros((1, 1, 2, 2)), 3)
+
+
+class TestConv2DLayer:
+    def test_forward_shape(self):
+        layer = Conv2DLayer.random(in_channels=2, out_channels=4, kernel_size=3)
+        outputs = layer.forward(np.random.default_rng(0).normal(size=(3, 2, 8, 8)))
+        assert outputs.shape == (3, 4, 6, 6)
+
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(1)
+        layer = Conv2DLayer.random(1, 1, kernel_size=3, relu=False, seed=1)
+        image = rng.normal(size=(1, 1, 5, 5))
+        output = layer.forward(image)[0, 0]
+        kernel = layer.weights[0, 0]
+        for y in range(3):
+            for x in range(3):
+                expected = np.sum(image[0, 0, y : y + 3, x : x + 3] * kernel)
+                assert output[y, x] == pytest.approx(expected)
+
+    def test_relu_applied(self):
+        layer = Conv2DLayer(
+            weights=-np.ones((1, 1, 2, 2)), bias=np.zeros(1), relu=True
+        )
+        outputs = layer.forward(np.ones((1, 1, 3, 3)))
+        assert np.all(outputs == 0.0)
+
+    def test_invalid_weight_shape(self):
+        with pytest.raises(ConfigurationError):
+            Conv2DLayer(weights=np.zeros((2, 1, 3, 2)), bias=np.zeros(2))
+
+
+class TestQuantizedConv2DLayer:
+    def test_close_to_float_at_8bit(self):
+        layer = Conv2DLayer.random(2, 3, kernel_size=3, seed=2)
+        quantized = QuantizedConv2DLayer(layer, weight_bits=8, activation_bits=8)
+        images = np.random.default_rng(2).normal(size=(2, 2, 7, 7))
+        float_out = layer.forward(images)
+        quant_out = quantized.forward(images)
+        scale = np.abs(float_out).max() + 1e-9
+        assert np.max(np.abs(float_out - quant_out)) / scale < 0.05
+
+    def test_runs_on_imc_backend_bit_exactly(self):
+        layer = Conv2DLayer.random(1, 2, kernel_size=2, seed=3)
+        quantized = QuantizedConv2DLayer(layer, weight_bits=4, activation_bits=4)
+        images = np.random.default_rng(3).normal(size=(1, 1, 4, 4))
+        macro = IMCMacro(MacroConfig(precision_bits=4))
+        backend = IMCMatmulBackend(macro, precision_bits=4)
+        reference = quantized.forward(images)
+        on_imc = quantized.forward(images, matmul=backend)
+        assert np.allclose(reference, on_imc)
+        assert macro.stats.total_cycles > 0
+
+    def test_mac_count(self):
+        layer = Conv2DLayer.random(2, 4, kernel_size=3)
+        quantized = QuantizedConv2DLayer(layer, weight_bits=8, activation_bits=8)
+        images = np.zeros((2, 2, 8, 8))
+        # 6x6 output positions, 4 output channels, 2*3*3 MACs each, 2 images.
+        assert quantized.mac_count(images) == 2 * 36 * 4 * 18
+
+    def test_rejects_too_narrow_quantisation(self):
+        layer = Conv2DLayer.random(1, 1)
+        with pytest.raises(ConfigurationError):
+            QuantizedConv2DLayer(layer, weight_bits=1, activation_bits=8)

@@ -1,0 +1,172 @@
+"""Unit tests for the dense layers, MLP models, training loop and the IMC
+matmul backend."""
+
+import numpy as np
+import pytest
+
+from repro.core import IMCMacro, MacroConfig
+from repro.dnn.imc_backend import IMCMatmulBackend, NumpyIntBackend
+from repro.dnn.layers import DenseLayer, QuantizedDenseLayer
+from repro.dnn.model import MLP, QuantizedMLP
+from repro.dnn.training import train_mlp
+from repro.errors import ConfigurationError
+
+
+class TestDenseLayer:
+    def test_random_layer_shapes(self):
+        layer = DenseLayer.random(8, 4)
+        assert layer.input_size == 8
+        assert layer.output_size == 4
+
+    def test_forward_shape(self):
+        layer = DenseLayer.random(8, 4)
+        outputs = layer.forward(np.zeros((3, 8)))
+        assert outputs.shape == (3, 4)
+
+    def test_relu_clips_negative(self):
+        layer = DenseLayer(weights=np.array([[1.0]]), bias=np.array([-5.0]), relu=True)
+        assert layer.forward(np.array([[1.0]]))[0, 0] == 0.0
+
+    def test_linear_layer_keeps_negative(self):
+        layer = DenseLayer(weights=np.array([[1.0]]), bias=np.array([-5.0]), relu=False)
+        assert layer.forward(np.array([[1.0]]))[0, 0] == pytest.approx(-4.0)
+
+    def test_bias_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            DenseLayer(weights=np.zeros((4, 2)), bias=np.zeros(3))
+
+
+class TestQuantizedDenseLayer:
+    def test_quantized_forward_close_to_float(self):
+        layer = DenseLayer.random(16, 8, seed=3)
+        quantized = QuantizedDenseLayer(layer, weight_bits=8, activation_bits=8)
+        inputs = np.random.default_rng(0).normal(0, 1, size=(5, 16))
+        float_out = layer.forward(inputs)
+        quant_out = quantized.forward(inputs)
+        assert np.max(np.abs(float_out - quant_out)) < 0.1 * (np.abs(float_out).max() + 1)
+
+    def test_low_precision_has_larger_error(self):
+        layer = DenseLayer.random(16, 8, seed=3)
+        inputs = np.random.default_rng(0).normal(0, 1, size=(20, 16))
+        float_out = layer.forward(inputs)
+        errors = {}
+        for bits in (8, 2):
+            quantized = QuantizedDenseLayer(layer, weight_bits=bits, activation_bits=bits)
+            errors[bits] = np.mean(np.abs(float_out - quantized.forward(inputs)))
+        assert errors[2] > errors[8]
+
+    def test_mac_count(self):
+        layer = DenseLayer.random(16, 8)
+        quantized = QuantizedDenseLayer(layer, weight_bits=8, activation_bits=8)
+        assert quantized.mac_count(batch=3) == 3 * 16 * 8
+
+    def test_rejects_sub_2bit_quantisation(self):
+        layer = DenseLayer.random(4, 2)
+        with pytest.raises(ConfigurationError):
+            QuantizedDenseLayer(layer, weight_bits=1, activation_bits=8)
+
+
+class TestMLP:
+    def test_create_chains_layers(self):
+        model = MLP.create([16, 32, 8, 4])
+        assert model.input_size == 16
+        assert model.output_size == 4
+        assert len(model.layers) == 3
+        assert model.layers[-1].relu is False
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MLP(layers=[DenseLayer.random(4, 8), DenseLayer.random(4, 2)])
+
+    def test_predict_shape_and_range(self):
+        model = MLP.create([10, 8, 3])
+        inputs = np.random.default_rng(0).normal(size=(6, 10))
+        predictions = model.predict(inputs)
+        assert predictions.shape == (6,)
+        assert set(predictions).issubset({0, 1, 2})
+
+    def test_predict_proba_sums_to_one(self):
+        model = MLP.create([10, 8, 3])
+        proba = model.predict_proba(np.zeros((4, 10)))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestTraining:
+    def test_training_reaches_good_accuracy(self, small_dataset):
+        result = train_mlp(small_dataset, hidden_sizes=(16,), epochs=20, seed=0)
+        assert result.test_accuracy > 0.85
+        assert result.train_accuracy > 0.85
+
+    def test_loss_decreases(self, small_dataset):
+        result = train_mlp(small_dataset, hidden_sizes=(16,), epochs=20, seed=0)
+        assert result.loss_history[-1] < result.loss_history[0]
+        assert result.final_loss == result.loss_history[-1]
+
+    def test_quantised_model_tracks_float_at_8bit(self, small_dataset):
+        result = train_mlp(small_dataset, hidden_sizes=(16,), epochs=20, seed=0)
+        quantized = result.model.quantize(8)
+        accuracy = quantized.accuracy(small_dataset.test_x, small_dataset.test_y)
+        assert accuracy >= result.test_accuracy - 0.05
+
+    def test_2bit_quantisation_degrades(self, small_dataset):
+        result = train_mlp(small_dataset, hidden_sizes=(16,), epochs=20, seed=0)
+        accuracy8 = result.model.quantize(8).accuracy(
+            small_dataset.test_x, small_dataset.test_y
+        )
+        accuracy2 = result.model.quantize(2).accuracy(
+            small_dataset.test_x, small_dataset.test_y
+        )
+        assert accuracy2 <= accuracy8
+
+
+class TestBackends:
+    def test_numpy_backend_counts_macs(self):
+        backend = NumpyIntBackend()
+        backend(np.ones((2, 3), dtype=np.int64), np.ones((3, 4), dtype=np.int64))
+        assert backend.mac_count == 2 * 3 * 4
+
+    def test_imc_backend_matches_numpy(self):
+        macro = IMCMacro(MacroConfig(precision_bits=8))
+        imc = IMCMatmulBackend(macro, precision_bits=8)
+        rng = np.random.default_rng(5)
+        activations = rng.integers(-127, 128, size=(2, 5))
+        weights = rng.integers(-127, 128, size=(5, 3))
+        expected = activations @ weights
+        assert np.array_equal(imc(activations, weights), expected)
+
+    def test_imc_backend_range_check(self):
+        macro = IMCMacro(MacroConfig(precision_bits=4))
+        backend = IMCMatmulBackend(macro, precision_bits=4)
+        with pytest.raises(ConfigurationError):
+            backend(np.array([[100]]), np.array([[1]]))
+
+    def test_imc_backend_shape_check(self):
+        macro = IMCMacro()
+        backend = IMCMatmulBackend(macro)
+        with pytest.raises(ConfigurationError):
+            backend(np.ones((2, 3), dtype=np.int64), np.ones((4, 2), dtype=np.int64))
+
+    def test_quantized_mlp_with_imc_backend_matches_reference(self, small_dataset):
+        result = train_mlp(small_dataset, hidden_sizes=(8,), epochs=10, seed=2)
+        quantized = result.model.quantize(8)
+        macro = IMCMacro()
+        on_imc = quantized.with_backend(IMCMatmulBackend(macro, precision_bits=8))
+        sample = small_dataset.test_x[:2]
+        assert np.array_equal(on_imc.predict(sample), quantized.predict(sample))
+
+    def test_cost_estimate_fields(self):
+        macro = IMCMacro()
+        backend = IMCMatmulBackend(macro)
+        cost = backend.estimate_inference_cost(1000)
+        assert cost["mac_count"] == 1000
+        assert cost["energy_j"] > 0
+        assert cost["latency_s"] > 0
+        assert cost["macs_per_second"] > 0
+
+    def test_backend_statistics_include_macro_stats(self):
+        macro = IMCMacro()
+        backend = IMCMatmulBackend(macro, precision_bits=8)
+        backend(np.array([[1, 2]]), np.array([[3], [4]]))
+        stats = backend.statistics()
+        assert stats["mac_count"] == 2
+        assert stats["cycles"] > 0

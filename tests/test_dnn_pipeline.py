@@ -1,0 +1,95 @@
+"""Tests for the end-to-end quantised CNN pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import IMCMacro, MacroConfig
+from repro.dnn.imc_backend import IMCMatmulBackend
+from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def image_dataset():
+    return make_pattern_image_dataset(samples=240, size=8, seed=4)
+
+
+@pytest.fixture(scope="module")
+def trained_cnn(image_dataset):
+    return train_pattern_cnn(
+        image_dataset, conv_channels=(4,), hidden_sizes=(12,), epochs=15, seed=1
+    )
+
+
+class TestPatternImageDataset:
+    def test_shapes(self, image_dataset):
+        assert image_dataset.image_shape == (1, 8, 8)
+        assert image_dataset.train_images.shape[0] + image_dataset.test_images.shape[0] == 240
+        assert image_dataset.class_count == 3
+
+    def test_deterministic(self):
+        first = make_pattern_image_dataset(samples=60, seed=9)
+        second = make_pattern_image_dataset(samples=60, seed=9)
+        assert np.allclose(first.train_images, second.train_images)
+
+    def test_normalised(self, image_dataset):
+        data = np.concatenate(
+            [image_dataset.train_images.ravel(), image_dataset.test_images.ravel()]
+        )
+        assert abs(data.mean()) < 0.05
+        assert abs(data.std() - 1.0) < 0.1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_pattern_image_dataset(samples=0)
+        with pytest.raises(ConfigurationError):
+            make_pattern_image_dataset(noise=5.0)
+
+
+class TestQuantizedCNN:
+    def test_head_trains_well_on_conv_features(self, trained_cnn):
+        _, training = trained_cnn
+        assert training.test_accuracy > 0.85
+
+    def test_quantised_pipeline_accuracy(self, trained_cnn, image_dataset):
+        cnn, training = trained_cnn
+        accuracy = cnn.accuracy(image_dataset.test_images, image_dataset.test_labels)
+        assert accuracy >= training.test_accuracy - 0.1
+
+    def test_low_precision_pipeline_degrades(self, image_dataset):
+        cnn2, _ = train_pattern_cnn(
+            image_dataset,
+            conv_channels=(4,),
+            hidden_sizes=(12,),
+            weight_bits=2,
+            epochs=15,
+            seed=1,
+        )
+        cnn8, _ = train_pattern_cnn(
+            image_dataset,
+            conv_channels=(4,),
+            hidden_sizes=(12,),
+            weight_bits=8,
+            epochs=15,
+            seed=1,
+        )
+        accuracy2 = cnn2.accuracy(image_dataset.test_images, image_dataset.test_labels)
+        accuracy8 = cnn8.accuracy(image_dataset.test_images, image_dataset.test_labels)
+        assert accuracy2 <= accuracy8
+
+    def test_mac_count_positive(self, trained_cnn, image_dataset):
+        cnn, _ = trained_cnn
+        assert cnn.mac_count(image_dataset.test_images[:2]) > 1000
+
+    def test_runs_on_imc_backend_bit_exactly(self, trained_cnn, image_dataset):
+        cnn, _ = trained_cnn
+        macro = IMCMacro(MacroConfig(precision_bits=8))
+        backend = IMCMatmulBackend(macro, precision_bits=8)
+        on_imc = cnn.with_backend(backend)
+        sample = image_dataset.test_images[:1]
+        assert np.array_equal(on_imc.predict(sample), cnn.predict(sample))
+        assert macro.stats.total_cycles > 0
+
+    def test_requires_at_least_one_conv_layer(self, image_dataset):
+        with pytest.raises(ConfigurationError):
+            train_pattern_cnn(image_dataset, conv_channels=())

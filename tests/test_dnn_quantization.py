@@ -1,0 +1,81 @@
+"""Unit tests for the DNN quantisation layer and synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.datasets import make_classification_dataset
+from repro.dnn.quantization import quantize_tensor
+from repro.errors import ConfigurationError
+
+
+class TestQuantizeTensor:
+    def test_codes_within_range(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(0, 2, size=(8, 8))
+        for width in (2, 4, 8):
+            quantized = quantize_tensor(tensor, width)
+            limit = (1 << (width - 1)) - 1
+            assert quantized.codes.max() <= limit
+            assert quantized.codes.min() >= -limit
+            assert quantized.width == width
+
+    def test_error_decreases_with_width(self):
+        rng = np.random.default_rng(1)
+        tensor = rng.normal(0, 1, size=200)
+        errors = [
+            quantize_tensor(tensor, width).quantization_error(tensor)
+            for width in (2, 4, 8)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_dequantize_recovers_scale(self):
+        tensor = np.array([-1.0, 0.0, 1.0])
+        quantized = quantize_tensor(tensor, 8)
+        recovered = quantized.dequantize()
+        assert np.allclose(recovered, tensor, atol=quantized.scale)
+
+    def test_error_shape_mismatch_rejected(self):
+        quantized = quantize_tensor(np.ones(4), 8)
+        with pytest.raises(ConfigurationError):
+            quantized.quantization_error(np.ones(5))
+
+    def test_extreme_value_maps_to_max_code(self):
+        tensor = np.array([-3.0, 3.0])
+        quantized = quantize_tensor(tensor, 4)
+        assert quantized.codes.tolist() == [-7, 7]
+
+
+class TestDataset:
+    def test_split_shapes(self, small_dataset):
+        train_n, test_n, features, classes = small_dataset.summary()
+        assert train_n + test_n == 400
+        assert features == 10
+        assert classes == 3
+        assert small_dataset.train_x.shape == (train_n, features)
+        assert small_dataset.test_y.shape == (test_n,)
+
+    def test_deterministic_given_seed(self):
+        first = make_classification_dataset(samples=100, seed=9)
+        second = make_classification_dataset(samples=100, seed=9)
+        assert np.allclose(first.train_x, second.train_x)
+        assert np.array_equal(first.train_y, second.train_y)
+
+    def test_different_seeds_differ(self):
+        first = make_classification_dataset(samples=100, seed=1)
+        second = make_classification_dataset(samples=100, seed=2)
+        assert not np.allclose(first.train_x, second.train_x)
+
+    def test_features_are_normalised(self):
+        dataset = make_classification_dataset(samples=500, seed=4)
+        data = np.vstack([dataset.train_x, dataset.test_x])
+        assert np.allclose(data.mean(axis=0), 0.0, atol=0.05)
+        assert np.allclose(data.std(axis=0), 1.0, atol=0.1)
+
+    def test_all_classes_present(self, small_dataset):
+        assert set(np.unique(small_dataset.train_y)) == {0, 1, 2}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_classification_dataset(classes=1)
+        with pytest.raises(ConfigurationError):
+            make_classification_dataset(label_noise=0.9)

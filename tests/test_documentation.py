@@ -1,0 +1,73 @@
+"""Consistency checks between the documentation and the repository contents.
+
+These tests keep README.md, DESIGN.md and EXPERIMENTS.md honest: every
+benchmark or example they reference must exist, and the per-experiment index
+must cover every benchmark file that exists.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _read(name: str) -> str:
+    return (ROOT / name).read_text(encoding="utf-8")
+
+
+class TestDocumentsExist:
+    @pytest.mark.parametrize(
+        "name",
+        ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md", "Makefile"],
+    )
+    def test_document_present_and_non_trivial(self, name):
+        path = ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text(encoding="utf-8")) > 500
+
+
+class TestReferencesResolve:
+    def test_readme_example_references_exist(self):
+        readme = _read("README.md")
+        for match in re.findall(r"examples/(\w+\.py)", readme):
+            assert (ROOT / "examples" / match).exists(), match
+
+    def test_readme_benchmark_references_exist(self):
+        readme = _read("README.md")
+        for match in re.findall(r"bench_\w+\.py", readme):
+            assert (ROOT / "benchmarks" / match).exists(), match
+
+    def test_experiments_md_covers_every_benchmark(self):
+        experiments = _read("EXPERIMENTS.md")
+        for path in (ROOT / "benchmarks").glob("bench_*.py"):
+            assert path.name in experiments or path.stem in experiments, path.name
+
+    def test_design_md_lists_every_subpackage(self):
+        design = _read("DESIGN.md")
+        for package in ("repro.core", "repro.circuits", "repro.tech", "repro.baselines", "repro.dnn", "repro.analysis"):
+            assert package in design
+
+    def test_design_md_maps_every_paper_artifact(self):
+        design = _read("DESIGN.md")
+        for artefact in ("Fig. 2", "Fig. 7(a)", "Fig. 7(b)", "Fig. 8", "Fig. 9", "Table I", "Table II", "Table III"):
+            assert artefact in design, artefact
+
+    def test_experiments_md_records_paper_values(self):
+        experiments = _read("EXPERIMENTS.md")
+        for anchor in ("2.25", "372", "8.09", "0.68", "0.22", "140", "603"):
+            assert anchor in experiments, anchor
+
+
+class TestPackageMetadata:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

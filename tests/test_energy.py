@@ -1,0 +1,129 @@
+"""Unit tests for the per-operation energy model (Table II substrate)."""
+
+import pytest
+
+from repro.circuits.energy import OperationEnergyModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def model(calibration):
+    return OperationEnergyModel(calibration)
+
+
+#: Published Table II values (fJ) used as calibration anchors.
+PAPER_TABLE2 = {
+    "ADD": {2: 68.2, 4: 138.4, 8: 274.8},
+    "SUB_without": {2: 152.3, 4: 307.5, 8: 612.2},
+    "SUB_with": {2: 136.5, 4: 274.9, 8: 545.4},
+    "MULT_without": {2: 357.4, 4: 1167.6, 8: 4186.4},
+    "MULT_with": {2: 296.0, 4: 922.4, 8: 3394.8},
+}
+
+
+class TestTable2Anchors:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_add_energy_matches_paper(self, model, bits):
+        assert model.add_energy(bits).total_fj == pytest.approx(
+            PAPER_TABLE2["ADD"][bits], rel=0.03
+        )
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_sub_energy_matches_paper(self, model, bits):
+        assert model.sub_energy(bits, bl_separator=False).total_fj == pytest.approx(
+            PAPER_TABLE2["SUB_without"][bits], rel=0.05
+        )
+        assert model.sub_energy(bits, bl_separator=True).total_fj == pytest.approx(
+            PAPER_TABLE2["SUB_with"][bits], rel=0.05
+        )
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_mult_energy_matches_paper(self, model, bits):
+        assert model.mult_energy(bits, bl_separator=False).total_fj == pytest.approx(
+            PAPER_TABLE2["MULT_without"][bits], rel=0.07
+        )
+        assert model.mult_energy(bits, bl_separator=True).total_fj == pytest.approx(
+            PAPER_TABLE2["MULT_with"][bits], rel=0.07
+        )
+
+
+class TestEnergyStructure:
+    def test_energy_scales_quadratically_with_voltage(self, model):
+        nominal = model.add_energy(8, vdd=0.9).total_j
+        low = model.add_energy(8, vdd=0.6).total_j
+        assert low == pytest.approx(nominal * (0.6 / 0.9) ** 2)
+
+    def test_separator_saves_writeback_energy(self, model):
+        for bits in (2, 4, 8):
+            assert (
+                model.mult_energy(bits, bl_separator=True).total_j
+                < model.mult_energy(bits, bl_separator=False).total_j
+            )
+            assert (
+                model.sub_energy(bits, bl_separator=True).total_j
+                < model.sub_energy(bits, bl_separator=False).total_j
+            )
+
+    def test_add_energy_has_no_writeback_component(self, model):
+        report = model.add_energy(8)
+        assert report.writeback_j == 0.0
+
+    def test_mult_energy_grows_superlinearly(self, model):
+        e2 = model.mult_energy(2).total_j
+        e4 = model.mult_energy(4).total_j
+        e8 = model.mult_energy(8).total_j
+        assert e4 / e2 > 2.5
+        assert e8 / e4 > 3.0
+
+    def test_add_energy_grows_linearly(self, model):
+        e2 = model.add_energy(2).total_j
+        e4 = model.add_energy(4).total_j
+        e8 = model.add_energy(8).total_j
+        assert e4 / e2 == pytest.approx(2.0, rel=0.05)
+        assert e8 / e4 == pytest.approx(2.0, rel=0.05)
+
+    def test_sub_is_add_plus_not(self, model):
+        add = model.add_energy(8).total_j
+        copy = model.copy_energy(8).total_j
+        sub = model.sub_energy(8).total_j
+        assert sub == pytest.approx(add + copy, rel=1e-9)
+
+    def test_report_total_consistency(self, model):
+        report = model.mult_energy(8)
+        assert report.total_j == pytest.approx(
+            report.bl_compute_j + report.logic_j + report.writeback_j + report.flipflop_j
+        )
+        assert report.total_fj == pytest.approx(report.total_j * 1e15)
+
+    def test_logic_and_add_shift_energies_positive(self, model):
+        assert model.logic_energy(8).total_j > 0
+        assert model.add_shift_energy(8).total_j > model.add_energy(8).total_j
+
+
+class TestEfficiencyAnchors:
+    def test_add_tops_per_watt_at_0p6v(self, model):
+        energy = model.add_energy(8, vdd=0.6).total_j
+        assert 1.0 / (energy * 1e12) == pytest.approx(8.09, rel=0.05)
+
+    def test_mult_tops_per_watt_at_0p6v(self, model):
+        energy = model.mult_energy(8, vdd=0.6, bl_separator=True).total_j
+        assert 1.0 / (energy * 1e12) == pytest.approx(0.68, rel=0.08)
+
+
+class TestDispatch:
+    def test_energy_for_known_mnemonics(self, model):
+        for name in ("and", "xor", "not", "copy", "shift", "add", "add_shift", "sub", "mult"):
+            assert model.energy_for(name, 8).total_j > 0
+
+    def test_energy_for_is_case_insensitive(self, model):
+        assert model.energy_for("ADD", 8).total_j == model.energy_for("add", 8).total_j
+
+    def test_energy_for_unknown_mnemonic(self, model):
+        with pytest.raises(ConfigurationError):
+            model.energy_for("divide", 8)
+
+    def test_table2_structure(self, model):
+        table = model.table2()
+        assert set(table.keys()) == {"ADD", "SUB", "MULT"}
+        assert set(table["ADD"].keys()) == {2, 4, 8}
+        assert "with_separator" in table["MULT"][8]

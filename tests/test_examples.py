@@ -1,0 +1,63 @@
+"""Smoke tests that execute the (fast) example scripts end to end.
+
+The two training-heavy examples (``dnn_inference.py`` and
+``cnn_pattern_classification.py``) are exercised through their underlying
+APIs elsewhere in the suite; here we run the lightweight examples exactly as
+a user would, to guarantee the documented entry points keep working.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "voltage_scaling_study.py",
+    "signal_processing_kernels.py",
+    "vector_image_processing.py",
+]
+
+
+def _load_module(script_name: str):
+    path = EXAMPLES_DIR / script_name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{script_name.replace('.py', '')}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleScripts:
+    def test_examples_directory_contents(self):
+        scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        # The README documents six examples; all must exist.
+        expected = set(FAST_EXAMPLES) | {"dnn_inference.py", "cnn_pattern_classification.py"}
+        assert expected.issubset(scripts)
+
+    @pytest.mark.parametrize("script", FAST_EXAMPLES)
+    def test_fast_example_runs(self, script, capsys):
+        module = _load_module(script)
+        module.main()
+        output = capsys.readouterr().out
+        assert len(output.splitlines()) > 5
+        assert "Traceback" not in output
+
+    def test_quickstart_prints_correct_arithmetic(self, capsys):
+        module = _load_module("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "34773" in output  # 173 x 201
+        assert "155" in output  # 100 + 55
+
+    def test_vector_image_example_verifies_against_numpy(self, capsys):
+        module = _load_module("vector_image_processing.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert output.count("True") >= 3
+        assert "False" not in output

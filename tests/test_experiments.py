@@ -1,0 +1,167 @@
+"""Integration tests for the per-figure/table experiment drivers.
+
+These are the checks that the reproduced evaluation has the same *shape* as
+the paper's: who wins, by roughly what factor, and where the crossovers fall.
+"""
+
+import pytest
+
+from repro.analysis import experiments as exp
+from repro.core import Opcode
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.fig2_bl_delay_distribution(samples=600, seed=3)
+
+    def test_iso_failure_operating_points(self, result):
+        assert result.wlud_wl_voltage == pytest.approx(0.55, abs=0.01)
+        assert result.short_pulse_width_s == pytest.approx(140e-12, rel=0.05)
+
+    def test_wlud_has_long_tail_and_proposed_short_tail(self, result):
+        assert result.tail_ratio_wlud > 1.5
+        assert result.tail_ratio_proposed < 1.3
+
+    def test_proposed_is_several_times_faster(self, result):
+        assert result.mean_speedup > 3.0
+
+
+class TestFig7a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.fig7a_corner_delays()
+
+    def test_every_corner_reported(self, result):
+        for corner in ("SF", "SS", "NN", "FS", "FF"):
+            assert corner in result
+
+    def test_proposed_faster_at_every_corner(self, result):
+        for corner in ("SF", "SS", "NN", "FS", "FF"):
+            assert result[corner]["proposed_s"] < result[corner]["wlud_s"]
+
+    def test_worst_case_ratio_near_paper(self, result):
+        # Paper: proposed BL computing delay is 0.22x of WLUD at the worst
+        # corner.
+        assert result["worst_case"]["ratio"] == pytest.approx(0.22, abs=0.07)
+
+    def test_ss_is_worst_corner_for_wlud(self, result):
+        assert result["SS"]["wlud_s"] == max(
+            result[c]["wlud_s"] for c in ("SF", "SS", "NN", "FS", "FF")
+        )
+
+
+class TestFig7b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.fig7b_fa_critical_path()
+
+    def test_speedup_within_paper_range(self, result):
+        for bits in (8, 16):
+            for values in result[bits].values():
+                assert 1.7 <= values["speedup"] <= 2.3
+
+    def test_proposed_16bit_delay_at_nominal(self, result):
+        assert result[16][0.9]["proposed_s"] == pytest.approx(222e-12, rel=0.02)
+
+    def test_delay_decreases_with_voltage(self, result):
+        delays = [result[16][v]["proposed_s"] for v in sorted(result[16])]
+        assert all(a > b for a, b in zip(delays, delays[1:]))
+
+
+class TestFig8:
+    def test_breakdown_matches_paper(self):
+        breakdown = exp.fig8_breakdown()
+        paper = exp.PAPER["fig8_breakdown_ps"]
+        for name, value in breakdown.as_dict().items():
+            assert value * 1e12 == pytest.approx(paper[name], rel=0.05)
+
+    def test_frequency_and_efficiency_sweep(self):
+        sweep = exp.fig8_frequency_and_efficiency()
+        assert sweep[1.0]["frequency_hz"] == pytest.approx(2.25e9, rel=0.05)
+        assert sweep[0.6]["frequency_hz"] == pytest.approx(372e6, rel=0.08)
+        assert sweep[0.6]["add_tops_per_watt"] == pytest.approx(8.09, rel=0.05)
+        assert sweep[0.6]["mult_tops_per_watt"] == pytest.approx(0.68, rel=0.08)
+
+    def test_efficiency_decreases_with_voltage(self):
+        sweep = exp.fig8_frequency_and_efficiency()
+        voltages = sorted(sweep)
+        efficiency = [sweep[v]["add_tops_per_watt"] for v in voltages]
+        assert all(a > b for a, b in zip(efficiency, efficiency[1:]))
+
+    def test_separator_improves_mult_efficiency(self):
+        sweep = exp.fig8_frequency_and_efficiency(voltages=(0.9,))
+        entry = sweep[0.9]
+        assert entry["mult_tops_per_watt"] > entry["mult_tops_per_watt_no_separator"]
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return exp.fig9_cycles_vs_blsize(bl_sizes=(128, 256, 512, 1024))
+
+    def test_all_operations_and_sizes_present(self, result):
+        assert set(result.keys()) == {"ADD", "SUB", "MULT"}
+        for per_size in result.values():
+            assert set(per_size.keys()) == {128, 256, 512, 1024}
+
+    def test_proposed_improves_with_bl_size(self, result):
+        for op_name, per_size in result.items():
+            ratios = [per_size[size]["ratio"] for size in (128, 256, 512, 1024)]
+            assert all(a > b for a, b in zip(ratios, ratios[1:])), op_name
+
+    def test_proposed_wins_add_and_sub_everywhere(self, result):
+        for op_name in ("ADD", "SUB"):
+            for size in (128, 256, 512, 1024):
+                assert result[op_name][size]["ratio"] < 1.0
+
+    def test_mult_crossover_near_128(self, result):
+        # Paper: the proposed macro is slightly worse than the bit-serial
+        # baseline for MULT at 128 BLs (x1.19) and clearly better by 1024.
+        assert result["MULT"][128]["ratio"] > 0.85
+        assert result["MULT"][1024]["ratio"] < 0.5
+
+    def test_proposed_cycles_follow_table1(self, result):
+        # 8-bit ADD: 1 cycle / 4 words -> 0.25 cycles/op at 128 BLs.
+        assert result["ADD"][128]["proposed"] == pytest.approx(0.25)
+        assert result["MULT"][128]["proposed"] == pytest.approx(5.0)
+
+
+class TestTables:
+    def test_table1_measured_matches_specified(self):
+        table = exp.table1_operation_cycles(precisions=(2, 8))
+        for op_name, per_bits in table.items():
+            for bits, entry in per_bits.items():
+                assert entry["measured"] == entry["specified"], (op_name, bits)
+
+    def test_table2_within_tolerance_of_paper(self):
+        table = exp.table2_energy()
+        for op_name, per_bits in table.items():
+            for bits, entry in per_bits.items():
+                assert entry["with_separator"] == pytest.approx(
+                    entry["paper_with"], rel=0.07
+                ), (op_name, bits)
+                assert entry["without_separator"] == pytest.approx(
+                    entry["paper_without"], rel=0.07
+                ), (op_name, bits)
+
+    def test_table3_measured_row(self):
+        table = exp.table3_comparison()
+        measured = table["Proposed (measured)"]
+        assert measured["max_frequency_hz"] == pytest.approx(2.25e9, rel=0.05)
+        assert measured["tops_per_watt_add"] == pytest.approx(8.09, rel=0.05)
+        assert measured["tops_per_watt_mult"] == pytest.approx(0.68, rel=0.08)
+        assert measured["area_overhead"] == pytest.approx(0.052)
+
+    def test_table3_proposed_beats_bitserial_baseline(self):
+        table = exp.table3_comparison()
+        proposed = table["Proposed (measured)"]
+        baseline = table["19' JSSC [2] (our model)"]
+        assert proposed["tops_per_watt_add"] > baseline["tops_per_watt_add"]
+        assert proposed["tops_per_watt_mult"] > baseline["tops_per_watt_mult"]
+        assert proposed["max_frequency_hz"] > baseline["max_frequency_hz"]
+
+    def test_table3_contains_paper_rows(self):
+        table = exp.table3_comparison()
+        for name in ("16' JSSC [1]", "19' JSSC [2]", "19' DAC [5]", "Proposed"):
+            assert name in table

@@ -1,0 +1,67 @@
+"""Tests for the extension experiment drivers (area, data movement)."""
+
+import pytest
+
+from repro.analysis import experiments as exp
+from repro.core import Opcode
+
+
+class TestAreaOverheadStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return exp.area_overhead_study()
+
+    def test_matches_paper_claim(self, study):
+        assert study["overhead_fraction"] == pytest.approx(
+            study["paper_overhead_fraction"], abs=0.003
+        )
+
+    def test_components_listed(self, study):
+        assert "fa_logics" in study["components"]
+        assert "bl_booster" in study["components"]
+
+    def test_overhead_shrinks_with_rows(self, study):
+        sweep = study["overhead_vs_rows"]
+        values = [sweep[rows] for rows in sorted(sweep)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_peripheral_beats_cell_modification(self, study):
+        comparison = study["cell_modification_comparison"]
+        assert (
+            comparison["proposed_peripheral_overhead"]
+            < comparison["cell_modification_overhead"]
+        )
+
+
+class TestDataMovementStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return exp.data_movement_study()
+
+    def test_all_operations_present(self, study):
+        assert set(study.keys()) == {"ADD", "SUB", "XOR", "MULT"}
+
+    def test_elementwise_ops_favour_imc(self, study):
+        for name in ("ADD", "SUB", "XOR"):
+            assert study[name]["energy_ratio"] > 2.0
+
+    def test_data_movement_dominates_processor_energy(self, study):
+        for entry in study.values():
+            assert entry["data_movement_share"] > 0.5
+
+    def test_throughput_favours_imc_for_single_cycle_ops(self, study):
+        for name in ("ADD", "SUB", "XOR"):
+            assert study[name]["throughput_ratio"] > 1.0
+
+    def test_mult_throughput_needs_the_full_memory(self, study):
+        # A single macro's iterative multiplier is roughly at parity with a
+        # 2 GHz scalar core; the 64-macro 128 KB memory wins by ~30x.
+        single_macro = study["MULT"]["throughput_ratio"]
+        assert 0.2 < single_macro < 1.5
+        assert single_macro * 64 > 10.0
+
+    def test_voltage_parameter_scales_energies(self):
+        low = exp.data_movement_study(vdd=0.6)
+        high = exp.data_movement_study(vdd=0.9)
+        assert low["ADD"]["processor_energy_j"] < high["ADD"]["processor_energy_j"]
+        assert low["ADD"]["imc_energy_j"] < high["ADD"]["imc_energy_j"]

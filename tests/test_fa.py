@@ -1,0 +1,74 @@
+"""Unit tests for the full-adder models (function + timing, Fig. 7b)."""
+
+import pytest
+
+from repro.circuits.fa import AdderStyle, FullAdderTiming, full_adder_bit
+from repro.errors import ConfigurationError
+from repro.tech import OperatingPoint, ProcessCorner
+
+
+class TestFullAdderBitFunction:
+    def test_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for carry in (0, 1):
+                    total = a + b + carry
+                    assert full_adder_bit(a, b, carry) == (total & 1, total >> 1)
+
+    def test_rejects_non_binary_inputs(self):
+        with pytest.raises(ConfigurationError):
+            full_adder_bit(2, 0, 0)
+        with pytest.raises(ConfigurationError):
+            full_adder_bit(0, 1, -1)
+
+
+@pytest.fixture()
+def timing(technology, calibration):
+    return FullAdderTiming(technology, calibration)
+
+
+class TestFullAdderTiming:
+    def test_16bit_tg_delay_matches_paper(self, timing):
+        delay = timing.critical_path_delay(16, OperatingPoint(vdd=0.9))
+        assert delay == pytest.approx(222e-12, rel=0.01)
+
+    def test_logic_fa_is_slower(self, timing):
+        point = OperatingPoint()
+        for bits in (8, 16):
+            assert timing.critical_path_delay(
+                bits, point, AdderStyle.LOGIC_GATE
+            ) > timing.critical_path_delay(bits, point, AdderStyle.TRANSMISSION_GATE)
+
+    def test_speedup_in_paper_range(self, timing):
+        # Fig. 7(b): the proposed FA improves the critical path 1.8x-2.2x.
+        for vdd in (0.7, 0.8, 0.9, 1.0, 1.1):
+            for bits in (8, 16):
+                speedup = timing.speedup(bits, OperatingPoint(vdd=vdd))
+                assert 1.7 <= speedup <= 2.3
+
+    def test_speedup_grows_at_low_voltage(self, timing):
+        low = timing.speedup(16, OperatingPoint(vdd=0.7))
+        high = timing.speedup(16, OperatingPoint(vdd=1.1))
+        assert low > high
+
+    def test_delay_scales_linearly_with_bits(self, timing):
+        point = OperatingPoint()
+        d8 = timing.critical_path_delay(8, point)
+        d16 = timing.critical_path_delay(16, point)
+        d32 = timing.critical_path_delay(32, point)
+        # Constant per-bit increment: the 16->32 step is twice the 8->16 step.
+        assert d32 - d16 == pytest.approx(2 * (d16 - d8), rel=1e-6)
+
+    def test_delay_increases_at_slow_corner(self, timing):
+        ss = timing.critical_path_delay(16, OperatingPoint(corner=ProcessCorner.SS))
+        ff = timing.critical_path_delay(16, OperatingPoint(corner=ProcessCorner.FF))
+        assert ss > ff
+
+    def test_delay_increases_at_low_voltage(self, timing):
+        assert timing.critical_path_delay(16, OperatingPoint(vdd=0.7)) > timing.critical_path_delay(
+            16, OperatingPoint(vdd=1.1)
+        )
+
+    def test_rejects_non_positive_bits(self, timing):
+        with pytest.raises(ConfigurationError):
+            timing.critical_path_delay(0, OperatingPoint())

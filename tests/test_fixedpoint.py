@@ -1,0 +1,69 @@
+"""Unit tests for repro.utils.fixedpoint."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.fixedpoint import FixedPointFormat, dequantize_value, quantize_value
+
+
+class TestFixedPointFormat:
+    def test_code_range_is_symmetric(self):
+        fmt = FixedPointFormat(width=8, scale=0.1)
+        assert fmt.max_code == 127
+        assert fmt.min_code == -127
+
+    def test_value_range(self):
+        fmt = FixedPointFormat(width=4, scale=0.5)
+        assert fmt.max_value == pytest.approx(3.5)
+        assert fmt.min_value == pytest.approx(-3.5)
+
+    def test_rejects_width_below_two(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(width=1, scale=0.1)
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(width=8, scale=0.0)
+
+    def test_for_tensor_covers_abs_max(self):
+        tensor = np.array([-2.0, 0.5, 1.5])
+        fmt = FixedPointFormat.for_tensor(tensor, 8)
+        assert fmt.max_value == pytest.approx(2.0)
+
+    def test_for_tensor_all_zero(self):
+        fmt = FixedPointFormat.for_tensor(np.zeros(4), 8)
+        assert fmt.scale > 0
+
+    def test_quantize_clips(self):
+        fmt = FixedPointFormat(width=4, scale=1.0)
+        codes = fmt.quantize(np.array([100.0, -100.0]))
+        assert codes.tolist() == [7, -7]
+
+    def test_quantize_dequantize_error_bounded(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(0, 1, size=100)
+        fmt = FixedPointFormat.for_tensor(tensor, 8)
+        recovered = fmt.dequantize(fmt.quantize(tensor))
+        assert np.max(np.abs(recovered - tensor)) <= fmt.scale / 2 + 1e-12
+
+    def test_encode_decode_roundtrip(self):
+        fmt = FixedPointFormat(width=8, scale=0.01)
+        pattern = fmt.encode(-0.5)
+        assert fmt.decode(pattern) == pytest.approx(-0.5, abs=0.01)
+
+
+class TestScalarHelpers:
+    def test_quantize_value(self):
+        fmt = FixedPointFormat(width=8, scale=0.5)
+        assert quantize_value(2.0, fmt) == 4
+        assert quantize_value(-2.6, fmt) == -5
+
+    def test_dequantize_value(self):
+        fmt = FixedPointFormat(width=8, scale=0.5)
+        assert dequantize_value(4, fmt) == pytest.approx(2.0)
+
+    def test_roundtrip_is_identity_on_grid(self):
+        fmt = FixedPointFormat(width=6, scale=0.25)
+        for code in range(fmt.min_code, fmt.max_code + 1):
+            assert quantize_value(dequantize_value(code, fmt), fmt) == code

@@ -1,0 +1,134 @@
+"""End-to-end integration tests spanning multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as exp
+from repro.core import IMCMacro, IMCMemory, MacroConfig, Opcode
+from repro.dnn import IMCMatmulBackend, make_classification_dataset, train_mlp
+from repro.tech import OperatingPoint
+
+
+class TestVectorWorkloadOnMemory:
+    def test_dot_product_pipeline_on_macro(self):
+        """Compute a small integer dot product entirely with in-memory ops."""
+        macro = IMCMacro()
+        a = [3, 7, 11, 19]
+        b = [5, 2, 8, 4]
+        products = macro.elementwise(Opcode.MULT, a, b)
+        assert products == [15, 14, 88, 76]
+        # Accumulate pairwise with in-memory additions at 16-bit precision.
+        macro.set_precision(16)
+        partial = macro.add(products[0], products[1])
+        partial = macro.add(partial, products[2])
+        total = macro.add(partial, products[3])
+        assert total == sum(x * y for x, y in zip(a, b))
+
+    def test_memory_wide_vector_add(self):
+        memory = IMCMemory(banks=2, capacity_bytes=8 * 1024)
+        rng = np.random.default_rng(0)
+        expected = []
+        for bank in memory.banks:
+            for macro in bank.macros:
+                values_a = rng.integers(0, 256, size=4).tolist()
+                values_b = rng.integers(0, 256, size=4).tolist()
+                macro.write_words(0, values_a)
+                macro.write_words(1, values_b)
+                expected.append([(x + y) % 256 for x, y in zip(values_a, values_b)])
+        results = memory.broadcast(Opcode.ADD, 0, 1, dest_row=2)
+        assert [list(result.values) for result in results] == expected
+        stats = memory.statistics()
+        assert stats.total_operations == 4 * memory.total_macros
+        assert stats.total_energy_j > 0
+
+    def test_throughput_estimate_consistency(self):
+        """Words/cycle x frequency gives the architecture-level throughput."""
+        memory = IMCMemory()
+        macro = memory.banks[0].macros[0]
+        operations_per_cycle = memory.parallel_words()
+        frequency = macro.max_frequency_hz()
+        throughput = operations_per_cycle * frequency
+        # 64 macros x 4 words x ~1.66 GHz ~ 4e11 8-bit additions per second.
+        assert throughput == pytest.approx(256 * 1.66e9, rel=0.1)
+
+
+class TestPrecisionReconfigurationScenario:
+    def test_same_data_processed_at_multiple_precisions(self):
+        macro = IMCMacro()
+        # 8-bit pass.
+        macro.set_precision(8)
+        assert macro.multiply(200, 150) == 30000
+        # Drop to 4-bit: more words per access, smaller operands.
+        macro.set_precision(4)
+        assert macro.words_per_row() == 8
+        assert macro.multiply(15, 15) == 225
+        # 2-bit mode quadruples the vector width again.
+        macro.set_precision(2)
+        assert macro.words_per_row() == 16
+        assert macro.multiply(3, 3) == 9
+
+    def test_energy_grows_superlinearly_with_precision(self):
+        energies = {}
+        for bits in (2, 4, 8):
+            macro = IMCMacro(MacroConfig(precision_bits=bits))
+            macro.multiply((1 << bits) - 1, (1 << bits) - 1)
+            energies[bits] = macro.stats.energy_for(Opcode.MULT)
+        assert energies[4] > 2 * energies[2]
+        assert energies[8] > 2 * energies[4]
+
+
+class TestDnnOnImcIntegration:
+    def test_quantised_inference_runs_on_macro(self, small_dataset):
+        result = train_mlp(small_dataset, hidden_sizes=(8,), epochs=12, seed=1)
+        quantized = result.model.quantize(4)
+        macro = IMCMacro(MacroConfig(precision_bits=4))
+        backend = IMCMatmulBackend(macro, precision_bits=4)
+        on_imc = quantized.with_backend(backend)
+        sample = small_dataset.test_x[:3]
+        predictions = on_imc.predict(sample)
+        assert np.array_equal(predictions, quantized.predict(sample))
+        assert macro.stats.total_cycles > 0
+        assert macro.stats.energy_for(Opcode.MULT) > 0
+
+    def test_precision_study_driver(self):
+        study = exp.dnn_precision_study(
+            precisions=(8, 2),
+            samples=240,
+            features=8,
+            classes=3,
+            hidden_sizes=(12,),
+            epochs=10,
+            verify_samples=1,
+        )
+        assert study.imc_backend_verified is True
+        assert study.float_accuracy > 0.8
+        assert study.accuracy_by_precision[8] >= study.accuracy_by_precision[2]
+        assert study.energy_per_inference_j[8] > study.energy_per_inference_j[2]
+        assert study.mac_count_per_inference > 0
+
+
+class TestVoltageScalingScenario:
+    def test_low_voltage_trades_speed_for_efficiency(self):
+        low = IMCMacro(MacroConfig(operating_point=OperatingPoint(vdd=0.6)))
+        high = IMCMacro(MacroConfig(operating_point=OperatingPoint(vdd=1.1)))
+        low.add(100, 100)
+        high.add(100, 100)
+        # Slower...
+        assert low.max_frequency_hz() < high.max_frequency_hz()
+        # ...but more energy-efficient per operation.
+        assert low.stats.energy_for(Opcode.ADD) < high.stats.energy_for(Opcode.ADD)
+
+    def test_supply_sweep_matches_frequency_model(self):
+        from repro.circuits.frequency import FrequencyModel
+        from repro.tech import CALIBRATED_28NM, ProcessCorner, default_macro_calibration
+
+        model = FrequencyModel(CALIBRATED_28NM, default_macro_calibration())
+        for vdd in (0.7, 0.9, 1.1):
+            macro = IMCMacro(
+                MacroConfig(
+                    operating_point=OperatingPoint(vdd=vdd, corner=ProcessCorner.FF)
+                )
+            )
+            assert macro.max_frequency_hz() == pytest.approx(
+                model.max_frequency(vdd).max_frequency_hz, rel=1e-6
+            )

@@ -1,0 +1,107 @@
+"""Unit tests for the interleaved column/word layout (repro.core.layout)."""
+
+import pytest
+
+from repro.core.layout import ColumnLayout
+from repro.errors import AddressError, ConfigurationError, PrecisionError
+
+
+@pytest.fixture()
+def layout():
+    return ColumnLayout(columns=128, interleave=4, phase=0)
+
+
+class TestConstruction:
+    def test_defaults(self, layout):
+        assert layout.active_column_count == 32
+
+    def test_phase_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ColumnLayout(columns=128, interleave=4, phase=4)
+
+    def test_columns_must_tile_interleave(self):
+        with pytest.raises(ConfigurationError):
+            ColumnLayout(columns=130, interleave=4)
+
+
+class TestActiveColumns:
+    def test_active_columns_are_strided(self, layout):
+        columns = layout.active_columns()
+        assert columns[0] == 0
+        assert columns[1] == 4
+        assert len(columns) == 32
+
+    def test_phase_offsets_columns(self):
+        layout = ColumnLayout(columns=16, interleave=4, phase=2)
+        assert layout.active_columns().tolist() == [2, 6, 10, 14]
+
+    def test_active_index_to_column(self, layout):
+        assert layout.active_index_to_column(5) == 20
+        with pytest.raises(AddressError):
+            layout.active_index_to_column(32)
+
+
+class TestWordLayout:
+    def test_words_per_row(self, layout):
+        assert layout.words_per_row(8) == 4
+        assert layout.words_per_row(4) == 8
+        assert layout.words_per_row(2) == 16
+
+    def test_unsupported_precision_rejected(self, layout):
+        with pytest.raises(PrecisionError):
+            layout.words_per_row(3)
+
+    def test_precision_that_does_not_tile_rejected(self):
+        layout = ColumnLayout(columns=24, interleave=4)  # 6 active columns
+        with pytest.raises(PrecisionError):
+            layout.words_per_row(4)
+
+    def test_word_columns_lsb_first(self, layout):
+        columns = layout.word_columns(1, 8)
+        assert columns.tolist() == [32, 36, 40, 44, 48, 52, 56, 60]
+
+    def test_word_index_out_of_range(self, layout):
+        with pytest.raises(AddressError):
+            layout.word_columns(4, 8)
+
+    def test_word_active_indices_contiguous(self, layout):
+        assert layout.word_active_indices(2, 8).tolist() == list(range(16, 24))
+
+
+class TestMultSlots:
+    def test_slots_per_row(self, layout):
+        assert layout.mult_slots_per_row(8) == 2
+        assert layout.mult_slots_per_row(4) == 4
+        assert layout.mult_slots_per_row(2) == 8
+
+    def test_slot_columns_span_two_precision_units(self, layout):
+        columns = layout.slot_columns(0, 8)
+        assert len(columns) == 16
+        assert columns[0] == 0
+
+    def test_slot_index_out_of_range(self, layout):
+        with pytest.raises(AddressError):
+            layout.slot_columns(2, 8)
+
+    def test_mult_needs_two_units(self):
+        layout = ColumnLayout(columns=32, interleave=4)  # 8 active columns
+        with pytest.raises(PrecisionError):
+            layout.mult_slots_per_row(8)
+
+
+class TestGroups:
+    def test_precision_groups_tile_active_columns(self, layout):
+        groups = layout.precision_groups(8)
+        assert groups[0] == (0, 8)
+        assert groups[-1] == (24, 32)
+        assert len(groups) == 4
+
+    def test_slot_groups_tile_active_columns(self, layout):
+        groups = layout.slot_groups(8)
+        assert groups == [(0, 16), (16, 32)]
+
+    def test_groups_for_all_supported_precisions(self, layout):
+        for bits in (2, 4, 8, 16):
+            groups = layout.precision_groups(bits)
+            covered = sum(stop - start for start, stop in groups)
+            assert covered == layout.active_column_count

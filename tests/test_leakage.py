@@ -1,0 +1,88 @@
+"""Unit tests for the static-power (leakage) model."""
+
+import pytest
+
+from repro.circuits.energy import OperationEnergyModel
+from repro.circuits.leakage import LeakageModel, LeakageParameters
+from repro.errors import ConfigurationError
+from repro.tech import OperatingPoint, ProcessCorner
+
+
+@pytest.fixture()
+def model():
+    return LeakageModel()
+
+
+class TestLeakagePower:
+    def test_magnitude_is_plausible(self, model):
+        power = model.leakage_power(OperatingPoint(vdd=0.9))
+        # A 16 Kb 28 nm array leaks on the order of microwatts to tens of
+        # microwatts.
+        assert 1e-6 < power < 1e-4
+
+    def test_increases_with_supply(self, model):
+        low = model.leakage_power(OperatingPoint(vdd=0.6))
+        high = model.leakage_power(OperatingPoint(vdd=1.1))
+        assert high > 2 * low
+
+    def test_increases_with_temperature(self, model):
+        cold = model.leakage_power(OperatingPoint(temperature_c=25.0))
+        hot = model.leakage_power(OperatingPoint(temperature_c=85.0))
+        assert hot > 5 * cold
+
+    def test_fast_corner_leaks_more(self, model):
+        ss = model.leakage_power(OperatingPoint(corner=ProcessCorner.SS))
+        ff = model.leakage_power(OperatingPoint(corner=ProcessCorner.FF))
+        assert ff > ss
+
+    def test_scales_with_array_size(self):
+        small = LeakageModel(rows=64, cols=64)
+        large = LeakageModel(rows=128, cols=128)
+        point = OperatingPoint()
+        assert large.leakage_power(point) > 3 * small.leakage_power(point)
+
+    def test_peripheral_share_is_small(self, model):
+        share = model.peripheral_share(OperatingPoint())
+        assert 0.0 < share < 0.1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeakageParameters(cell_leakage_a=0.0)
+
+
+class TestEfficiencyWithLeakage:
+    def test_leakage_reduces_tops_per_watt(self, model, calibration):
+        energy_model = OperationEnergyModel(calibration)
+        point = OperatingPoint(vdd=0.6)
+        dynamic = energy_model.add_energy(8, vdd=0.6).total_j
+        dynamic_only = 1.0 / (dynamic * 1e12)
+        with_leakage = model.effective_tops_per_watt(
+            dynamic_energy_j=dynamic,
+            operation_cycles=1,
+            cycle_time_s=2.6e-9,
+            point=point,
+            parallel_operations=4,
+        )
+        assert with_leakage < dynamic_only
+        # Leakage is a correction, not the dominant term, for a busy macro.
+        assert with_leakage > 0.5 * dynamic_only
+
+    def test_parallelism_amortises_leakage(self, model):
+        point = OperatingPoint(vdd=0.6)
+        serial = model.energy_per_operation_with_leakage(
+            100e-15, 1, 2.6e-9, point, parallel_operations=1
+        )
+        parallel = model.energy_per_operation_with_leakage(
+            100e-15, 1, 2.6e-9, point, parallel_operations=4
+        )
+        assert parallel < serial
+
+    def test_longer_operations_pay_more_leakage(self, model):
+        point = OperatingPoint(vdd=0.6)
+        one_cycle = model.energy_per_operation_with_leakage(100e-15, 1, 2.6e-9, point)
+        ten_cycles = model.energy_per_operation_with_leakage(100e-15, 10, 2.6e-9, point)
+        assert ten_cycles > one_cycle
+
+    def test_argument_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.energy_per_operation_with_leakage(1e-15, 0, 1e-9, OperatingPoint())

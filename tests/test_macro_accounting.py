@@ -1,0 +1,156 @@
+"""Cycle, energy and latency accounting of the macro (Table I / Table II
+consistency at the system level)."""
+
+import pytest
+
+from repro.circuits.wordline import WordlineScheme
+from repro.core import IMCMacro, MacroConfig, Opcode, cycles_for
+from repro.tech import OperatingPoint
+
+
+class TestCycleAccounting:
+    @pytest.mark.parametrize("precision", [2, 4, 8])
+    def test_measured_cycles_match_table1(self, precision):
+        macro = IMCMacro(MacroConfig(precision_bits=precision))
+        operand = (1 << precision) - 2
+        for opcode in Opcode:
+            macro.reset_stats()
+            if opcode.is_dual_wordline:
+                macro.compute(opcode, operand, 3)
+            else:
+                macro.compute(opcode, operand)
+            assert macro.stats.cycles_for(opcode) == cycles_for(opcode, precision)
+
+    def test_operation_result_reports_cycles(self, macro):
+        macro.write_words(0, [1, 2, 3, 4])
+        macro.write_words(1, [5, 6, 7, 8])
+        result = macro.execute(Opcode.ADD, 0, 1)
+        assert result.cycles == 1
+        result = macro.execute(Opcode.MULT, 0, 1, dest_row=2)
+        assert result.cycles == 10
+
+    def test_cycles_accumulate(self, macro):
+        macro.reset_stats()
+        macro.add(1, 2)
+        macro.subtract(5, 3)
+        macro.multiply(10, 10)
+        assert macro.stats.total_cycles == 1 + 2 + 10
+
+
+class TestEnergyAccounting:
+    def test_energy_matches_model_per_word(self, macro):
+        macro.reset_stats()
+        macro.add(100, 50)
+        expected = macro.energy_model.add_energy(8, vdd=0.9).total_j
+        assert macro.stats.energy_for(Opcode.ADD) == pytest.approx(expected)
+
+    def test_vector_energy_scales_with_words(self, macro):
+        macro.write_words(0, [1, 2, 3, 4])
+        macro.write_words(1, [5, 6, 7, 8])
+        macro.reset_stats()
+        macro.execute(Opcode.ADD, 0, 1)
+        expected = 4 * macro.energy_model.add_energy(8, vdd=0.9).total_j
+        assert macro.stats.energy_for(Opcode.ADD) == pytest.approx(expected)
+
+    def test_bl_separator_lowers_mult_energy(self):
+        with_sep = IMCMacro(MacroConfig(bl_separator=True))
+        without_sep = IMCMacro(MacroConfig(bl_separator=False))
+        with_sep.multiply(100, 100)
+        without_sep.multiply(100, 100)
+        assert (
+            with_sep.stats.energy_for(Opcode.MULT)
+            < without_sep.stats.energy_for(Opcode.MULT)
+        )
+
+    def test_energy_scales_with_supply(self):
+        low = IMCMacro(MacroConfig(operating_point=OperatingPoint(vdd=0.6)))
+        high = IMCMacro(MacroConfig(operating_point=OperatingPoint(vdd=1.1)))
+        low.add(10, 20)
+        high.add(10, 20)
+        assert low.stats.energy_for(Opcode.ADD) < high.stats.energy_for(Opcode.ADD)
+
+    def test_operation_result_energy_per_word(self, macro):
+        macro.write_words(0, [1, 2, 3, 4])
+        macro.write_words(1, [5, 6, 7, 8])
+        result = macro.execute(Opcode.ADD, 0, 1)
+        assert result.energy_per_word_j == pytest.approx(result.energy_j / 4)
+
+
+class TestTimingAccounting:
+    def test_cycle_time_matches_breakdown(self, macro):
+        expected = macro.delay_model.cycle_time(
+            macro.config.operating_point, precision_bits=8, bl_separator=True
+        )
+        assert macro.cycle_time_s() == pytest.approx(expected)
+
+    def test_max_frequency_at_nominal(self, macro):
+        # 603 ps cycle at 0.9 V NN -> ~1.66 GHz.
+        assert macro.max_frequency_hz() == pytest.approx(1.66e9, rel=0.05)
+
+    def test_latency_is_cycles_times_cycle_time(self, macro):
+        result_add = macro.execute(Opcode.ADD, 0, 1)
+        assert result_add.latency_s == pytest.approx(macro.cycle_time_s())
+        result_mult = macro.execute(Opcode.MULT, 0, 1, dest_row=2)
+        assert result_mult.latency_s == pytest.approx(10 * macro.cycle_time_s())
+
+    def test_lower_precision_has_shorter_cycle(self, macro):
+        assert macro.cycle_time_s(2) < macro.cycle_time_s(8)
+
+    def test_low_voltage_macro_is_slower(self):
+        slow = IMCMacro(MacroConfig(operating_point=OperatingPoint(vdd=0.6)))
+        fast = IMCMacro(MacroConfig(operating_point=OperatingPoint(vdd=1.1)))
+        assert slow.max_frequency_hz() < fast.max_frequency_hz()
+
+
+class TestStatsBookkeeping:
+    def test_array_accesses_tracked(self, macro):
+        macro.reset_stats()
+        macro.add(1, 2)
+        assert macro.stats.array_accesses >= 1
+
+    def test_reset_stats(self, macro):
+        macro.add(1, 2)
+        macro.reset_stats()
+        assert macro.stats.total_cycles == 0
+        assert macro.stats.array_accesses == 0
+
+    def test_decoder_history_counts_dual_activations(self, macro):
+        macro.reset_stats()
+        macro.add(1, 2)
+        assert macro.decoder.dual_activation_count >= 1
+
+    def test_words_accounting_override(self, macro):
+        macro.write_words(0, [1, 2, 3, 4])
+        macro.write_words(1, [5, 6, 7, 8])
+        macro.reset_stats()
+        macro.execute(Opcode.ADD, 0, 1, words=2)
+        assert macro.stats.words_for(Opcode.ADD) == 2
+
+
+class TestReadDisturbInjection:
+    def test_naive_full_static_scheme_corrupts_data(self):
+        config = MacroConfig(
+            wordline_scheme=WordlineScheme.FULL_STATIC,
+            inject_read_disturb=True,
+            seed=1,
+        )
+        macro = IMCMacro(config)
+        corrupted = 0
+        for trial in range(300):
+            macro.write_word(0, 0, 0xAA)
+            macro.write_word(1, 0, 0x55)
+            macro.execute(Opcode.AND, 0, 1, words=1)
+            if macro.read_word(0, 0) != 0xAA or macro.read_word(1, 0) != 0x55:
+                corrupted += 1
+        assert corrupted > 0
+        assert macro.stats.disturb_events > 0
+
+    def test_proposed_scheme_keeps_data_intact(self):
+        config = MacroConfig(inject_read_disturb=True, seed=1)
+        macro = IMCMacro(config)
+        for trial in range(300):
+            macro.write_word(0, 0, 0xAA)
+            macro.write_word(1, 0, 0x55)
+            macro.execute(Opcode.AND, 0, 1, words=1)
+            assert macro.read_word(0, 0) == 0xAA
+            assert macro.read_word(1, 0) == 0x55

@@ -1,0 +1,59 @@
+"""Tests for memory-level element-wise distribution across macros."""
+
+import numpy as np
+import pytest
+
+from repro.core import IMCMemory, MacroConfig, Opcode
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def memory():
+    return IMCMemory(banks=2, capacity_bytes=8 * 1024, config=MacroConfig())
+
+
+class TestMemoryElementwise:
+    def test_add_across_macros(self, memory):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, size=40).tolist()
+        b = rng.integers(0, 256, size=40).tolist()
+        results = memory.elementwise(Opcode.ADD, a, b)
+        assert results == [(x + y) % 256 for x, y in zip(a, b)]
+
+    def test_mult_across_macros(self, memory):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, size=9).tolist()
+        b = rng.integers(0, 256, size=9).tolist()
+        results = memory.elementwise(Opcode.MULT, a, b)
+        assert results == [x * y for x, y in zip(a, b)]
+
+    def test_single_operand_operation(self, memory):
+        values = list(range(10))
+        assert memory.elementwise(Opcode.NOT, values) == [(~v) % 256 for v in values]
+
+    def test_work_spreads_across_multiple_macros(self):
+        memory = IMCMemory(banks=2, capacity_bytes=8 * 1024, config=MacroConfig())
+        memory.reset_stats()
+        a = list(range(64))
+        b = list(range(64, 128))
+        memory.elementwise(Opcode.ADD, a, b)
+        busy_macros = sum(
+            1
+            for bank in memory.banks
+            for macro in bank.macros
+            if macro.stats.total_invocations > 0
+        )
+        assert busy_macros == memory.total_macros  # 16 chunks over 4 macros
+
+    def test_results_preserve_order(self, memory):
+        a = list(range(1, 21))
+        b = [1] * 20
+        assert memory.elementwise(Opcode.SUB, a, b) == list(range(0, 20))
+
+    def test_length_mismatch_rejected(self, memory):
+        with pytest.raises(ConfigurationError):
+            memory.elementwise(Opcode.ADD, [1, 2], [1])
+
+    def test_precision_override(self, memory):
+        results = memory.elementwise(Opcode.MULT, [15, 14], [15, 13], precision_bits=4)
+        assert results == [225, 182]

@@ -1,0 +1,94 @@
+"""Unit tests for the Monte-Carlo delay-distribution engine (Fig. 2 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.montecarlo import DelayDistribution, MonteCarloEngine
+from repro.circuits.wordline import WordlineScheme
+from repro.tech import OperatingPoint
+
+
+@pytest.fixture(scope="module")
+def engine():
+    from repro.tech import CALIBRATED_28NM, default_macro_calibration
+
+    return MonteCarloEngine(CALIBRATED_28NM, default_macro_calibration(), seed=123)
+
+
+class TestDelayDistribution:
+    def test_from_samples_statistics(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        dist = DelayDistribution.from_samples(WordlineScheme.WLUD, samples)
+        assert dist.mean_s == pytest.approx(2.5)
+        assert dist.minimum_s == 1.0
+        assert dist.maximum_s == 4.0
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            DelayDistribution.from_samples(WordlineScheme.WLUD, np.array([]))
+
+    def test_histogram_fractions_sum_to_one(self):
+        samples = np.random.default_rng(0).normal(1.0, 0.1, 500)
+        dist = DelayDistribution.from_samples(WordlineScheme.WLUD, samples)
+        fractions, edges = dist.histogram(bins=20)
+        assert fractions.sum() == pytest.approx(1.0)
+        assert len(edges) == 21
+
+    def test_tail_ratio(self):
+        samples = np.concatenate([np.full(999, 1.0), [10.0]])
+        dist = DelayDistribution.from_samples(WordlineScheme.WLUD, samples)
+        assert dist.tail_ratio > 1.0
+
+
+class TestMonteCarloEngine:
+    def test_sample_count(self, engine):
+        delays = engine.sample_delays(WordlineScheme.WLUD, samples=200)
+        assert delays.shape == (200,)
+        assert np.all(delays > 0)
+
+    def test_seed_reproducibility(self, technology, calibration):
+        first = MonteCarloEngine(technology, calibration, seed=7).sample_delays(
+            WordlineScheme.WLUD, 100
+        )
+        second = MonteCarloEngine(technology, calibration, seed=7).sample_delays(
+            WordlineScheme.WLUD, 100
+        )
+        assert np.allclose(first, second)
+
+    def test_wlud_distribution_has_long_tail(self, engine):
+        comparison = engine.compare_schemes(samples=800)
+        wlud = comparison[WordlineScheme.WLUD]
+        proposed = comparison[WordlineScheme.SHORT_PULSE_BOOST]
+        # Fig. 2: WLUD shows a long-tail distribution, the proposed scheme a
+        # short-tail one.
+        assert wlud.tail_ratio > 1.5
+        assert proposed.tail_ratio < 1.3
+        assert wlud.tail_ratio > 1.5 * proposed.tail_ratio
+
+    def test_proposed_is_faster_on_average(self, engine):
+        comparison = engine.compare_schemes(samples=500)
+        assert (
+            comparison[WordlineScheme.SHORT_PULSE_BOOST].mean_s
+            < 0.4 * comparison[WordlineScheme.WLUD].mean_s
+        )
+
+    def test_proposed_spread_is_much_tighter(self, engine):
+        comparison = engine.compare_schemes(samples=500)
+        wlud = comparison[WordlineScheme.WLUD]
+        proposed = comparison[WordlineScheme.SHORT_PULSE_BOOST]
+        assert proposed.std_s / proposed.mean_s < 0.5 * (wlud.std_s / wlud.mean_s)
+
+    def test_low_voltage_increases_delays(self, engine):
+        nominal = engine.delay_distribution(
+            WordlineScheme.SHORT_PULSE_BOOST, samples=150, point=OperatingPoint(vdd=0.9)
+        )
+        low = engine.delay_distribution(
+            WordlineScheme.SHORT_PULSE_BOOST, samples=150, point=OperatingPoint(vdd=0.7)
+        )
+        assert low.mean_s > nominal.mean_s
+
+    def test_rejects_non_positive_sample_count(self, engine):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            engine.sample_delays(WordlineScheme.WLUD, 0)

@@ -1,0 +1,80 @@
+"""Unit tests for the opcode set and Table I cycle counts."""
+
+import pytest
+
+from repro.core.operations import (
+    Opcode,
+    OperationCategory,
+    SUPPORTED_PRECISIONS,
+    cycles_for,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOpcodeProperties:
+    def test_single_wordline_operations(self):
+        for opcode in (Opcode.NOT, Opcode.COPY, Opcode.SHIFT_LEFT):
+            assert opcode.is_dual_wordline is False
+
+    def test_dual_wordline_operations(self):
+        for opcode in (Opcode.AND, Opcode.XOR, Opcode.ADD, Opcode.SUB, Opcode.MULT):
+            assert opcode.is_dual_wordline is True
+
+    def test_logic_category(self):
+        for opcode in (Opcode.AND, Opcode.NAND, Opcode.OR, Opcode.NOR, Opcode.XOR, Opcode.XNOR):
+            assert opcode.is_logic is True
+            assert opcode.category is OperationCategory.LOGIC
+
+    def test_composite_category(self):
+        assert Opcode.SUB.category is OperationCategory.COMPOSITE
+        assert Opcode.MULT.category is OperationCategory.COMPOSITE
+
+    def test_move_operations_write_back(self):
+        for opcode in (Opcode.NOT, Opcode.COPY, Opcode.SHIFT_LEFT, Opcode.ADD_SHIFT):
+            assert opcode.writes_back is True
+        assert Opcode.ADD.writes_back is False
+
+    def test_energy_mnemonics_exist_for_every_opcode(self):
+        for opcode in Opcode:
+            assert isinstance(opcode.energy_mnemonic, str)
+            assert opcode.energy_mnemonic
+
+
+class TestCycleCounts:
+    """Table I: every operation is 1 cycle except SUB (2) and MULT (N+2)."""
+
+    @pytest.mark.parametrize("bits", [2, 4, 8, 16, 32])
+    def test_single_cycle_operations(self, bits):
+        for opcode in (
+            Opcode.AND,
+            Opcode.NAND,
+            Opcode.OR,
+            Opcode.NOR,
+            Opcode.XOR,
+            Opcode.XNOR,
+            Opcode.NOT,
+            Opcode.COPY,
+            Opcode.SHIFT_LEFT,
+            Opcode.ADD,
+            Opcode.ADD_SHIFT,
+        ):
+            assert cycles_for(opcode, bits) == 1
+
+    @pytest.mark.parametrize("bits", [2, 4, 8, 16, 32])
+    def test_sub_is_two_cycles(self, bits):
+        assert cycles_for(Opcode.SUB, bits) == 2
+
+    @pytest.mark.parametrize("bits, expected", [(2, 4), (4, 6), (8, 10), (16, 18), (32, 34)])
+    def test_mult_is_n_plus_two_cycles(self, bits, expected):
+        assert cycles_for(Opcode.MULT, bits) == expected
+
+    def test_supported_precisions(self):
+        assert SUPPORTED_PRECISIONS == (2, 4, 8, 16, 32)
+
+    def test_unsupported_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cycles_for(Opcode.ADD, 3)
+
+    def test_non_positive_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cycles_for(Opcode.ADD, 0)

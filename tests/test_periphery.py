@@ -1,0 +1,160 @@
+"""Unit tests for the column periphery (carry chain + precision groups)."""
+
+import numpy as np
+import pytest
+
+from repro.core.array import BitlineComputeOutput
+from repro.core.operations import Opcode
+from repro.core.periphery import ColumnPeriphery
+from repro.errors import ConfigurationError
+from repro.utils.bitops import bits_to_int, int_to_bits
+
+
+def _output_for(a: int, b: int, width: int) -> BitlineComputeOutput:
+    """Build the BL-computing output for two operands laid out LSB-first."""
+    bits_a = np.array(int_to_bits(a, width), dtype=np.int64)
+    bits_b = np.array(int_to_bits(b, width), dtype=np.int64)
+    return BitlineComputeOutput(
+        and_bits=(bits_a & bits_b).astype(np.uint8),
+        nor_bits=(1 - (bits_a | bits_b)).astype(np.uint8),
+        dual_wordline=True,
+    )
+
+
+@pytest.fixture()
+def periphery():
+    return ColumnPeriphery(active_columns=32)
+
+
+class TestLogic:
+    def test_logic_all_functions(self, periphery):
+        a, b = 0b10110100, 0b01010101
+        output = _output_for(a, b, 8)
+        expectations = {
+            Opcode.AND: a & b,
+            Opcode.NAND: (~(a & b)) & 0xFF,
+            Opcode.OR: a | b,
+            Opcode.NOR: (~(a | b)) & 0xFF,
+            Opcode.XOR: a ^ b,
+            Opcode.XNOR: (~(a ^ b)) & 0xFF,
+        }
+        for opcode, expected in expectations.items():
+            result = periphery.compute_logic(opcode, output)
+            assert bits_to_int(result) == expected, opcode
+
+
+class TestRippleAdd:
+    def test_single_group_addition(self, periphery):
+        output = _output_for(200, 100, 8)
+        result = periphery.ripple_add(output, [(0, 8)])
+        assert result.group_value(0) == (200 + 100) % 256
+        assert result.carry_out == [1]
+
+    def test_carry_in_one(self, periphery):
+        output = _output_for(10, 20, 8)
+        result = periphery.ripple_add(output, [(0, 8)], carry_in=1)
+        assert result.group_value(0) == 31
+
+    def test_carry_does_not_cross_group_boundary(self, periphery):
+        # Two 4-bit words packed next to each other: 15 + 1 overflows the
+        # first group but must not spill a carry into the second.
+        a = 15 | (3 << 4)
+        b = 1 | (2 << 4)
+        output = _output_for(a, b, 8)
+        result = periphery.ripple_add(output, [(0, 4), (4, 8)])
+        assert result.group_value(0) == 0
+        assert result.group_value(1) == 5
+        assert result.carry_out == [1, 0]
+
+    def test_groups_must_tile(self, periphery):
+        output = _output_for(1, 2, 8)
+        with pytest.raises(ConfigurationError):
+            periphery.ripple_add(output, [(0, 4)])
+        with pytest.raises(ConfigurationError):
+            periphery.ripple_add(output, [(0, 4), (5, 8)])
+
+    def test_invalid_carry_in(self, periphery):
+        output = _output_for(1, 2, 8)
+        with pytest.raises(ConfigurationError):
+            periphery.ripple_add(output, [(0, 8)], carry_in=2)
+
+    def test_matches_reference_add(self, periphery):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b = int(rng.integers(0, 256)), int(rng.integers(0, 256))
+            output = _output_for(a, b, 8)
+            result = periphery.ripple_add(output, [(0, 8)])
+            reference, carry = ColumnPeriphery.reference_add(
+                np.array(int_to_bits(a, 8)), np.array(int_to_bits(b, 8))
+            )
+            assert result.sum_bits[:8].tolist() == reference.tolist()
+            assert result.carry_out[0] == carry
+
+
+class TestShift:
+    def test_shift_left_within_group(self, periphery):
+        bits = np.array(int_to_bits(0b0101, 4), dtype=np.uint8)
+        shifted = periphery.shift_left_within_groups(bits, [(0, 4)])
+        assert bits_to_int(shifted) == 0b1010
+
+    def test_shift_drops_msb_at_group_boundary(self, periphery):
+        bits = np.array(int_to_bits(0b1000, 4), dtype=np.uint8)
+        shifted = periphery.shift_left_within_groups(bits, [(0, 4)])
+        assert bits_to_int(shifted) == 0
+
+    def test_shift_fill_bit(self, periphery):
+        bits = np.zeros(4, dtype=np.uint8)
+        shifted = periphery.shift_left_within_groups(bits, [(0, 4)], fill_bit=1)
+        assert bits_to_int(shifted) == 1
+
+    def test_shift_respects_independent_groups(self, periphery):
+        value = np.array(int_to_bits(0b1111_0001, 8), dtype=np.uint8)
+        shifted = periphery.shift_left_within_groups(value, [(0, 4), (4, 8)])
+        assert bits_to_int(shifted[:4]) == 0b0010
+        assert bits_to_int(shifted[4:8]) == 0b1110
+
+    def test_invalid_fill_bit(self, periphery):
+        with pytest.raises(ConfigurationError):
+            periphery.shift_left_within_groups(np.zeros(4, dtype=np.uint8), [(0, 4)], fill_bit=2)
+
+
+class TestMultiplierFlipFlops:
+    def test_load_and_read_back(self, periphery):
+        groups = [(0, 16), (16, 32)]
+        bits = [1, 0, 1, 1] + [0] * 12 + [0, 1, 0, 0] + [0] * 12
+        periphery.load_multiplier_bits(bits, groups)
+        assert periphery.multiplier_bit((0, 16), 0) == 1
+        assert periphery.multiplier_bit((0, 16), 2) == 1
+        assert periphery.multiplier_bit((16, 32), 1) == 1
+        assert periphery.multiplier_bit((16, 32), 0) == 0
+
+    def test_wrong_bit_count_rejected(self, periphery):
+        with pytest.raises(ConfigurationError):
+            periphery.load_multiplier_bits([1, 0], [(0, 16), (16, 32)])
+
+    def test_position_out_of_group_rejected(self, periphery):
+        groups = [(0, 32)]
+        periphery.load_multiplier_bits([0] * 32, groups)
+        with pytest.raises(ConfigurationError):
+            periphery.multiplier_bit((0, 32), 32)
+
+    def test_reset_clears_ffs(self, periphery):
+        groups = [(0, 32)]
+        periphery.load_multiplier_bits([1] * 32, groups)
+        periphery.reset()
+        assert periphery.multiplier_bit((0, 32), 5) == 0
+
+
+class TestValidation:
+    def test_too_many_bits_rejected(self, periphery):
+        output = BitlineComputeOutput(
+            and_bits=np.zeros(64, dtype=np.uint8),
+            nor_bits=np.ones(64, dtype=np.uint8),
+            dual_wordline=True,
+        )
+        with pytest.raises(ConfigurationError):
+            periphery.ripple_add(output, [(0, 64)])
+
+    def test_reference_add_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ColumnPeriphery.reference_add(np.zeros(4), np.zeros(5))

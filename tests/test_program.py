@@ -1,0 +1,118 @@
+"""Unit tests for the program / executor abstraction (repro.core.program)."""
+
+import pytest
+
+from repro.core import IMCMacro, MacroConfig, Opcode
+from repro.core.program import Instruction, Program, ProgramExecutor
+from repro.errors import AddressError, ConfigurationError, PrecisionError
+
+
+def _axpy_program() -> Program:
+    """(a * b) then (+ c): a small multiply-accumulate schedule."""
+    return Program(name="axpy").extend(
+        [
+            Instruction(Opcode.MULT, row_a=0, row_b=1, dest_row=4, label="a*b"),
+            Instruction(Opcode.ADD, row_a=4, row_b=2, dest_row=5, label="+c"),
+        ]
+    )
+
+
+class TestInstruction:
+    def test_operand_requirements(self):
+        assert Instruction(Opcode.ADD, 0, 1).needs_second_operand() is True
+        assert Instruction(Opcode.NOT, 0).needs_second_operand() is False
+        assert Instruction(Opcode.SUB, 0, 1, 2).needs_destination() is True
+        assert Instruction(Opcode.AND, 0, 1).needs_destination() is False
+
+    def test_cycle_count_uses_override_precision(self):
+        instruction = Instruction(Opcode.MULT, 0, 1, 2, precision_bits=4)
+        assert instruction.cycle_count(default_precision=8) == 6
+        assert Instruction(Opcode.MULT, 0, 1, 2).cycle_count(8) == 10
+
+
+class TestProgramValidation:
+    def test_valid_program_passes(self):
+        _axpy_program().validate(MacroConfig())
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Program().validate(MacroConfig())
+
+    def test_row_out_of_range(self):
+        program = Program().append(Instruction(Opcode.ADD, 0, 200, 2))
+        with pytest.raises(AddressError):
+            program.validate(MacroConfig())
+
+    def test_missing_operand(self):
+        program = Program().append(Instruction(Opcode.ADD, 0))
+        with pytest.raises(ConfigurationError):
+            program.validate(MacroConfig())
+
+    def test_missing_destination(self):
+        program = Program().append(Instruction(Opcode.MULT, 0, 1))
+        with pytest.raises(ConfigurationError):
+            program.validate(MacroConfig())
+
+    def test_unsupported_precision(self):
+        program = Program().append(Instruction(Opcode.ADD, 0, 1, precision_bits=3))
+        with pytest.raises(PrecisionError):
+            program.validate(MacroConfig())
+
+    def test_cycle_estimate(self):
+        assert _axpy_program().cycle_estimate(default_precision=8) == 11
+
+    def test_append_and_extend_chain(self):
+        program = Program().append(Instruction(Opcode.NOT, 0, dest_row=1))
+        assert len(program) == 1
+        program.extend([Instruction(Opcode.COPY, 1, dest_row=2)])
+        assert len(program) == 2
+
+
+class TestProgramExecution:
+    def test_axpy_computes_expected_values(self):
+        macro = IMCMacro(MacroConfig())
+        # a, b in the lower unit of each slot; c spans the slot (16-bit view
+        # is not needed because the products stay small here).
+        macro.write_word(0, 0, 12)
+        macro.write_word(0, 2, 5)
+        macro.write_word(1, 0, 9)
+        macro.write_word(1, 2, 7)
+        macro.write_words(2, [40, 0, 4, 0])
+        executor = ProgramExecutor(macro)
+        trace = executor.run(_axpy_program())
+        assert trace.instruction_count == 2
+        # slot products: 12*9=108 and 5*7=35, written to row 4.
+        assert macro.read_slot_product(4, 0) == 108
+        assert macro.read_slot_product(4, 1) == 35
+        # The ADD then adds row 2 word-wise: word0 108+40, word2 35+4.
+        assert trace.result(1).values[0] == 148
+        assert trace.result(1).values[2] == 39
+
+    def test_trace_totals_match_macro_stats(self):
+        macro = IMCMacro(MacroConfig())
+        macro.write_words(0, [1, 2, 3, 4])
+        macro.write_words(1, [5, 6, 7, 8])
+        macro.write_words(2, [1, 1, 1, 1])
+        executor = ProgramExecutor(macro)
+        macro.reset_stats()
+        trace = executor.run(_axpy_program())
+        assert trace.total_cycles == macro.stats.total_cycles
+        assert trace.total_energy_j == pytest.approx(macro.stats.total_energy_j)
+        assert trace.total_latency_s > 0
+
+    def test_executor_validates_by_default(self):
+        executor = ProgramExecutor(IMCMacro())
+        bad = Program().append(Instruction(Opcode.ADD, 0, 500, 2))
+        with pytest.raises(AddressError):
+            executor.run(bad)
+
+    def test_per_instruction_precision_override(self):
+        macro = IMCMacro(MacroConfig())
+        macro.write_word(0, 0, 9, precision_bits=4)
+        macro.write_word(1, 0, 13, precision_bits=4)
+        program = Program().append(
+            Instruction(Opcode.MULT, 0, 1, 3, precision_bits=4)
+        )
+        trace = ProgramExecutor(macro).run(program)
+        assert trace.result(0).values[0] == 117
+        assert trace.result(0).cycles == 6

@@ -1,0 +1,285 @@
+"""Property-based tests (hypothesis) on the core data structures and the
+bit-exact equivalence between the in-memory arithmetic and ordinary integers."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.bitserial import BitSerialIMC
+from repro.baselines.logicfa import LogicGateRippleAdder
+from repro.core import IMCMacro, MacroConfig, Opcode
+from repro.core.array import BitlineComputeOutput
+from repro.core.periphery import ColumnPeriphery
+from repro.core.ypath import fa_from_bitline
+from repro.utils.bitops import (
+    bits_to_int,
+    bitwise_not,
+    from_twos_complement,
+    int_to_bits,
+    reverse_bits,
+    to_twos_complement,
+)
+
+
+#: One shared macro per precision keeps the hypothesis runs fast.
+_MACROS = {}
+
+
+def _macro(precision: int) -> IMCMacro:
+    if precision not in _MACROS:
+        _MACROS[precision] = IMCMacro(MacroConfig(precision_bits=precision))
+    return _MACROS[precision]
+
+
+settings.register_profile(
+    "repro", max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
+settings.load_profile("repro")
+
+
+# ---------------------------------------------------------------------- #
+# Bit-level utilities
+# ---------------------------------------------------------------------- #
+class TestBitopsProperties:
+    @given(value=st.integers(min_value=0, max_value=2**32 - 1), width=st.just(32))
+    def test_int_bits_roundtrip(self, value, width):
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    @given(value=st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_twos_complement_roundtrip(self, value):
+        assert from_twos_complement(to_twos_complement(value, 16), 16) == value
+
+    @given(value=st.integers(min_value=0, max_value=255))
+    def test_double_complement_is_identity(self, value):
+        assert bitwise_not(bitwise_not(value, 8), 8) == value
+
+    @given(value=st.integers(min_value=0, max_value=255))
+    def test_reverse_is_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 8), 8) == value
+
+
+# ---------------------------------------------------------------------- #
+# FA-Logics equations
+# ---------------------------------------------------------------------- #
+class TestFullAdderProperties:
+    @given(a=st.integers(0, 1), b=st.integers(0, 1), carry=st.integers(0, 1))
+    def test_fa_from_bitline_equals_integer_addition(self, a, b, carry):
+        and_ab = a & b
+        nor_ab = 1 - (a | b)
+        sum_bit, carry_out = fa_from_bitline(and_ab, nor_ab, carry)
+        assert 2 * carry_out + sum_bit == a + b + carry
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+        carry=st.integers(0, 1),
+    )
+    def test_ripple_chain_equals_integer_addition(self, a, b, carry):
+        periphery = ColumnPeriphery(active_columns=8)
+        bits_a = np.array(int_to_bits(a, 8), dtype=np.int64)
+        bits_b = np.array(int_to_bits(b, 8), dtype=np.int64)
+        output = BitlineComputeOutput(
+            and_bits=(bits_a & bits_b).astype(np.uint8),
+            nor_bits=(1 - (bits_a | bits_b)).astype(np.uint8),
+            dual_wordline=True,
+        )
+        result = periphery.ripple_add(output, [(0, 8)], carry_in=carry)
+        assert result.group_value(0) + 256 * result.carry_out[0] == a + b + carry
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+        carry=st.integers(0, 1),
+    )
+    def test_logic_gate_adder_equals_integer_addition(self, a, b, carry):
+        adder = LogicGateRippleAdder(width=8)
+        total, carry_out = adder.add(a, b, carry_in=carry)
+        assert total + 256 * carry_out == a + b + carry
+
+
+# ---------------------------------------------------------------------- #
+# Macro arithmetic vs plain integers
+# ---------------------------------------------------------------------- #
+class TestMacroArithmeticProperties:
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    def test_add_matches_modular_integer_addition(self, a, b):
+        assert _macro(8).add(a, b) == (a + b) % 256
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    def test_sub_matches_twos_complement(self, a, b):
+        assert _macro(8).subtract(a, b) == (a - b) % 256
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    def test_mult_matches_full_product(self, a, b):
+        assert _macro(8).multiply(a, b) == a * b
+
+    @given(
+        a=st.integers(min_value=0, max_value=15),
+        b=st.integers(min_value=0, max_value=15),
+    )
+    def test_4bit_mult_matches_full_product(self, a, b):
+        assert _macro(4).multiply(a, b) == a * b
+
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    def test_logic_identities(self, a, b):
+        macro = _macro(8)
+        assert macro.compute(Opcode.XOR, a, b) == (
+            macro.compute(Opcode.OR, a, b) & macro.compute(Opcode.NAND, a, b)
+        )
+        assert macro.compute(Opcode.XNOR, a, b) == 255 - macro.compute(Opcode.XOR, a, b)
+
+    @given(a=st.integers(min_value=0, max_value=255))
+    def test_add_shift_is_add_then_shift(self, a):
+        macro = _macro(8)
+        assert macro.compute(Opcode.ADD_SHIFT, a, a) == ((2 * a) << 1) % 256
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=9),
+    )
+    def test_elementwise_matches_scalar_results(self, values):
+        macro = _macro(8)
+        doubled = macro.elementwise(Opcode.ADD, values, values)
+        assert doubled == [(2 * v) % 256 for v in values]
+
+
+# ---------------------------------------------------------------------- #
+# Proposed macro vs bit-serial baseline (cross-simulator agreement)
+# ---------------------------------------------------------------------- #
+class TestCrossSimulatorProperties:
+    @given(
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+        opcode=st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.MULT, Opcode.XOR]),
+    )
+    def test_bit_parallel_and_bit_serial_agree(self, a, b, opcode):
+        proposed = _macro(8).compute(opcode, a, b)
+        serial = BitSerialIMC().elementwise(opcode, [a], [b], 8).values[0]
+        assert proposed == serial
+
+
+# ---------------------------------------------------------------------- #
+# Energy model invariants
+# ---------------------------------------------------------------------- #
+class TestEnergyProperties:
+    @given(
+        bits=st.sampled_from([2, 4, 8, 16]),
+        vdd=st.floats(min_value=0.6, max_value=1.1),
+    )
+    def test_separator_never_increases_energy(self, bits, vdd, calibration):
+        from repro.circuits.energy import OperationEnergyModel
+
+        model = OperationEnergyModel(calibration)
+        for method in (model.sub_energy, model.mult_energy, model.add_shift_energy):
+            assert (
+                method(bits, vdd=vdd, bl_separator=True).total_j
+                <= method(bits, vdd=vdd, bl_separator=False).total_j
+            )
+
+    @given(bits=st.sampled_from([2, 4, 8]))
+    def test_mult_energy_exceeds_add_energy(self, bits, calibration):
+        from repro.circuits.energy import OperationEnergyModel
+
+        model = OperationEnergyModel(calibration)
+        assert model.mult_energy(bits).total_j > model.add_energy(bits).total_j
+
+    @given(
+        low=st.floats(min_value=0.6, max_value=0.84),
+        high=st.floats(min_value=0.85, max_value=1.1),
+    )
+    def test_energy_monotone_in_voltage(self, low, high, calibration):
+        from repro.circuits.energy import OperationEnergyModel
+
+        model = OperationEnergyModel(calibration)
+        assert model.add_energy(8, vdd=low).total_j < model.add_energy(8, vdd=high).total_j
+
+
+# ---------------------------------------------------------------------- #
+# Timing model invariants
+# ---------------------------------------------------------------------- #
+class TestTimingProperties:
+    @given(vdd=st.floats(min_value=0.6, max_value=1.09))
+    def test_frequency_increases_with_voltage(self, vdd, technology, calibration):
+        from repro.circuits.frequency import FrequencyModel
+
+        model = FrequencyModel(technology, calibration)
+        assert (
+            model.max_frequency(vdd).max_frequency_hz
+            < model.max_frequency(min(vdd + 0.01, 1.1)).max_frequency_hz
+        )
+
+    @given(bits=st.sampled_from([2, 4, 8, 16]))
+    def test_cycle_time_grows_with_precision(self, bits, technology, calibration):
+        from repro.circuits.delay import CycleDelayModel
+        from repro.tech import OperatingPoint
+
+        model = CycleDelayModel(technology, calibration)
+        point = OperatingPoint()
+        if bits < 16:
+            assert model.cycle_time(point, bits) < model.cycle_time(point, 2 * bits)
+
+
+# ---------------------------------------------------------------------- #
+# Kernel and program invariants
+# ---------------------------------------------------------------------- #
+class TestKernelProperties:
+    @given(
+        values=st.lists(
+            st.integers(min_value=-127, max_value=127), min_size=2, max_size=8
+        ),
+    )
+    def test_dot_product_matches_numpy(self, values):
+        from repro.core.kernels import VectorKernels
+
+        kernels = VectorKernels(_macro(8), precision_bits=8)
+        mirrored = list(reversed(values))
+        expected = int(np.dot(values, mirrored))
+        assert kernels.dot(values, mirrored).value == expected
+
+    @given(
+        a=st.lists(st.integers(min_value=-127, max_value=127), min_size=1, max_size=8),
+    )
+    def test_signed_add_then_subtract_roundtrips(self, a):
+        from repro.core.kernels import VectorKernels
+
+        kernels = VectorKernels(_macro(8), precision_bits=8)
+        b = [((-v) if abs(v) < 64 else 0) for v in a]
+        total = kernels.add(a, b).values
+        back = kernels.subtract(total, b).values
+        assert back == a
+
+
+class TestProgramProperties:
+    @given(
+        opcodes=st.lists(
+            st.sampled_from(
+                [Opcode.ADD, Opcode.SUB, Opcode.MULT, Opcode.XOR, Opcode.NOT]
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_trace_cycles_equal_static_estimate(self, opcodes):
+        from repro.core.program import Instruction, Program, ProgramExecutor
+
+        program = Program(name="generated")
+        for index, opcode in enumerate(opcodes):
+            row_a = index % 8
+            row_b = (index % 8) + 8 if opcode.is_dual_wordline else None
+            dest = 20 + (index % 8)
+            program.append(
+                Instruction(opcode, row_a=row_a, row_b=row_b, dest_row=dest)
+            )
+        macro = IMCMacro(MacroConfig())
+        trace = ProgramExecutor(macro).run(program)
+        assert trace.total_cycles == program.cycle_estimate(macro.precision_bits)

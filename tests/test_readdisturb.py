@@ -1,0 +1,86 @@
+"""Unit tests for the read-disturb / access-disturb-margin model."""
+
+import pytest
+
+from repro.circuits.readdisturb import ReadDisturbModel
+from repro.errors import ConfigurationError
+from repro.tech import OperatingPoint
+
+
+@pytest.fixture()
+def model(technology, calibration):
+    return ReadDisturbModel(technology, calibration)
+
+
+class TestMargin:
+    def test_margin_shrinks_with_wl_voltage(self, model):
+        low = model.margin(0.55, 1.5e-9)
+        high = model.margin(0.9, 1.5e-9)
+        assert high < low
+
+    def test_margin_shrinks_with_pulse_width(self, model):
+        short = model.margin(0.9, 140e-12)
+        long = model.margin(0.9, 1.5e-9)
+        assert long < short
+
+    def test_margin_rejects_non_positive_inputs(self, model):
+        with pytest.raises(ConfigurationError):
+            model.margin(0.0, 1e-9)
+        with pytest.raises(ConfigurationError):
+            model.margin(0.9, 0.0)
+
+
+class TestFailureRate:
+    def test_paper_operating_points_are_iso_failure(self, model):
+        wlud = model.failure_rate(0.55, 1.5e-9)
+        proposed = model.failure_rate(0.9, 140e-12)
+        assert wlud == pytest.approx(2.5e-5, rel=0.15)
+        assert proposed == pytest.approx(2.5e-5, rel=0.15)
+
+    def test_naive_full_drive_long_pulse_is_much_worse(self, model):
+        naive = model.failure_rate(0.9, 1.5e-9)
+        assert naive > 10 * model.failure_rate(0.9, 140e-12)
+
+    def test_failure_rate_monotone_in_voltage(self, model):
+        rates = [model.failure_rate(v, 1e-9) for v in (0.5, 0.6, 0.7, 0.8, 0.9)]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    def test_failure_rate_monotone_in_pulse_width(self, model):
+        rates = [model.failure_rate(0.9, w) for w in (50e-12, 140e-12, 500e-12, 2e-9)]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    def test_failure_rate_is_probability(self, model):
+        for voltage in (0.4, 0.7, 1.1):
+            for width in (50e-12, 1e-9, 10e-9):
+                rate = model.failure_rate(voltage, width)
+                assert 0.0 <= rate <= 1.0
+
+
+class TestIsoFailureOperatingPoints:
+    def test_wlud_voltage_for_rate_recovers_paper_value(self, model):
+        assert model.wlud_voltage_for_rate(2.5e-5) == pytest.approx(0.55, abs=0.01)
+
+    def test_pulse_width_for_rate_recovers_paper_value(self, model):
+        width = model.pulse_width_for_rate(2.5e-5, 0.9)
+        assert width == pytest.approx(140e-12, rel=0.05)
+
+    def test_round_trip_consistency(self, model):
+        rate = 1e-4
+        voltage = model.wlud_voltage_for_rate(rate)
+        assert model.failure_rate(voltage, model.calibration.disturb.conventional_pulse_s) == pytest.approx(rate, rel=0.05)
+
+    def test_tighter_rate_needs_lower_voltage_or_shorter_pulse(self, model):
+        assert model.wlud_voltage_for_rate(1e-6) < model.wlud_voltage_for_rate(1e-4)
+        assert model.pulse_width_for_rate(1e-6, 0.9) < model.pulse_width_for_rate(1e-4, 0.9)
+
+    def test_required_margin_rejects_bad_probability(self, model):
+        with pytest.raises(ConfigurationError):
+            model.required_margin(1.5)
+
+    def test_inversion_rejects_rate_above_half(self, model):
+        with pytest.raises(ConfigurationError):
+            model.wlud_voltage_for_rate(0.9)
+
+    def test_disturb_probability_wrapper(self, model):
+        probability = model.disturb_probability(OperatingPoint(vdd=0.9), 140e-12)
+        assert probability == pytest.approx(model.failure_rate(0.9, 140e-12))

@@ -1,0 +1,87 @@
+"""System-level workload tests: larger vector jobs spanning kernels, the
+banked memory and the baselines together."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitserial import BitSerialIMC
+from repro.baselines.processor import ProcessorCentricBaseline
+from repro.core import IMCMacro, IMCMemory, MacroConfig, Opcode, VectorKernels
+
+
+class TestLargeVectorJobs:
+    def test_256_element_multiply_accumulate(self):
+        """A long MAC job split across many row accesses stays bit-exact."""
+        rng = np.random.default_rng(17)
+        a = rng.integers(0, 256, size=256).tolist()
+        b = rng.integers(0, 256, size=256).tolist()
+        macro = IMCMacro(MacroConfig())
+        products = macro.elementwise(Opcode.MULT, a, b)
+        assert products == [x * y for x, y in zip(a, b)]
+        # 2 slots per access -> 128 vector MULT invocations of 10 cycles.
+        assert macro.stats.cycles_for(Opcode.MULT) == 128 * 10
+
+    def test_signed_dot_product_of_128_elements(self):
+        rng = np.random.default_rng(23)
+        a = rng.integers(-100, 100, size=128).tolist()
+        b = rng.integers(-100, 100, size=128).tolist()
+        kernels = VectorKernels(IMCMacro(MacroConfig()), precision_bits=8)
+        assert kernels.dot(a, b).value == int(np.dot(a, b))
+
+    def test_memory_level_throughput_accounting(self):
+        memory = IMCMemory(banks=2, capacity_bytes=8 * 1024)
+        for bank in memory.banks:
+            for macro in bank.macros:
+                macro.write_words(0, [1, 2, 3, 4])
+                macro.write_words(1, [4, 3, 2, 1])
+        memory.reset_stats()
+        for _ in range(10):
+            memory.broadcast(Opcode.ADD, 0, 1, dest_row=2)
+        stats = memory.statistics()
+        assert stats.total_operations == 10 * memory.parallel_words()
+        assert stats.total_cycles == 10 * memory.total_macros
+        assert stats.cycles_per_operation() == pytest.approx(1 / 4)
+
+
+class TestCrossModelConsistency:
+    def test_three_simulators_agree_on_results(self):
+        """Proposed macro, bit-serial baseline and plain numpy all agree."""
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 256, size=12).tolist()
+        b = rng.integers(0, 256, size=12).tolist()
+        macro = IMCMacro(MacroConfig())
+        serial = BitSerialIMC()
+        for opcode, reference in (
+            (Opcode.ADD, [(x + y) % 256 for x, y in zip(a, b)]),
+            (Opcode.SUB, [(x - y) % 256 for x, y in zip(a, b)]),
+            (Opcode.MULT, [x * y for x, y in zip(a, b)]),
+            (Opcode.XOR, [x ^ y for x, y in zip(a, b)]),
+        ):
+            assert macro.elementwise(opcode, a, b) == reference
+            assert list(serial.elementwise(opcode, a, b, 8).values) == reference
+
+    def test_proposed_macro_beats_bitserial_latency(self):
+        """Latency of one 8-bit MULT: 10 cycles vs ~86 cycles (and a faster
+        clock on top, per Table III)."""
+        macro = IMCMacro(MacroConfig())
+        proposed_cycles = 10
+        serial_cycles = BitSerialIMC.cycles_for(Opcode.MULT, 8)
+        assert serial_cycles > 8 * proposed_cycles
+        proposed_latency = proposed_cycles * macro.cycle_time_s()
+        serial_latency = serial_cycles / 475e6
+        assert proposed_latency < serial_latency / 10
+
+    def test_imc_vs_processor_for_a_whole_image_job(self):
+        """End-to-end energy of the image-blend job: IMC beats the
+        processor-centric path by the data-movement margin."""
+        size = 64  # pixels
+        macro = IMCMacro(MacroConfig())
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 256, size=size).tolist()
+        b = rng.integers(0, 256, size=size).tolist()
+        macro.reset_stats()
+        macro.elementwise(Opcode.ADD, a, b)
+        imc_energy = macro.stats.total_energy_j
+        processor = ProcessorCentricBaseline()
+        processor_energy = size * processor.energy_per_operation_j(Opcode.ADD, 8)
+        assert processor_energy > 2 * imc_energy

@@ -1,0 +1,170 @@
+"""Unit tests for repro.tech.technology and repro.tech.devices."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.devices import DeviceType, Transistor, alpha_power_current
+from repro.tech.technology import (
+    CornerSpec,
+    OperatingPoint,
+    ProcessCorner,
+    TechnologyProfile,
+)
+
+
+class TestOperatingPoint:
+    def test_defaults(self):
+        point = OperatingPoint()
+        assert point.vdd == pytest.approx(0.9)
+        assert point.corner is ProcessCorner.NN
+
+    def test_at_voltage_returns_copy(self):
+        point = OperatingPoint(vdd=0.9)
+        other = point.at_voltage(0.6)
+        assert other.vdd == pytest.approx(0.6)
+        assert point.vdd == pytest.approx(0.9)
+
+    def test_at_corner_returns_copy(self):
+        point = OperatingPoint()
+        other = point.at_corner(ProcessCorner.SS)
+        assert other.corner is ProcessCorner.SS
+        assert point.corner is ProcessCorner.NN
+
+    def test_rejects_unphysical_supply(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(vdd=0.1)
+
+
+class TestTechnologyProfile:
+    def test_default_profile_is_valid(self, technology):
+        assert technology.node_nm == 28.0
+        assert technology.vdd_min < technology.vdd_nominal < technology.vdd_max
+
+    def test_corner_ordering_matches_figure(self):
+        order = ProcessCorner.evaluation_order()
+        assert order[0] is ProcessCorner.SF
+        assert order[-1] is ProcessCorner.FF
+        assert len(order) == 5
+
+    def test_vth_shifts_with_corner(self, technology):
+        nn = technology.vth_nmos(OperatingPoint(corner=ProcessCorner.NN))
+        ss = technology.vth_nmos(OperatingPoint(corner=ProcessCorner.SS))
+        ff = technology.vth_nmos(OperatingPoint(corner=ProcessCorner.FF))
+        assert ss > nn > ff
+
+    def test_lvt_devices_have_lower_threshold(self, technology):
+        point = OperatingPoint()
+        assert technology.vth_nmos(point, lvt=True) < technology.vth_nmos(point)
+        assert technology.vth_pmos(point, lvt=True) < technology.vth_pmos(point)
+
+    def test_temperature_derate_decreases_with_heat(self, technology):
+        cold = technology.temperature_derate(OperatingPoint(temperature_c=25.0))
+        hot = technology.temperature_derate(OperatingPoint(temperature_c=125.0))
+        assert hot < cold == pytest.approx(1.0)
+
+    def test_supply_range_spans_min_max(self, technology):
+        voltages = technology.supply_range(points=6)
+        assert voltages[0] == pytest.approx(technology.vdd_min)
+        assert voltages[-1] == pytest.approx(technology.vdd_max)
+        assert len(voltages) == 6
+
+    def test_supply_range_needs_two_points(self, technology):
+        with pytest.raises(ConfigurationError):
+            technology.supply_range(points=1)
+
+    def test_validate_operating_point(self, technology):
+        technology.validate_operating_point(OperatingPoint(vdd=0.6))
+        with pytest.raises(ConfigurationError):
+            technology.validate_operating_point(OperatingPoint(vdd=1.3))
+
+    def test_missing_corner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyProfile(corners={ProcessCorner.NN: CornerSpec(0.0, 0.0)})
+
+    def test_overdrive_clamped(self, technology):
+        assert technology.overdrive(0.3, 0.4) == pytest.approx(0.01)
+        assert technology.overdrive(0.9, 0.4) == pytest.approx(0.5)
+
+
+class TestAlphaPowerCurrent:
+    def test_increases_with_overdrive(self):
+        low = alpha_power_current(1e-4, 1.0, 0.6, 0.4, 2.0)
+        high = alpha_power_current(1e-4, 1.0, 0.9, 0.4, 2.0)
+        assert high > low
+
+    def test_subthreshold_floor_is_tiny_but_positive(self):
+        current = alpha_power_current(1e-4, 1.0, 0.3, 0.4, 2.0)
+        assert 0 < current < alpha_power_current(1e-4, 1.0, 0.5, 0.4, 2.0)
+
+    def test_scales_with_width(self):
+        narrow = alpha_power_current(1e-4, 1.0, 0.9, 0.4, 2.0)
+        wide = alpha_power_current(1e-4, 3.0, 0.9, 0.4, 2.0)
+        assert wide == pytest.approx(3.0 * narrow)
+
+    def test_rejects_bad_factors(self):
+        with pytest.raises(ConfigurationError):
+            alpha_power_current(0.0, 1.0, 0.9, 0.4, 2.0)
+
+
+class TestTransistor:
+    def _nmos(self, technology, **kwargs):
+        return Transistor(
+            technology=technology,
+            device_type=DeviceType.NMOS,
+            drive_factor=150e-6,
+            **kwargs,
+        )
+
+    def test_on_current_increases_with_vdd(self, technology):
+        device = self._nmos(technology)
+        low = device.on_current(OperatingPoint(vdd=0.6))
+        high = device.on_current(OperatingPoint(vdd=1.0))
+        assert high > low
+
+    def test_vth_shift_reduces_current(self, technology):
+        device = self._nmos(technology)
+        point = OperatingPoint()
+        assert device.on_current(point, vth_shift=0.05) < device.on_current(point)
+
+    def test_lvt_device_is_stronger(self, technology):
+        regular = self._nmos(technology)
+        lvt = self._nmos(technology, lvt=True)
+        point = OperatingPoint()
+        assert lvt.on_current(point) > regular.on_current(point)
+
+    def test_discharge_time_scales_with_cap_and_swing(self, technology):
+        device = self._nmos(technology)
+        point = OperatingPoint()
+        base = device.discharge_time(20e-15, 0.2, point)
+        assert device.discharge_time(40e-15, 0.2, point) == pytest.approx(2 * base)
+        assert device.discharge_time(20e-15, 0.4, point) == pytest.approx(2 * base)
+
+    def test_discharge_time_zero_swing(self, technology):
+        device = self._nmos(technology)
+        assert device.discharge_time(20e-15, 0.0, OperatingPoint()) == 0.0
+
+    def test_effective_resistance_positive(self, technology):
+        device = self._nmos(technology)
+        assert device.effective_resistance(OperatingPoint()) > 0
+
+    def test_scaled_copy(self, technology):
+        device = self._nmos(technology)
+        wider = device.scaled(4.0)
+        point = OperatingPoint()
+        assert wider.on_current(point) == pytest.approx(4 * device.on_current(point))
+
+    def test_pmos_threshold_used(self, technology):
+        pmos = Transistor(
+            technology=technology,
+            device_type=DeviceType.PMOS,
+            drive_factor=100e-6,
+        )
+        assert pmos.threshold(OperatingPoint()) == pytest.approx(
+            technology.vth_pmos(OperatingPoint())
+        )
+
+    def test_corner_changes_current(self, technology):
+        device = self._nmos(technology)
+        ss = device.on_current(OperatingPoint(corner=ProcessCorner.SS))
+        ff = device.on_current(OperatingPoint(corner=ProcessCorner.FF))
+        assert ff > ss

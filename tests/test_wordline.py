@@ -1,0 +1,62 @@
+"""Unit tests for the word-line drive schemes (repro.circuits.wordline)."""
+
+import pytest
+
+from repro.circuits.wordline import WordlineDriver, WordlinePulse, WordlineScheme
+from repro.errors import ConfigurationError
+from repro.tech import OperatingPoint, ProcessCorner
+
+
+class TestWordlinePulse:
+    def test_valid_pulse(self):
+        pulse = WordlinePulse(voltage=0.9, width_s=140e-12)
+        assert pulse.voltage == pytest.approx(0.9)
+
+    def test_rejects_non_positive_voltage(self):
+        with pytest.raises(ConfigurationError):
+            WordlinePulse(voltage=0.0, width_s=1e-10)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ConfigurationError):
+            WordlinePulse(voltage=0.9, width_s=0.0)
+
+
+class TestWordlineDriver:
+    def test_short_pulse_width_matches_calibration(self, technology, calibration):
+        driver = WordlineDriver(technology, calibration, WordlineScheme.SHORT_PULSE_BOOST)
+        pulse = driver.pulse(OperatingPoint(vdd=0.9))
+        assert pulse.width_s == pytest.approx(140e-12, rel=1e-6)
+        assert pulse.voltage == pytest.approx(0.9)
+
+    def test_short_pulse_is_full_vdd(self, technology, calibration):
+        driver = WordlineDriver(technology, calibration, WordlineScheme.SHORT_PULSE_BOOST)
+        for vdd in (0.7, 0.9, 1.1):
+            assert driver.pulse(OperatingPoint(vdd=vdd)).voltage == pytest.approx(vdd)
+
+    def test_wlud_pulse_is_under_driven(self, technology, calibration):
+        driver = WordlineDriver(technology, calibration, WordlineScheme.WLUD)
+        pulse = driver.pulse(OperatingPoint(vdd=0.9))
+        assert pulse.voltage == pytest.approx(0.55)
+        assert pulse.width_s > 1e-9
+
+    def test_full_static_pulse_is_full_vdd_and_long(self, technology, calibration):
+        driver = WordlineDriver(technology, calibration, WordlineScheme.FULL_STATIC)
+        pulse = driver.pulse(OperatingPoint(vdd=0.9))
+        assert pulse.voltage == pytest.approx(0.9)
+        assert pulse.width_s > 1e-9
+
+    def test_pulse_width_tracks_voltage(self, technology, calibration):
+        driver = WordlineDriver(technology, calibration, WordlineScheme.SHORT_PULSE_BOOST)
+        slow = driver.pulse(OperatingPoint(vdd=0.6)).width_s
+        fast = driver.pulse(OperatingPoint(vdd=1.1)).width_s
+        assert slow > fast
+
+    def test_pulse_width_tracks_corner(self, technology, calibration):
+        driver = WordlineDriver(technology, calibration, WordlineScheme.SHORT_PULSE_BOOST)
+        ss = driver.pulse(OperatingPoint(corner=ProcessCorner.SS)).width_s
+        ff = driver.pulse(OperatingPoint(corner=ProcessCorner.FF)).width_s
+        assert ss > ff
+
+    def test_activation_delay_is_non_negative(self, technology, calibration):
+        driver = WordlineDriver(technology, calibration)
+        assert driver.activation_delay(OperatingPoint()) >= 0.0

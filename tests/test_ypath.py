@@ -1,0 +1,102 @@
+"""Unit tests for the Y-Path / FA-Logics functional model (repro.core.ypath)."""
+
+import pytest
+
+from repro.core.operations import Opcode
+from repro.core.ypath import YPath, fa_from_bitline, logic_from_bitline
+from repro.errors import ConfigurationError, OperandError
+
+
+class TestFaFromBitline:
+    def test_matches_full_adder_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for carry in (0, 1):
+                    and_ab = a & b
+                    nor_ab = 1 - (a | b)
+                    expected_sum = (a + b + carry) & 1
+                    expected_carry = (a + b + carry) >> 1
+                    assert fa_from_bitline(and_ab, nor_ab, carry) == (
+                        expected_sum,
+                        expected_carry,
+                    )
+
+    def test_impossible_bitline_combination_rejected(self):
+        # AND and NOR of the same operands can never both be 1.
+        with pytest.raises(OperandError):
+            fa_from_bitline(1, 1, 0)
+
+    def test_non_binary_inputs_rejected(self):
+        with pytest.raises(OperandError):
+            fa_from_bitline(2, 0, 0)
+
+
+class TestLogicFromBitline:
+    @pytest.mark.parametrize(
+        "opcode, function",
+        [
+            (Opcode.AND, lambda a, b: a & b),
+            (Opcode.NAND, lambda a, b: 1 - (a & b)),
+            (Opcode.OR, lambda a, b: a | b),
+            (Opcode.NOR, lambda a, b: 1 - (a | b)),
+            (Opcode.XOR, lambda a, b: a ^ b),
+            (Opcode.XNOR, lambda a, b: 1 - (a ^ b)),
+        ],
+    )
+    def test_all_logic_functions(self, opcode, function):
+        for a in (0, 1):
+            for b in (0, 1):
+                and_ab = a & b
+                nor_ab = 1 - (a | b)
+                assert logic_from_bitline(opcode, and_ab, nor_ab) == function(a, b)
+
+    def test_non_logic_opcode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            logic_from_bitline(Opcode.ADD, 0, 0)
+
+
+class TestYPathState:
+    def test_multiplier_ff_load(self):
+        ypath = YPath(column=0)
+        ypath.load_multiplier_bit(1)
+        assert ypath.multiplier_ff == 1
+
+    def test_multiplier_shift(self):
+        ypath = YPath(column=0)
+        ypath.load_multiplier_bit(1)
+        assert ypath.shift_multiplier(0) == 1
+        assert ypath.multiplier_ff == 0
+
+    def test_propagate_capture_release(self):
+        ypath = YPath(column=3)
+        ypath.capture_propagated(1)
+        assert ypath.release_propagated() == 1
+
+    def test_reset_clears_state(self):
+        ypath = YPath(column=0)
+        ypath.load_multiplier_bit(1)
+        ypath.capture_propagated(1)
+        ypath.reset()
+        assert ypath.multiplier_ff == 0
+        assert ypath.propagate_ff == 0
+
+    def test_non_binary_ff_value_rejected(self):
+        ypath = YPath(column=0)
+        with pytest.raises(OperandError):
+            ypath.load_multiplier_bit(3)
+
+    def test_adder_outputs_update_carry_diagnostic(self):
+        ypath = YPath(column=0)
+        _, carry = ypath.adder_outputs(1, 0, 1)
+        assert carry == 1
+        assert ypath.last_carry_out == 1
+
+    def test_writeback_selects_local_or_propagated(self):
+        ypath = YPath(column=0)
+        ypath.capture_propagated(1)
+        assert ypath.writeback_value(0, use_propagated=True) == 1
+        assert ypath.writeback_value(0, use_propagated=False) == 0
+
+    def test_logic_output_delegates(self):
+        ypath = YPath(column=0)
+        assert ypath.logic_output(Opcode.XOR, 0, 0) == 1  # A=1,B=0 or A=0,B=1
