@@ -1,0 +1,35 @@
+# Convenience targets for the DAC 2020 bit-parallel IMC reproduction.
+#
+#   make test        tier-1 verification (the command CI runs)
+#   make bench       regenerate every paper artefact + extension study
+#   make docs-check  documentation-consistency tests only
+#   make chip-bench  just the sharded multi-macro scaling benchmark
+#   make examples    run every example script end-to-end
+
+PYTHON      ?= python
+PYTHONPATH  := src
+export PYTHONPATH
+
+.PHONY: test bench docs-check chip-bench examples clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_*.py --benchmark-only
+
+docs-check:
+	$(PYTHON) -m pytest tests/test_documentation.py -q
+
+chip-bench:
+	$(PYTHON) -m pytest benchmarks/bench_chip_scaling.py -q
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -prune -exec rm -rf {} \;

@@ -8,12 +8,43 @@ paper-vs-measured record lives in EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+#: Where benchmarks drop machine-readable outputs (JSON), so successive PRs
+#: accumulate a perf trajectory that scripts can diff.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def _format_block(title: str, body: str) -> str:
     banner = "=" * max(len(title), 20)
     return f"\n{banner}\n{title}\n{banner}\n{body}\n"
+
+
+@pytest.fixture()
+def results_dir() -> Path:
+    """The benchmark results directory, created idempotently.
+
+    ``mkdir(parents=True, exist_ok=True)`` makes repeated/parallel benchmark
+    runs safe: the fixture never fails because the directory (or a parent)
+    already exists.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def write_results_json(results_dir):
+    """Write one benchmark's machine-readable payload to results/<name>.json."""
+
+    def _write(name: str, payload) -> Path:
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+        return path
+
+    return _write
 
 
 @pytest.fixture()

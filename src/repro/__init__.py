@@ -23,7 +23,9 @@ Quickstart::
 """
 
 from repro.core import (
+    ChipDispatchResult,
     IMCBank,
+    IMCChip,
     IMCMacro,
     IMCMemory,
     MacroConfig,
@@ -31,6 +33,7 @@ from repro.core import (
     Opcode,
     OperationResult,
     SUPPORTED_PRECISIONS,
+    VectorKernels,
     cycles_for,
 )
 from repro.circuits import (
@@ -54,7 +57,10 @@ __version__ = "1.0.0"
 __all__ = [
     "IMCMacro",
     "IMCBank",
+    "IMCChip",
+    "ChipDispatchResult",
     "IMCMemory",
+    "VectorKernels",
     "MacroConfig",
     "MacroStatistics",
     "Opcode",

@@ -12,6 +12,7 @@ and reports can quantify how close the reproduction lands.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,7 @@ from repro.circuits.frequency import FrequencyModel
 from repro.circuits.montecarlo import DelayDistribution, MonteCarloEngine
 from repro.circuits.readdisturb import ReadDisturbModel
 from repro.circuits.wordline import WordlineScheme
+from repro.core.chip import IMCChip
 from repro.core.config import MacroConfig
 from repro.core.macro import IMCMacro
 from repro.core.operations import Opcode, cycles_for
@@ -51,6 +53,8 @@ __all__ = [
     "dnn_precision_study",
     "area_overhead_study",
     "data_movement_study",
+    "ChipScalingPoint",
+    "chip_scaling_study",
 ]
 
 
@@ -523,6 +527,76 @@ def table3_comparison(
 
 
 # ---------------------------------------------------------------------- #
+# Chip scaling — sharded multi-macro execution engine
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ChipScalingPoint:
+    """One (macro count, vector length) point of the chip-scaling sweep."""
+
+    num_macros: int
+    elements: int
+    total_cycles: int
+    critical_path_cycles: int
+    energy_j: float
+    latency_s: float
+    wall_time_s: float
+    parallel_speedup: float
+    verified: bool
+
+
+def chip_scaling_study(
+    macro_counts: Sequence[int] = (1, 2, 4, 8),
+    vector_lengths: Sequence[int] = (1024, 4096, 16384, 65536),
+    opcode: Opcode = Opcode.MULT,
+    precision_bits: int = 8,
+    seed: int = 2020,
+    verify_elements: int = 256,
+) -> Dict[int, Dict[int, ChipScalingPoint]]:
+    """Sweep the sharded chip over macro counts and vector lengths.
+
+    For every point the sharded dispatch is executed on the vectorized
+    column-parallel path, the merged accounting is recorded (total work
+    cycles, critical-path cycles of the busiest shard, energy) along with
+    the host wall-clock time, and a ``verify_elements``-long prefix is
+    cross-checked bit-exactly against a single macro's per-lane reference
+    execution.
+
+    Returns ``{num_macros: {elements: ChipScalingPoint}}``.
+    """
+    rng = np.random.default_rng(seed)
+    results: Dict[int, Dict[int, ChipScalingPoint]] = {}
+    for num_macros in macro_counts:
+        results[num_macros] = {}
+        for elements in vector_lengths:
+            a = rng.integers(0, 1 << precision_bits, size=elements).tolist()
+            b = rng.integers(0, 1 << precision_bits, size=elements).tolist()
+            chip = IMCChip(num_macros, MacroConfig(precision_bits=precision_bits))
+            start = time.perf_counter()
+            dispatch = chip.run_elementwise(opcode, a, b, precision_bits)
+            wall = time.perf_counter() - start
+
+            prefix = min(verify_elements, elements)
+            reference_macro = IMCMacro(MacroConfig(precision_bits=precision_bits))
+            reference = reference_macro.elementwise_reference(
+                opcode, a[:prefix], b[:prefix], precision_bits
+            )
+            verified = dispatch.values[:prefix].tolist() == reference
+
+            results[num_macros][elements] = ChipScalingPoint(
+                num_macros=num_macros,
+                elements=elements,
+                total_cycles=dispatch.total_cycles,
+                critical_path_cycles=dispatch.critical_path_cycles,
+                energy_j=dispatch.energy_j,
+                latency_s=dispatch.latency_s,
+                wall_time_s=wall,
+                parallel_speedup=dispatch.parallel_speedup,
+                verified=verified,
+            )
+    return results
+
+
+# ---------------------------------------------------------------------- #
 # Extension — DNN accuracy vs bit precision on the IMC macro
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -546,13 +620,20 @@ def dnn_precision_study(
     epochs: int = 25,
     verify_samples: int = 2,
     seed: int = 3,
+    chip_macros: int = 2,
 ) -> PrecisionStudyResult:
     """Quantised-MLP accuracy and per-inference IMC cost vs bit precision.
 
     The float model is trained with numpy, quantised to each precision, and
     evaluated with the integer reference backend.  A small activation slice
-    is additionally pushed through the actual IMC macro to verify that the
-    integer backend and the in-memory arithmetic agree bit-exactly.
+    is additionally pushed through a sharded :class:`IMCChip` of
+    ``chip_macros`` macros to verify that the integer backend and the
+    (sharded) in-memory arithmetic agree bit-exactly.
+
+    Per-inference energy is engine-independent, but the reported *latency*
+    is chip-level: ``chip_macros`` shards process the MAC stream in
+    parallel, so latency is 1/``chip_macros`` of the single-macro figure.
+    Pass ``chip_macros=1`` for numbers comparable to the seed study.
     """
     dataset = make_classification_dataset(
         samples=samples, features=features, classes=classes, seed=seed
@@ -567,8 +648,8 @@ def dnn_precision_study(
     for bits in precisions:
         quantized = training.model.quantize(bits)
         accuracy[bits] = quantized.accuracy(dataset.test_x, dataset.test_y)
-        macro = IMCMacro(MacroConfig(precision_bits=max(bits, 2)))
-        backend = IMCMatmulBackend(macro, precision_bits=max(bits, 2))
+        chip = IMCChip(chip_macros, MacroConfig(precision_bits=max(bits, 2)))
+        backend = IMCMatmulBackend(chip, precision_bits=max(bits, 2))
         mac_count = quantized.mac_count(1)
         cost = backend.estimate_inference_cost(mac_count)
         energy[bits] = cost["energy_j"]

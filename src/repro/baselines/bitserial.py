@@ -225,16 +225,25 @@ class BitSerialIMC:
         b: Optional[np.ndarray],
         precision_bits: int,
     ) -> List[int]:
+        """One lane batch, computed column-parallel with numpy.
+
+        Every lane is one column of the baseline; the bit-position iteration
+        (the *serial* part of "bit-serial") remains an explicit loop, but
+        each iteration now processes all lanes of the batch at once instead
+        of looping lane by lane in Python.
+        """
         n = precision_bits
         modulus = 1 << n
+        a = a.astype(np.int64)
         if opcode in (Opcode.NOT, Opcode.COPY, Opcode.SHIFT_LEFT):
             if opcode is Opcode.NOT:
-                return [int((~value) % modulus) for value in a]
+                return ((~a) % modulus).tolist()
             if opcode is Opcode.COPY:
-                return [int(value) for value in a]
-            return [int((value << 1) % modulus) for value in a]
+                return a.tolist()
+            return ((a << 1) % modulus).tolist()
         if b is None:
             raise OperandError(f"{opcode.name} needs two operand vectors")
+        b = b.astype(np.int64)
         if opcode in (Opcode.AND, Opcode.NAND, Opcode.OR, Opcode.NOR, Opcode.XOR, Opcode.XNOR):
             return self._bitwise_batch(opcode, a, b, n)
         if opcode in (Opcode.ADD, Opcode.ADD_SHIFT, Opcode.SUB):
@@ -247,66 +256,64 @@ class BitSerialIMC:
     def _bitwise_batch(
         opcode: Opcode, a: np.ndarray, b: np.ndarray, n: int
     ) -> List[int]:
-        results = []
-        modulus = 1 << n
-        for lane in range(a.size):
-            x, y = int(a[lane]), int(b[lane])
-            out = 0
-            for position in range(n):  # one cycle per bit position
-                bit_a = (x >> position) & 1
-                bit_b = (y >> position) & 1
-                if opcode is Opcode.AND:
-                    bit = bit_a & bit_b
-                elif opcode is Opcode.NAND:
-                    bit = 1 - (bit_a & bit_b)
-                elif opcode is Opcode.OR:
-                    bit = bit_a | bit_b
-                elif opcode is Opcode.NOR:
-                    bit = 1 - (bit_a | bit_b)
-                elif opcode is Opcode.XOR:
-                    bit = bit_a ^ bit_b
-                else:
-                    bit = 1 - (bit_a ^ bit_b)
-                out |= bit << position
-            results.append(out % modulus)
-        return results
+        out = np.zeros_like(a)
+        for position in range(n):  # one cycle per bit position, all lanes
+            bit_a = (a >> position) & 1
+            bit_b = (b >> position) & 1
+            if opcode is Opcode.AND:
+                bit = bit_a & bit_b
+            elif opcode is Opcode.NAND:
+                bit = 1 - (bit_a & bit_b)
+            elif opcode is Opcode.OR:
+                bit = bit_a | bit_b
+            elif opcode is Opcode.NOR:
+                bit = 1 - (bit_a | bit_b)
+            elif opcode is Opcode.XOR:
+                bit = bit_a ^ bit_b
+            else:
+                bit = 1 - (bit_a ^ bit_b)
+            out |= bit << position
+        return (out % (1 << n)).tolist()
 
     @staticmethod
     def _serial_add_batch(
         opcode: Opcode, a: np.ndarray, b: np.ndarray, n: int
     ) -> List[int]:
-        results = []
         modulus = 1 << n
-        for lane in range(a.size):
-            x, y = int(a[lane]), int(b[lane])
-            if opcode is Opcode.SUB:
-                y = (~y) & (modulus - 1)
-                carry = 1
-            else:
-                carry = 0
-            out = 0
-            for position in range(n):  # one cycle per bit position
-                bit_a = (x >> position) & 1
-                bit_b = (y >> position) & 1
-                total = bit_a + bit_b + carry
-                out |= (total & 1) << position
-                carry = total >> 1
-            if opcode is Opcode.ADD_SHIFT:
-                out = (out << 1) % modulus
-            results.append(out % modulus)
-        return results
+        if opcode is Opcode.SUB:
+            b = (~b) & (modulus - 1)
+            carry = np.ones_like(a)
+        else:
+            carry = np.zeros_like(a)
+        out = np.zeros_like(a)
+        for position in range(n):  # one cycle per bit position, all lanes
+            bit_a = (a >> position) & 1
+            bit_b = (b >> position) & 1
+            total = bit_a + bit_b + carry
+            out |= (total & 1) << position
+            carry = total >> 1
+        if opcode is Opcode.ADD_SHIFT:
+            out = (out << 1) % modulus
+        return (out % modulus).tolist()
 
     @staticmethod
     def _serial_mult_batch(a: np.ndarray, b: np.ndarray, n: int) -> List[int]:
-        results = []
-        for lane in range(a.size):
-            x, y = int(a[lane]), int(b[lane])
-            accumulator = 0
-            for position in range(n):  # N partial products, each N bit-cycles
-                if (y >> position) & 1:
-                    accumulator += x << position
-            results.append(accumulator)
-        return results
+        if 2 * n > 62:
+            # The full 2N-bit product does not fit int64; accumulate the
+            # partial products with exact Python integers instead.
+            results = []
+            for x, y in zip(a.tolist(), b.tolist()):
+                accumulator = 0
+                for position in range(n):
+                    if (y >> position) & 1:
+                        accumulator += x << position
+                results.append(accumulator)
+            return results
+        accumulator = np.zeros_like(a)
+        for position in range(n):  # N partial products, each N bit-cycles
+            take = (b >> position) & 1
+            accumulator += take * (a << position)
+        return accumulator.tolist()
 
     # ------------------------------------------------------------------ #
     # Performance / energy model (Table III)

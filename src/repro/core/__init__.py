@@ -15,6 +15,7 @@ The package is organised bottom-up:
 from repro.core.array import ArraySpace, BitlineComputeOutput, RowRef, SRAMArray
 from repro.core.bank import IMCBank, IMCMemory, WordLocation
 from repro.core.cell import CellState, DummyCell, SixTransistorCell
+from repro.core.chip import ChipDispatchResult, IMCChip
 from repro.core.config import MacroConfig
 from repro.core.controller import MicroOp, MicroOpKind, MicroSequencer
 from repro.core.decoder import RowDecoder, WordlineSelection
@@ -33,6 +34,8 @@ __all__ = [
     "RowRef",
     "SRAMArray",
     "IMCBank",
+    "IMCChip",
+    "ChipDispatchResult",
     "IMCMemory",
     "WordLocation",
     "CellState",

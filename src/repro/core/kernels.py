@@ -33,8 +33,6 @@ import numpy as np
 from repro.core.macro import IMCMacro
 from repro.core.operations import Opcode
 from repro.errors import OperandError, PrecisionError
-from repro.utils.bitops import from_twos_complement, to_twos_complement
-
 __all__ = ["KernelResult", "VectorKernels"]
 
 
@@ -59,9 +57,16 @@ class KernelResult:
 
 
 class VectorKernels:
-    """Signed vector kernels executed with in-memory operations."""
+    """Signed vector kernels executed with in-memory operations.
 
-    def __init__(self, macro: Optional[IMCMacro] = None, precision_bits: Optional[int] = None) -> None:
+    ``macro`` may be a single :class:`~repro.core.macro.IMCMacro` or a
+    sharded :class:`~repro.core.chip.IMCChip` — both expose the same vector
+    engine interface (``elementwise`` / ``reduce_add`` / ``stats`` / layout
+    and precision management), so every kernel transparently scales from one
+    macro to a multi-macro chip.
+    """
+
+    def __init__(self, macro=None, precision_bits: Optional[int] = None) -> None:
         self.macro = macro if macro is not None else IMCMacro()
         self.precision_bits = (
             precision_bits if precision_bits is not None else self.macro.precision_bits
@@ -85,10 +90,16 @@ class VectorKernels:
         return array
 
     def _encode(self, values: np.ndarray) -> List[int]:
-        return [to_twos_complement(int(v), self.precision_bits) for v in values]
+        # Vectorized to_twos_complement: the bit pattern is just the value
+        # masked to the word width.
+        modulus_mask = (1 << self.precision_bits) - 1
+        return (np.asarray(values, dtype=np.int64) & modulus_mask).tolist()
 
     def _decode(self, patterns: Sequence[int]) -> List[int]:
-        return [from_twos_complement(int(p), self.precision_bits) for p in patterns]
+        # Vectorized from_twos_complement.
+        array = np.asarray(list(patterns), dtype=np.int64)
+        half = 1 << (self.precision_bits - 1)
+        return np.where(array >= half, array - (half << 1), array).tolist()
 
     def _collect(self, values: List[int], stats_before: Dict[str, float]) -> KernelResult:
         summary = self.macro.stats.summary()
@@ -140,7 +151,11 @@ class VectorKernels:
             self.precision_bits,
         )
         signs = np.sign(array_a) * np.sign(array_b)
-        values = [int(sign) * int(magnitude) for sign, magnitude in zip(signs, magnitudes)]
+        if 2 * self.precision_bits > 62:
+            # Full products would overflow int64; combine with Python ints.
+            values = [int(s) * int(m) for s, m in zip(signs, magnitudes)]
+        else:
+            values = (signs * np.asarray(magnitudes, dtype=np.int64)).tolist()
         return self._collect(values, before)
 
     def scale(self, a: Sequence[int], scalar: int) -> KernelResult:
@@ -151,33 +166,26 @@ class VectorKernels:
     # ------------------------------------------------------------------ #
     # Reductions and MAC-style kernels
     # ------------------------------------------------------------------ #
-    def _accumulate(self, values: Sequence[int]) -> int:
-        """Tree reduction of (possibly wide) signed values using in-memory ADDs.
-
-        The accumulator precision is the widest mode the macro supports so
-        that dot products of realistic length do not overflow; values wider
-        than that fall back to exact Python addition (and are counted as a
-        configuration error in tests if they would overflow).
-        """
+    def _accumulator_bits(self) -> int:
         accumulator_bits = 32
         try:
             self.macro.layout.check_precision(accumulator_bits)
         except PrecisionError:
             accumulator_bits = self.precision_bits * 2
-        limit = (1 << (accumulator_bits - 1)) - 1
-        total = 0
-        pending = [int(v) for v in values]
-        modulus = 1 << accumulator_bits
-        for value in pending:
-            encoded_total = to_twos_complement(total, accumulator_bits)
-            encoded_value = to_twos_complement(value, accumulator_bits)
-            raw = self.macro.compute(
-                Opcode.ADD, encoded_total, encoded_value, precision_bits=accumulator_bits
-            )
-            total = from_twos_complement(raw % modulus, accumulator_bits)
-            if abs(total) > limit:  # pragma: no cover - guarded by operand checks
-                raise OperandError("accumulator overflow in reduction")
-        return total
+        return accumulator_bits
+
+    def _accumulate(self, values: Sequence[int]) -> int:
+        """Serial reduction of (possibly wide) signed values via in-memory ADDs.
+
+        The accumulator precision is the widest mode the macro supports so
+        that dot products of realistic length do not overflow.  The engine's
+        ``reduce_add`` models the serial one-ADD-per-element chain with
+        batched accounting (and internally routes disturb-injecting
+        configurations to the per-step on-array reference execution).
+        """
+        return self.macro.reduce_add(
+            [int(v) for v in values], self._accumulator_bits()
+        )
 
     def sum(self, a: Sequence[int]) -> KernelResult:
         """Signed sum of a vector (in-memory accumulation)."""

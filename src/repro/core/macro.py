@@ -38,7 +38,13 @@ from repro.circuits.delay import CycleDelayModel
 from repro.circuits.energy import OperationEnergyModel
 from repro.circuits.readdisturb import ReadDisturbModel
 from repro.circuits.wordline import WordlineScheme
-from repro.utils.bitops import bits_to_int, int_to_bits, mask
+from repro.utils.bitops import (
+    bits_to_int,
+    from_twos_complement,
+    int_to_bits,
+    mask,
+    to_twos_complement,
+)
 
 __all__ = ["OperationResult", "IMCMacro"]
 
@@ -569,6 +575,31 @@ class IMCMacro:
         Operands are packed into as many row accesses as needed; the result
         list has the same length as the inputs.  This is the building block
         used by the DNN backend and the Fig. 9 workload generator.
+
+        By default the call runs on the vectorized column-parallel path,
+        which computes whole lane batches per call and accounts cycles,
+        energy and array accesses analytically per batch — bit-exact and
+        accounting-identical to :meth:`elementwise_reference`, the original
+        per-lane on-array execution.  (:meth:`elementwise_array` routes
+        read-disturb-injecting configurations to the reference path, which
+        performs the real cell-level accesses.)
+        """
+        result = self.elementwise_array(opcode, a_values, b_values, precision_bits)
+        return [int(v) for v in result]
+
+    def elementwise_reference(
+        self,
+        opcode: Opcode,
+        a_values: Sequence[int],
+        b_values: Optional[Sequence[int]] = None,
+        precision_bits: Optional[int] = None,
+    ) -> List[int]:
+        """Per-lane reference implementation of :meth:`elementwise`.
+
+        Every operand word is individually written into a scratch row and the
+        operation is executed on the array through the full decoder /
+        bit-line / Y-Path machinery.  This is the ground truth the fast
+        vectorized path is verified against (``tests/test_chip.py``).
         """
         bits = self._resolve_precision(precision_bits)
         if opcode.is_dual_wordline and b_values is None:
@@ -607,6 +638,220 @@ class IMCMacro:
             )
             results.extend(result.values[: len(chunk_a)])
         return results
+
+    # ------------------------------------------------------------------ #
+    # Vectorized column-parallel execution
+    # ------------------------------------------------------------------ #
+    def _array_accesses_for(self, opcode: Opcode, precision_bits: int) -> int:
+        """Word-line activations one vector operation performs.
+
+        Mirrors the micro-sequencer plans: SUB is a single-WL NOT plus a
+        dual-WL ADD; an N-bit MULT is one multiplicand copy plus N add/select
+        accesses; everything else is a single access.
+        """
+        if opcode is Opcode.SUB:
+            return 2
+        if opcode is Opcode.MULT:
+            return precision_bits + 1
+        return 1
+
+    def lane_count(self, opcode: Opcode, precision_bits: Optional[int] = None) -> int:
+        """Vector width of one row access for the given operation."""
+        bits = self._resolve_precision(precision_bits)
+        if opcode is Opcode.MULT:
+            return self.mult_slots_per_row(bits)
+        return self.words_per_row(bits)
+
+    @staticmethod
+    def _batch_values(
+        opcode: Opcode, a: np.ndarray, b: Optional[np.ndarray], bits: int
+    ) -> np.ndarray:
+        """Numpy column-parallel result of one element-wise operation.
+
+        The hardware model is exact, so the whole batch reduces to modular
+        int64 arithmetic; MULT keeps the full 2N-bit product.
+        """
+        modulus_mask = (1 << bits) - 1
+        if opcode is Opcode.NOT:
+            return (~a) & modulus_mask
+        if opcode is Opcode.COPY:
+            return a.copy()
+        if opcode is Opcode.SHIFT_LEFT:
+            return (a << 1) & modulus_mask
+        if b is None:
+            raise OperandError(f"{opcode.name} needs two operand vectors")
+        if opcode is Opcode.AND:
+            return a & b
+        if opcode is Opcode.NAND:
+            return (~(a & b)) & modulus_mask
+        if opcode is Opcode.OR:
+            return a | b
+        if opcode is Opcode.NOR:
+            return (~(a | b)) & modulus_mask
+        if opcode is Opcode.XOR:
+            return a ^ b
+        if opcode is Opcode.XNOR:
+            return (~(a ^ b)) & modulus_mask
+        if opcode is Opcode.ADD:
+            return (a + b) & modulus_mask
+        if opcode is Opcode.ADD_SHIFT:
+            return ((a + b) << 1) & modulus_mask
+        if opcode is Opcode.SUB:
+            return (a - b) & modulus_mask
+        if opcode is Opcode.MULT:
+            if 2 * bits > 62:
+                # int64 cannot hold the 2N-bit product; fall back to exact
+                # Python integers (object dtype keeps the ndarray interface).
+                return np.array(
+                    [int(x) * int(y) for x, y in zip(a.tolist(), b.tolist())],
+                    dtype=object,
+                )
+            return a * b
+        raise ConfigurationError(f"unsupported opcode {opcode!r}")
+
+    def _check_unsigned_operands(self, name: str, values: Sequence[int], bits: int) -> np.ndarray:
+        array = np.asarray(values, dtype=np.int64)
+        if array.size and (array.min() < 0 or array.max() > mask(bits)):
+            raise OperandError(
+                f"{name} contains values outside the unsigned {bits}-bit range"
+            )
+        return array
+
+    def elementwise_array(
+        self,
+        opcode: Opcode,
+        a_values: Sequence[int],
+        b_values: Optional[Sequence[int]] = None,
+        precision_bits: Optional[int] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`elementwise` returning a numpy array.
+
+        The whole operand vector is processed as numpy column-parallel
+        batches; the statistics ledger receives exactly the per-row-access
+        records the reference path would produce (one invocation of
+        ``cycles_for(opcode)`` cycles per lane batch, energy proportional to
+        the accounted words, plus the word-line activations of the
+        micro-sequencer plan), accumulated in one batch update.
+
+        Configurations that inject read disturb are routed to
+        :meth:`elementwise_reference` — disturb flips require the real
+        cell-level accesses — so every caller gets the honest behaviour
+        without branching on the configuration itself.
+        """
+        bits = self._resolve_precision(precision_bits)
+        if self.config.inject_read_disturb:
+            reference = self.elementwise_reference(
+                opcode,
+                np.asarray(a_values).tolist(),
+                np.asarray(b_values).tolist() if b_values is not None else None,
+                precision_bits=bits,
+            )
+            dtype = object if (opcode is Opcode.MULT and 2 * bits > 62) else np.int64
+            return np.asarray(reference, dtype=dtype)
+        if opcode.is_dual_wordline and b_values is None:
+            raise OperandError(f"{opcode.name} needs two operand vectors")
+        if b_values is not None and len(b_values) != len(a_values):
+            raise OperandError("operand vectors must have the same length")
+        lanes = self.lane_count(opcode, bits)
+
+        a = self._check_unsigned_operands("a_values", a_values, bits)
+        b = (
+            self._check_unsigned_operands("b_values", b_values, bits)
+            if b_values is not None
+            else None
+        )
+        if a.size == 0:
+            return np.zeros(0, dtype=np.int64)
+
+        values = self._batch_values(opcode, a, b, bits)
+
+        invocations = -(-a.size // lanes)  # ceil division: one per lane batch
+        cycles_each = cycles_for(opcode, bits)
+        energy_per_word = self.energy_model.energy_for(
+            opcode.energy_mnemonic,
+            bits,
+            vdd=self.config.operating_point.vdd,
+            bl_separator=self.config.bl_separator,
+        ).total_j
+        self.stats.record_batch(
+            opcode,
+            invocations=invocations,
+            words=int(a.size),
+            cycles=cycles_each * invocations,
+            energy_j=energy_per_word * a.size,
+        )
+        self.array.access_count += self._array_accesses_for(opcode, bits) * invocations
+        self.stats.array_accesses = self.array.access_count
+        self.stats.disturb_events = self.array.disturb_events
+        return values
+
+    def reduce_add(self, values: Sequence[int], accumulator_bits: int) -> int:
+        """Serial in-memory accumulation of signed values (vectorized).
+
+        Models the reference reduction loop — one scalar ADD per element
+        through a single accumulator at ``accumulator_bits`` precision, with
+        two's-complement wrap-around at every step — but computes the values
+        with numpy and accounts the whole chain in one batch update.  Raises
+        :class:`~repro.errors.OperandError` if any intermediate total leaves
+        the signed accumulator range, like the reference loop would.
+
+        Configurations that inject read disturb are routed to
+        :meth:`reduce_add_reference`, the per-step on-array execution.
+        """
+        self.layout.check_precision(accumulator_bits)
+        if self.config.inject_read_disturb:
+            return self.reduce_add_reference(values, accumulator_bits)
+        array = np.asarray(list(values), dtype=np.int64)
+        if array.size == 0:
+            return 0
+        limit = (1 << (accumulator_bits - 1)) - 1
+        modulus = 1 << accumulator_bits
+        totals = np.cumsum(array)
+        # Two's-complement wrap of every intermediate total (mod arithmetic
+        # composes, so wrapping the cumulative sums equals stepwise wrapping).
+        wrapped = totals % modulus
+        decoded = np.where(wrapped >= modulus // 2, wrapped - modulus, wrapped)
+        if np.abs(decoded).max() > limit:
+            raise OperandError("accumulator overflow in reduction")
+        energy_per_add = self.energy_model.energy_for(
+            Opcode.ADD.energy_mnemonic,
+            accumulator_bits,
+            vdd=self.config.operating_point.vdd,
+            bl_separator=self.config.bl_separator,
+        ).total_j
+        count = int(array.size)
+        self.stats.record_batch(
+            Opcode.ADD,
+            invocations=count,
+            words=count,
+            cycles=cycles_for(Opcode.ADD, accumulator_bits) * count,
+            energy_j=energy_per_add * count,
+        )
+        self.array.access_count += count
+        self.stats.array_accesses = self.array.access_count
+        return int(decoded[-1])
+
+    def reduce_add_reference(self, values: Sequence[int], accumulator_bits: int) -> int:
+        """Per-step reference accumulation on the array (ground truth).
+
+        One scalar in-memory ADD per element through a single accumulator,
+        exactly the seed's reduction loop; kept as the oracle for
+        :meth:`reduce_add` and for read-disturb injection.
+        """
+        self.layout.check_precision(accumulator_bits)
+        limit = (1 << (accumulator_bits - 1)) - 1
+        modulus = 1 << accumulator_bits
+        total = 0
+        for value in values:
+            encoded_total = to_twos_complement(total, accumulator_bits)
+            encoded_value = to_twos_complement(int(value), accumulator_bits)
+            raw = self.compute(
+                Opcode.ADD, encoded_total, encoded_value, precision_bits=accumulator_bits
+            )
+            total = from_twos_complement(raw % modulus, accumulator_bits)
+            if abs(total) > limit:  # pragma: no cover - guarded by operand checks
+                raise OperandError("accumulator overflow in reduction")
+        return total
 
     # ------------------------------------------------------------------ #
     # Statistics

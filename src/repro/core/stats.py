@@ -61,6 +61,25 @@ class MacroStatistics:
         """Record one executed vector operation."""
         self.records[opcode].add(words=words, cycles=cycles, energy_j=energy_j)
 
+    def record_batch(
+        self,
+        opcode: Opcode,
+        invocations: int,
+        words: int,
+        cycles: int,
+        energy_j: float,
+    ) -> None:
+        """Record ``invocations`` identical vector operations in one update.
+
+        Used by the vectorized execution paths, which account a whole batch
+        of row accesses analytically instead of looping lane by lane.  The
+        totals passed in are the *sums* over the batch.
+        """
+        batch = OperationRecord(
+            invocations=invocations, words=words, cycles=cycles, energy_j=energy_j
+        )
+        self.records[opcode].merge(batch)
+
     def merge(self, other: "MacroStatistics") -> None:
         """Merge another statistics object (e.g. from another macro)."""
         for opcode, record in other.records.items():

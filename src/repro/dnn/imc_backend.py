@@ -23,6 +23,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.core.chip import IMCChip
 from repro.core.macro import IMCMacro
 from repro.core.operations import Opcode
 from repro.errors import ConfigurationError
@@ -46,20 +47,23 @@ class NumpyIntBackend:
 
 @dataclass
 class IMCMatmulBackend:
-    """Integer matmul executed on the bit-parallel IMC macro.
+    """Integer matmul executed on the bit-parallel IMC engine.
 
     Parameters
     ----------
     macro:
-        The macro to run on.  Its configured precision must be able to hold
-        the magnitude of every operand code (e.g. 8-bit codes need an 8-bit
-        or wider precision).
+        The execution engine: a single :class:`~repro.core.macro.IMCMacro`
+        or a sharded :class:`~repro.core.chip.IMCChip` (both expose the same
+        ``elementwise`` / ``stats`` / cost-model interface; a chip spreads
+        the multiplication stream across its macro shards).  The configured
+        precision must be able to hold the magnitude of every operand code
+        (e.g. 8-bit codes need an 8-bit or wider precision).
     precision_bits:
         Operand precision used for the in-memory multiplications; defaults
-        to the macro's configured precision.
+        to the engine's configured precision.
     """
 
-    macro: IMCMacro
+    macro: "IMCMacro | IMCChip"
     precision_bits: Optional[int] = None
     mac_count: int = field(default=0, init=False)
 
@@ -100,11 +104,8 @@ class IMCMatmulBackend:
 
         a_flat = np.repeat(magnitude_a[:, :, None], outer, axis=2).reshape(-1)
         w_flat = np.repeat(magnitude_w[None, :, :], batch, axis=0).reshape(-1)
-        products = self.macro.elementwise(
-            Opcode.MULT,
-            a_flat.tolist(),
-            w_flat.tolist(),
-            precision_bits=self.precision_bits,
+        products = self.macro.elementwise_array(
+            Opcode.MULT, a_flat, w_flat, precision_bits=self.precision_bits
         )
         products = np.asarray(products, dtype=np.int64).reshape(batch, inner, outer)
         output = (products * signs).sum(axis=1)

@@ -61,6 +61,13 @@ class TestFunctionalCorrectness:
         assert baseline.elementwise(Opcode.SHIFT_LEFT, [0b0110], None, 4).values == (0b1100,)
         assert baseline.elementwise(Opcode.COPY, [7], None, 4).values == (7,)
 
+    def test_wide_precision_mult_is_exact(self, baseline):
+        # The 2N-bit product of 32-bit operands exceeds int64; the lane batch
+        # must fall back to exact Python integers.
+        value = (1 << 32) - 1
+        result = baseline.elementwise(Opcode.MULT, [value, 3], [value, 5], 32)
+        assert list(result.values) == [value * value, 15]
+
     def test_matches_proposed_macro_results(self, baseline, macro):
         values_a = [17, 103, 250, 66]
         values_b = [3, 99, 250, 111]
