@@ -1,19 +1,51 @@
 # Convenience targets for the DAC 2020 bit-parallel IMC reproduction.
 #
-#   make test        tier-1 verification (the command CI runs)
-#   make bench       regenerate every paper artefact + extension study
-#   make docs-check  documentation-consistency tests only
-#   make chip-bench  just the sharded multi-macro scaling benchmark
-#   make examples    run every example script end-to-end
+#   make test         tier-1 verification (the command CI runs)
+#   make lint         ruff check + format check (skipped if ruff is absent)
+#   make bench        regenerate every paper artefact + extension study
+#   make bench-smoke  the tracked benchmarks in smoke mode (JSON results)
+#   make bench-check  compare results against benchmarks/baselines.json
+#   make ci           the full GitHub Actions pipeline, locally:
+#                     lint -> tier-1 tests -> bench smoke -> regression check
+#   make docs-check   documentation-consistency tests only
+#   make chip-bench   just the sharded multi-macro scaling benchmark
+#   make examples     run every example script end-to-end
 
 PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench docs-check chip-bench examples clean
+#: Benchmarks whose JSON results the regression gate tracks.
+TRACKED_BENCHES := benchmarks/bench_chip_scaling.py \
+                   benchmarks/bench_matmul_engine.py \
+                   benchmarks/bench_serving_throughput.py
+
+.PHONY: test lint bench bench-smoke bench-check ci docs-check chip-bench examples clean
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples && \
+		ruff format --check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
+
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest -q $(TRACKED_BENCHES)
+
+bench-check:
+	$(PYTHON) benchmarks/check_regression.py
+
+# Recursive invocations keep the stages strictly ordered even under -jN
+# (bench-check must read the JSON bench-smoke just wrote).
+ci:
+	$(MAKE) lint
+	$(MAKE) test
+	$(MAKE) bench-smoke
+	$(MAKE) bench-check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py --benchmark-only

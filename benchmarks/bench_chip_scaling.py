@@ -15,6 +15,7 @@ The sweep is additionally written to ``benchmarks/results/chip_scaling.json``
 so future PRs can diff the perf trajectory.
 """
 
+import os
 import time
 
 import numpy as np
@@ -23,8 +24,12 @@ from repro.analysis import experiments
 from repro.analysis.report import format_table
 from repro.core import IMCChip, IMCMacro, MacroConfig, Opcode, VectorKernels
 
+#: Smoke mode (the CI bench-regression job): a reduced sweep that still
+#: produces every metric tracked by benchmarks/baselines.json.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
 MACRO_COUNTS = (1, 2, 4, 8)
-VECTOR_LENGTHS = (1024, 4096, 16384, 65536)
+VECTOR_LENGTHS = (1024, 4096) if SMOKE else (1024, 4096, 16384, 65536)
 DOT_ELEMENTS = 4096
 
 

@@ -27,7 +27,10 @@ def _render(result) -> str:
     return format_table(
         ["corner", "WLUD [ns]", "proposed [ns]", "proposed/WLUD"],
         rows,
-        title="Fig. 7(a) — BL computing delay per corner (0.9 V, 25 C); paper: 0.22x at worst case",
+        title=(
+            "Fig. 7(a) — BL computing delay per corner (0.9 V, 25 C); "
+            "paper: 0.22x at worst case"
+        ),
     )
 
 

@@ -39,7 +39,9 @@ def _render(table) -> str:
                 _format_frequency(entry["max_frequency_hz"]),
                 "yes" if entry["reconfigurable"] else "no",
                 "-" if entry["tops_per_watt_add"] is None else f"{entry['tops_per_watt_add']:.2f}",
-                "-" if entry["tops_per_watt_mult"] is None else f"{entry['tops_per_watt_mult']:.2f}",
+                "-"
+                if entry["tops_per_watt_mult"] is None
+                else f"{entry['tops_per_watt_mult']:.2f}",
             ]
         )
     return format_table(headers, rows, title="Table III — comparison with prior work")

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare results/*.json against baselines.
+
+Usage::
+
+    python benchmarks/check_regression.py            # compare, exit 1 on regression
+    python benchmarks/check_regression.py --update   # rewrite baseline values
+
+Baselines live in ``benchmarks/baselines.json``::
+
+    {
+      "default_tolerance": 0.2,
+      "metrics": {
+        "<metric name>": {
+          "file": "chip_scaling.json",       # under benchmarks/results/
+          "path": "4/4096/total_cycles",     # '/'-separated keys into the JSON
+          "direction": "lower",              # "lower" or "higher" is better
+          "value": 123.0,                    # the checked-in baseline
+          "tolerance": 0.2,                  # optional per-metric override
+          "smoke_only": true                 # optional: skip unless the
+        }                                    #   result file says "smoke": true
+      }
+    }
+
+A metric **regresses** when it is worse than the baseline by more than the
+tolerance: ``value > baseline * (1 + tol)`` for ``direction: lower``,
+``value < baseline * (1 - tol)`` for ``direction: higher``.  Missing result
+files or paths fail the gate too — a silently vanished benchmark is a
+regression of the harness itself.  Host-wall-derived ratio metrics use
+deliberately conservative baselines so machine-speed differences do not
+flake the gate; modeled cycle counts are deterministic and use the default
+20 % tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_RESULTS = BENCH_DIR / "results"
+DEFAULT_BASELINES = BENCH_DIR / "baselines.json"
+
+
+def _dig(payload, path: str):
+    """Walk a '/'-separated key path into nested dicts."""
+    node = payload
+    for key in path.split("/"):
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError(path)
+        node = node[key]
+    return float(node)
+
+
+def _check_metric(name, spec, results_dir, default_tolerance):
+    """Returns (status, detail, measured) with status in ok/skip/regression/error."""
+    result_path = results_dir / spec["file"]
+    if not result_path.exists():
+        return "error", f"missing results file {spec['file']}", None
+    try:
+        payload = json.loads(result_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return "error", f"unreadable {spec['file']}: {error}", None
+    if spec.get("smoke_only") and not payload.get("smoke", False):
+        return "skip", "baseline defined for smoke mode only", None
+    try:
+        measured = _dig(payload, spec["path"])
+    except KeyError:
+        return "error", f"path {spec['path']!r} missing in {spec['file']}", None
+    except (TypeError, ValueError):
+        return "error", f"non-numeric value at {spec['path']!r}", None
+
+    baseline = float(spec["value"])
+    tolerance = float(spec.get("tolerance", default_tolerance))
+    direction = spec.get("direction", "lower")
+    if direction not in ("lower", "higher"):
+        return "error", f"bad direction {direction!r}", measured
+    if direction == "lower":
+        limit = baseline * (1.0 + tolerance)
+        regressed = measured > limit
+        detail = f"{measured:.6g} vs <= {limit:.6g} (baseline {baseline:.6g})"
+    else:
+        limit = baseline * (1.0 - tolerance)
+        regressed = measured < limit
+        detail = f"{measured:.6g} vs >= {limit:.6g} (baseline {baseline:.6g})"
+    return ("regression" if regressed else "ok"), detail, measured
+
+
+def run(results_dir: Path, baselines_path: Path, update: bool) -> int:
+    config = json.loads(baselines_path.read_text(encoding="utf-8"))
+    default_tolerance = float(config.get("default_tolerance", 0.2))
+    metrics = config.get("metrics", {})
+    if not metrics:
+        print("no metrics defined in", baselines_path)
+        return 1
+
+    failures = 0
+    width = max(len(name) for name in metrics)
+    for name, spec in sorted(metrics.items()):
+        status, detail, measured = _check_metric(
+            name, spec, results_dir, default_tolerance
+        )
+        if update and measured is not None and status != "skip":
+            spec["value"] = measured
+            status_mark = "UPDATED"
+        else:
+            status_mark = {
+                "ok": "OK",
+                "skip": "SKIP",
+                "regression": "REGRESSION",
+                "error": "ERROR",
+            }[status]
+            if status == "error" or (status == "regression" and not update):
+                failures += 1
+        print(f"{name:<{width}}  {status_mark:<10}  {detail}")
+
+    if update:
+        baselines_path.write_text(
+            json.dumps(config, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"\nbaselines rewritten: {baselines_path}")
+        if failures:
+            print(f"{failures} metric(s) could not be measured — baseline kept stale")
+            return 1
+        return 0
+    if failures:
+        print(f"\n{failures} metric(s) regressed or errored")
+        return 1
+    print("\nall tracked metrics within tolerance")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
+    parser.add_argument("--baselines", type=Path, default=DEFAULT_BASELINES)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite baseline values from the current results",
+    )
+    arguments = parser.parse_args()
+    return run(arguments.results, arguments.baselines, arguments.update)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

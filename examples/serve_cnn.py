@@ -1,0 +1,94 @@
+"""Batched CNN inference serving on the weight-stationary chip engine.
+
+Run with::
+
+    python examples/serve_cnn.py
+
+The production path of the reproduction: a trained quantised CNN is bound to
+a :class:`repro.core.matmul.TiledMatmulEngine` on a 16-macro sharded chip,
+and an :class:`repro.serve.InferenceServer` coalesces many small client
+requests into activation batches.  Weights are programmed into the arrays
+once (the ``ProgrammedWeights`` cache charges programming on first touch
+only), every batch streams past the stationary tiles, and the server
+reports per-request latency plus chip utilization.  The same requests are
+served at several coalescing budgets to show why batching pays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dnn import make_pattern_image_dataset, train_pattern_cnn
+from repro.serve import InferenceServer
+
+NUM_MACROS = 16
+REQUEST_IMAGES = 3
+
+
+def main() -> None:
+    print("=== Training the pattern CNN (8-bit) ===")
+    dataset = make_pattern_image_dataset(samples=240, size=8, seed=13)
+    cnn, training = train_pattern_cnn(dataset, epochs=12, weight_bits=8)
+    print(f"float head accuracy: {training.test_accuracy * 100:.1f} %")
+
+    test_images = dataset.test_images
+    test_labels = dataset.test_labels
+    requests = [
+        test_images[start : start + REQUEST_IMAGES]
+        for start in range(0, test_images.shape[0], REQUEST_IMAGES)
+    ]
+    print(f"workload: {len(requests)} requests x {REQUEST_IMAGES} images")
+
+    print("\n=== Serving the same workload at three coalescing budgets ===")
+    header = (
+        f"{'max batch':>9} | {'batches':>7} | {'imgs/s':>8} | "
+        f"{'mean lat [ms]':>13} | {'util':>5} | {'hits/misses':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    final_server = None
+    for max_batch_size in (1, 8, 32):
+        server = InferenceServer(
+            cnn, num_macros=NUM_MACROS, max_batch_size=max_batch_size
+        )
+        for images in requests:
+            server.submit(images)
+        server.drain()
+        report = server.report()
+        print(
+            f"{max_batch_size:>9} | {report.batches:>7} | "
+            f"{report.throughput_images_per_s:>8.0f} | "
+            f"{report.mean_latency_s * 1e3:>13.2f} | "
+            f"{report.mean_utilization:>5.2f} | "
+            f"{report.cache_hits:>5}/{report.cache_misses}"
+        )
+        final_server = server
+
+    print("\n=== Checking the served answers ===")
+    predictions = np.concatenate(
+        [result.predictions for result in sorted(
+            final_server.results, key=lambda r: r.request_id
+        )]
+    )
+    reference = cnn.predict(test_images)
+    accuracy = float(np.mean(predictions == test_labels))
+    print(f"bit-exact vs integer reference : {bool(np.array_equal(predictions, reference))}")
+    print(f"served accuracy                : {accuracy * 100:.1f} %")
+
+    stats = final_server.engine.statistics()
+    print("\n=== Weight-stationary accounting (last server) ===")
+    print(f"programmed tiles               : {stats['programmed_tiles']:.0f}")
+    print(f"programming cycles (1st touch) : {stats['program_cycles']:.0f}")
+    print(f"resident array rows            : {stats['cache_resident_rows']:.0f} "
+          f"of {stats['cache_capacity_rows']:.0f}")
+    print(f"in-memory work cycles          : {stats['cycles']:.0f}")
+    print(f"in-memory energy               : {stats['energy_j'] * 1e9:.2f} nJ")
+    print(
+        "\nLarger coalescing budgets amortise the fixed per-dispatch cost over "
+        "more images;\nthe weights were programmed once and stayed stationary "
+        "for every batch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,7 @@ from repro.core import (
     Opcode,
     OperationResult,
     SUPPORTED_PRECISIONS,
+    TiledMatmulEngine,
     VectorKernels,
     cycles_for,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "Opcode",
     "OperationResult",
     "SUPPORTED_PRECISIONS",
+    "TiledMatmulEngine",
     "cycles_for",
     "CycleDelayModel",
     "FrequencyModel",

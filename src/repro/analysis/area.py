@@ -20,7 +20,7 @@ exercise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.core.config import MacroConfig
@@ -140,7 +140,9 @@ class MacroAreaModel:
         """Total overhead as a fraction of the cell-array area."""
         return self.breakdown().overhead_fraction
 
-    def overhead_vs_geometry(self, row_options: tuple[int, ...] = (64, 128, 256, 512)) -> Dict[int, float]:
+    def overhead_vs_geometry(
+        self, row_options: tuple[int, ...] = (64, 128, 256, 512)
+    ) -> Dict[int, float]:
         """Overhead fraction as the array gets taller (same column count).
 
         The per-column peripherals are shared by more storage as the row

@@ -13,13 +13,12 @@ and reports can quantify how close the reproduction lands.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.baselines.bitserial import BitSerialConfig, BitSerialIMC
-from repro.baselines.wlud import WLUDMacroModel
 from repro.circuits.bitline import BitlineComputeModel
 from repro.circuits.delay import CycleBreakdown, CycleDelayModel
 from repro.circuits.energy import OperationEnergyModel
@@ -55,6 +54,8 @@ __all__ = [
     "data_movement_study",
     "ChipScalingPoint",
     "chip_scaling_study",
+    "ServingThroughputPoint",
+    "serving_throughput_study",
 ]
 
 
@@ -669,6 +670,89 @@ def dnn_precision_study(
         imc_backend_verified=verified,
         mac_count_per_inference=mac_count,
     )
+
+
+# ---------------------------------------------------------------------- #
+# Extension — batched inference serving on the weight-stationary engine
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ServingThroughputPoint:
+    """Serving metrics at one coalescing batch size."""
+
+    max_batch_size: int
+    requests: int
+    images: int
+    batches: int
+    mean_batch_size: float
+    throughput_images_per_s: float
+    mean_latency_s: float
+    max_latency_s: float
+    modeled_chip_time_s: float
+    mean_utilization: float
+    cache_hits: int
+    cache_misses: int
+    accuracy: float
+
+
+def serving_throughput_study(
+    batch_sizes: Sequence[int] = (1, 4, 16, 64),
+    num_macros: int = 16,
+    samples: int = 240,
+    image_size: int = 8,
+    request_images: int = 3,
+    epochs: int = 12,
+    weight_bits: int = 8,
+    seed: int = 13,
+) -> Dict[int, ServingThroughputPoint]:
+    """Batched CNN serving throughput vs coalescing batch size.
+
+    Trains the pattern CNN once, then serves the whole test split through
+    an :class:`repro.serve.InferenceServer` — one weight-stationary
+    :class:`~repro.core.matmul.TiledMatmulEngine` per point — as a stream of
+    ``request_images``-image requests.  Larger coalescing budgets amortise
+    the fixed per-dispatch cost over more images, which is the serving
+    analogue of the DAC-codeword "expansion factor" argument: throughput
+    comes from batching symbols past a programmed-once block.
+
+    Returns ``{max_batch_size: ServingThroughputPoint}``.
+    """
+    from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
+    from repro.serve import InferenceServer
+
+    dataset = make_pattern_image_dataset(samples=samples, size=image_size, seed=seed)
+    cnn, _ = train_pattern_cnn(dataset, epochs=epochs, weight_bits=weight_bits)
+    test_images = dataset.test_images
+    test_labels = dataset.test_labels
+
+    results: Dict[int, ServingThroughputPoint] = {}
+    for max_batch_size in batch_sizes:
+        server = InferenceServer(
+            cnn, num_macros=num_macros, max_batch_size=max_batch_size
+        )
+        predictions: List[np.ndarray] = []
+        for start in range(0, test_images.shape[0], request_images):
+            server.submit(test_images[start : start + request_images])
+        for result in server.drain():
+            predictions.append(result.predictions)
+        report = server.report()
+        predicted = np.concatenate(predictions)
+        accuracy = float(np.mean(predicted == test_labels[: predicted.size]))
+        results[max_batch_size] = ServingThroughputPoint(
+            max_batch_size=max_batch_size,
+            requests=report.requests,
+            images=report.images,
+            batches=report.batches,
+            mean_batch_size=report.mean_batch_size,
+            throughput_images_per_s=report.throughput_images_per_s,
+            mean_latency_s=report.mean_latency_s,
+            max_latency_s=report.max_latency_s,
+            modeled_chip_time_s=report.modeled_chip_time_s,
+            mean_utilization=report.mean_utilization,
+            cache_hits=report.cache_hits,
+            cache_misses=report.cache_misses,
+            accuracy=accuracy,
+        )
+    return results
 
 
 # ---------------------------------------------------------------------- #

@@ -250,7 +250,11 @@ class OperationEnergyModel:
     ) -> Dict[str, Dict[int, Dict[str, float]]]:
         """Regenerate Table II: energy in fJ per op/precision/separator setting."""
         table: Dict[str, Dict[int, Dict[str, float]]] = {}
-        for name, method in (("ADD", self.add_energy), ("SUB", self.sub_energy), ("MULT", self.mult_energy)):
+        for name, method in (
+            ("ADD", self.add_energy),
+            ("SUB", self.sub_energy),
+            ("MULT", self.mult_energy),
+        ):
             table[name] = {}
             for bits in precisions:
                 table[name][bits] = {

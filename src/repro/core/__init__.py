@@ -22,6 +22,13 @@ from repro.core.decoder import RowDecoder, WordlineSelection
 from repro.core.kernels import KernelResult, VectorKernels
 from repro.core.layout import ColumnLayout
 from repro.core.macro import IMCMacro, OperationResult
+from repro.core.matmul import (
+    MatmulDispatch,
+    ProgrammedWeights,
+    TileAssignment,
+    TiledMatmulEngine,
+    WeightCache,
+)
 from repro.core.operations import Opcode, OperationCategory, SUPPORTED_PRECISIONS, cycles_for
 from repro.core.periphery import ColumnPeriphery, RippleResult
 from repro.core.program import Instruction, Program, ProgramExecutor, ProgramTrace
@@ -52,6 +59,11 @@ __all__ = [
     "ColumnLayout",
     "IMCMacro",
     "OperationResult",
+    "MatmulDispatch",
+    "ProgrammedWeights",
+    "TileAssignment",
+    "TiledMatmulEngine",
+    "WeightCache",
     "Opcode",
     "OperationCategory",
     "SUPPORTED_PRECISIONS",

@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, OperandError, PrecisionError
+from repro.errors import ConfigurationError, OperandError
 from repro.core.array import RowRef, SRAMArray
 from repro.core.config import MacroConfig
 from repro.core.controller import MicroOpKind, MicroSequencer
@@ -37,7 +37,6 @@ from repro.core.stats import MacroStatistics
 from repro.circuits.delay import CycleDelayModel
 from repro.circuits.energy import OperationEnergyModel
 from repro.circuits.readdisturb import ReadDisturbModel
-from repro.circuits.wordline import WordlineScheme
 from repro.utils.bitops import (
     bits_to_int,
     from_twos_complement,

@@ -1,0 +1,669 @@
+"""Weight-stationary tiled integer matmul engine on the sharded chip.
+
+The seed's DNN path (:class:`repro.dnn.imc_backend.IMCMatmulBackend`)
+re-sends *both* operands of every scalar product to the engine on every
+call — the opposite of how an IMC accelerator amortises its array.  Real
+deployments program a layer's weight matrix into the arrays **once** and
+then stream activation batches past the stationary weights.  This module is
+that execution discipline:
+
+* :class:`TiledMatmulEngine` cuts a weight matrix into ``tile_rows x
+  tile_cols`` tiles, deals the tiles round-robin across the macros of an
+  :class:`repro.core.chip.IMCChip`, and charges the array-write cost of
+  programming a tile **once** — on first touch — through a
+  :class:`WeightCache` keyed by layer id;
+* subsequent matmuls with the same weights stream activation batches
+  through the vectorized column-parallel MULT path of each tile's macro and
+  accumulate the per-tile partial sums near-memory (accounted as one ADD
+  per product at the accumulator precision), merging every per-tile ledger
+  into the chip-level statistics;
+* the cache is capacity-aware: when the resident tiles would exceed the
+  chip's capacity the least-recently-used layers are evicted, and touching
+  an evicted layer charges the re-programming cost again (exactly the
+  behaviour a serving system has to plan around);
+* :meth:`TiledMatmulEngine.matmul_reference` retains the per-lane on-array
+  execution as the bit-exactness oracle, and configurations that inject
+  read disturb are routed to it automatically.
+
+The engine is a drop-in integer matmul backend: calling it with
+``(activation_codes, weight_codes)`` mirrors
+:class:`~repro.dnn.imc_backend.NumpyIntBackend` bit-exactly (including
+``mac_count`` accounting), so ``QuantizedMLP.with_backend(engine)`` and
+``QuantizedCNN.with_backend(engine)`` run whole networks weight-stationary.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.chip import IMCChip
+from repro.core.operations import Opcode, cycles_for
+from repro.errors import ConfigurationError
+from repro.utils.bitops import mask
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "TileAssignment",
+    "ProgrammedWeights",
+    "WeightCache",
+    "MatmulDispatch",
+    "TiledMatmulEngine",
+    "matmul_mac_count",
+]
+
+
+def matmul_mac_count(activations: np.ndarray, weights: np.ndarray) -> int:
+    """Multiply-accumulates of one ``(B x I) @ (I x O)`` integer product.
+
+    Counted from the operand shapes alone — the single source of truth for
+    every matmul backend.  Zero-valued activations whose products the sign
+    path suppresses (``sign(0) * sign(w) = 0``) still traverse the MAC
+    array, so they count exactly once; deriving the count from the executed
+    multiplication stream instead would double-charge them whenever a
+    backend both issues the magnitude MULT and re-walks the sign mask.
+    """
+    return activations.shape[0] * weights.shape[0] * weights.shape[1]
+
+
+@dataclass(frozen=True)
+class TileAssignment:
+    """One weight tile pinned to one macro shard.
+
+    ``rows`` spans the inner (contraction) dimension of the weight matrix,
+    ``cols`` the output dimension; the tile occupies ``row_stop - row_start``
+    array rows of macro ``macro_index``.
+    """
+
+    tile_index: int
+    macro_index: int
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+    @property
+    def rows(self) -> int:
+        """Weight rows (array rows) the tile occupies."""
+        return self.row_stop - self.row_start
+
+    @property
+    def cols(self) -> int:
+        """Weight columns (output channels) the tile holds."""
+        return self.col_stop - self.col_start
+
+    @property
+    def words(self) -> int:
+        """Weight words stored by the tile."""
+        return self.rows * self.cols
+
+
+@dataclass
+class ProgrammedWeights:
+    """A weight matrix resident on the chip, tiled across macros.
+
+    ``program_cycles`` / ``program_energy_j`` record what programming the
+    tiles cost; the cost is charged when the entry is (re-)programmed, never
+    on a cache hit — that is the whole point of weight-stationary execution.
+    """
+
+    layer_id: str
+    shape: Tuple[int, int]
+    precision_bits: int
+    tiles: Tuple[TileAssignment, ...]
+    program_cycles: int
+    program_energy_j: float
+    programmed_count: int = 1
+    hits: int = 0
+
+    @property
+    def tile_count(self) -> int:
+        """Number of tiles the weight matrix occupies."""
+        return len(self.tiles)
+
+    @property
+    def resident_rows(self) -> int:
+        """Array rows the tiles occupy across the chip."""
+        return sum(tile.rows for tile in self.tiles)
+
+
+class WeightCache:
+    """LRU cache of :class:`ProgrammedWeights`, bounded in resident array rows.
+
+    A tile of ``r`` weight rows occupies ``r`` array rows of its macro (every
+    multiplication slot of those rows), so the natural capacity unit is array
+    rows across the chip.  The invariant the property tests pin down:
+    ``resident_rows`` never exceeds ``capacity_rows``, and programming cost
+    is charged exactly once per period of residency (program → hits →
+    eviction → re-program).
+    """
+
+    def __init__(self, capacity_rows: int) -> None:
+        check_positive("capacity_rows", capacity_rows)
+        self.capacity_rows = capacity_rows
+        self._entries: "OrderedDict[str, ProgrammedWeights]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, layer_id: str) -> bool:
+        return layer_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def resident_rows(self) -> int:
+        """Array rows currently occupied by resident tiles."""
+        return sum(entry.resident_rows for entry in self._entries.values())
+
+    @property
+    def resident_tiles(self) -> int:
+        """Tiles currently held on the chip."""
+        return sum(entry.tile_count for entry in self._entries.values())
+
+    @property
+    def resident_layers(self) -> List[str]:
+        """Layer ids in LRU → MRU order."""
+        return list(self._entries)
+
+    def lookup(self, layer_id: str) -> Optional[ProgrammedWeights]:
+        """Return (and touch) a resident entry, or record a miss."""
+        entry = self._entries.get(layer_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(layer_id)
+        entry.hits += 1
+        self.hits += 1
+        return entry
+
+    def insert(self, entry: ProgrammedWeights) -> List[ProgrammedWeights]:
+        """Make an entry resident, evicting LRU entries to fit.
+
+        Returns the evicted entries.  An entry larger than the whole cache
+        cannot become resident; the caller treats it as a transient
+        programming (charged on every call) and nothing is evicted for it.
+        """
+        if entry.resident_rows > self.capacity_rows:
+            return []
+        evicted: List[ProgrammedWeights] = []
+        while self.resident_rows + entry.resident_rows > self.capacity_rows:
+            _, victim = self._entries.popitem(last=False)
+            self.evictions += 1
+            evicted.append(victim)
+        self._entries[entry.layer_id] = entry
+        return evicted
+
+    def invalidate(self, layer_id: str) -> bool:
+        """Drop one entry (e.g. after a weight update); True if it existed."""
+        return self._entries.pop(layer_id, None) is not None
+
+    def clear(self) -> None:
+        """Drop every resident entry (counters are kept)."""
+        self._entries.clear()
+
+    def summary(self) -> Dict[str, float]:
+        """Flat counters for reports."""
+        return {
+            "capacity_rows": float(self.capacity_rows),
+            "resident_rows": float(self.resident_rows),
+            "resident_tiles": float(self.resident_tiles),
+            "resident_layers": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+        }
+
+
+@dataclass(frozen=True)
+class MatmulDispatch:
+    """Chip-level accounting of one engine matmul call."""
+
+    layer_id: str
+    batch: int
+    inner: int
+    outer: int
+    tile_count: int
+    programmed: bool
+    macros: int
+    total_cycles: int
+    critical_path_cycles: int
+    program_cycles: int
+    energy_j: float
+    latency_s: float
+
+    @property
+    def utilization(self) -> float:
+        """Shard balance: work cycles over (macros x critical-path cycles)."""
+        if self.critical_path_cycles == 0:
+            return 0.0
+        return self.total_cycles / (self.macros * self.critical_path_cycles)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Work cycles over critical-path cycles (ideal = number of macros)."""
+        if self.critical_path_cycles == 0:
+            return 1.0
+        return self.total_cycles / self.critical_path_cycles
+
+
+@dataclass
+class _EngineCounters:
+    """Lifetime counters of the engine (all calls, all layers)."""
+
+    mac_count: int = 0
+    matmul_calls: int = 0
+    programmed_tiles: int = 0
+    program_cycles: int = 0
+    program_energy_j: float = 0.0
+
+
+class TiledMatmulEngine:
+    """Weight-stationary tiled integer matmul on an :class:`IMCChip`.
+
+    Parameters
+    ----------
+    chip:
+        The sharded execution engine; defaults to a single-macro chip.
+    precision_bits:
+        Operand precision of the in-memory multiplications; defaults to the
+        chip's configured precision.
+    tile_rows:
+        Weight rows per tile (array rows a tile occupies).  Defaults to the
+        macro height minus the three scratch rows the scalar path reserves.
+    tile_cols:
+        Weight columns per tile.  Defaults to the macro's multiplication
+        slots per row, so one activation broadcast fills every slot.
+    capacity_rows:
+        Array-row budget of the :class:`WeightCache` across the chip.
+        Defaults to every non-scratch row of every macro shard.
+    accumulator_bits:
+        Precision of the near-memory accumulation ADDs (default 32).
+    """
+
+    def __init__(
+        self,
+        chip: Optional[IMCChip] = None,
+        precision_bits: Optional[int] = None,
+        tile_rows: Optional[int] = None,
+        tile_cols: Optional[int] = None,
+        capacity_rows: Optional[int] = None,
+        accumulator_bits: int = 32,
+    ) -> None:
+        self.chip = chip if chip is not None else IMCChip()
+        self.precision_bits = (
+            precision_bits if precision_bits is not None else self.chip.precision_bits
+        )
+        config = self.chip.config
+        default_rows = max(1, config.rows - config.dummy_rows)
+        self.tile_rows = tile_rows if tile_rows is not None else default_rows
+        self.tile_cols = (
+            tile_cols
+            if tile_cols is not None
+            else self.chip.macro(0).mult_slots_per_row(self.precision_bits)
+        )
+        check_positive("tile_rows", self.tile_rows)
+        check_positive("tile_cols", self.tile_cols)
+        if self.tile_rows > config.rows:
+            raise ConfigurationError(
+                f"tile_rows {self.tile_rows} exceeds the macro height {config.rows}"
+            )
+        if capacity_rows is None:
+            capacity_rows = self.chip.num_macros * default_rows
+        self.cache = WeightCache(capacity_rows)
+        self.accumulator_bits = accumulator_bits
+        self.counters = _EngineCounters()
+        self.last_dispatch: Optional[MatmulDispatch] = None
+        self._slots = self.chip.macro(0).mult_slots_per_row(self.precision_bits)
+        self._next_tile_macro = 0
+        # Per-word energies are construction-time constants (every macro
+        # shares the config's operating point), so hoist them off the
+        # per-tile dispatch path.
+        lead = self.chip.macro(0)
+        vdd = lead.config.operating_point.vdd
+        separator = lead.config.bl_separator
+        self._mult_energy_per_word = lead.energy_model.energy_for(
+            Opcode.MULT.energy_mnemonic,
+            self.precision_bits,
+            vdd=vdd,
+            bl_separator=separator,
+        ).total_j
+        self._add_energy_per_word = lead.energy_model.energy_for(
+            Opcode.ADD.energy_mnemonic,
+            self.accumulator_bits,
+            vdd=vdd,
+            bl_separator=separator,
+        ).total_j
+        self._copy_energy_per_word = lead.energy_model.energy_for(
+            Opcode.COPY.energy_mnemonic,
+            self.precision_bits,
+            vdd=vdd,
+            bl_separator=separator,
+        ).total_j
+
+    # ------------------------------------------------------------------ #
+    # Tiling and programming
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def layer_id_for(weights: np.ndarray) -> str:
+        """Content-derived stable id for a weight matrix."""
+        weights = np.ascontiguousarray(weights, dtype=np.int64)
+        digest = hash((weights.shape, weights.tobytes()))
+        return f"auto-{weights.shape[0]}x{weights.shape[1]}-{digest & 0xFFFFFFFFFFFF:012x}"
+
+    def plan_tiles(self, inner: int, outer: int) -> List[TileAssignment]:
+        """Cut an ``inner x outer`` weight matrix into macro-pinned tiles.
+
+        Tiles are dealt round-robin across the macros, continuing from where
+        the previous layer stopped so successive layers spread instead of
+        piling onto macro 0.
+        """
+        tiles: List[TileAssignment] = []
+        index = 0
+        for row_start in range(0, inner, self.tile_rows):
+            row_stop = min(row_start + self.tile_rows, inner)
+            for col_start in range(0, outer, self.tile_cols):
+                col_stop = min(col_start + self.tile_cols, outer)
+                tiles.append(
+                    TileAssignment(
+                        tile_index=index,
+                        macro_index=(self._next_tile_macro + index)
+                        % self.chip.num_macros,
+                        row_start=row_start,
+                        row_stop=row_stop,
+                        col_start=col_start,
+                        col_stop=col_stop,
+                    )
+                )
+                index += 1
+        return tiles
+
+    def _charge_programming(self, tiles: List[TileAssignment]) -> Tuple[int, float]:
+        """Charge the array writes that make a layer's tiles resident.
+
+        Programming one tile is one row write per weight row (the weights
+        land in the multiplication slots), accounted as COPY operations on
+        the owning macro so the cost lands in that shard's ledger.
+        """
+        bits = self.precision_bits
+        total_cycles = 0
+        total_energy = 0.0
+        for tile in tiles:
+            macro = self.chip.macro(tile.macro_index)
+            cycles = tile.rows * cycles_for(Opcode.COPY, bits)
+            energy = self._copy_energy_per_word * tile.words
+            macro.stats.record_batch(
+                Opcode.COPY,
+                invocations=tile.rows,
+                words=tile.words,
+                cycles=cycles,
+                energy_j=energy,
+            )
+            macro.array.access_count += tile.rows
+            macro.stats.array_accesses = macro.array.access_count
+            total_cycles += cycles
+            total_energy += energy
+        return total_cycles, total_energy
+
+    def program(
+        self, weights: np.ndarray, layer_id: Optional[str] = None
+    ) -> Tuple[ProgrammedWeights, bool]:
+        """Make a weight matrix resident; returns (entry, was_programmed).
+
+        On a cache hit nothing is charged.  On a miss the tiles are planned,
+        the programming cost is charged to the owning macros, and the entry
+        becomes resident (evicting LRU layers as needed).  A layer too large
+        for the cache is programmed transiently: charged on *every* call and
+        never resident.
+        """
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.ndim != 2:
+            raise ConfigurationError("weights must be a 2-D code matrix")
+        if layer_id is None:
+            layer_id = self.layer_id_for(weights)
+        entry = self.cache.lookup(layer_id)
+        if entry is not None:
+            if entry.shape != weights.shape:
+                raise ConfigurationError(
+                    f"layer {layer_id!r} is resident with shape {entry.shape}, "
+                    f"got weights of shape {weights.shape}"
+                )
+            return entry, False
+
+        inner, outer = weights.shape
+        tiles = self.plan_tiles(inner, outer)
+        self._next_tile_macro = (self._next_tile_macro + len(tiles)) % self.chip.num_macros
+        cycles, energy = self._charge_programming(tiles)
+        entry = ProgrammedWeights(
+            layer_id=layer_id,
+            shape=(inner, outer),
+            precision_bits=self.precision_bits,
+            tiles=tuple(tiles),
+            program_cycles=cycles,
+            program_energy_j=energy,
+        )
+        self.cache.insert(entry)
+        self.counters.programmed_tiles += len(tiles)
+        self.counters.program_cycles += cycles
+        self.counters.program_energy_j += energy
+        return entry, True
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _check_operands(self, activations: np.ndarray, weights: np.ndarray) -> None:
+        if activations.ndim != 2 or weights.ndim != 2:
+            raise ConfigurationError("the engine expects 2-D code matrices")
+        if activations.shape[1] != weights.shape[0]:
+            raise ConfigurationError(
+                f"shape mismatch: activations {activations.shape} x weights "
+                f"{weights.shape}"
+            )
+        limit = mask(self.precision_bits - 1)
+        magnitude = 0
+        if activations.size:
+            magnitude = int(np.abs(activations).max())
+        if weights.size:
+            magnitude = max(magnitude, int(np.abs(weights).max()))
+        if magnitude > limit:
+            raise ConfigurationError(
+                f"operand magnitudes exceed the {self.precision_bits}-bit precision"
+            )
+
+    def _tile_dispatch(
+        self, tile: TileAssignment, activations: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Stream one activation batch past one stationary tile.
+
+        Every activation scalar is broadcast across the tile's columns: one
+        MULT row-invocation per ``tile_cols``-wide column group, plus one
+        near-memory accumulate ADD per product.  The arithmetic itself is
+        the macro's exact column-parallel model (int64 products + signed
+        accumulation), so the result is bit-identical to the golden int64
+        matrix product.
+        """
+        macro = self.chip.macro(tile.macro_index)
+        a_block = activations[:, tile.row_start : tile.row_stop]
+        w_block = weights[tile.row_start : tile.row_stop, tile.col_start : tile.col_stop]
+        batch = a_block.shape[0]
+        products = batch * tile.rows * tile.cols
+        bits = self.precision_bits
+
+        # MULT accounting: each activation scalar is broadcast over the
+        # tile's columns; a row invocation covers min(tile_cols, slots)
+        # product slots.
+        col_groups = -(-tile.cols // self._slots)
+        invocations = batch * tile.rows * col_groups
+        mult_cycles = cycles_for(Opcode.MULT, bits) * invocations
+        mult_energy = self._mult_energy_per_word * products
+        macro.stats.record_batch(
+            Opcode.MULT,
+            invocations=invocations,
+            words=products,
+            cycles=mult_cycles,
+            energy_j=mult_energy,
+        )
+        macro.array.access_count += (bits + 1) * invocations
+        macro.stats.array_accesses = macro.array.access_count
+
+        # Accumulation: one near-memory ADD per product at the accumulator
+        # precision (the partial sums never leave the tile's periphery).
+        acc_bits = self.accumulator_bits
+        add_energy = self._add_energy_per_word * products
+        macro.stats.record_batch(
+            Opcode.ADD,
+            invocations=products,
+            words=products,
+            cycles=cycles_for(Opcode.ADD, acc_bits) * products,
+            energy_j=add_energy,
+        )
+        macro.array.access_count += products
+        macro.stats.array_accesses = macro.array.access_count
+
+        return a_block @ w_block
+
+    def matmul(
+        self,
+        activations: np.ndarray,
+        weights: np.ndarray,
+        layer_id: Optional[str] = None,
+    ) -> np.ndarray:
+        """Weight-stationary integer product of ``(B x I) @ (I x O)`` codes.
+
+        Bit-exact against the int64 golden path; statistics land in the
+        per-macro ledgers of the tiles' owners and therefore in the merged
+        chip ledger.  Read-disturb-injecting configurations are routed to
+        the per-lane reference oracle.
+        """
+        activations = np.asarray(activations, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        self._check_operands(activations, weights)
+        if self.chip.config.inject_read_disturb:
+            return self.matmul_reference(activations, weights, layer_id=layer_id)
+
+        batch, inner = activations.shape
+        outer = weights.shape[1]
+        entry, programmed = self.program(weights, layer_id=layer_id)
+
+        cycles_before = [m.stats.total_cycles for m in self.chip.macros]
+        energy_before = [m.stats.total_energy_j for m in self.chip.macros]
+
+        output = np.zeros((batch, outer), dtype=np.int64)
+        for tile in entry.tiles:
+            partial = self._tile_dispatch(tile, activations, weights)
+            output[:, tile.col_start : tile.col_stop] += partial
+
+        per_macro = [
+            m.stats.total_cycles - before
+            for m, before in zip(self.chip.macros, cycles_before)
+        ]
+        total_cycles = int(sum(per_macro))
+        critical = int(max(per_macro, default=0))
+        energy = float(
+            sum(
+                m.stats.total_energy_j - before
+                for m, before in zip(self.chip.macros, energy_before)
+            )
+        )
+        dispatch = MatmulDispatch(
+            layer_id=entry.layer_id,
+            batch=batch,
+            inner=inner,
+            outer=outer,
+            tile_count=entry.tile_count,
+            programmed=programmed,
+            macros=self.chip.num_macros,
+            total_cycles=total_cycles,
+            critical_path_cycles=critical,
+            program_cycles=entry.program_cycles if programmed else 0,
+            energy_j=energy,
+            latency_s=critical * self.chip.cycle_time_s(self.precision_bits),
+        )
+        self.last_dispatch = dispatch
+        self.counters.mac_count += matmul_mac_count(activations, weights)
+        self.counters.matmul_calls += 1
+        return output
+
+    def __call__(self, activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Drop-in matmul backend interface (layer id derived from content)."""
+        return self.matmul(activations, weights)
+
+    # ------------------------------------------------------------------ #
+    # Reference oracle
+    # ------------------------------------------------------------------ #
+    def matmul_reference(
+        self,
+        activations: np.ndarray,
+        weights: np.ndarray,
+        layer_id: Optional[str] = None,
+    ) -> np.ndarray:
+        """Per-lane on-array execution of the tiled matmul (ground truth).
+
+        Every tile's products run through the owning macro's
+        :meth:`~repro.core.macro.IMCMacro.elementwise_reference` — the full
+        decoder / bit-line / Y-Path machinery — and the signed accumulation
+        is done with exact Python integers.  Slow; used by the tests to pin
+        the fast path down and by disturb-injecting configurations.
+        """
+        activations = np.asarray(activations, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        self._check_operands(activations, weights)
+        batch = activations.shape[0]
+        outer = weights.shape[1]
+        entry, _ = self.program(weights, layer_id=layer_id)
+
+        output = np.zeros((batch, outer), dtype=np.int64)
+        for tile in entry.tiles:
+            macro = self.chip.macro(tile.macro_index)
+            a_block = activations[:, tile.row_start : tile.row_stop]
+            w_block = weights[
+                tile.row_start : tile.row_stop, tile.col_start : tile.col_stop
+            ]
+            a_mag = np.abs(a_block).reshape(batch, tile.rows, 1)
+            w_mag = np.abs(w_block).reshape(1, tile.rows, tile.cols)
+            a_flat = np.broadcast_to(a_mag, (batch, tile.rows, tile.cols)).reshape(-1)
+            w_flat = np.broadcast_to(w_mag, (batch, tile.rows, tile.cols)).reshape(-1)
+            magnitudes = macro.elementwise_reference(
+                Opcode.MULT,
+                a_flat.tolist(),
+                w_flat.tolist(),
+                precision_bits=self.precision_bits,
+            )
+            signs = np.sign(a_block)[:, :, None] * np.sign(w_block)[None, :, :]
+            products = np.asarray(magnitudes, dtype=np.int64).reshape(
+                batch, tile.rows, tile.cols
+            )
+            output[:, tile.col_start : tile.col_stop] += (products * signs).sum(axis=1)
+        self.counters.mac_count += matmul_mac_count(activations, weights)
+        self.counters.matmul_calls += 1
+        return output
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def mac_count(self) -> int:
+        """Multiply-accumulates executed so far (matches the golden backend)."""
+        return self.counters.mac_count
+
+    def statistics(self) -> Dict[str, float]:
+        """Chip ledger + engine counters + cache counters in one flat dict."""
+        summary = self.chip.stats.summary()
+        summary["mac_count"] = float(self.counters.mac_count)
+        summary["matmul_calls"] = float(self.counters.matmul_calls)
+        summary["programmed_tiles"] = float(self.counters.programmed_tiles)
+        summary["program_cycles"] = float(self.counters.program_cycles)
+        summary["program_energy_j"] = self.counters.program_energy_j
+        for key, value in self.cache.summary().items():
+            summary[f"cache_{key}"] = value
+        return summary
+
+    def reset_stats(self) -> None:
+        """Clear the chip ledgers and engine counters (cache stays resident)."""
+        self.chip.reset_stats()
+        self.counters = _EngineCounters()
+        self.last_dispatch = None

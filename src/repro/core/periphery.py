@@ -215,7 +215,9 @@ class ColumnPeriphery:
     # Reference helpers (used by tests)
     # ------------------------------------------------------------------ #
     @staticmethod
-    def reference_add(a_bits: np.ndarray, b_bits: np.ndarray, carry_in: int = 0) -> Tuple[np.ndarray, int]:
+    def reference_add(
+        a_bits: np.ndarray, b_bits: np.ndarray, carry_in: int = 0
+    ) -> Tuple[np.ndarray, int]:
         """Bit-exact reference addition used to cross-check the ripple chain."""
         a_bits = np.asarray(a_bits, dtype=np.int64)
         b_bits = np.asarray(b_bits, dtype=np.int64)

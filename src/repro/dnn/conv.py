@@ -52,19 +52,17 @@ def im2col(
         raise ConfigurationError("image smaller than the convolution kernel")
     out_height = (height - kernel_size) // stride + 1
     out_width = (width - kernel_size) // stride + 1
-    columns = np.empty(
-        (batch * out_height * out_width, channels * kernel_size * kernel_size),
-        dtype=np.float64,
+    # Vectorized patch extraction: sliding windows over (H, W) give
+    # (batch, channels, H-k+1, W-k+1, k, k); striding and transposing to
+    # (batch, out_y, out_x, channels, k, k) reproduces the reference
+    # row-major patch order exactly (one row per output position, each row a
+    # flattened (channels, k, k) receptive field).
+    windows = np.lib.stride_tricks.sliding_window_view(
+        images, (kernel_size, kernel_size), axis=(2, 3)
+    )[:, :, ::stride, ::stride]
+    columns = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5)).reshape(
+        batch * out_height * out_width, channels * kernel_size * kernel_size
     )
-    row = 0
-    for image_index in range(batch):
-        for out_y in range(out_height):
-            for out_x in range(out_width):
-                y0 = out_y * stride
-                x0 = out_x * stride
-                patch = images[image_index, :, y0 : y0 + kernel_size, x0 : x0 + kernel_size]
-                columns[row] = patch.reshape(-1)
-                row += 1
     return columns, (out_height, out_width)
 
 

@@ -14,6 +14,22 @@ Running a whole test set through the macro is slow in a Python functional
 simulation, so the quantised accuracy studies use the numpy backend by
 default and the test-suite asserts bit-exact equivalence between the two on
 sampled layers — which is what makes the fast path trustworthy.
+
+For production-style inference prefer
+:class:`repro.core.matmul.TiledMatmulEngine`: it is weight-stationary
+(weights are programmed once per layer and cached on the chip) and serves
+batched activation streams orders of magnitude faster than re-sending both
+operands per call, while remaining bit-exact against
+:class:`NumpyIntBackend`.
+
+Every backend counts MACs through the shared
+:func:`repro.core.matmul.matmul_mac_count`, derived from the operand shapes
+alone.  Counting from the executed multiplication stream instead would be
+fragile around zero-valued activations — their magnitude MULT is issued
+*and* the sign path suppresses the product (``sign(0) = 0``), so a backend
+walking both would double-count them while one skipping suppressed products
+would under-count.  Shape-derived counting makes every backend agree by
+construction, and the backend-equivalence test pins the equality down.
 """
 
 from __future__ import annotations
@@ -25,6 +41,7 @@ import numpy as np
 
 from repro.core.chip import IMCChip
 from repro.core.macro import IMCMacro
+from repro.core.matmul import matmul_mac_count
 from repro.core.operations import Opcode
 from repro.errors import ConfigurationError
 from repro.utils.bitops import mask
@@ -41,7 +58,7 @@ class NumpyIntBackend:
     def __call__(self, activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
         activations = np.asarray(activations, dtype=np.int64)
         weights = np.asarray(weights, dtype=np.int64)
-        self.mac_count += activations.shape[0] * weights.shape[0] * weights.shape[1]
+        self.mac_count += matmul_mac_count(activations, weights)
         return activations @ weights
 
 
@@ -109,7 +126,9 @@ class IMCMatmulBackend:
         )
         products = np.asarray(products, dtype=np.int64).reshape(batch, inner, outer)
         output = (products * signs).sum(axis=1)
-        self.mac_count += batch * inner * outer
+        # Shape-derived count shared with NumpyIntBackend, so zero
+        # activations suppressed by the sign path count exactly once.
+        self.mac_count += matmul_mac_count(activations, weights)
         return output
 
     # ------------------------------------------------------------------ #

@@ -14,7 +14,11 @@ pipeline used by the tests and examples:
   existing numpy trainer — no conv backprop needed;
 * every integer matrix product (conv via im2col and dense) goes through the
   same pluggable matmul backend, so the whole network can run on the
-  :class:`repro.dnn.imc_backend.IMCMatmulBackend` bit-exactly.
+  :class:`repro.dnn.imc_backend.IMCMatmulBackend` bit-exactly — or, for
+  batched serving, on the weight-stationary
+  :class:`repro.core.matmul.TiledMatmulEngine`
+  (:meth:`QuantizedCNN.with_chip` builds and binds one in one call, and
+  :class:`repro.serve.InferenceServer` coalesces request streams on top).
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ import numpy as np
 
 from repro.dnn.conv import Conv2DLayer, QuantizedConv2DLayer
 from repro.dnn.datasets import DatasetSplit
-from repro.dnn.model import MLP, QuantizedMLP
+from repro.dnn.model import QuantizedMLP
 from repro.dnn.training import TrainingResult, train_mlp
 from repro.errors import ConfigurationError
 from repro.utils.validation import check_in_range, check_positive
@@ -119,6 +123,25 @@ class QuantizedCNN:
             head=self.head.with_backend(matmul),
             matmul=matmul,
         )
+
+    def with_chip(
+        self, num_macros: int = 8, precision_bits: int = 8
+    ) -> "QuantizedCNN":
+        """Bind the pipeline to a weight-stationary engine on a fresh chip.
+
+        Builds an ``num_macros``-shard :class:`repro.core.chip.IMCChip`,
+        wraps it in a :class:`repro.core.matmul.TiledMatmulEngine` and binds
+        every integer matmul (conv via im2col and dense) to it; the engine
+        is reachable afterwards as ``model.matmul`` for statistics.
+        """
+        from repro.core.chip import IMCChip
+        from repro.core.config import MacroConfig
+        from repro.core.matmul import TiledMatmulEngine
+
+        engine = TiledMatmulEngine(
+            IMCChip(num_macros, MacroConfig(precision_bits=precision_bits))
+        )
+        return self.with_backend(engine)
 
     def _features(self, images: np.ndarray) -> np.ndarray:
         values = np.asarray(images, dtype=np.float64)

@@ -1,0 +1,25 @@
+"""Batched inference serving on the weight-stationary IMC chip engine.
+
+The serving layer is the seam between "many concurrent client requests" and
+"one shared accelerator": :class:`InferenceServer` coalesces submitted image
+batches into activation batches, streams them through a quantised network
+whose integer matmuls run weight-stationary on a
+:class:`repro.core.matmul.TiledMatmulEngine`, and reports per-request
+latency plus chip utilization.
+"""
+
+from repro.serve.server import (
+    BatchRecord,
+    InferenceRequest,
+    InferenceServer,
+    RequestResult,
+    ServerReport,
+)
+
+__all__ = [
+    "BatchRecord",
+    "InferenceRequest",
+    "InferenceServer",
+    "RequestResult",
+    "ServerReport",
+]

@@ -1,0 +1,157 @@
+"""Tests for the benchmark-regression comparator (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def _write(tmp_path: Path, results: dict, baselines: dict):
+    results_dir = tmp_path / "results"
+    results_dir.mkdir()
+    for name, payload in results.items():
+        (results_dir / name).write_text(json.dumps(payload), encoding="utf-8")
+    baselines_path = tmp_path / "baselines.json"
+    baselines_path.write_text(json.dumps(baselines), encoding="utf-8")
+    return results_dir, baselines_path
+
+
+@pytest.fixture()
+def base_config():
+    return {
+        "default_tolerance": 0.2,
+        "metrics": {
+            "cycles": {
+                "file": "bench.json",
+                "path": "nested/cycles",
+                "direction": "lower",
+                "value": 100.0,
+            },
+            "speedup": {
+                "file": "bench.json",
+                "path": "speedup",
+                "direction": "higher",
+                "value": 10.0,
+            },
+        },
+    }
+
+
+class TestGate:
+    def test_within_tolerance_passes(self, tmp_path, base_config):
+        results_dir, baselines = _write(
+            tmp_path,
+            {"bench.json": {"nested": {"cycles": 110}, "speedup": 9.0}},
+            base_config,
+        )
+        assert check_regression.run(results_dir, baselines, update=False) == 0
+
+    def test_lower_metric_regression_fails(self, tmp_path, base_config):
+        results_dir, baselines = _write(
+            tmp_path,
+            {"bench.json": {"nested": {"cycles": 121}, "speedup": 10.0}},
+            base_config,
+        )
+        assert check_regression.run(results_dir, baselines, update=False) == 1
+
+    def test_higher_metric_regression_fails(self, tmp_path, base_config):
+        results_dir, baselines = _write(
+            tmp_path,
+            {"bench.json": {"nested": {"cycles": 100}, "speedup": 7.9}},
+            base_config,
+        )
+        assert check_regression.run(results_dir, baselines, update=False) == 1
+
+    def test_improvement_passes(self, tmp_path, base_config):
+        results_dir, baselines = _write(
+            tmp_path,
+            {"bench.json": {"nested": {"cycles": 10}, "speedup": 100.0}},
+            base_config,
+        )
+        assert check_regression.run(results_dir, baselines, update=False) == 0
+
+    def test_missing_results_file_fails(self, tmp_path, base_config):
+        results_dir, baselines = _write(tmp_path, {}, base_config)
+        assert check_regression.run(results_dir, baselines, update=False) == 1
+
+    def test_missing_path_fails(self, tmp_path, base_config):
+        results_dir, baselines = _write(
+            tmp_path, {"bench.json": {"speedup": 10.0}}, base_config
+        )
+        assert check_regression.run(results_dir, baselines, update=False) == 1
+
+    def test_zero_tolerance_is_exact(self, tmp_path):
+        config = {
+            "metrics": {
+                "flag": {
+                    "file": "bench.json",
+                    "path": "flag",
+                    "direction": "higher",
+                    "value": 1.0,
+                    "tolerance": 0.0,
+                }
+            }
+        }
+        results_dir, baselines = _write(tmp_path, {"bench.json": {"flag": 0.999}}, config)
+        assert check_regression.run(results_dir, baselines, update=False) == 1
+
+    def test_smoke_only_metric_skipped_on_full_results(self, tmp_path):
+        config = {
+            "metrics": {
+                "cycles": {
+                    "file": "bench.json",
+                    "path": "cycles",
+                    "direction": "lower",
+                    "value": 1.0,
+                    "smoke_only": True,
+                }
+            }
+        }
+        # Full-mode results (smoke: false) with a hugely "regressed" value:
+        # the smoke-only metric must be skipped, not failed.
+        results_dir, baselines = _write(
+            tmp_path, {"bench.json": {"smoke": False, "cycles": 999.0}}, config
+        )
+        assert check_regression.run(results_dir, baselines, update=False) == 0
+
+    def test_update_with_unmeasurable_metric_fails(self, tmp_path, base_config):
+        # A renamed/missing JSON key must not let --update report success
+        # while silently keeping the stale baseline value.
+        results_dir, baselines = _write(
+            tmp_path, {"bench.json": {"speedup": 42.0}}, base_config
+        )
+        assert check_regression.run(results_dir, baselines, update=True) == 1
+        rewritten = json.loads(baselines.read_text(encoding="utf-8"))
+        assert rewritten["metrics"]["cycles"]["value"] == 100.0  # stale, kept
+        assert rewritten["metrics"]["speedup"]["value"] == 42.0
+
+    def test_update_rewrites_baselines(self, tmp_path, base_config):
+        results_dir, baselines = _write(
+            tmp_path,
+            {"bench.json": {"nested": {"cycles": 50}, "speedup": 42.0}},
+            base_config,
+        )
+        assert check_regression.run(results_dir, baselines, update=True) == 0
+        rewritten = json.loads(baselines.read_text(encoding="utf-8"))
+        assert rewritten["metrics"]["cycles"]["value"] == 50.0
+        assert rewritten["metrics"]["speedup"]["value"] == 42.0
+
+
+class TestRepoBaselines:
+    def test_committed_baselines_are_well_formed(self):
+        config = json.loads(
+            (SCRIPT.parent / "baselines.json").read_text(encoding="utf-8")
+        )
+        assert config["metrics"], "no tracked metrics"
+        for name, spec_ in config["metrics"].items():
+            assert spec_["direction"] in ("lower", "higher"), name
+            assert isinstance(spec_["value"], (int, float)), name
+            assert spec_["file"].endswith(".json"), name
+            assert spec_["path"], name

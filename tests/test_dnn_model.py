@@ -7,7 +7,7 @@ import pytest
 from repro.core import IMCMacro, MacroConfig
 from repro.dnn.imc_backend import IMCMatmulBackend, NumpyIntBackend
 from repro.dnn.layers import DenseLayer, QuantizedDenseLayer
-from repro.dnn.model import MLP, QuantizedMLP
+from repro.dnn.model import MLP
 from repro.dnn.training import train_mlp
 from repro.errors import ConfigurationError
 
@@ -128,11 +128,28 @@ class TestBackends:
     def test_imc_backend_matches_numpy(self):
         macro = IMCMacro(MacroConfig(precision_bits=8))
         imc = IMCMatmulBackend(macro, precision_bits=8)
+        reference = NumpyIntBackend()
         rng = np.random.default_rng(5)
         activations = rng.integers(-127, 128, size=(2, 5))
         weights = rng.integers(-127, 128, size=(5, 3))
-        expected = activations @ weights
-        assert np.array_equal(imc(activations, weights), expected)
+        assert np.array_equal(
+            imc(activations, weights), reference(activations, weights)
+        )
+        assert imc.mac_count == reference.mac_count
+
+    def test_imc_backend_mac_count_with_zero_activations(self):
+        # Zero activations are suppressed by the sign path (sign(0) = 0) but
+        # still traverse the MAC array: both backends must count each of
+        # them exactly once — no skipping, no double-counting.
+        macro = IMCMacro(MacroConfig(precision_bits=8))
+        imc = IMCMatmulBackend(macro, precision_bits=8)
+        reference = NumpyIntBackend()
+        activations = np.array([[0, 3, 0, -2], [0, 0, 0, 0]])
+        weights = np.array([[1, -1], [2, 0], [-3, 5], [4, -4]])
+        assert np.array_equal(
+            imc(activations, weights), reference(activations, weights)
+        )
+        assert imc.mac_count == reference.mac_count == 2 * 4 * 2
 
     def test_imc_backend_range_check(self):
         macro = IMCMacro(MacroConfig(precision_bits=4))

@@ -46,12 +46,29 @@ class TestReferencesResolve:
 
     def test_design_md_lists_every_subpackage(self):
         design = _read("DESIGN.md")
-        for package in ("repro.core", "repro.circuits", "repro.tech", "repro.baselines", "repro.dnn", "repro.analysis"):
+        for package in (
+            "repro.core",
+            "repro.circuits",
+            "repro.tech",
+            "repro.baselines",
+            "repro.dnn",
+            "repro.analysis",
+            "repro.serve",
+        ):
             assert package in design
 
     def test_design_md_maps_every_paper_artifact(self):
         design = _read("DESIGN.md")
-        for artefact in ("Fig. 2", "Fig. 7(a)", "Fig. 7(b)", "Fig. 8", "Fig. 9", "Table I", "Table II", "Table III"):
+        for artefact in (
+            "Fig. 2",
+            "Fig. 7(a)",
+            "Fig. 7(b)",
+            "Fig. 8",
+            "Fig. 9",
+            "Table I",
+            "Table II",
+            "Table III",
+        ):
             assert artefact in design, artefact
 
     def test_experiments_md_records_paper_values(self):

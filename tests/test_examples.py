@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "voltage_scaling_study.py",
     "signal_processing_kernels.py",
     "vector_image_processing.py",
+    "serve_cnn.py",
 ]
 
 

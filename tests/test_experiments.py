@@ -7,7 +7,6 @@ the paper's: who wins, by roughly what factor, and where the crossovers fall.
 import pytest
 
 from repro.analysis import experiments as exp
-from repro.core import Opcode
 
 
 class TestFig2:

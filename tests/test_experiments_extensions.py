@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import experiments as exp
-from repro.core import Opcode
 
 
 class TestAreaOverheadStudy:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis import experiments as exp
 from repro.core import IMCMacro, IMCMemory, MacroConfig, Opcode
-from repro.dnn import IMCMatmulBackend, make_classification_dataset, train_mlp
+from repro.dnn import IMCMatmulBackend, train_mlp
 from repro.tech import OperatingPoint
 
 

@@ -67,7 +67,8 @@ class TestIsoFailureOperatingPoints:
     def test_round_trip_consistency(self, model):
         rate = 1e-4
         voltage = model.wlud_voltage_for_rate(rate)
-        assert model.failure_rate(voltage, model.calibration.disturb.conventional_pulse_s) == pytest.approx(rate, rel=0.05)
+        pulse = model.calibration.disturb.conventional_pulse_s
+        assert model.failure_rate(voltage, pulse) == pytest.approx(rate, rel=0.05)
 
     def test_tighter_rate_needs_lower_voltage_or_shorter_pulse(self, model):
         assert model.wlud_voltage_for_rate(1e-6) < model.wlud_voltage_for_rate(1e-4)
