@@ -1,0 +1,136 @@
+"""DVFS-aware cluster scheduling vs homogeneous fleets (the mixed-SLA gate).
+
+Runs :func:`repro.analysis.experiments.cluster_scheduling_study`: an
+identical mixed-SLA workload (deadline-tagged latency requests, batch
+throughput requests, best-effort filler over two models) served on
+
+* a DVFS-mixed fleet (1.0 V fast nodes + 0.6 V efficient nodes),
+* a homogeneous 1.0 V fleet, and
+* a homogeneous 0.6 V fleet,
+
+all in modeled virtual time, so every number is deterministic.  The
+acceptance gates of the cluster PR:
+
+* the mixed fleet beats the homogeneous 1.0 V fleet on throughput-class
+  energy per image (batch traffic rides the efficient rung),
+* the mixed fleet beats the homogeneous 0.6 V fleet on latency-class
+  deadline-miss rate with **zero** feasibility regressions (latency traffic
+  rides the fast rung),
+* every routed result is bit-exact against the reference model, and the
+  cluster ledger equals the sum of the node ledgers.
+
+JSON lands in ``benchmarks/results/cluster_scheduling.json`` for the
+bench-regression CI gate.
+"""
+
+import os
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+NUM_MACROS = 16
+SAMPLES = 120 if SMOKE else 240
+EPOCHS = 8 if SMOKE else 12
+WAVES = 5 if SMOKE else 8
+
+#: Minimum throughput-class energy-per-image advantage of the mixed fleet
+#: over the homogeneous 1.0 V fleet (the DVFS dividend; measured ~2.8x —
+#: the mixed fleet's batch traffic rides the 0.6 V rung end to end).
+ENERGY_RATIO_GATE = 2.0
+
+
+def test_cluster_scheduling_fleet_sweep(benchmark, reporter, write_results_json):
+    result = benchmark.pedantic(
+        experiments.cluster_scheduling_study,
+        kwargs={
+            "num_macros": NUM_MACROS,
+            "samples": SAMPLES,
+            "epochs": EPOCHS,
+            "waves": WAVES,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name, point in result.items():
+        rows.append(
+            [
+                name,
+                "/".join(f"{vdd:.1f}" for vdd in point.vdds),
+                point.latency_miss_rate,
+                point.latency_feasible_rate,
+                point.latency_mean_s * 1e6,
+                point.throughput_energy_per_image_j * 1e9,
+                point.affinity_hit_rate,
+                point.programmed_dispatches,
+                point.accuracy,
+            ]
+        )
+    reporter(
+        "Mixed-SLA workload across fleet voltage mixes (modeled time)",
+        format_table(
+            [
+                "fleet",
+                "vdds",
+                "lat miss",
+                "lat feas",
+                "lat mean [us]",
+                "tput E/img [nJ]",
+                "affinity",
+                "programmed",
+                "accuracy",
+            ],
+            rows,
+        ),
+    )
+
+    mixed = result["dvfs_mixed"]
+    high = result["homogeneous_high"]
+    low = result["homogeneous_low"]
+    energy_ratio = (
+        high.throughput_energy_per_image_j / mixed.throughput_energy_per_image_j
+    )
+    miss_advantage = low.latency_miss_rate - mixed.latency_miss_rate
+
+    write_results_json(
+        "cluster_scheduling",
+        {
+            "smoke": SMOKE,
+            "num_macros": NUM_MACROS,
+            "waves": WAVES,
+            "fleets": {
+                name: {
+                    "vdds": list(point.vdds),
+                    "requests": point.requests,
+                    "images": point.images,
+                    "latency_requests": point.latency_requests,
+                    "latency_miss_rate": point.latency_miss_rate,
+                    "latency_feasible_rate": point.latency_feasible_rate,
+                    "latency_mean_s": point.latency_mean_s,
+                    "throughput_energy_per_image_j": point.throughput_energy_per_image_j,
+                    "total_energy_j": point.total_energy_j,
+                    "affinity_hit_rate": point.affinity_hit_rate,
+                    "programmed_dispatches": point.programmed_dispatches,
+                    "ledger_cycles": point.ledger_cycles,
+                    "ledger_energy_j": point.ledger_energy_j,
+                    "ledger_conserved": float(point.ledger_conserved),
+                    "bit_exact": float(point.bit_exact),
+                    "accuracy": point.accuracy,
+                }
+                for name, point in result.items()
+            },
+            "throughput_energy_ratio_high_vs_mixed": energy_ratio,
+            "latency_miss_advantage_low_vs_mixed": miss_advantage,
+        },
+    )
+
+    # Acceptance gates of the cluster PR.
+    assert mixed.latency_miss_rate == 0.0
+    assert mixed.latency_feasible_rate == 1.0
+    assert energy_ratio >= ENERGY_RATIO_GATE
+    assert miss_advantage > 0.5
+    assert all(point.bit_exact for point in result.values())
+    assert all(point.ledger_conserved for point in result.values())

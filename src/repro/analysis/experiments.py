@@ -56,6 +56,8 @@ __all__ = [
     "chip_scaling_study",
     "ServingThroughputPoint",
     "serving_throughput_study",
+    "ClusterSchedulingPoint",
+    "cluster_scheduling_study",
 ]
 
 
@@ -752,6 +754,209 @@ def serving_throughput_study(
             cache_misses=report.cache_misses,
             accuracy=accuracy,
         )
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Extension — DVFS-aware cluster scheduling (the voltage-mix dividend)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ClusterSchedulingPoint:
+    """Outcome of one fleet configuration on the mixed-SLA workload."""
+
+    fleet: str
+    vdds: Tuple[float, ...]
+    requests: int
+    images: int
+    latency_requests: int
+    latency_miss_rate: float
+    latency_feasible_rate: float
+    latency_mean_s: float
+    throughput_energy_per_image_j: float
+    total_energy_j: float
+    affinity_hit_rate: float
+    programmed_dispatches: int
+    ledger_cycles: int
+    ledger_energy_j: float
+    ledger_conserved: bool
+    bit_exact: bool
+    accuracy: float
+
+
+def _steady_request_latency_s(
+    vdd: float, model, images, num_macros: int
+) -> float:
+    """Warm (weights-resident) modeled latency of one request at one VDD.
+
+    A throwaway calibration node programs the model once, then prices the
+    request from the engine's planning path — the number workloads derive
+    deadlines from.
+    """
+    from repro.cluster import ClusterNode
+
+    probe = ClusterNode("probe", vdd=vdd, num_macros=num_macros)
+    probe.register_model("probe-model", model)
+    probe.execute("probe-model", images)
+    return probe.estimate_request("probe-model", images).latency_s
+
+
+def cluster_scheduling_study(
+    fleets: Optional[Dict[str, Tuple[float, ...]]] = None,
+    num_macros: int = 16,
+    samples: int = 150,
+    image_size: int = 8,
+    epochs: int = 10,
+    waves: int = 6,
+    latency_images: int = 2,
+    throughput_images: int = 6,
+    deadline_scale: float = 3.0,
+    hot_threshold: int = 6,
+    seed: int = 13,
+) -> Dict[str, ClusterSchedulingPoint]:
+    """Mixed-SLA serving across fleet voltage mixes (the cluster dividend).
+
+    Two pattern CNNs (a latency-critical one and a throughput one) are
+    served through a :class:`repro.cluster.ClusterRouter` on several fleet
+    configurations — a DVFS-mixed fleet and the two homogeneous extremes —
+    under an identical workload: per wave, two deadline-tagged latency
+    requests of model A, two throughput requests of model B, and one
+    best-effort request alternating between the models (which keeps the
+    weight caches contended).  Deadlines are calibrated from the warm
+    modeled latency at the *highest* rung (``deadline_scale`` times it), so
+    they are comfortably feasible on fast silicon and infeasible on the
+    0.6 V rung.
+
+    The study exists to pin the two halves of the trade-off at once: the
+    mixed fleet must match the high-voltage fleet on deadline misses (the
+    latency traffic rides the fast nodes) *and* approach the low-voltage
+    fleet on throughput-class joules per image (the batch traffic rides the
+    efficient nodes).  Everything runs in modeled virtual time, so the
+    returned numbers are deterministic.
+    """
+    from repro.cluster import ClusterNode, ClusterRouter, SLAClass, SLAScheduler
+    from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
+
+    if fleets is None:
+        fleets = {
+            "dvfs_mixed": (1.0, 1.0, 0.6, 0.6),
+            "homogeneous_high": (1.0, 1.0, 1.0, 1.0),
+            "homogeneous_low": (0.6, 0.6, 0.6, 0.6),
+            "dvfs_small": (1.0, 0.6),
+        }
+
+    dataset = make_pattern_image_dataset(samples=samples, size=image_size, seed=seed)
+    model_a, _ = train_pattern_cnn(dataset, epochs=epochs, seed=seed)
+    model_b, _ = train_pattern_cnn(dataset, epochs=epochs, seed=seed + 1)
+    models = {"model-a": model_a, "model-b": model_b}
+    test_images = dataset.test_images
+    test_labels = dataset.test_labels
+
+    probe_images = test_images[:latency_images]
+    top_vdd = max(max(vdds) for vdds in fleets.values())
+    deadline_s = deadline_scale * _steady_request_latency_s(
+        top_vdd, model_a, probe_images, num_macros
+    )
+    wave_gap_s = 2.0 * deadline_s
+
+    def take(cursor: int, count: int) -> Tuple[np.ndarray, np.ndarray, int]:
+        stop = cursor + count
+        if stop > test_images.shape[0]:
+            cursor, stop = 0, count
+        return test_images[cursor:stop], test_labels[cursor:stop], stop
+
+    results: Dict[str, ClusterSchedulingPoint] = {}
+    for fleet_name, vdds in fleets.items():
+        nodes = [
+            ClusterNode(f"{fleet_name}-{index}", vdd=vdd, num_macros=num_macros)
+            for index, vdd in enumerate(vdds)
+        ]
+        scheduler = SLAScheduler(hot_threshold=hot_threshold)
+        with ClusterRouter(nodes, scheduler=scheduler) as router:
+            for model_id, model in models.items():
+                router.register_model(model_id, model)
+
+            cursor = 0
+            expected: Dict[int, Tuple[np.ndarray, np.ndarray, str]] = {}
+            for wave in range(waves):
+                arrival = wave * wave_gap_s
+                plan = [
+                    ("model-a", latency_images, SLAClass.LATENCY),
+                    ("model-a", latency_images, SLAClass.LATENCY),
+                    ("model-b", throughput_images, SLAClass.THROUGHPUT),
+                    ("model-b", throughput_images, SLAClass.THROUGHPUT),
+                    (
+                        "model-a" if wave % 2 else "model-b",
+                        latency_images,
+                        SLAClass.BEST_EFFORT,
+                    ),
+                ]
+                for model_id, count, sla in plan:
+                    images, labels, cursor = take(cursor, count)
+                    request_id = router.submit(
+                        model_id,
+                        images,
+                        sla=sla,
+                        deadline_s=deadline_s if sla is SLAClass.LATENCY else None,
+                        arrival_s=arrival,
+                    )
+                    expected[request_id] = (images, labels, model_id)
+                # Drain between waves so residency (and therefore affinity
+                # and heat) reflects executed history, as in live serving.
+                router.drain()
+
+            telemetry = router.telemetry
+            latency_traces = telemetry.traces_for(sla=SLAClass.LATENCY.value)
+            bit_exact = True
+            correct = 0
+            total = 0
+            for request_id, (images, labels, model_id) in expected.items():
+                predictions = router.result(request_id).predictions
+                reference = models[model_id].predict(images)
+                bit_exact = bit_exact and bool(np.array_equal(predictions, reference))
+                correct += int(np.sum(predictions == labels))
+                total += labels.size
+            cluster_ledger = router.ledger()
+            part_cycles = sum(node.ledger().total_cycles for node in nodes)
+            part_energy = sum(node.ledger().total_energy_j for node in nodes)
+            conserved = cluster_ledger.total_cycles == part_cycles and bool(
+                np.isclose(cluster_ledger.total_energy_j, part_energy, rtol=1e-9)
+            )
+
+            results[fleet_name] = ClusterSchedulingPoint(
+                fleet=fleet_name,
+                vdds=tuple(vdds),
+                requests=len(telemetry.traces),
+                images=sum(trace.images for trace in telemetry.traces),
+                latency_requests=len(latency_traces),
+                latency_miss_rate=telemetry.deadline_miss_rate(
+                    sla=SLAClass.LATENCY.value
+                ),
+                latency_feasible_rate=(
+                    sum(t.feasible_at_admission for t in latency_traces)
+                    / len(latency_traces)
+                    if latency_traces
+                    else 1.0
+                ),
+                latency_mean_s=telemetry.mean_latency_s(sla=SLAClass.LATENCY.value),
+                throughput_energy_per_image_j=telemetry.energy_per_image_j(
+                    sla=SLAClass.THROUGHPUT.value
+                ),
+                total_energy_j=sum(trace.energy_j for trace in telemetry.traces),
+                affinity_hit_rate=(
+                    sum(trace.affinity_hit for trace in telemetry.traces)
+                    / len(telemetry.traces)
+                    if telemetry.traces
+                    else 0.0
+                ),
+                programmed_dispatches=sum(
+                    trace.programmed for trace in telemetry.traces
+                ),
+                ledger_cycles=cluster_ledger.total_cycles,
+                ledger_energy_j=cluster_ledger.total_energy_j,
+                ledger_conserved=conserved,
+                bit_exact=bit_exact,
+                accuracy=correct / total if total else 0.0,
+            )
     return results
 
 

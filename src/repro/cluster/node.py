@@ -1,0 +1,418 @@
+"""One cluster node: a chip pinned to a supply-voltage operating point.
+
+The paper's central trade-off is operating-point dependent: the macro runs
+at 2.25 GHz at 1.0 V but is most energy-efficient at 0.6 V / 372 MHz.  A
+:class:`ClusterNode` turns one point of that trade-off into a serving
+resource:
+
+* it owns an :class:`repro.core.chip.IMCChip` built at the node's
+  :class:`~repro.tech.technology.OperatingPoint` (frequency from the delay
+  model, joules from the energy model — both already scale with VDD), a
+  :class:`repro.core.matmul.TiledMatmulEngine` on that chip, and one
+  :class:`repro.serve.InferenceServer` per registered model, all sharing the
+  engine (and therefore the weight cache — multi-model residency contention
+  is real on a node);
+* :meth:`estimate_request` prices a request *before* running it — modeled
+  latency and energy per layer via the engine's planning path, including the
+  re-programming charge when the model's weights are not resident — which is
+  what the scheduler ranks nodes by;
+* :meth:`execute` runs a request through the node's server and reports the
+  *measured* modeled compute time and energy from the batch records;
+* the lifecycle (:meth:`park` / :meth:`wake` / :meth:`retune` /
+  :meth:`shutdown`) leans on the server's context-manager support and
+  idempotent ``stop()``; retuning to a new supply rebuilds the chip (a real
+  rail change invalidates the programmed arrays) while the retired chip's
+  ledger is preserved so :meth:`ledger` is lifetime-accurate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.telemetry import NodeTelemetry
+from repro.core.chip import IMCChip
+from repro.dnn.conv import conv_output_shape
+from repro.core.config import MacroConfig
+from repro.core.matmul import TiledMatmulEngine
+from repro.core.stats import MacroStatistics
+from repro.errors import ConfigurationError
+from repro.serve import InferenceServer
+from repro.tech.technology import OperatingPoint
+
+__all__ = [
+    "NodeState",
+    "RequestEstimate",
+    "NodeDispatch",
+    "ClusterNode",
+    "model_weight_codes",
+]
+
+
+class NodeState(enum.Enum):
+    """Lifecycle state of a cluster node."""
+
+    ACTIVE = "active"
+    PARKED = "parked"
+
+
+def model_weight_codes(model) -> List[np.ndarray]:
+    """The integer weight matrices a model's forward pass sends to a matmul.
+
+    Enumerates both pipeline shapes of :mod:`repro.dnn` — a
+    :class:`~repro.dnn.pipeline.QuantizedCNN` (im2col conv weights + dense
+    head weights) and a :class:`~repro.dnn.model.QuantizedMLP` (dense
+    weights only).  The matrices identify the model's layers on a chip: the
+    engine derives its cache keys from exactly these codes.  Note that the
+    cluster *serving* path (`ClusterNode.execute` via `InferenceServer`)
+    accepts image pipelines only; a bare MLP can be enumerated and priced
+    but not routed.
+    """
+    if hasattr(model, "conv_layers") and hasattr(model, "head"):
+        return [layer.quantized_weights.codes for layer in model.conv_layers] + [
+            layer.quantized_weights.codes for layer in model.head.layers
+        ]
+    if hasattr(model, "layers"):
+        return [layer.quantized_weights.codes for layer in model.layers]
+    raise ConfigurationError(
+        "model must be a QuantizedCNN or QuantizedMLP (or expose "
+        "conv_layers/head or layers with quantized_weights)"
+    )
+
+
+def _layer_activation_rows(model, images: np.ndarray) -> List[int]:
+    """Activation-row count of each integer matmul in one forward pass.
+
+    Conv layers multiply the im2col matrix (``batch * out_h * out_w`` rows),
+    dense layers the flat feature batch (``batch`` rows); the counts mirror
+    the forward implementations in :mod:`repro.dnn` exactly, so estimates
+    price the same products the dispatch will execute.
+    """
+    images = np.asarray(images)
+    if hasattr(model, "conv_layers") and hasattr(model, "head"):
+        batch, _, height, width = images.shape
+        rows: List[int] = []
+        for layer in model.conv_layers:
+            height, width = conv_output_shape(
+                height, width, layer.float_layer.kernel_size, layer.float_layer.stride
+            )
+            rows.append(batch * height * width)
+        rows.extend(batch for _ in model.head.layers)
+        return rows
+    return [int(images.shape[0]) for _ in model.layers]
+
+
+@dataclass(frozen=True)
+class RequestEstimate:
+    """Modeled cost of serving one request on one node (planning only)."""
+
+    node_id: str
+    model_id: str
+    images: int
+    resident: bool
+    latency_s: float
+    energy_j: float
+    program_cycles: int
+    critical_path_cycles: int
+
+    @property
+    def energy_per_image_j(self) -> float:
+        """Modeled energy per image of the request."""
+        return self.energy_j / self.images if self.images else 0.0
+
+
+@dataclass(frozen=True)
+class NodeDispatch:
+    """Measured outcome of one executed request on a node."""
+
+    predictions: np.ndarray
+    compute_s: float
+    energy_j: float
+    affinity_hit: bool
+    programmed: bool
+    batches: int
+    critical_path_cycles: int
+
+
+class ClusterNode:
+    """One chip + engine + serving path pinned to an operating point."""
+
+    def __init__(
+        self,
+        node_id: str,
+        vdd: float = 0.9,
+        num_macros: int = 8,
+        precision_bits: Optional[int] = None,
+        max_batch_size: int = 64,
+        config: Optional[MacroConfig] = None,
+    ) -> None:
+        if not node_id:
+            raise ConfigurationError("node_id must be non-empty")
+        base = config if config is not None else MacroConfig()
+        if precision_bits is not None:
+            # An explicit precision always wins, also over a passed config —
+            # silently ignoring it would run every estimate and dispatch at
+            # the wrong width.
+            base = base.with_precision(precision_bits)
+        point = base.operating_point.at_voltage(vdd)
+        self.node_id = node_id
+        self.num_macros = num_macros
+        self.max_batch_size = max_batch_size
+        self.config = base.with_operating_point(point)
+        self.chip = IMCChip(num_macros, self.config)
+        self.engine = TiledMatmulEngine(self.chip)
+        self.state = NodeState.ACTIVE
+        self.telemetry = NodeTelemetry(node_id=node_id)
+        #: Virtual-time point at which the node's backlog finishes.
+        self.available_s = 0.0
+        self._models: Dict[str, object] = {}
+        self._layer_ids: Dict[str, Tuple[str, ...]] = {}
+        self._servers: Dict[str, InferenceServer] = {}
+        #: Ledgers of chips retired by :meth:`retune`.
+        self._retired = MacroStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Operating point
+    # ------------------------------------------------------------------ #
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """The supply/temperature/corner point the chip runs at."""
+        return self.chip.operating_point
+
+    @property
+    def vdd(self) -> float:
+        """Supply voltage of the node's chip."""
+        return self.operating_point.vdd
+
+    @property
+    def max_frequency_hz(self) -> float:
+        """Clock frequency the operating point supports."""
+        return self.chip.max_frequency_hz()
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Cycle time the operating point supports."""
+        return self.chip.cycle_time_s()
+
+    def retune(self, vdd: float) -> None:
+        """Move the node to another supply voltage (DVFS actuation).
+
+        A rail change invalidates the programmed arrays, so the chip and
+        engine are rebuilt — every resident model must be re-programmed (and
+        re-charged) on first touch, exactly the cost the autoscaler weighs
+        against the new operating point.  The retired chip's ledger is
+        folded into :attr:`_retired` so :meth:`ledger` stays lifetime-exact.
+        """
+        if vdd == self.vdd:
+            return
+        for server in self._servers.values():
+            server.stop()  # retire worker threads with the old engine
+        self._retired.merge(self.chip.stats)
+        self.chip = self.chip.at_operating_point(self.operating_point.at_voltage(vdd))
+        self.config = self.chip.config
+        self.engine = TiledMatmulEngine(self.chip)
+        self._servers = {
+            model_id: self._build_server(model)
+            for model_id, model in self._models.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Models and residency
+    # ------------------------------------------------------------------ #
+    def _build_server(self, model) -> InferenceServer:
+        return InferenceServer(
+            model, engine=self.engine, max_batch_size=self.max_batch_size
+        )
+
+    def register_model(self, model_id: str, model, allow_transient: bool = False) -> None:
+        """Make a model servable on this node (weights stay cold until used).
+
+        The serving path expects an image pipeline (``predict`` over a 4-D
+        image batch, e.g. :class:`~repro.dnn.pipeline.QuantizedCNN`).
+
+        A model whose tiles exceed the node's weight-cache capacity — any
+        single layer, or all layers together — can never be fully resident:
+        every forward pass would re-program (and re-charge) evicted layers,
+        and affinity routing would silently never apply to the model.
+        Registration refuses such models unless ``allow_transient=True``
+        makes the trade-off explicit; sizing up ``num_macros`` is the
+        usual fix.
+        """
+        if model_id in self._models:
+            raise ConfigurationError(f"model {model_id!r} is already registered")
+        codes = model_weight_codes(model)
+        if not allow_transient:
+            capacity = self.engine.cache.capacity_rows
+            total_rows = sum(
+                sum(
+                    tile.rows
+                    for tile in self.engine.plan_tiles(matrix.shape[0], matrix.shape[1])
+                )
+                for matrix in codes
+            )
+            if total_rows > capacity:
+                raise ConfigurationError(
+                    f"model {model_id!r} needs {total_rows} resident array "
+                    f"rows across its layers but node {self.node_id!r} has "
+                    f"{capacity}; increase num_macros or pass "
+                    "allow_transient=True"
+                )
+        self._models[model_id] = model
+        self._layer_ids[model_id] = tuple(
+            TiledMatmulEngine.layer_id_for(matrix) for matrix in codes
+        )
+        self._servers[model_id] = self._build_server(model)
+
+    @property
+    def model_ids(self) -> List[str]:
+        """Models registered on this node."""
+        return list(self._models)
+
+    def server_for(self, model_id: str) -> InferenceServer:
+        """The node's serving path for one model."""
+        if model_id not in self._servers:
+            raise ConfigurationError(f"model {model_id!r} is not registered")
+        return self._servers[model_id]
+
+    def layer_ids(self, model_id: str) -> Tuple[str, ...]:
+        """Content-derived cache keys of the model's weight matrices."""
+        if model_id not in self._layer_ids:
+            raise ConfigurationError(f"model {model_id!r} is not registered")
+        return self._layer_ids[model_id]
+
+    def holds_model(self, model_id: str) -> bool:
+        """Whether every layer of the model is resident in the weight cache."""
+        return all(
+            self.engine.is_resident(layer_id) for layer_id in self.layer_ids(model_id)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def estimate_request(self, model_id: str, images: np.ndarray) -> RequestEstimate:
+        """Price a request without running it (no charges, no LRU touches).
+
+        Sums the engine's per-layer dispatch estimates; non-resident layers
+        include the re-programming charge, so the affinity advantage of a
+        node that already holds the model falls out of the numbers instead
+        of needing a separate bonus term.
+        """
+        model = self._models.get(model_id)
+        if model is None:
+            raise ConfigurationError(f"model {model_id!r} is not registered")
+        images = np.asarray(images)
+        codes = model_weight_codes(model)
+        rows = _layer_activation_rows(model, images)
+        layer_ids = self.layer_ids(model_id)
+        latency = 0.0
+        energy = 0.0
+        program_cycles = 0
+        critical = 0
+        resident = True
+        for batch, matrix, layer_id in zip(rows, codes, layer_ids):
+            estimate = self.engine.estimate_dispatch(
+                batch, (matrix.shape[0], matrix.shape[1]), layer_id=layer_id
+            )
+            latency += estimate.latency_s
+            energy += estimate.energy_j
+            program_cycles += estimate.program_cycles
+            critical += estimate.critical_path_cycles
+            resident = resident and estimate.resident
+        return RequestEstimate(
+            node_id=self.node_id,
+            model_id=model_id,
+            images=int(images.shape[0]),
+            resident=resident,
+            latency_s=latency,
+            energy_j=energy,
+            program_cycles=program_cycles,
+            critical_path_cycles=critical,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(self, model_id: str, images: np.ndarray) -> NodeDispatch:
+        """Run one request through the node's serving path.
+
+        Returns the *measured* modeled compute time / energy of the batches
+        the request produced (programming charges included when the weights
+        were cold), which is what the router advances the node's virtual
+        clock by.
+        """
+        if self.state is not NodeState.ACTIVE:
+            raise ConfigurationError(
+                f"node {self.node_id!r} is parked; wake() it before dispatching"
+            )
+        server = self.server_for(model_id)
+        affinity_hit = self.holds_model(model_id)
+        misses_before = self.engine.cache.misses
+        batches_before = len(server.batches)
+
+        request_id = server.submit(images)
+        server.drain()
+        result = server.result(request_id)
+
+        new_batches = server.batches[batches_before:]
+        return NodeDispatch(
+            predictions=result.predictions,
+            compute_s=sum(batch.modeled_latency_s for batch in new_batches),
+            energy_j=sum(batch.energy_j for batch in new_batches),
+            affinity_hit=affinity_hit,
+            programmed=self.engine.cache.misses > misses_before,
+            batches=len(new_batches),
+            critical_path_cycles=sum(
+                batch.critical_path_cycles for batch in new_batches
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def park(self) -> None:
+        """Take the node out of rotation (weights stay resident)."""
+        for server in self._servers.values():
+            server.stop()  # idempotent: workers may never have started
+        self.state = NodeState.PARKED
+
+    def wake(self) -> None:
+        """Return the node to rotation."""
+        self.state = NodeState.ACTIVE
+
+    def shutdown(self) -> None:
+        """Stop every server worker; safe to call repeatedly."""
+        for server in self._servers.values():
+            server.stop()
+
+    def __enter__(self) -> "ClusterNode":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    def ledger(self) -> MacroStatistics:
+        """Lifetime statistics: retired chips (pre-retune) + the live chip."""
+        merged = MacroStatistics()
+        merged.merge(self._retired)
+        merged.merge(self.chip.stats)
+        return merged
+
+    def summary(self) -> Dict[str, float]:
+        """Flat description of the node for fleet reports."""
+        ledger = self.ledger()
+        return {
+            "vdd": self.vdd,
+            "max_frequency_hz": self.max_frequency_hz,
+            "state": 1.0 if self.state is NodeState.ACTIVE else 0.0,
+            "available_s": self.available_s,
+            "resident_layers": float(len(self.engine.resident_layer_ids)),
+            "ledger_cycles": float(ledger.total_cycles),
+            "ledger_energy_j": ledger.total_energy_j,
+            **{f"telemetry_{k}": v for k, v in self.telemetry.summary().items()},
+        }

@@ -1,0 +1,377 @@
+"""The cluster front door: admission, placement, dispatch, accounting.
+
+:class:`ClusterRouter` owns a fleet of :class:`~repro.cluster.node.ClusterNode`
+instances at heterogeneous supply-voltage operating points and runs the
+serving loop in *modeled (virtual) time*:
+
+* :meth:`submit` admits a request tagged with an SLA class, asks the
+  :class:`~repro.cluster.scheduler.SLAScheduler` for a placement, and
+  *reserves* the node's virtual clock by the request's modeled cost — so the
+  next placement sees the backlog it would queue behind;
+* :meth:`dispatch_next` / :meth:`drain` execute queued requests in
+  earliest-start order through each node's
+  :class:`~repro.serve.InferenceServer`, advance each node's completion
+  clock by the *measured* modeled compute time (batch critical path times
+  the node's cycle time, programming charges included), and record a
+  :class:`~repro.cluster.telemetry.RequestTrace` with the deadline outcome;
+* :meth:`ledger` merges every node's lifetime ledger into one cluster
+  ledger — by construction the sum of its parts, which the tests pin.
+
+Virtual time makes the whole control loop deterministic: the same workload
+on the same fleet always produces the same placements, latencies, joules and
+deadline outcomes, so scheduling behaviour is testable down to equality.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.node import ClusterNode, NodeState
+from repro.cluster.scheduler import (
+    ClusterRequest,
+    PlacementDecision,
+    SLAClass,
+    SLAScheduler,
+)
+from repro.cluster.telemetry import ClusterTelemetry, RequestTrace
+from repro.core.stats import MacroStatistics
+from repro.errors import ConfigurationError
+
+__all__ = ["ClusterResult", "ClusterRouter"]
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of one routed request: predictions + its telemetry trace.
+
+    The accounting fields live on the trace — one source of truth shared
+    with the telemetry log — and are forwarded, so callers read
+    ``result.latency_s``, ``result.node_id``, ``result.deadline_missed``
+    etc. directly (everything :class:`RequestTrace` exposes).
+    """
+
+    trace: RequestTrace
+    sla: SLAClass
+    predictions: np.ndarray
+
+    def __getattr__(self, name: str):
+        # Forward public accounting fields to the trace.  Guarding dunders
+        # and "trace" itself keeps copy/pickle machinery (which may probe
+        # before the instance dict exists) out of the delegation.
+        if name.startswith("_") or name == "trace":
+            raise AttributeError(name)
+        return getattr(self.trace, name)
+
+
+class ClusterRouter:
+    """Admit, place, and execute SLA-tagged requests on a DVFS fleet."""
+
+    def __init__(
+        self,
+        nodes: Sequence[ClusterNode],
+        scheduler: Optional[SLAScheduler] = None,
+        telemetry: Optional[ClusterTelemetry] = None,
+    ) -> None:
+        nodes = list(nodes)
+        if not nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        ids = [node.node_id for node in nodes]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"node ids must be unique, got {ids}")
+        self.nodes = nodes
+        self._by_id: Dict[str, ClusterNode] = {node.node_id: node for node in nodes}
+        self.scheduler = scheduler if scheduler is not None else SLAScheduler()
+        self.telemetry = telemetry if telemetry is not None else ClusterTelemetry()
+        #: Virtual clock: the latest arrival or completion seen so far.
+        self.clock_s = 0.0
+        self._queues: Dict[str, Deque[Tuple[ClusterRequest, PlacementDecision]]] = {
+            node.node_id: deque() for node in nodes
+        }
+        #: Per-node *actual* completion clock (reservations live on the node).
+        self._completed_s: Dict[str, float] = {node.node_id: 0.0 for node in nodes}
+        self._results: Dict[int, ClusterResult] = {}
+        self._failed: Dict[int, BaseException] = {}
+        self._decisions: Dict[int, PlacementDecision] = {}
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Fleet management
+    # ------------------------------------------------------------------ #
+    def node(self, node_id: str) -> ClusterNode:
+        """Access one node of the fleet."""
+        if node_id not in self._by_id:
+            raise ConfigurationError(f"unknown node {node_id!r}")
+        return self._by_id[node_id]
+
+    def register_model(self, model_id: str, model, allow_transient: bool = False) -> None:
+        """Register a model on every node of the fleet."""
+        for node in self.nodes:
+            node.register_model(model_id, model, allow_transient=allow_transient)
+
+    @property
+    def active_nodes(self) -> List[ClusterNode]:
+        """Nodes currently in rotation."""
+        return [node for node in self.nodes if node.state is NodeState.ACTIVE]
+
+    def queue_depth(self, node_id: Optional[str] = None) -> int:
+        """Queued (admitted, not yet executed) requests."""
+        if node_id is not None:
+            return len(self._queues[node_id])
+        return sum(len(queue) for queue in self._queues.values())
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        model_id: str,
+        images: np.ndarray,
+        sla: SLAClass = SLAClass.BEST_EFFORT,
+        deadline_s: Optional[float] = None,
+        arrival_s: Optional[float] = None,
+    ) -> int:
+        """Admit one request; returns its id.
+
+        ``arrival_s`` pins the request's position on the virtual clock
+        (workload generators use it to model inter-arrival gaps); omitted,
+        the request arrives "now".  The chosen node's virtual clock is
+        reserved through the request's modeled finish so later admissions
+        queue behind it.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4 or images.shape[0] == 0:
+            raise ConfigurationError(
+                "expected a non-empty (batch, channels, height, width) array"
+            )
+        if sla is SLAClass.LATENCY:
+            if deadline_s is None or deadline_s <= 0:
+                raise ConfigurationError(
+                    "latency-class requests need a positive deadline_s"
+                )
+        arrival = self.clock_s if arrival_s is None else float(arrival_s)
+        if arrival < 0:
+            raise ConfigurationError("arrival_s must be non-negative")
+        self.clock_s = max(self.clock_s, arrival)
+
+        request = ClusterRequest(
+            request_id=self._next_request_id,
+            model_id=model_id,
+            images=images,
+            sla=sla,
+            arrival_s=arrival,
+            deadline_s=deadline_s,
+        )
+        self._next_request_id += 1
+
+        decision = self.scheduler.choose(
+            request, self.nodes, self.telemetry, pending=self._pending_nodes(model_id)
+        )
+        node = self._by_id[decision.node_id]
+        # Reserve the backlog: the next admission must queue behind this
+        # request's modeled span.
+        node.available_s = decision.est_finish_s
+        self._queues[node.node_id].append((request, decision))
+        self._decisions[request.request_id] = decision
+        return request.request_id
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _rebuild_reservation(self, node_id: str) -> None:
+        """Re-derive a node's reserved clock from its measured completion
+        time plus the modeled span of everything still queued on it.
+
+        Each queued decision contributes its own span (est_finish - est_start
+        at admission), re-chained from reality — this is how reservations
+        stay exact when a dispatch finishes (or fails) at a different time
+        than its admission-time estimate assumed.
+        """
+        available = self._completed_s[node_id]
+        for request, decision in self._queues[node_id]:
+            start = max(available, request.arrival_s)
+            available = start + (decision.est_finish_s - decision.est_start_s)
+        self._by_id[node_id].available_s = available
+
+    def _pending_nodes(self, model_id: str) -> frozenset:
+        """Node ids with queued (not yet executed) placements of a model.
+
+        The scheduler counts these as replicas-in-the-making so a burst of
+        admissions cannot replicate a hot model past its cap.
+        """
+        return frozenset(
+            node_id
+            for node_id, queue in self._queues.items()
+            if any(request.model_id == model_id for request, _ in queue)
+        )
+
+    def _replace_parked_backlog(self) -> None:
+        """Re-place requests stranded on parked nodes onto active ones.
+
+        Parking is allowed while work is queued (an operator can park any
+        node at any time); the stranded requests are re-scheduled instead
+        of failing.  With no active node left they simply stay queued until
+        something wakes.
+        """
+        for node_id, queue in self._queues.items():
+            node = self._by_id[node_id]
+            if node.state is NodeState.ACTIVE or not queue:
+                continue
+            stranded = list(queue)
+            queue.clear()
+            node.available_s = self._completed_s[node_id]
+            for index, (request, _) in enumerate(stranded):
+                try:
+                    decision = self.scheduler.choose(
+                        request,
+                        self.nodes,
+                        self.telemetry,
+                        pending=self._pending_nodes(request.model_id),
+                    )
+                except ConfigurationError:
+                    # No active nodes: park the rest back where they were,
+                    # restoring the reservation that covers them.
+                    queue.extend(stranded[index:])
+                    self._rebuild_reservation(node_id)
+                    return
+                target = self._by_id[decision.node_id]
+                target.available_s = decision.est_finish_s
+                self._queues[target.node_id].append((request, decision))
+                self._decisions[request.request_id] = decision
+
+    def dispatch_next(self) -> Optional[ClusterResult]:
+        """Execute the queued request that can start earliest (None if idle).
+
+        Requests queued on parked nodes are re-placed first; if every node
+        is parked they stay queued (and this returns None) rather than
+        failing work that was never attempted.
+        """
+        self._replace_parked_backlog()
+        head: Optional[Tuple[str, ClusterRequest, PlacementDecision, float]] = None
+        for node_id, queue in self._queues.items():
+            if not queue or self._by_id[node_id].state is not NodeState.ACTIVE:
+                continue
+            request, decision = queue[0]
+            start = max(self._completed_s[node_id], request.arrival_s)
+            if head is None or (start, node_id) < (head[3], head[0]):
+                head = (node_id, request, decision, start)
+        if head is None:
+            return None
+        node_id, request, decision, start = head
+        self._queues[node_id].popleft()
+        node = self._by_id[node_id]
+
+        try:
+            dispatch = node.execute(request.model_id, request.images)
+        except Exception as error:
+            # Mirror the serve layer's contract one level up: the failure is
+            # stored on the request (re-raised by result()) instead of the
+            # request silently vanishing from the queue.  The failed
+            # request's reservation is genuinely released: the node's clock
+            # is re-derived from measured reality plus the spans of what is
+            # still queued (not from tail estimates that embed the failed
+            # span).
+            self._failed[request.request_id] = error
+            self._rebuild_reservation(node_id)
+            raise
+        finish = start + dispatch.compute_s
+        self._completed_s[node_id] = finish
+        self.clock_s = max(self.clock_s, finish)
+        # Executed work no longer needs its reservation; re-chain the
+        # remaining backlog's spans from measured reality (estimates of
+        # cold multi-layer dispatches can drift a little from actuals).
+        self._rebuild_reservation(node_id)
+
+        latency = finish - request.arrival_s
+        missed = request.deadline_s is not None and latency > request.deadline_s
+
+        trace = RequestTrace(
+            request_id=request.request_id,
+            model_id=request.model_id,
+            node_id=node_id,
+            sla=request.sla.value,
+            images=request.image_count,
+            arrival_s=request.arrival_s,
+            start_s=start,
+            finish_s=finish,
+            compute_s=dispatch.compute_s,
+            energy_j=dispatch.energy_j,
+            deadline_s=request.deadline_s,
+            deadline_missed=missed,
+            affinity_hit=dispatch.affinity_hit,
+            programmed=dispatch.programmed,
+            feasible_at_admission=decision.feasible,
+        )
+        self.telemetry.record(trace)
+        node.telemetry.record(trace)
+
+        result = ClusterResult(
+            trace=trace, sla=request.sla, predictions=dispatch.predictions
+        )
+        self._results[request.request_id] = result
+        return result
+
+    def drain(self) -> List[ClusterResult]:
+        """Execute the whole backlog in earliest-start order."""
+        completed: List[ClusterResult] = []
+        while True:
+            result = self.dispatch_next()
+            if result is None:
+                return completed
+            completed.append(result)
+
+    def result(self, request_id: int) -> ClusterResult:
+        """The completed result of a request.
+
+        Re-raises the original execution failure if the request's dispatch
+        failed, and raises :class:`ConfigurationError` while it is queued.
+        """
+        if request_id in self._failed:
+            raise self._failed[request_id]
+        if request_id not in self._results:
+            raise ConfigurationError(
+                f"request {request_id} is not complete; call drain()"
+            )
+        return self._results[request_id]
+
+    def decision(self, request_id: int) -> PlacementDecision:
+        """The admission-time placement decision of a request."""
+        if request_id not in self._decisions:
+            raise ConfigurationError(f"unknown request {request_id}")
+        return self._decisions[request_id]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Stop every node's server workers (idempotent)."""
+        for node in self.nodes:
+            node.shutdown()
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    def ledger(self) -> MacroStatistics:
+        """Cluster-level ledger: the merge of every node's lifetime ledger."""
+        merged = MacroStatistics()
+        for node in self.nodes:
+            merged.merge(node.ledger())
+        return merged
+
+    def summary(self) -> Dict[str, object]:
+        """Fleet-wide report: telemetry aggregates plus per-node summaries."""
+        return {
+            "clock_s": self.clock_s,
+            "queue_depth": float(self.queue_depth()),
+            "cluster": self.telemetry.summary(),
+            "nodes": {node.node_id: node.summary() for node in self.nodes},
+        }

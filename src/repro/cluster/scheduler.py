@@ -1,0 +1,228 @@
+"""SLA-class placement: DVFS-aware ranking plus weight-affinity routing.
+
+Every admitted request carries an SLA class, and the class decides what the
+scheduler optimises when it places the request on a node:
+
+* ``latency``      — deadline-feasible nodes (modeled backlog + modeled
+  request cost must finish inside the deadline) ranked by earliest modeled
+  finish; a high-VDD node wins because its cycle time is short.
+* ``throughput``   — ranked by modeled energy per image; a low-VDD node wins
+  because energy scales as ``(VDD / 0.9)^2`` while deadlines don't bind.
+* ``best_effort``  — load-balanced to the node whose backlog clears first.
+
+Weight affinity is not a separate bonus term: a node that does not hold the
+model's layers pays the re-programming charge inside its estimate, so
+affinity falls out of the same numbers the classes rank by.  On top of that,
+the scheduler *restricts* the candidate pool of throughput / best-effort
+traffic to resident nodes — until the model's recent dispatch count crosses
+``hot_threshold``, at which point the pool flips to the *non-resident*
+nodes and the chosen request pays the programming that creates the next
+replica (whose LRU cache evicts whatever went coldest to make room).
+Spreading stops once ``max_replicas`` nodes hold the model; steady-state
+hot traffic then ranks energy-first among the replicas.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.node import ClusterNode, NodeState, RequestEstimate
+from repro.cluster.telemetry import ClusterTelemetry
+from repro.errors import ConfigurationError
+
+__all__ = ["SLAClass", "ClusterRequest", "PlacementDecision", "SLAScheduler"]
+
+
+class SLAClass(enum.Enum):
+    """Service classes the router admits."""
+
+    LATENCY = "latency"
+    THROUGHPUT = "throughput"
+    BEST_EFFORT = "best_effort"
+
+
+@dataclass(frozen=True)
+class ClusterRequest:
+    """One admitted request, tagged with its SLA class."""
+
+    request_id: int
+    model_id: str
+    images: np.ndarray
+    sla: SLAClass
+    arrival_s: float
+    deadline_s: Optional[float] = None
+
+    @property
+    def image_count(self) -> int:
+        """Images in the request."""
+        return int(self.images.shape[0])
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Where a request was placed and what the scheduler believed about it."""
+
+    request_id: int
+    node_id: str
+    sla: SLAClass
+    feasible: bool
+    affinity_hit: bool
+    replicated: bool
+    est_start_s: float
+    est_finish_s: float
+    est_latency_s: float
+    est_energy_per_image_j: float
+    candidates: int
+
+
+class SLAScheduler:
+    """Rank candidate nodes per SLA class from modeled cost estimates.
+
+    ``hot_threshold`` is the recent-dispatch count (inside the telemetry
+    window) beyond which a model counts as *hot* and its throughput /
+    best-effort traffic may leave the resident-node pool to replicate.
+    ``max_replicas`` caps how many nodes a hot model spreads onto: once
+    that many hold its weights, throughput / best-effort traffic returns to
+    ranking among the replicas instead of programming ever more copies.
+    """
+
+    def __init__(self, hot_threshold: int = 6, max_replicas: int = 2) -> None:
+        if hot_threshold <= 0:
+            raise ConfigurationError("hot_threshold must be positive")
+        if max_replicas <= 0:
+            raise ConfigurationError("max_replicas must be positive")
+        self.hot_threshold = hot_threshold
+        self.max_replicas = max_replicas
+
+    # ------------------------------------------------------------------ #
+    # Pool construction
+    # ------------------------------------------------------------------ #
+    def _scored(
+        self, request: ClusterRequest, nodes: Sequence[ClusterNode]
+    ) -> List[Tuple[ClusterNode, RequestEstimate, float]]:
+        """(node, estimate, modeled finish time) for every active node."""
+        scored = []
+        for node in nodes:
+            if node.state is not NodeState.ACTIVE:
+                continue
+            estimate = node.estimate_request(request.model_id, request.images)
+            start = max(node.available_s, request.arrival_s)
+            scored.append((node, estimate, start + estimate.latency_s))
+        if not scored:
+            raise ConfigurationError(
+                "no active nodes: wake a parked node before submitting"
+            )
+        return scored
+
+    def is_hot(self, model_id: str, telemetry: ClusterTelemetry) -> bool:
+        """Whether a model's recent traffic justifies replication."""
+        return telemetry.recent_model_dispatches(model_id) >= self.hot_threshold
+
+    def _replication_pool(self, scored, resident, hot):
+        """Candidate pool for throughput / best-effort traffic.
+
+        ``resident`` here includes pending placements (see :meth:`choose`).
+        Cold model (nothing resident): the whole fleet — the first dispatch
+        programs the weights wherever the class ranking prefers.  Warm and
+        not hot: the resident nodes only (affinity).  Hot and
+        under-replicated: the *non-resident* nodes — the chosen node pays
+        the programming charge that creates the next replica (a resident
+        node would otherwise always win the ranking and replication would
+        never happen).  Hot and fully replicated: back to the replicas.
+        """
+        if not resident:
+            return scored
+        spreading = (
+            hot
+            and len(resident) < self.max_replicas
+            and len(resident) < len(scored)
+        )
+        if spreading:
+            return [entry for entry in scored if not entry[1].resident]
+        return resident
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def choose(
+        self,
+        request: ClusterRequest,
+        nodes: Sequence[ClusterNode],
+        telemetry: ClusterTelemetry,
+        pending: Optional[frozenset] = None,
+    ) -> PlacementDecision:
+        """Pick a node for one request; never refuses (worst case: best effort
+        placement on the least-bad node, flagged infeasible for telemetry).
+
+        ``pending`` holds node ids with *queued* placements of the same
+        model: their weights will be resident by the time this request
+        executes behind them (FIFO per node), so they count as replicas —
+        both toward the ``max_replicas`` cap (a burst admitted before any
+        dispatch must not replicate onto the whole fleet) and as affinity
+        candidates.
+        """
+        pending = pending if pending is not None else frozenset()
+        scored = self._scored(request, nodes)
+        resident = [
+            entry
+            for entry in scored
+            if entry[1].resident or entry[0].node_id in pending
+        ]
+        hot = self.is_hot(request.model_id, telemetry)
+
+        if request.sla is SLAClass.LATENCY:
+            if request.deadline_s is None:
+                raise ConfigurationError("latency-class requests need a deadline_s")
+            feasible = [
+                entry
+                for entry in scored
+                if entry[2] - request.arrival_s <= request.deadline_s
+            ]
+            pool = feasible if feasible else scored
+            # Earliest modeled finish wins; energy breaks ties so two equally
+            # fast nodes prefer the cheaper one.
+            node, estimate, finish = min(
+                pool, key=lambda e: (e[2], e[1].energy_j, e[0].node_id)
+            )
+            is_feasible = bool(feasible)
+        elif request.sla is SLAClass.THROUGHPUT:
+            pool = self._replication_pool(scored, resident, hot)
+            # Cheapest joules per image wins; finish time breaks ties.  A
+            # spreading pool is all non-resident nodes (this request pays
+            # the programming that creates the replica); once max_replicas
+            # hold the model the ranking returns to energy-first among the
+            # replicas, so sustained batch traffic keeps the low-VDD
+            # dividend.
+            node, estimate, finish = min(
+                pool, key=lambda e: (e[1].energy_per_image_j, e[2], e[0].node_id)
+            )
+            is_feasible = True
+        else:  # BEST_EFFORT
+            # Same replication discipline, ranked by backlog instead.
+            pool = self._replication_pool(scored, resident, hot)
+            node, estimate, finish = min(
+                pool,
+                key=lambda e: (
+                    max(e[0].available_s, request.arrival_s),
+                    e[0].node_id,
+                ),
+            )
+            is_feasible = True
+
+        return PlacementDecision(
+            request_id=request.request_id,
+            node_id=node.node_id,
+            sla=request.sla,
+            feasible=is_feasible,
+            affinity_hit=estimate.resident,
+            replicated=bool(resident) and not estimate.resident,
+            est_start_s=max(node.available_s, request.arrival_s),
+            est_finish_s=finish,
+            est_latency_s=estimate.latency_s,
+            est_energy_per_image_j=estimate.energy_per_image_j,
+            candidates=len(scored),
+        )

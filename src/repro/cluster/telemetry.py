@@ -1,0 +1,236 @@
+"""Telemetry of the multi-chip cluster: request traces and derived signals.
+
+The cluster's control loops are *reactive*: the scheduler and the autoscaler
+act on what recently happened, not on offline profiles.  This module is the
+shared measurement substrate:
+
+* :class:`RequestTrace` — the immutable record of one routed request
+  (placement, modeled queue delay / compute time, energy, deadline outcome,
+  whether the weights were already resident on the chosen node);
+* :class:`NodeTelemetry` — per-node aggregates (dispatches, images, energy,
+  modeled busy time, an EWMA of per-image latency) the scheduler reads when
+  ranking candidates and the autoscaler reads when hunting idle nodes;
+* :class:`ClusterTelemetry` — fleet-wide aggregates plus the two *windowed*
+  signals the control loops key on: the recent deadline-miss rate of the
+  latency class and the recent per-model dispatch counts (a model whose
+  recent count crosses the scheduler's threshold is "hot" and becomes
+  eligible for replication onto additional nodes).
+
+Everything here is measured in the cluster's *modeled* (virtual) time — the
+chip delay/energy models drive the clock, so every signal is deterministic
+and the scheduling tests can pin exact outcomes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["RequestTrace", "NodeTelemetry", "ClusterTelemetry"]
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """Everything recorded about one routed request."""
+
+    request_id: int
+    model_id: str
+    node_id: str
+    sla: str
+    images: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    compute_s: float
+    energy_j: float
+    deadline_s: Optional[float]
+    deadline_missed: bool
+    affinity_hit: bool
+    programmed: bool
+    feasible_at_admission: bool
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Modeled time the request waited behind the node's backlog."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """Modeled end-to-end latency (queue delay + compute)."""
+        return self.finish_s - self.arrival_s
+
+
+@dataclass
+class NodeTelemetry:
+    """Aggregates of one node's dispatch history.
+
+    ``ewma_image_latency_s`` tracks the per-image modeled compute latency
+    with an exponential moving average — the cheap online signal of how fast
+    this node currently is for the traffic it actually receives (the
+    operating point sets the floor, batch composition moves it around).
+    """
+
+    node_id: str
+    ewma_alpha: float = 0.3
+    dispatches: int = 0
+    images: int = 0
+    energy_j: float = 0.0
+    busy_s: float = 0.0
+    deadline_misses: int = 0
+    affinity_hits: int = 0
+    programmed_dispatches: int = 0
+    ewma_image_latency_s: float = 0.0
+
+    def record(self, trace: RequestTrace) -> None:
+        """Fold one routed request into the node's aggregates."""
+        self.dispatches += 1
+        self.images += trace.images
+        self.energy_j += trace.energy_j
+        self.busy_s += trace.compute_s
+        if trace.deadline_missed:
+            self.deadline_misses += 1
+        if trace.affinity_hit:
+            self.affinity_hits += 1
+        if trace.programmed:
+            self.programmed_dispatches += 1
+        if trace.images:
+            sample = trace.compute_s / trace.images
+            if self.dispatches == 1:
+                self.ewma_image_latency_s = sample
+            else:
+                self.ewma_image_latency_s += self.ewma_alpha * (
+                    sample - self.ewma_image_latency_s
+                )
+
+    @property
+    def energy_per_image_j(self) -> float:
+        """Measured energy per served image (0 before the first dispatch)."""
+        return self.energy_j / self.images if self.images else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat counters for reports."""
+        return {
+            "dispatches": float(self.dispatches),
+            "images": float(self.images),
+            "energy_j": self.energy_j,
+            "energy_per_image_j": self.energy_per_image_j,
+            "busy_s": self.busy_s,
+            "deadline_misses": float(self.deadline_misses),
+            "affinity_hits": float(self.affinity_hits),
+            "programmed_dispatches": float(self.programmed_dispatches),
+            "ewma_image_latency_s": self.ewma_image_latency_s,
+        }
+
+
+class ClusterTelemetry:
+    """Fleet-wide trace log plus the windowed signals the control loops use.
+
+    ``window`` bounds the two reactive signals (deadline-miss rate, model
+    heat) to the most recent traces, so the scheduler and autoscaler respond
+    to the *current* traffic mix instead of the whole history.
+    """
+
+    def __init__(self, window: int = 32) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.traces: List[RequestTrace] = []
+        self._recent: Deque[RequestTrace] = deque(maxlen=window)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(self, trace: RequestTrace) -> None:
+        """Append one routed request to the log and the sliding window."""
+        self.traces.append(trace)
+        self._recent.append(trace)
+
+    # ------------------------------------------------------------------ #
+    # Reactive signals
+    # ------------------------------------------------------------------ #
+    def recent_deadline_miss_rate(self, sla: Optional[str] = None) -> float:
+        """Deadline-miss fraction over the sliding window.
+
+        Only deadline-carrying traces count; ``sla`` restricts the window
+        further (the autoscaler watches the latency class specifically).
+        """
+        eligible = [
+            trace
+            for trace in self._recent
+            if trace.deadline_s is not None and (sla is None or trace.sla == sla)
+        ]
+        if not eligible:
+            return 0.0
+        return sum(trace.deadline_missed for trace in eligible) / len(eligible)
+
+    def recent_model_dispatches(self, model_id: str) -> int:
+        """How many of the last ``window`` dispatches served this model."""
+        return sum(trace.model_id == model_id for trace in self._recent)
+
+    def recent_has_sla(self, sla: str) -> bool:
+        """Whether any dispatch in the sliding window served this class.
+
+        The autoscaler's retune-down guard: only fleets with no recent
+        latency-class traffic shift capacity to the efficient rungs.
+        """
+        return any(trace.sla == sla for trace in self._recent)
+
+    # ------------------------------------------------------------------ #
+    # Whole-history aggregates
+    # ------------------------------------------------------------------ #
+    def traces_for(
+        self, sla: Optional[str] = None, model_id: Optional[str] = None
+    ) -> List[RequestTrace]:
+        """Filtered view of the full trace log."""
+        return [
+            trace
+            for trace in self.traces
+            if (sla is None or trace.sla == sla)
+            and (model_id is None or trace.model_id == model_id)
+        ]
+
+    def deadline_miss_rate(self, sla: Optional[str] = None) -> float:
+        """Lifetime deadline-miss fraction of deadline-carrying requests."""
+        eligible = [
+            trace
+            for trace in self.traces
+            if trace.deadline_s is not None and (sla is None or trace.sla == sla)
+        ]
+        if not eligible:
+            return 0.0
+        return sum(trace.deadline_missed for trace in eligible) / len(eligible)
+
+    def energy_per_image_j(self, sla: Optional[str] = None) -> float:
+        """Modeled energy per image over (a class of) the full log."""
+        traces = self.traces_for(sla=sla)
+        images = sum(trace.images for trace in traces)
+        if not images:
+            return 0.0
+        return sum(trace.energy_j for trace in traces) / images
+
+    def mean_latency_s(self, sla: Optional[str] = None) -> float:
+        """Mean modeled request latency over (a class of) the full log."""
+        traces = self.traces_for(sla=sla)
+        if not traces:
+            return 0.0
+        return sum(trace.latency_s for trace in traces) / len(traces)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat fleet-wide aggregates for reports."""
+        images = sum(trace.images for trace in self.traces)
+        return {
+            "requests": float(len(self.traces)),
+            "images": float(images),
+            "energy_j": sum(trace.energy_j for trace in self.traces),
+            "mean_latency_s": self.mean_latency_s(),
+            "deadline_miss_rate": self.deadline_miss_rate(),
+            "affinity_hit_rate": (
+                sum(trace.affinity_hit for trace in self.traces) / len(self.traces)
+                if self.traces
+                else 0.0
+            ),
+            "programmed_dispatches": float(
+                sum(trace.programmed for trace in self.traces)
+            ),
+        }

@@ -127,6 +127,25 @@ class IMCChip:
         return self._lead.energy_model
 
     @property
+    def operating_point(self):
+        """The supply/temperature/corner point every macro runs at.
+
+        Exposed for the cluster layer: a DVFS-aware scheduler reads the
+        operating point (and the cycle time / energy it implies) as a
+        routing policy input rather than a mere reporting detail.
+        """
+        return self.config.operating_point
+
+    def at_operating_point(self, point) -> "IMCChip":
+        """A fresh chip of the same geometry retuned to another point.
+
+        Array contents and ledgers start empty — retuning a real chip's
+        supply rail invalidates its programmed state, so the cluster node
+        that calls this must re-program (and re-charge) its weights.
+        """
+        return IMCChip(self.num_macros, self.config.with_operating_point(point))
+
+    @property
     def capacity_bytes(self) -> int:
         """Total storage capacity across all macro shards."""
         return self.config.capacity_bytes * self.num_macros

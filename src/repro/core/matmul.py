@@ -51,6 +51,7 @@ __all__ = [
     "ProgrammedWeights",
     "WeightCache",
     "MatmulDispatch",
+    "DispatchEstimate",
     "TiledMatmulEngine",
     "matmul_mac_count",
 ]
@@ -170,6 +171,15 @@ class WeightCache:
         """Layer ids in LRU → MRU order."""
         return list(self._entries)
 
+    def peek(self, layer_id: str) -> Optional[ProgrammedWeights]:
+        """Return a resident entry without touching LRU order or counters.
+
+        Planning-only view: the cluster router uses it to score weight
+        affinity of candidate nodes without perturbing the very recency
+        state it is scoring.
+        """
+        return self._entries.get(layer_id)
+
     def lookup(self, layer_id: str) -> Optional[ProgrammedWeights]:
         """Return (and touch) a resident entry, or record a miss."""
         entry = self._entries.get(layer_id)
@@ -249,6 +259,45 @@ class MatmulDispatch:
         if self.critical_path_cycles == 0:
             return 1.0
         return self.total_cycles / self.critical_path_cycles
+
+
+@dataclass(frozen=True)
+class DispatchEstimate:
+    """Modeled cost of one matmul *before* running it (planning only).
+
+    Produced by :meth:`TiledMatmulEngine.estimate_dispatch` without touching
+    the chip ledgers, the weight cache's LRU order, or its hit/miss counters
+    — the estimate a cluster scheduler ranks candidate nodes by.  For a
+    resident layer the estimate reproduces the accounting of the real
+    dispatch exactly (same tile plan, same cycle/energy recipes); for a
+    non-resident layer the tile plan is hypothesised from the current
+    round-robin cursor and includes the programming charge.
+    """
+
+    layer_id: Optional[str]
+    batch: int
+    inner: int
+    outer: int
+    resident: bool
+    tile_count: int
+    program_cycles: int
+    program_energy_j: float
+    compute_cycles: int
+    critical_path_cycles: int
+    energy_j: float
+    latency_s: float
+
+    @property
+    def total_cycles(self) -> int:
+        """Work cycles including the programming charge (if any)."""
+        return self.compute_cycles + self.program_cycles
+
+    @property
+    def energy_per_row_j(self) -> float:
+        """Modeled energy per activation row (the throughput-class metric)."""
+        if self.batch == 0:
+            return 0.0
+        return self.energy_j / self.batch
 
 
 @dataclass
@@ -591,6 +640,82 @@ class TiledMatmulEngine:
     def __call__(self, activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
         """Drop-in matmul backend interface (layer id derived from content)."""
         return self.matmul(activations, weights)
+
+    # ------------------------------------------------------------------ #
+    # Planning (no side effects)
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_layer_ids(self) -> List[str]:
+        """Layer ids currently programmed on the chip (LRU -> MRU order)."""
+        return self.cache.resident_layers
+
+    def is_resident(self, layer_id: str) -> bool:
+        """Whether a layer is programmed, without touching the LRU order."""
+        return self.cache.peek(layer_id) is not None
+
+    def estimate_dispatch(
+        self,
+        batch: int,
+        weights_shape: Tuple[int, int],
+        layer_id: Optional[str] = None,
+    ) -> DispatchEstimate:
+        """Model the cost of ``matmul`` on a ``(batch x I) @ (I x O)`` product.
+
+        Pure planning: nothing is charged, programmed, or LRU-touched.  When
+        ``layer_id`` is resident the tile plan is the entry's actual plan and
+        the estimate matches the subsequent dispatch's accounting exactly;
+        otherwise the plan is hypothesised from the current round-robin
+        cursor and the programming charge is included (which is precisely the
+        re-programming penalty weight-affinity routing tries to avoid).
+        """
+        check_positive("batch", batch)
+        inner, outer = weights_shape
+        check_positive("inner", inner)
+        check_positive("outer", outer)
+        entry = self.cache.peek(layer_id) if layer_id is not None else None
+        resident = entry is not None
+        tiles = entry.tiles if entry is not None else tuple(self.plan_tiles(inner, outer))
+
+        bits = self.precision_bits
+        mult_cycles_per_invocation = cycles_for(Opcode.MULT, bits)
+        add_cycles_per_word = cycles_for(Opcode.ADD, self.accumulator_bits)
+        copy_cycles_per_row = cycles_for(Opcode.COPY, bits)
+
+        per_macro = [0] * self.chip.num_macros
+        program_cycles = 0
+        program_energy = 0.0
+        compute_cycles = 0
+        energy = 0.0
+        for tile in tiles:
+            products = batch * tile.rows * tile.cols
+            col_groups = -(-tile.cols // self._slots)
+            tile_cycles = (
+                batch * tile.rows * col_groups * mult_cycles_per_invocation
+                + products * add_cycles_per_word
+            )
+            compute_cycles += tile_cycles
+            energy += (self._mult_energy_per_word + self._add_energy_per_word) * products
+            per_macro[tile.macro_index] += tile_cycles
+            if not resident:
+                tile_program = tile.rows * copy_cycles_per_row
+                program_cycles += tile_program
+                program_energy += self._copy_energy_per_word * tile.words
+                per_macro[tile.macro_index] += tile_program
+        critical = max(per_macro, default=0)
+        return DispatchEstimate(
+            layer_id=layer_id,
+            batch=batch,
+            inner=inner,
+            outer=outer,
+            resident=resident,
+            tile_count=len(tiles),
+            program_cycles=program_cycles,
+            program_energy_j=program_energy,
+            compute_cycles=compute_cycles,
+            critical_path_cycles=critical,
+            energy_j=energy + program_energy,
+            latency_s=critical * self.chip.cycle_time_s(self.precision_bits),
+        )
 
     # ------------------------------------------------------------------ #
     # Reference oracle

@@ -20,7 +20,23 @@ import numpy as np
 from repro.dnn.quantization import QuantizedTensor, quantize_tensor
 from repro.errors import ConfigurationError
 
-__all__ = ["Conv2DLayer", "QuantizedConv2DLayer", "im2col"]
+__all__ = ["Conv2DLayer", "QuantizedConv2DLayer", "conv_output_shape", "im2col"]
+
+
+def conv_output_shape(
+    height: int, width: int, kernel_size: int, stride: int = 1
+) -> Tuple[int, int]:
+    """(out_height, out_width) of a no-padding square-kernel convolution.
+
+    The single source of the output-shape arithmetic: :func:`im2col` sizes
+    its patch matrix with it, and the cluster layer prices conv dispatches
+    from it — both must agree on the row count per image.
+    """
+    if kernel_size <= 0 or stride <= 0:
+        raise ConfigurationError("kernel_size and stride must be positive")
+    if height < kernel_size or width < kernel_size:
+        raise ConfigurationError("image smaller than the convolution kernel")
+    return (height - kernel_size) // stride + 1, (width - kernel_size) // stride + 1
 
 
 def im2col(
@@ -46,12 +62,7 @@ def im2col(
             f"im2col expects (batch, channels, height, width), got shape {images.shape}"
         )
     batch, channels, height, width = images.shape
-    if kernel_size <= 0 or stride <= 0:
-        raise ConfigurationError("kernel_size and stride must be positive")
-    if height < kernel_size or width < kernel_size:
-        raise ConfigurationError("image smaller than the convolution kernel")
-    out_height = (height - kernel_size) // stride + 1
-    out_width = (width - kernel_size) // stride + 1
+    out_height, out_width = conv_output_shape(height, width, kernel_size, stride)
     # Vectorized patch extraction: sliding windows over (H, W) give
     # (batch, channels, H-k+1, W-k+1, k, k); striding and transposing to
     # (batch, out_y, out_x, channels, k, k) reproduces the reference

@@ -201,6 +201,7 @@ class InferenceServer:
         self._next_request_id = 0
         self._batches: List[BatchRecord] = []
         self._results: List[RequestResult] = []
+        self._failed: Dict[int, BaseException] = {}
         self._worker: Optional[threading.Thread] = None
         self._stop_requested = False
         self._started_s = time.perf_counter()
@@ -243,8 +244,16 @@ class InferenceServer:
         return self.result(request_id).predictions
 
     def result(self, request_id: int) -> RequestResult:
-        """The completed result of a request (raises if still pending)."""
+        """The completed result of a request.
+
+        Raises the original model/engine exception if the request's batch
+        failed (whether it failed on the synchronous path or inside the
+        background worker), and :class:`ConfigurationError` if the request
+        is still pending.
+        """
         with self._lock:
+            if request_id in self._failed:
+                raise self._failed[request_id]
             if request_id not in self._completed:
                 raise ConfigurationError(
                     f"request {request_id} is not complete; call drain() or "
@@ -284,13 +293,21 @@ class InferenceServer:
     ) -> List[RequestResult]:
         """Run one coalesced batch and complete any finished requests."""
         batch_index = len(self._batches)
-        images = np.concatenate([req.images[start:stop] for req, start, stop in plan])
         chip = self.engine.chip
-        cycles_before = [m.stats.total_cycles for m in chip.macros]
-        energy_before = float(chip.stats.total_energy_j)
-
         start_s = time.perf_counter()
-        predictions = self.model.predict(images)
+        try:
+            # Everything from coalescing to the forward pass can fail (e.g.
+            # requests of incompatible image shapes concatenated into one
+            # batch); any failure must land on the requests, not strand them.
+            images = np.concatenate(
+                [req.images[start:stop] for req, start, stop in plan]
+            )
+            cycles_before = [m.stats.total_cycles for m in chip.macros]
+            energy_before = float(chip.stats.total_energy_j)
+            predictions = self.model.predict(images)
+        except Exception as error:
+            self._fail_batch(plan, error)
+            raise
         host_wall = time.perf_counter() - start_s
         self._busy_s += host_wall
 
@@ -339,6 +356,27 @@ class InferenceServer:
                     completed.append(result)
         return completed
 
+    def _fail_batch(
+        self, plan: Sequence[Tuple[InferenceRequest, int, int]], error: BaseException
+    ) -> None:
+        """Attach a batch failure to every request it contained.
+
+        The requests are taken out of the pending/queue state (any images of
+        a split request not yet dispatched are dropped too — a half-failed
+        request has no usable result) and the original exception is stored
+        so :meth:`result` / :meth:`predict` re-raise it on the submitting
+        client's thread instead of the failure dying inside the worker.
+        """
+        with self._lock:
+            for request, _, _ in plan:
+                self._failed[request.request_id] = error
+                self._pending.pop(request.request_id, None)
+                if request.remaining > 0:
+                    try:
+                        self._queue.remove(request)
+                    except ValueError:
+                        pass
+
     def serve_once(self) -> List[RequestResult]:
         """Form and execute one batch; returns the requests it completed."""
         with self._dispatch_lock:
@@ -373,6 +411,10 @@ class InferenceServer:
                 # trickling submits keep accumulating instead of flushing a
                 # partial batch early.
                 while not self._stop_requested:
+                    if not self._queue:
+                        # A concurrent drain()/predict() consumed the queue
+                        # while we waited; nothing left to batch.
+                        break
                     pending = sum(request.remaining for request in self._queue)
                     budget_left = self.max_wait_s - (
                         time.perf_counter() - self._queue[0].arrival_s
@@ -380,7 +422,14 @@ class InferenceServer:
                     if pending >= self.max_batch_size or budget_left <= 0:
                         break
                     self._work_available.wait(timeout=budget_left)
-            self.serve_once()
+            try:
+                self.serve_once()
+            except Exception:
+                # The failure is already stored on every request of the
+                # batch (re-raised by result()/predict() on the client's
+                # thread); the worker itself survives to serve the rest of
+                # the queue instead of dying silently.
+                continue
 
     def start(self) -> None:
         """Start the background batching worker."""
@@ -393,14 +442,34 @@ class InferenceServer:
         self._worker.start()
 
     def stop(self) -> None:
-        """Drain the queue and stop the background worker."""
-        if self._worker is None:
+        """Drain the queue and stop the background worker (idempotent).
+
+        Safe to call any number of times, before :meth:`start`, after a
+        previous :meth:`stop`, and from ``__exit__`` — the cluster node
+        lifecycle parks and re-parks nodes without tracking whether their
+        servers ever ran a worker.
+        """
+        worker = self._worker
+        if worker is None:
             return
         with self._work_available:
             self._stop_requested = True
             self._work_available.notify_all()
-        self._worker.join()
+        worker.join()
         self._worker = None
+
+    # ------------------------------------------------------------------ #
+    # Context manager
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "InferenceServer":
+        """Start the background worker (if not already running)."""
+        if self._worker is None or not self._worker.is_alive():
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Stop the worker; the queue is drained before the worker exits."""
+        self.stop()
 
     # ------------------------------------------------------------------ #
     # Reporting

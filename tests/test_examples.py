@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "signal_processing_kernels.py",
     "vector_image_processing.py",
     "serve_cnn.py",
+    "cluster_serve.py",
 ]
 
 

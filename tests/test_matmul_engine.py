@@ -289,3 +289,150 @@ class TestAccounting:
         stationary.predict(sample)
         assert engine.cache.misses == 2
         assert engine.cache.hits == 2
+
+
+class TestMultiModelContention:
+    """Two models alternating past the residency bound (the cluster's
+    node-local reality: every node serves several models from one cache)."""
+
+    def _contended_engine(self):
+        # One macro, capacity pinned to fit exactly one model (two 100-row
+        # column tiles = 200 resident rows): the second model always evicts
+        # the first.
+        engine = _engine(num_macros=1, capacity_rows=250)
+        rng = np.random.default_rng(7)
+        a = rng.integers(-9, 10, size=(100, 4))
+        b = rng.integers(-9, 10, size=(100, 4))
+        acts = rng.integers(-9, 10, size=(3, 100))
+        return engine, acts, a, b
+
+    def test_alternating_models_recharge_programming(self):
+        engine, acts, a, b = self._contended_engine()
+        golden = NumpyIntBackend()
+        charges = []
+        for weights in (a, b, a, b):
+            before = engine.counters.program_cycles
+            result = engine.matmul(acts, weights)
+            assert np.array_equal(result, golden(acts, weights))
+            charges.append(engine.counters.program_cycles - before)
+        # Every touch re-programs (the other model evicted it), and every
+        # re-programming costs exactly what the first programming did.
+        assert all(charge > 0 for charge in charges)
+        assert len(set(charges)) == 1
+        assert engine.cache.evictions == 3
+        assert engine.cache.hits == 0
+
+    def test_affinity_metadata_tracks_the_evictions(self):
+        engine, acts, a, b = self._contended_engine()
+        id_a = TiledMatmulEngine.layer_id_for(np.asarray(a, dtype=np.int64))
+        id_b = TiledMatmulEngine.layer_id_for(np.asarray(b, dtype=np.int64))
+        engine.matmul(acts, a)
+        assert engine.is_resident(id_a) and not engine.is_resident(id_b)
+        assert engine.resident_layer_ids == [id_a]
+        engine.matmul(acts, b)
+        assert engine.is_resident(id_b) and not engine.is_resident(id_a)
+        assert engine.resident_layer_ids == [id_b]
+        # The invariant the cluster router leans on: residency never
+        # overstates what the cache holds.
+        assert engine.cache.resident_rows <= engine.cache.capacity_rows
+
+    def test_interleaved_hits_within_capacity_stay_free(self):
+        # Same two models but capacity for both (2 x 200 resident rows):
+        # after the cold touches, alternation is all hits and programming is
+        # never re-charged.
+        engine = _engine(num_macros=2, capacity_rows=500)
+        rng = np.random.default_rng(7)
+        a = rng.integers(-9, 10, size=(100, 4))
+        b = rng.integers(-9, 10, size=(100, 4))
+        acts = rng.integers(-9, 10, size=(3, 100))
+        engine.matmul(acts, a)
+        engine.matmul(acts, b)
+        programmed = engine.counters.program_cycles
+        for weights in (a, b, a, b):
+            engine.matmul(acts, weights)
+        assert engine.counters.program_cycles == programmed
+        assert engine.cache.evictions == 0
+        assert engine.cache.hits == 4  # every alternating touch hits
+
+
+class TestDispatchEstimates:
+    """The planning path the cluster scheduler prices nodes with."""
+
+    def test_peek_does_not_perturb_lru_or_counters(self):
+        engine = _engine(num_macros=1, capacity_rows=250)
+        rng = np.random.default_rng(3)
+        weights = rng.integers(-9, 10, size=(50, 4))
+        acts = rng.integers(-9, 10, size=(2, 50))
+        engine.matmul(acts, weights)
+        layer_id = engine.resident_layer_ids[0]
+        hits, misses = engine.cache.hits, engine.cache.misses
+        assert engine.cache.peek(layer_id) is not None
+        assert engine.cache.peek("nope") is None
+        assert engine.is_resident(layer_id)
+        assert (engine.cache.hits, engine.cache.misses) == (hits, misses)
+
+    def test_resident_estimate_matches_dispatch_accounting_exactly(self):
+        engine = _engine(num_macros=4)
+        rng = np.random.default_rng(5)
+        acts, weights = _random_operands(rng, 6, 80, 12, limit=9)
+        engine.matmul(acts, weights, layer_id="layer")
+        estimate = engine.estimate_dispatch(6, (80, 12), layer_id="layer")
+        assert estimate.resident
+        assert estimate.program_cycles == 0
+
+        before = engine.chip.stats.total_cycles
+        energy_before = engine.chip.stats.total_energy_j
+        engine.matmul(acts, weights, layer_id="layer")
+        dispatch = engine.last_dispatch
+        assert estimate.compute_cycles == engine.chip.stats.total_cycles - before
+        assert estimate.critical_path_cycles == dispatch.critical_path_cycles
+        assert estimate.energy_j == pytest.approx(
+            engine.chip.stats.total_energy_j - energy_before, rel=1e-12
+        )
+        assert estimate.latency_s == pytest.approx(dispatch.latency_s, rel=1e-12)
+
+    def test_cold_estimate_prices_the_programming_charge(self):
+        engine = _engine(num_macros=4)
+        rng = np.random.default_rng(5)
+        acts, weights = _random_operands(rng, 6, 80, 12, limit=9)
+        estimate = engine.estimate_dispatch(6, (80, 12), layer_id="cold")
+        assert not estimate.resident
+        assert estimate.program_cycles > 0
+        assert estimate.program_energy_j > 0
+        entry, programmed = engine.program(weights, layer_id="cold")
+        assert programmed
+        assert estimate.program_cycles == entry.program_cycles
+        assert estimate.program_energy_j == pytest.approx(
+            entry.program_energy_j, rel=1e-12
+        )
+        # The cold estimate dominates the warm one: affinity is worth
+        # exactly the programming charge.
+        warm = engine.estimate_dispatch(6, (80, 12), layer_id="cold")
+        assert warm.resident
+        assert estimate.total_cycles == warm.compute_cycles + estimate.program_cycles
+        assert estimate.energy_j > warm.energy_j
+
+    def test_estimate_scales_with_operating_point(self):
+        from repro.tech.technology import OperatingPoint
+
+        rng = np.random.default_rng(5)
+        fast = TiledMatmulEngine(
+            IMCChip(2, MacroConfig(operating_point=OperatingPoint(vdd=1.0)))
+        )
+        slow = TiledMatmulEngine(
+            IMCChip(2, MacroConfig(operating_point=OperatingPoint(vdd=0.6)))
+        )
+        est_fast = fast.estimate_dispatch(4, (60, 8), layer_id="x")
+        est_slow = slow.estimate_dispatch(4, (60, 8), layer_id="x")
+        # Same work, different physics: cycles identical, the slow rung is
+        # slower in seconds and cheaper in joules.
+        assert est_fast.total_cycles == est_slow.total_cycles
+        assert est_slow.latency_s > est_fast.latency_s
+        assert est_slow.energy_j < est_fast.energy_j
+
+    def test_estimate_rejects_bad_shapes(self):
+        engine = _engine()
+        with pytest.raises(Exception):
+            engine.estimate_dispatch(0, (4, 4))
+        with pytest.raises(Exception):
+            engine.estimate_dispatch(2, (0, 4))

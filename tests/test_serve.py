@@ -194,3 +194,147 @@ class TestConcurrency:
                 reference[index * 3 : index * 3 + 3],
             )
         server.stop()  # idempotent
+
+
+class _ExplodingModel:
+    """A model whose forward pass fails when any pixel is negative."""
+
+    def with_backend(self, matmul):
+        return self
+
+    def predict(self, images):
+        if float(np.min(images)) < 0:
+            raise RuntimeError("boom")
+        return np.zeros(images.shape[0], dtype=np.int64)
+
+
+def _flaky_server(**kwargs):
+    kwargs.setdefault("num_macros", 1)
+    return InferenceServer(_ExplodingModel(), **kwargs)
+
+
+def _await_outcome(server, request_id, timeout_s=5.0):
+    """Poll until a request completes or fails; returns ('ok'|exc)."""
+    import time
+
+    deadline = time.perf_counter() + timeout_s
+    while time.perf_counter() < deadline:
+        try:
+            server.result(request_id)
+        except ConfigurationError:
+            time.sleep(0.01)
+            continue
+        except Exception as error:  # noqa: BLE001 - the stored failure
+            return error
+        return "ok"
+    raise AssertionError(f"request {request_id} neither completed nor failed")
+
+
+GOOD = np.ones((2, 1, 4, 4))
+BAD = -np.ones((2, 1, 4, 4))
+
+
+class TestLifecycle:
+    def test_context_manager_starts_and_stops_worker(self, trained):
+        dataset, cnn = trained
+        with _server(cnn, max_batch_size=8, max_wait_s=0.0) as server:
+            assert server._worker is not None and server._worker.is_alive()
+            request = server.submit(dataset.test_images[:3])
+            assert _await_outcome(server, request) == "ok"
+        assert server._worker is None  # __exit__ stopped the worker
+        reference = cnn.predict(dataset.test_images[:3])
+        assert np.array_equal(server.result(request).predictions, reference)
+
+    def test_context_manager_drains_backlog_on_exit(self, trained):
+        dataset, cnn = trained
+        with _server(cnn, max_batch_size=4, max_wait_s=10.0) as server:
+            requests = [
+                server.submit(dataset.test_images[start : start + 2])
+                for start in range(0, 6, 2)
+            ]
+        # stop() drains before joining: everything submitted is complete.
+        for request in requests:
+            assert server.result(request).predictions.shape == (2,)
+
+    def test_stop_is_idempotent_in_every_state(self, trained):
+        _, cnn = trained
+        server = _server(cnn)
+        server.stop()  # never started
+        server.stop()
+        server.start()
+        server.stop()
+        server.stop()  # already stopped
+        server.start()  # restartable after stop
+        server.stop()
+
+    def test_reentry_after_exit_restarts_worker(self, trained):
+        _, cnn = trained
+        server = _server(cnn, max_wait_s=0.0)
+        with server:
+            pass
+        with server:
+            assert server._worker is not None and server._worker.is_alive()
+        assert server._worker is None
+
+
+class TestWorkerFailurePropagation:
+    def test_sync_drain_propagates_and_stores_failure(self):
+        server = _flaky_server()
+        request = server.submit(BAD)
+        with pytest.raises(RuntimeError, match="boom"):
+            server.drain()
+        # The failure is stored on the request and re-raised on inspection.
+        with pytest.raises(RuntimeError, match="boom"):
+            server.result(request)
+        assert server.pending_images == 0
+
+    def test_predict_reraises_model_failure(self):
+        server = _flaky_server()
+        with pytest.raises(RuntimeError, match="boom"):
+            server.predict(BAD)
+
+    def test_worker_failure_reaches_submitting_client(self):
+        server = _flaky_server(max_wait_s=0.0)
+        with server:
+            request = server.submit(BAD)
+            error = _await_outcome(server, request)
+        assert isinstance(error, RuntimeError)
+        with pytest.raises(RuntimeError, match="boom"):
+            server.result(request)
+
+    def test_worker_survives_a_failed_batch(self):
+        server = _flaky_server(max_wait_s=0.0)
+        with server:
+            bad = server.submit(BAD)
+            assert isinstance(_await_outcome(server, bad), RuntimeError)
+            assert server._worker.is_alive()
+            good = server.submit(GOOD)
+            assert _await_outcome(server, good) == "ok"
+        assert np.array_equal(server.result(good).predictions, np.zeros(2))
+
+    def test_coalescing_failure_before_predict_still_lands_on_requests(self):
+        # Incompatible image shapes fail in np.concatenate, *before* the
+        # model runs; the failure must reach both requests instead of
+        # stranding them consumed-but-never-completed.  The synchronous
+        # drain coalesces both queued requests into one batch
+        # deterministically (no worker timing involved).
+        server = _flaky_server()
+        first = server.submit(np.ones((2, 1, 4, 4)))
+        second = server.submit(np.ones((2, 1, 8, 8)))
+        with pytest.raises(ValueError):
+            server.drain()
+        for request in (first, second):
+            with pytest.raises(ValueError):
+                server.result(request)
+        assert server.pending_images == 0
+
+    def test_split_request_failure_clears_queue_state(self):
+        # Batch 1 (4 images) fails; the request's remaining images must not
+        # linger in the queue as an undead half-request.
+        server = _flaky_server(max_batch_size=4)
+        request = server.submit(-np.ones((6, 1, 4, 4)))
+        with pytest.raises(RuntimeError):
+            server.drain()
+        assert server.pending_images == 0
+        with pytest.raises(RuntimeError):
+            server.result(request)
