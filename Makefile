@@ -19,7 +19,8 @@ export PYTHONPATH
 TRACKED_BENCHES := benchmarks/bench_chip_scaling.py \
                    benchmarks/bench_matmul_engine.py \
                    benchmarks/bench_serving_throughput.py \
-                   benchmarks/bench_cluster_scheduling.py
+                   benchmarks/bench_cluster_scheduling.py \
+                   benchmarks/bench_router_throughput.py
 
 .PHONY: test lint bench bench-smoke bench-check ci docs-check chip-bench examples clean
 

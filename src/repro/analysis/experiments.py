@@ -58,6 +58,8 @@ __all__ = [
     "serving_throughput_study",
     "ClusterSchedulingPoint",
     "cluster_scheduling_study",
+    "MillionRequestTracePoint",
+    "million_request_trace_study",
 ]
 
 
@@ -812,6 +814,7 @@ def cluster_scheduling_study(
     deadline_scale: float = 3.0,
     hot_threshold: int = 6,
     seed: int = 13,
+    execution_mode: str = "exact",
 ) -> Dict[str, ClusterSchedulingPoint]:
     """Mixed-SLA serving across fleet voltage mixes (the cluster dividend).
 
@@ -832,9 +835,23 @@ def cluster_scheduling_study(
     fleet on throughput-class joules per image (the batch traffic rides the
     efficient nodes).  Everything runs in modeled virtual time, so the
     returned numbers are deterministic.
+
+    ``execution_mode`` selects the node execution path ("exact" or
+    "analytic"); by the fidelity contract of
+    :class:`~repro.cluster.node.ExecutionMode` the returned study points
+    are bit-identical either way — the analytic run simply skips the numpy
+    forwards (one per unique input remains, for the bit-exactness check).
     """
-    from repro.cluster import ClusterNode, ClusterRouter, SLAClass, SLAScheduler
+    from repro.cluster import (
+        ClusterNode,
+        ClusterRouter,
+        ExecutionMode,
+        SLAClass,
+        SLAScheduler,
+    )
     from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
+
+    mode = ExecutionMode(execution_mode)
 
     if fleets is None:
         fleets = {
@@ -867,7 +884,12 @@ def cluster_scheduling_study(
     results: Dict[str, ClusterSchedulingPoint] = {}
     for fleet_name, vdds in fleets.items():
         nodes = [
-            ClusterNode(f"{fleet_name}-{index}", vdd=vdd, num_macros=num_macros)
+            ClusterNode(
+                f"{fleet_name}-{index}",
+                vdd=vdd,
+                num_macros=num_macros,
+                execution_mode=mode,
+            )
             for index, vdd in enumerate(vdds)
         ]
         scheduler = SLAScheduler(hot_threshold=hot_threshold)
@@ -956,6 +978,244 @@ def cluster_scheduling_study(
                 ledger_conserved=conserved,
                 bit_exact=bit_exact,
                 accuracy=correct / total if total else 0.0,
+            )
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Extension — million-request trace studies on the analytic fast path
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MillionRequestTracePoint:
+    """Outcome of one fleet configuration on a synthesised request trace."""
+
+    fleet: str
+    vdds: Tuple[float, ...]
+    scenario: str
+    requests: int
+    images: int
+    wall_s: float
+    requests_per_s: float
+    images_per_s: float
+    latency_requests: int
+    latency_miss_rate: float
+    mean_latency_s: float
+    throughput_energy_per_image_j: float
+    total_energy_j: float
+    affinity_hit_rate: float
+    memo_entries: int
+    memo_hits: int
+    memo_misses: int
+    spot_checks: int
+    ledger_cycles: int
+    ledger_energy_j: float
+    ledger_conserved: bool
+
+
+def million_request_trace_study(
+    fleets: Optional[Dict[str, Tuple[float, ...]]] = None,
+    requests: int = 1_000_000,
+    scenario: str = "diurnal",
+    num_macros: int = 16,
+    image_size: int = 20,
+    image_counts: Tuple[int, ...] = (32, 64, 128),
+    samples: int = 1600,
+    epochs: int = 6,
+    load: float = 0.6,
+    deadline_scale: float = 4.0,
+    latency_share: float = 0.2,
+    throughput_share: float = 0.5,
+    spot_check_every: int = 1000,
+    drain_every: int = 64,
+    seed: int = 13,
+    execution_mode: str = "analytic",
+) -> Dict[str, MillionRequestTracePoint]:
+    """Compare fleets over a synthesised trace of up to 10^6 modeled requests.
+
+    The wall-clock-feasible version of the cluster scheduling study: two
+    pattern CNNs served on each fleet configuration under one identical
+    trace (Poisson / diurnal / burst arrivals, mixed SLA classes, varied
+    request sizes drawn from a pool of distinct image batches).  On the
+    analytic execution path every request is charged exactly — ledgers,
+    virtual-time latencies and joules are what the full numpy run would
+    produce — while the numpy forward runs once per unique pool entry, so
+    a million requests cost minutes instead of hours.  ``spot_check_every``
+    re-runs a real forward on a sampled fraction of memo hits as a
+    continuous fidelity audit.
+
+    The arrival rate is derived from the *top-rung* warm modeled request
+    latency: ``load`` times the modeled capacity of a fleet of that many
+    fast nodes, so the same trace pressures every fleet identically while
+    staying inside the modeled service capacity of the fast configuration.
+
+    Returns ``{fleet_name: MillionRequestTracePoint}``.
+    """
+    from repro.cluster import (
+        ClusterNode,
+        ClusterRouter,
+        ExecutionMode,
+        ForwardMemo,
+        SLAClass,
+        build_image_pool,
+        burst_trace,
+        diurnal_trace,
+        poisson_trace,
+        replay,
+    )
+    from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
+
+    mode = ExecutionMode(execution_mode)
+    if fleets is None:
+        fleets = {
+            "dvfs_mixed": (1.0, 1.0, 0.6, 0.6),
+            "homogeneous_high": (1.0, 1.0, 1.0, 1.0),
+            "homogeneous_low": (0.6, 0.6, 0.6, 0.6),
+        }
+
+    dataset = make_pattern_image_dataset(samples=samples, size=image_size, seed=seed)
+    model_a, _ = train_pattern_cnn(
+        dataset, conv_channels=(1,), hidden_sizes=(6,), epochs=epochs, seed=seed
+    )
+    model_b, _ = train_pattern_cnn(
+        dataset, conv_channels=(1,), hidden_sizes=(6,), epochs=epochs, seed=seed + 1
+    )
+    models = {"model-a": model_a, "model-b": model_b}
+    max_images = max(image_counts)
+
+    # Deadline and arrival rate from warm modeled latencies: the deadline
+    # must comfortably cover the *largest* request on the fastest rung
+    # (tight-but-feasible on fast silicon, infeasible on the 0.6 V rung —
+    # the same calibration the scheduling study uses), while the offered
+    # load is set against the *slowest* rung's service time of the average
+    # request.  Energy-ranked traffic concentrates on the efficient rung,
+    # so rating the trace against the fast rung would melt every fleet's
+    # queues; rating against the slow rung keeps the identical trace inside
+    # every fleet's modeled capacity at ``load < 1``.
+    top_vdd = max(max(vdds) for vdds in fleets.values())
+    low_vdd = min(min(vdds) for vdds in fleets.values())
+
+    def _warm_latencies(vdd: float) -> Dict[int, float]:
+        probe = ClusterNode(
+            "probe", vdd=vdd, num_macros=num_macros, max_batch_size=max_images
+        )
+        probe.register_model("model-a", model_a)
+        probe.execute("model-a", dataset.test_images[:max_images])
+        latencies = {
+            count: probe.estimate_request(
+                "model-a", dataset.test_images[:count]
+            ).latency_s
+            for count in image_counts
+        }
+        probe.shutdown()
+        return latencies
+
+    top_latencies = _warm_latencies(top_vdd)
+    low_latencies = top_latencies if low_vdd == top_vdd else _warm_latencies(low_vdd)
+    deadline_s = deadline_scale * top_latencies[max_images]
+    mean_low_latency = sum(low_latencies.values()) / len(low_latencies)
+    fleet_size = max(len(vdds) for vdds in fleets.values())
+    rate_rps = load * fleet_size / mean_low_latency
+
+    sla_mix = {
+        "latency": latency_share,
+        "throughput": throughput_share,
+        "best_effort": max(0.0, 1.0 - latency_share - throughput_share),
+    }
+    trace_kwargs = dict(
+        model_ids=tuple(models),
+        image_counts=image_counts,
+        sla_mix=sla_mix,
+        deadline_s=deadline_s,
+        seed=seed,
+    )
+    if scenario == "poisson":
+        trace = poisson_trace(requests, rate_rps=rate_rps, **trace_kwargs)
+    elif scenario == "diurnal":
+        period = max(1e-6, 4096.0 / rate_rps)
+        trace = diurnal_trace(
+            requests,
+            period_s=period,
+            base_rate_rps=0.4 * rate_rps,
+            peak_rate_rps=1.6 * rate_rps,
+            **trace_kwargs,
+        )
+    elif scenario == "burst":
+        period = max(1e-6, 4096.0 / rate_rps)
+        trace = burst_trace(
+            requests,
+            base_rate_rps=0.8 * rate_rps,
+            burst_every_s=period,
+            burst_duration_s=0.1 * period,
+            burst_multiplier=6.0,
+            **trace_kwargs,
+        )
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+
+    pool = build_image_pool(
+        {model_id: dataset.test_images for model_id in models},
+        image_counts,
+    )
+
+    results: Dict[str, MillionRequestTracePoint] = {}
+    for fleet_name, vdds in fleets.items():
+        memo = ForwardMemo()
+        nodes = [
+            ClusterNode(
+                f"{fleet_name}-{index}",
+                vdd=vdd,
+                num_macros=num_macros,
+                max_batch_size=max_images,
+                execution_mode=mode,
+                forward_memo=memo,
+                spot_check_every=spot_check_every,
+            )
+            for index, vdd in enumerate(vdds)
+        ]
+        with ClusterRouter(nodes) as router:
+            for model_id, model in models.items():
+                router.register_model(model_id, model)
+            stats = replay(router, trace, pool, drain_every=drain_every)
+
+            telemetry = router.telemetry
+            latency_traces = telemetry.traces_for(sla=SLAClass.LATENCY.value)
+            cluster_ledger = router.ledger()
+            part_cycles = sum(node.ledger().total_cycles for node in nodes)
+            part_energy = sum(node.ledger().total_energy_j for node in nodes)
+            conserved = cluster_ledger.total_cycles == part_cycles and bool(
+                np.isclose(cluster_ledger.total_energy_j, part_energy, rtol=1e-9)
+            )
+            results[fleet_name] = MillionRequestTracePoint(
+                fleet=fleet_name,
+                vdds=tuple(vdds),
+                scenario=trace.scenario,
+                requests=len(telemetry.traces),
+                images=sum(t.images for t in telemetry.traces),
+                wall_s=stats["wall_s"],
+                requests_per_s=stats["requests_per_s"],
+                images_per_s=stats["images_per_s"],
+                latency_requests=len(latency_traces),
+                latency_miss_rate=telemetry.deadline_miss_rate(
+                    sla=SLAClass.LATENCY.value
+                ),
+                mean_latency_s=telemetry.mean_latency_s(),
+                throughput_energy_per_image_j=telemetry.energy_per_image_j(
+                    sla=SLAClass.THROUGHPUT.value
+                ),
+                total_energy_j=sum(t.energy_j for t in telemetry.traces),
+                affinity_hit_rate=(
+                    sum(t.affinity_hit for t in telemetry.traces)
+                    / len(telemetry.traces)
+                    if telemetry.traces
+                    else 0.0
+                ),
+                memo_entries=len(memo),
+                memo_hits=memo.hits,
+                memo_misses=memo.misses,
+                spot_checks=sum(node.spot_checks for node in nodes),
+                ledger_cycles=cluster_ledger.total_cycles,
+                ledger_energy_j=cluster_ledger.total_energy_j,
+                ledger_conserved=conserved,
             )
     return results
 

@@ -67,6 +67,14 @@ class BitlineBooster:
         """
         return self._pulldown.on_current(point, vgs=point.vdd, vth_shift=vth_shift)
 
+    def boost_currents(
+        self, point: OperatingPoint, vth_shifts
+    ):
+        """Vectorised :meth:`boost_current` over an array of mismatches."""
+        return self._pulldown.on_current_batch(
+            point, vth_shifts, vgs=point.vdd
+        )
+
     def residual_discharge_time(
         self,
         remaining_swing: float,

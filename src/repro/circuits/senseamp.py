@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.tech.calibration import MacroCalibration
 from repro.tech.technology import OperatingPoint, TechnologyProfile
 
@@ -46,6 +48,20 @@ class SenseAmplifier:
         scale = timing.voltage_scale(point.vdd, vth_shift=shift)
         resolve = timing.sense_amp_resolve_s * scale + offset_s
         return max(resolve, 1e-12)
+
+    def resolve_times(self, point: OperatingPoint, offsets_s) -> np.ndarray:
+        """Vectorised :meth:`resolve_time` over an array of offsets.
+
+        Identical arithmetic per element (scale multiply, offset add, floor
+        clamp), so a Monte-Carlo population matches the scalar loop.
+        """
+        timing = self.calibration.timing
+        shift = self.technology.corner_spec(point.corner).dvth_n
+        scale = timing.voltage_scale(point.vdd, vth_shift=shift)
+        resolves = timing.sense_amp_resolve_s * scale + np.asarray(
+            offsets_s, dtype=np.float64
+        )
+        return np.maximum(resolves, 1e-12)
 
     def output(self, bitline_low: bool) -> int:
         """Digital output of the SA given whether its BL discharged.

@@ -8,6 +8,13 @@ throughput class) with weight-affinity routing, and a reactive autoscaler
 that wakes/parks nodes and retunes operating points from queue-depth and
 deadline-miss telemetry.
 
+Trace studies scale to millions of requests through the analytic execution
+mode (:class:`ExecutionMode` — exact-charge dispatches via the engine's
+``charge_dispatch`` API plus memoised forwards, bit-identical ledgers and
+telemetry) and the vectorized workload generators of
+:mod:`repro.cluster.workload` (Poisson / diurnal / burst traces, replayed
+in arrival order).
+
 Typical wiring::
 
     from repro.cluster import ClusterNode, ClusterRouter, SLAClass
@@ -26,6 +33,8 @@ Typical wiring::
 from repro.cluster.autoscale import ReactiveAutoscaler, ScalingAction
 from repro.cluster.node import (
     ClusterNode,
+    ExecutionMode,
+    ForwardMemo,
     NodeDispatch,
     NodeState,
     RequestEstimate,
@@ -39,6 +48,14 @@ from repro.cluster.scheduler import (
     SLAScheduler,
 )
 from repro.cluster.telemetry import ClusterTelemetry, NodeTelemetry, RequestTrace
+from repro.cluster.workload import (
+    WorkloadTrace,
+    build_image_pool,
+    burst_trace,
+    diurnal_trace,
+    poisson_trace,
+    replay,
+)
 
 __all__ = [
     "ClusterNode",
@@ -46,6 +63,8 @@ __all__ = [
     "ClusterResult",
     "ClusterRouter",
     "ClusterTelemetry",
+    "ExecutionMode",
+    "ForwardMemo",
     "NodeDispatch",
     "NodeState",
     "NodeTelemetry",
@@ -56,5 +75,11 @@ __all__ = [
     "SLAClass",
     "SLAScheduler",
     "ScalingAction",
+    "WorkloadTrace",
+    "build_image_pool",
+    "burst_trace",
+    "diurnal_trace",
     "model_weight_codes",
+    "poisson_trace",
+    "replay",
 ]

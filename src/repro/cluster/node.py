@@ -28,8 +28,10 @@ resource:
 from __future__ import annotations
 
 import enum
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,8 +44,11 @@ from repro.core.stats import MacroStatistics
 from repro.errors import ConfigurationError
 from repro.serve import InferenceServer
 from repro.tech.technology import OperatingPoint
+from repro.utils.validation import check_positive
 
 __all__ = [
+    "ExecutionMode",
+    "ForwardMemo",
     "NodeState",
     "RequestEstimate",
     "NodeDispatch",
@@ -57,6 +62,76 @@ class NodeState(enum.Enum):
 
     ACTIVE = "active"
     PARKED = "parked"
+
+
+class ExecutionMode(enum.Enum):
+    """How a node turns an admitted request into results and charges.
+
+    ``EXACT`` runs the full numpy forward pass through the node's
+    :class:`~repro.serve.InferenceServer` on the weight-stationary engine —
+    every integer product is actually computed.  ``ANALYTIC`` charges the
+    very same accounting through the engine's exact-charge API
+    (:meth:`repro.core.matmul.TiledMatmulEngine.charge_dispatch`) and
+    memoises the numeric forward per ``(model_id, input_digest)``, so the
+    numpy model runs once per *unique* input instead of once per request.
+
+    The fidelity contract: on any workload an ``ANALYTIC`` node produces
+    bit-identical predictions, ledgers, dispatch accounting and (virtual-
+    time) telemetry to an ``EXACT`` node — the fast path is a accounting
+    short-circuit, never an approximation.  ``tests/test_execution_modes.py``
+    pins this down to equality.
+    """
+
+    EXACT = "exact"
+    ANALYTIC = "analytic"
+
+
+class ForwardMemo:
+    """LRU memo of numeric forward passes, keyed by (model, input digest).
+
+    The analytic execution mode charges a request's accounting without
+    running the model; the *predictions* still have to come from somewhere.
+    Trace-driven studies draw requests from a finite pool of distinct
+    inputs, so memoising the forward per ``(model_id, input_digest)`` makes
+    the numpy model run once per unique input across millions of requests.
+    A memo can be shared by every node of a fleet (the predictions do not
+    depend on which chip served the request).
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        check_positive("max_entries", max_entries)
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[object, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: object) -> Optional[np.ndarray]:
+        """Memoised predictions for a key (touches LRU order)."""
+        predictions = self._entries.get(key)
+        if predictions is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return predictions
+
+    def store(self, key: object, predictions: np.ndarray) -> None:
+        """Memoise one forward pass, evicting LRU entries beyond capacity."""
+        self._entries[key] = predictions
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat counters for reports."""
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+        }
 
 
 def model_weight_codes(model) -> List[np.ndarray]:
@@ -83,26 +158,32 @@ def model_weight_codes(model) -> List[np.ndarray]:
     )
 
 
-def _layer_activation_rows(model, images: np.ndarray) -> List[int]:
-    """Activation-row count of each integer matmul in one forward pass.
+def _layer_row_factors(model, image_shape: Tuple[int, ...]) -> List[int]:
+    """Activation rows *per image* of each integer matmul of a forward pass.
 
-    Conv layers multiply the im2col matrix (``batch * out_h * out_w`` rows),
-    dense layers the flat feature batch (``batch`` rows); the counts mirror
-    the forward implementations in :mod:`repro.dnn` exactly, so estimates
-    price the same products the dispatch will execute.
+    Conv layers multiply the im2col matrix (``out_h * out_w`` rows per
+    image), dense layers the flat feature batch (one row per image); the
+    factors mirror the forward implementations in :mod:`repro.dnn` exactly,
+    so pricing and charging cover the same products the dispatch executes.
     """
-    images = np.asarray(images)
     if hasattr(model, "conv_layers") and hasattr(model, "head"):
-        batch, _, height, width = images.shape
-        rows: List[int] = []
+        _, _, height, width = image_shape
+        factors: List[int] = []
         for layer in model.conv_layers:
             height, width = conv_output_shape(
                 height, width, layer.float_layer.kernel_size, layer.float_layer.stride
             )
-            rows.append(batch * height * width)
-        rows.extend(batch for _ in model.head.layers)
-        return rows
-    return [int(images.shape[0]) for _ in model.layers]
+            factors.append(height * width)
+        factors.extend(1 for _ in model.head.layers)
+        return factors
+    return [1 for _ in model.layers]
+
+
+def _layer_activation_rows(model, images: np.ndarray) -> List[int]:
+    """Activation-row count of each integer matmul in one forward pass."""
+    images = np.asarray(images)
+    batch = int(images.shape[0])
+    return [batch * factor for factor in _layer_row_factors(model, images.shape)]
 
 
 @dataclass(frozen=True)
@@ -126,7 +207,7 @@ class RequestEstimate:
 
 @dataclass(frozen=True)
 class NodeDispatch:
-    """Measured outcome of one executed request on a node."""
+    """Measured outcome of one executed request (or group) on a node."""
 
     predictions: np.ndarray
     compute_s: float
@@ -135,6 +216,10 @@ class NodeDispatch:
     programmed: bool
     batches: int
     critical_path_cycles: int
+    #: Execution mode the dispatch ran under ("exact" / "analytic").
+    execution_mode: str = ExecutionMode.EXACT.value
+    #: Whether a fresh forward spot-checked the memoised predictions.
+    spot_checked: bool = False
 
 
 class ClusterNode:
@@ -148,9 +233,14 @@ class ClusterNode:
         precision_bits: Optional[int] = None,
         max_batch_size: int = 64,
         config: Optional[MacroConfig] = None,
+        execution_mode: ExecutionMode = ExecutionMode.EXACT,
+        forward_memo: Optional[ForwardMemo] = None,
+        spot_check_every: int = 0,
     ) -> None:
         if not node_id:
             raise ConfigurationError("node_id must be non-empty")
+        if spot_check_every < 0:
+            raise ConfigurationError("spot_check_every must be non-negative")
         base = config if config is not None else MacroConfig()
         if precision_bits is not None:
             # An explicit precision always wins, also over a passed config —
@@ -161,6 +251,14 @@ class ClusterNode:
         self.node_id = node_id
         self.num_macros = num_macros
         self.max_batch_size = max_batch_size
+        self.execution_mode = execution_mode
+        #: Shared (or per-node) memo of numeric forwards; analytic mode only.
+        self.forward_memo = forward_memo if forward_memo is not None else ForwardMemo()
+        #: Every Nth memo *hit* re-runs the real forward and compares
+        #: (0 disables).  The sampled insurance policy of the analytic mode.
+        self.spot_check_every = spot_check_every
+        self.spot_checks = 0
+        self._memo_hits_since_check = 0
         self.config = base.with_operating_point(point)
         self.chip = IMCChip(num_macros, self.config)
         self.engine = TiledMatmulEngine(self.chip)
@@ -171,6 +269,10 @@ class ClusterNode:
         self._models: Dict[str, object] = {}
         self._layer_ids: Dict[str, Tuple[str, ...]] = {}
         self._servers: Dict[str, InferenceServer] = {}
+        #: (model_id, image shape tail) -> per-layer (row factor, codes, id).
+        self._charge_specs: Dict[Tuple, Tuple[Tuple[int, np.ndarray, str], ...]] = {}
+        #: Planning cache: estimates keyed by model/shape/residency state.
+        self._estimate_cache: Dict[Tuple, RequestEstimate] = {}
         #: Ledgers of chips retired by :meth:`retune`.
         self._retired = MacroStatistics()
 
@@ -214,6 +316,10 @@ class ClusterNode:
         self.chip = self.chip.at_operating_point(self.operating_point.at_voltage(vdd))
         self.config = self.chip.config
         self.engine = TiledMatmulEngine(self.chip)
+        # Estimates were priced against the retired engine's residency and
+        # operating point; the charge specs (weight codes / layer ids / row
+        # factors) are engine-independent and stay valid.
+        self._estimate_cache.clear()
         self._servers = {
             model_id: self._build_server(model)
             for model_id, model in self._models.items()
@@ -292,6 +398,31 @@ class ClusterNode:
     # ------------------------------------------------------------------ #
     # Planning
     # ------------------------------------------------------------------ #
+    def _layer_charge_specs(
+        self, model_id: str, image_shape: Tuple[int, ...]
+    ) -> Tuple[Tuple[int, np.ndarray, str], ...]:
+        """Per-layer ``(rows per image, weight codes, layer id)`` for a model.
+
+        Derived once per (model, image geometry) and cached: the pricing
+        path, the analytic charge path and the exact forward pass must all
+        walk the same layers in the same order with the same row counts.
+        """
+        key = (model_id, tuple(image_shape[1:]))
+        specs = self._charge_specs.get(key)
+        if specs is None:
+            model = self._models.get(model_id)
+            if model is None:
+                raise ConfigurationError(f"model {model_id!r} is not registered")
+            specs = tuple(
+                zip(
+                    _layer_row_factors(model, image_shape),
+                    model_weight_codes(model),
+                    self.layer_ids(model_id),
+                )
+            )
+            self._charge_specs[key] = specs
+        return specs
+
     def estimate_request(self, model_id: str, images: np.ndarray) -> RequestEstimate:
         """Price a request without running it (no charges, no LRU touches).
 
@@ -299,54 +430,94 @@ class ClusterNode:
         include the re-programming charge, so the affinity advantage of a
         node that already holds the model falls out of the numbers instead
         of needing a separate bonus term.
+
+        Estimates are memoised per (model, image geometry, residency
+        state): any (re-)programming or invalidation changes the key, so a
+        cached estimate is always what a fresh pricing pass would produce.
+        On the admission hot path of a trace study the scheduler prices
+        every candidate node per request, which makes this cache worth
+        roughly two orders of magnitude of router throughput.
         """
-        model = self._models.get(model_id)
-        if model is None:
+        images_shape = np.shape(images)
+        if model_id not in self._models:
             raise ConfigurationError(f"model {model_id!r} is not registered")
-        images = np.asarray(images)
-        codes = model_weight_codes(model)
-        rows = _layer_activation_rows(model, images)
-        layer_ids = self.layer_ids(model_id)
+        specs = self._layer_charge_specs(model_id, images_shape)
+        engine = self.engine
+        residency = tuple(
+            engine.cache.peek(layer_id) is not None for _, _, layer_id in specs
+        )
+        key = (
+            model_id,
+            images_shape,
+            engine.counters.programmed_tiles,
+            residency,
+        )
+        cached = self._estimate_cache.get(key)
+        if cached is not None:
+            return cached
+
+        batch_images = int(images_shape[0])
         latency = 0.0
         energy = 0.0
         program_cycles = 0
         critical = 0
         resident = True
-        for batch, matrix, layer_id in zip(rows, codes, layer_ids):
-            estimate = self.engine.estimate_dispatch(
-                batch, (matrix.shape[0], matrix.shape[1]), layer_id=layer_id
+        for factor, matrix, layer_id in specs:
+            estimate = engine.estimate_dispatch(
+                batch_images * factor,
+                (matrix.shape[0], matrix.shape[1]),
+                layer_id=layer_id,
             )
             latency += estimate.latency_s
             energy += estimate.energy_j
             program_cycles += estimate.program_cycles
             critical += estimate.critical_path_cycles
             resident = resident and estimate.resident
-        return RequestEstimate(
+        result = RequestEstimate(
             node_id=self.node_id,
             model_id=model_id,
-            images=int(images.shape[0]),
+            images=batch_images,
             resident=resident,
             latency_s=latency,
             energy_j=energy,
             program_cycles=program_cycles,
             critical_path_cycles=critical,
         )
+        if len(self._estimate_cache) >= 4096:
+            self._estimate_cache.clear()
+        self._estimate_cache[key] = result
+        return result
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def execute(self, model_id: str, images: np.ndarray) -> NodeDispatch:
+    def execute(
+        self,
+        model_id: str,
+        images: np.ndarray,
+        input_digest: Optional[str] = None,
+    ) -> NodeDispatch:
         """Run one request through the node's serving path.
 
         Returns the *measured* modeled compute time / energy of the batches
         the request produced (programming charges included when the weights
         were cold), which is what the router advances the node's virtual
-        clock by.
+        clock by.  ``input_digest`` is an optional caller-supplied identity
+        of the request's images (trace generators know their pool indices);
+        the analytic mode memoises forwards by it instead of hashing the
+        image bytes.  Two requests may share a digest only if their images
+        are identical — the sampled spot checks guard the contract.
         """
         if self.state is not NodeState.ACTIVE:
             raise ConfigurationError(
                 f"node {self.node_id!r} is parked; wake() it before dispatching"
             )
+        if self.execution_mode is ExecutionMode.ANALYTIC:
+            return self._execute_analytic(model_id, images, input_digest)
+        return self._execute_exact(model_id, images)
+
+    def _execute_exact(self, model_id: str, images: np.ndarray) -> NodeDispatch:
+        """The full numpy forward pass through the node's inference server."""
         server = self.server_for(model_id)
         affinity_hit = self.holds_model(model_id)
         misses_before = self.engine.cache.misses
@@ -368,6 +539,232 @@ class ClusterNode:
                 batch.critical_path_cycles for batch in new_batches
             ),
         )
+
+    def _charge_batches(
+        self, specs: Tuple[Tuple[int, np.ndarray, str], ...], total_images: int
+    ) -> Tuple[int, float, float, int]:
+        """Charge the batched dispatches of ``total_images`` analytically.
+
+        Mirrors the serve layer's batch formation exactly — consecutive
+        slices of at most ``max_batch_size`` images, each slice walking the
+        model's layers in forward order through
+        :meth:`~repro.core.matmul.TiledMatmulEngine.charge_dispatch` — so
+        the macro ledgers receive the same charges in the same order as a
+        real drain.  Returns (batches, compute_s, energy_j, critical sum).
+        """
+        engine = self.engine
+        cycle_time = engine.chip.cycle_time_s()
+        step = self.max_batch_size
+        batches = 0
+        compute = 0.0
+        energy = 0.0
+        critical_total = 0
+        start = 0
+        while start < total_images:
+            size = min(step, total_images - start)
+            mark = engine.ledger_mark()
+            engine.charge_layers(
+                [(factor * size, codes, layer_id) for factor, codes, layer_id in specs]
+            )
+            _, critical, batch_energy = engine.ledger_since(mark)
+            compute += critical * cycle_time
+            energy += batch_energy
+            critical_total += critical
+            batches += 1
+            start += size
+        return batches, compute, energy, critical_total
+
+    def _plain_forward(self, model_id: str, images: np.ndarray) -> np.ndarray:
+        """The numeric forward exactly as the serve layer would run it.
+
+        Activation quantisation scales are derived per dispatched batch, so
+        a request larger than ``max_batch_size`` must be predicted in the
+        same slices the server would form — predicting it in one piece
+        could change low-order logits.  The model runs on its own (golden
+        int64) backend: bit-identical to the engine path, zero charges.
+        """
+        model = self._models[model_id]
+        total = int(images.shape[0])
+        if total <= self.max_batch_size:
+            return model.predict(images)
+        parts = [
+            model.predict(images[start : start + self.max_batch_size])
+            for start in range(0, total, self.max_batch_size)
+        ]
+        return np.concatenate(parts)
+
+    def _memo_predict(
+        self, model_id: str, key: object, images_fn
+    ) -> Tuple[np.ndarray, bool]:
+        """Memoised forward with sampled spot checks; (predictions, checked).
+
+        ``images_fn`` supplies the images lazily: a memo hit without a spot
+        check never materialises them, which is what keeps coalesced
+        dispatches from paying a megabyte concatenation per group.
+        """
+        predictions = self.forward_memo.lookup(key)
+        if predictions is None:
+            predictions = self._plain_forward(model_id, images_fn())
+            self.forward_memo.store(key, predictions)
+            return predictions, False
+        if self.spot_check_every:
+            self._memo_hits_since_check += 1
+            if self._memo_hits_since_check >= self.spot_check_every:
+                self._memo_hits_since_check = 0
+                self.spot_checks += 1
+                fresh = self._plain_forward(model_id, images_fn())
+                if not np.array_equal(fresh, predictions):
+                    raise ConfigurationError(
+                        f"analytic spot check failed on node {self.node_id!r} "
+                        f"for model {model_id!r}: memoised predictions "
+                        "diverge from a fresh forward (input digests must "
+                        "uniquely identify request images)"
+                    )
+                return predictions, True
+        return predictions, False
+
+    @staticmethod
+    def _content_digest(images: np.ndarray) -> str:
+        """Content-derived digest for digest-less requests.
+
+        Hashing keeps the memo keys ~64 bytes instead of retaining the raw
+        image bytes (megabytes per entry at serving geometries).
+        """
+        digest = hashlib.sha256(np.ascontiguousarray(images).tobytes())
+        return f"{images.shape}:{digest.hexdigest()}"
+
+    def _memo_key(
+        self, model_id: str, images: np.ndarray, input_digest: Optional[str]
+    ) -> object:
+        if input_digest is not None:
+            return (model_id, input_digest)
+        return (model_id, self._content_digest(images))
+
+    def _execute_analytic(
+        self, model_id: str, images: np.ndarray, input_digest: Optional[str]
+    ) -> NodeDispatch:
+        """Exact-charge execution: ledgers move, the numpy model (mostly) not."""
+        engine = self.engine
+        specs = self._layer_charge_specs(model_id, images.shape)
+        affinity_hit = self.holds_model(model_id)
+        misses_before = engine.cache.misses
+        batches, compute, energy, critical_total = self._charge_batches(
+            specs, int(images.shape[0])
+        )
+        predictions, spot_checked = self._memo_predict(
+            model_id, self._memo_key(model_id, images, input_digest), lambda: images
+        )
+        return NodeDispatch(
+            predictions=predictions,
+            compute_s=compute,
+            energy_j=energy,
+            affinity_hit=affinity_hit,
+            programmed=engine.cache.misses > misses_before,
+            batches=batches,
+            critical_path_cycles=critical_total,
+            execution_mode=ExecutionMode.ANALYTIC.value,
+            spot_checked=spot_checked,
+        )
+
+    def execute_group(
+        self,
+        model_id: str,
+        parts: Sequence[Tuple[np.ndarray, Optional[str]]],
+    ) -> Tuple[List[np.ndarray], NodeDispatch]:
+        """Serve several same-model requests as one coalesced dispatch.
+
+        ``parts`` is a sequence of ``(images, input_digest)`` in queue
+        order.  In EXACT mode the requests are submitted to the model's
+        inference server together and drained once, so the serve layer's
+        split/reassemble machinery forms the merged batches; in ANALYTIC
+        mode the identical batch formation is charged analytically and the
+        merged forward is memoised under the tuple of part digests (the
+        quantisation scale of a coalesced batch depends on its batchmates,
+        so per-part memo entries cannot be reused for a group).
+
+        Returns the per-request prediction arrays (in ``parts`` order) and
+        one :class:`NodeDispatch` covering the whole group.
+        """
+        if self.state is not NodeState.ACTIVE:
+            raise ConfigurationError(
+                f"node {self.node_id!r} is parked; wake() it before dispatching"
+            )
+        if not parts:
+            raise ConfigurationError("execute_group needs at least one request")
+        if self.execution_mode is ExecutionMode.ANALYTIC:
+            return self._execute_group_analytic(model_id, parts)
+        return self._execute_group_exact(model_id, parts)
+
+    def _execute_group_exact(
+        self, model_id: str, parts: Sequence[Tuple[np.ndarray, Optional[str]]]
+    ) -> Tuple[List[np.ndarray], NodeDispatch]:
+        server = self.server_for(model_id)
+        affinity_hit = self.holds_model(model_id)
+        misses_before = self.engine.cache.misses
+        batches_before = len(server.batches)
+
+        request_ids = [server.submit(images) for images, _ in parts]
+        server.drain()
+        predictions = [server.result(rid).predictions for rid in request_ids]
+
+        new_batches = server.batches[batches_before:]
+        dispatch = NodeDispatch(
+            predictions=np.concatenate(predictions),
+            compute_s=sum(batch.modeled_latency_s for batch in new_batches),
+            energy_j=sum(batch.energy_j for batch in new_batches),
+            affinity_hit=affinity_hit,
+            programmed=self.engine.cache.misses > misses_before,
+            batches=len(new_batches),
+            critical_path_cycles=sum(
+                batch.critical_path_cycles for batch in new_batches
+            ),
+        )
+        return predictions, dispatch
+
+    def _execute_group_analytic(
+        self, model_id: str, parts: Sequence[Tuple[np.ndarray, Optional[str]]]
+    ) -> Tuple[List[np.ndarray], NodeDispatch]:
+        engine = self.engine
+        first_shape = parts[0][0].shape
+        if any(images.shape[1:] != first_shape[1:] for images, _ in parts):
+            raise ConfigurationError(
+                "coalesced requests must share one image geometry"
+            )
+        specs = self._layer_charge_specs(model_id, first_shape)
+        affinity_hit = self.holds_model(model_id)
+        misses_before = engine.cache.misses
+        sizes = [int(images.shape[0]) for images, _ in parts]
+        total = sum(sizes)
+        batches, compute, energy, critical_total = self._charge_batches(specs, total)
+
+        key = (
+            model_id,
+            "group",
+            tuple(
+                digest if digest is not None else self._content_digest(images)
+                for images, digest in parts
+            ),
+        )
+        grouped, spot_checked = self._memo_predict(
+            model_id, key, lambda: np.concatenate([images for images, _ in parts])
+        )
+        predictions: List[np.ndarray] = []
+        offset = 0
+        for size in sizes:
+            predictions.append(grouped[offset : offset + size])
+            offset += size
+        dispatch = NodeDispatch(
+            predictions=grouped,
+            compute_s=compute,
+            energy_j=energy,
+            affinity_hit=affinity_hit,
+            programmed=engine.cache.misses > misses_before,
+            batches=batches,
+            critical_path_cycles=critical_total,
+            execution_mode=ExecutionMode.ANALYTIC.value,
+            spot_checked=spot_checked,
+        )
+        return predictions, dispatch
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -414,5 +811,8 @@ class ClusterNode:
             "resident_layers": float(len(self.engine.resident_layer_ids)),
             "ledger_cycles": float(ledger.total_cycles),
             "ledger_energy_j": ledger.total_energy_j,
+            "analytic": 1.0 if self.execution_mode is ExecutionMode.ANALYTIC else 0.0,
+            "spot_checks": float(self.spot_checks),
+            **{f"memo_{k}": v for k, v in self.forward_memo.summary().items()},
             **{f"telemetry_{k}": v for k, v in self.telemetry.summary().items()},
         }

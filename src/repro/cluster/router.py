@@ -20,13 +20,24 @@ serving loop in *modeled (virtual) time*:
 Virtual time makes the whole control loop deterministic: the same workload
 on the same fleet always produces the same placements, latencies, joules and
 deadline outcomes, so scheduling behaviour is testable down to equality.
+
+The dispatch loop is built for million-request traces: head selection runs
+on a lazily invalidated heap of per-node earliest-start candidates,
+"which nodes hold queued work of model X" comes from incrementally
+maintained counters, and parked backlogs are re-placed only when a
+park/wake transition is actually observed — admission and dispatch cost
+O(log nodes) bookkeeping instead of O(nodes x queue) scans.  With
+``coalesce=True`` consecutive queued same-model requests merge into one
+engine dispatch (the node reuses the serve layer's split/reassemble
+machinery), completing together with cost attributed by image share.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -75,6 +86,7 @@ class ClusterRouter:
         nodes: Sequence[ClusterNode],
         scheduler: Optional[SLAScheduler] = None,
         telemetry: Optional[ClusterTelemetry] = None,
+        coalesce: bool = False,
     ) -> None:
         nodes = list(nodes)
         if not nodes:
@@ -86,6 +98,8 @@ class ClusterRouter:
         self._by_id: Dict[str, ClusterNode] = {node.node_id: node for node in nodes}
         self.scheduler = scheduler if scheduler is not None else SLAScheduler()
         self.telemetry = telemetry if telemetry is not None else ClusterTelemetry()
+        #: Merge consecutive queued same-model requests into one dispatch.
+        self.coalesce = coalesce
         #: Virtual clock: the latest arrival or completion seen so far.
         self.clock_s = 0.0
         self._queues: Dict[str, Deque[Tuple[ClusterRequest, PlacementDecision]]] = {
@@ -97,6 +111,21 @@ class ClusterRouter:
         self._failed: Dict[int, BaseException] = {}
         self._decisions: Dict[int, PlacementDecision] = {}
         self._next_request_id = 0
+        # Dispatch-order machinery.  The heap holds (earliest start, node)
+        # candidates, lazily invalidated: a popped entry is re-validated
+        # against the node's current head and re-pushed when stale, so head
+        # selection costs O(log nodes) instead of scanning every queue.
+        # The pending counters answer "which nodes hold queued work of a
+        # model" in O(1) per admission instead of walking every queue.
+        self._heap: List[Tuple[float, str]] = []
+        self._queued_requests = 0
+        self._pending_by_model: Dict[str, Dict[str, int]] = {}
+        self._seen_state: Dict[str, NodeState] = {
+            node.node_id: node.state for node in nodes
+        }
+        #: Parked nodes whose backlog could not be re-placed (no active
+        #: capacity); re-tried when any node wakes.
+        self._stranded: Set[str] = set()
 
     # ------------------------------------------------------------------ #
     # Fleet management
@@ -121,7 +150,48 @@ class ClusterRouter:
         """Queued (admitted, not yet executed) requests."""
         if node_id is not None:
             return len(self._queues[node_id])
-        return sum(len(queue) for queue in self._queues.values())
+        return self._queued_requests
+
+    # ------------------------------------------------------------------ #
+    # Queue bookkeeping (counters + dispatch heap stay consistent)
+    # ------------------------------------------------------------------ #
+    def _enqueue(
+        self, node_id: str, request: ClusterRequest, decision: PlacementDecision
+    ) -> None:
+        """Append a placement to a node's queue, maintaining the counters."""
+        queue = self._queues[node_id]
+        queue.append((request, decision))
+        self._queued_requests += 1
+        counts = self._pending_by_model.setdefault(request.model_id, {})
+        counts[node_id] = counts.get(node_id, 0) + 1
+        if len(queue) == 1 and self._by_id[node_id].state is NodeState.ACTIVE:
+            heapq.heappush(
+                self._heap,
+                (max(self._completed_s[node_id], request.arrival_s), node_id),
+            )
+
+    def _dequeue_head(self, node_id: str) -> Tuple[ClusterRequest, PlacementDecision]:
+        """Pop a node's queue head, maintaining the counters."""
+        request, decision = self._queues[node_id].popleft()
+        self._queued_requests -= 1
+        counts = self._pending_by_model[request.model_id]
+        remaining = counts[node_id] - 1
+        if remaining:
+            counts[node_id] = remaining
+        else:
+            del counts[node_id]
+            if not counts:
+                del self._pending_by_model[request.model_id]
+        return request, decision
+
+    def _push_head_candidate(self, node_id: str) -> None:
+        """(Re-)announce a node's queue head to the dispatch heap."""
+        queue = self._queues[node_id]
+        if queue:
+            heapq.heappush(
+                self._heap,
+                (max(self._completed_s[node_id], queue[0][0].arrival_s), node_id),
+            )
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -133,6 +203,7 @@ class ClusterRouter:
         sla: SLAClass = SLAClass.BEST_EFFORT,
         deadline_s: Optional[float] = None,
         arrival_s: Optional[float] = None,
+        input_digest: Optional[str] = None,
     ) -> int:
         """Admit one request; returns its id.
 
@@ -140,7 +211,9 @@ class ClusterRouter:
         (workload generators use it to model inter-arrival gaps); omitted,
         the request arrives "now".  The chosen node's virtual clock is
         reserved through the request's modeled finish so later admissions
-        queue behind it.
+        queue behind it.  ``input_digest`` optionally names the request's
+        images for the analytic execution mode's forward memo (two requests
+        may share a digest only if their images are identical).
         """
         images = np.asarray(images, dtype=np.float64)
         if images.ndim != 4 or images.shape[0] == 0:
@@ -155,7 +228,8 @@ class ClusterRouter:
         arrival = self.clock_s if arrival_s is None else float(arrival_s)
         if arrival < 0:
             raise ConfigurationError("arrival_s must be non-negative")
-        self.clock_s = max(self.clock_s, arrival)
+        if arrival > self.clock_s:
+            self.clock_s = arrival
 
         request = ClusterRequest(
             request_id=self._next_request_id,
@@ -164,6 +238,7 @@ class ClusterRouter:
             sla=sla,
             arrival_s=arrival,
             deadline_s=deadline_s,
+            input_digest=input_digest,
         )
         self._next_request_id += 1
 
@@ -174,7 +249,7 @@ class ClusterRouter:
         # Reserve the backlog: the next admission must queue behind this
         # request's modeled span.
         node.available_s = decision.est_finish_s
-        self._queues[node.node_id].append((request, decision))
+        self._enqueue(node.node_id, request, decision)
         self._decisions[request.request_id] = decision
         return request.request_id
 
@@ -200,128 +275,251 @@ class ClusterRouter:
         """Node ids with queued (not yet executed) placements of a model.
 
         The scheduler counts these as replicas-in-the-making so a burst of
-        admissions cannot replicate a hot model past its cap.
+        admissions cannot replicate a hot model past its cap.  Served from
+        the incrementally maintained counters — O(replicas), not O(queue).
         """
-        return frozenset(
-            node_id
-            for node_id, queue in self._queues.items()
-            if any(request.model_id == model_id for request, _ in queue)
-        )
+        counts = self._pending_by_model.get(model_id)
+        if not counts:
+            return frozenset()
+        return frozenset(counts)
 
-    def _replace_parked_backlog(self) -> None:
-        """Re-place requests stranded on parked nodes onto active ones.
+    def _sync_states(self) -> None:
+        """React to park/wake transitions since the previous dispatch.
+
+        Nodes are parked and woken directly (operators, the autoscaler), so
+        the router diffs each node's lifecycle state against what it last
+        saw instead of re-scanning every parked backlog per dispatch: when
+        nothing changed, this is a handful of identity comparisons.  An
+        ACTIVE -> PARKED transition strands that node's backlog and
+        re-places it; a wake re-announces the node's queue head and retries
+        any backlog stranded while the whole fleet was parked.
+        """
+        woke = False
+        for node in self.nodes:
+            node_id = node.node_id
+            state = node.state
+            if state is self._seen_state[node_id]:
+                continue
+            self._seen_state[node_id] = state
+            if state is NodeState.ACTIVE:
+                woke = True
+                self._push_head_candidate(node_id)
+            elif self._queues[node_id]:
+                self._replace_parked_backlog(node_id)
+        if woke and self._stranded:
+            for node_id in sorted(self._stranded):
+                if self._by_id[node_id].state is NodeState.ACTIVE:
+                    # The stranded node itself woke: its backlog runs where
+                    # it is (the head candidate was pushed above).
+                    self._stranded.discard(node_id)
+                elif self._queues[node_id]:
+                    self._replace_parked_backlog(node_id)
+                else:
+                    self._stranded.discard(node_id)
+
+    def _replace_parked_backlog(self, node_id: str) -> None:
+        """Re-place one parked node's queued requests onto active nodes.
 
         Parking is allowed while work is queued (an operator can park any
         node at any time); the stranded requests are re-scheduled instead
-        of failing.  With no active node left they simply stay queued until
-        something wakes.
+        of failing.  With no active node left they stay queued on the
+        parked node (marked stranded) until something wakes.
         """
-        for node_id, queue in self._queues.items():
-            node = self._by_id[node_id]
-            if node.state is NodeState.ACTIVE or not queue:
+        node = self._by_id[node_id]
+        stranded: List[Tuple[ClusterRequest, PlacementDecision]] = []
+        while self._queues[node_id]:
+            stranded.append(self._dequeue_head(node_id))
+        node.available_s = self._completed_s[node_id]
+        for index, (request, _) in enumerate(stranded):
+            try:
+                decision = self.scheduler.choose(
+                    request,
+                    self.nodes,
+                    self.telemetry,
+                    pending=self._pending_nodes(request.model_id),
+                )
+            except ConfigurationError:
+                # No active nodes: park the rest back where they were,
+                # restoring the reservation that covers them.
+                for item in stranded[index:]:
+                    self._enqueue(node_id, *item)
+                self._rebuild_reservation(node_id)
+                self._stranded.add(node_id)
+                return
+            target = self._by_id[decision.node_id]
+            target.available_s = decision.est_finish_s
+            self._enqueue(target.node_id, request, decision)
+            self._decisions[request.request_id] = decision
+        self._stranded.discard(node_id)
+
+    def _select_head(self) -> Optional[Tuple[str, float]]:
+        """Pop the (node, start) pair that can dispatch earliest.
+
+        Lazy-heap selection: a popped candidate is validated against the
+        node's *current* state — still active, still has that queue head,
+        still starts at the recorded time — and re-pushed corrected when
+        stale.  Starts only ever move later (completions advance the
+        node's clock, queue heads are FIFO), so the first validated entry
+        is the global ``min (start, node_id)``, exactly what the previous
+        full scan selected.
+        """
+        heap = self._heap
+        while heap:
+            start, node_id = heapq.heappop(heap)
+            if self._by_id[node_id].state is not NodeState.ACTIVE:
                 continue
-            stranded = list(queue)
-            queue.clear()
-            node.available_s = self._completed_s[node_id]
-            for index, (request, _) in enumerate(stranded):
-                try:
-                    decision = self.scheduler.choose(
-                        request,
-                        self.nodes,
-                        self.telemetry,
-                        pending=self._pending_nodes(request.model_id),
-                    )
-                except ConfigurationError:
-                    # No active nodes: park the rest back where they were,
-                    # restoring the reservation that covers them.
-                    queue.extend(stranded[index:])
-                    self._rebuild_reservation(node_id)
-                    return
-                target = self._by_id[decision.node_id]
-                target.available_s = decision.est_finish_s
-                self._queues[target.node_id].append((request, decision))
-                self._decisions[request.request_id] = decision
+            queue = self._queues[node_id]
+            if not queue:
+                continue
+            actual = max(self._completed_s[node_id], queue[0][0].arrival_s)
+            if actual != start:
+                heapq.heappush(heap, (actual, node_id))
+                continue
+            return node_id, start
+        return None
+
+    def _gather_group(
+        self, node: ClusterNode, start: float
+    ) -> List[Tuple[ClusterRequest, PlacementDecision]]:
+        """Pop the dispatch group from a node's queue head.
+
+        Without coalescing this is exactly the head request.  With
+        coalescing, consecutive queued requests of the same model (and
+        image geometry) that have already arrived by ``start`` are merged
+        while the total stays inside one ``max_batch_size`` dispatch.
+        """
+        node_id = node.node_id
+        group = [self._dequeue_head(node_id)]
+        if not self.coalesce:
+            return group
+        head = group[0][0]
+        budget = node.max_batch_size - head.image_count
+        queue = self._queues[node_id]
+        while queue:
+            candidate = queue[0][0]
+            if (
+                candidate.model_id != head.model_id
+                or candidate.arrival_s > start
+                or candidate.image_count > budget
+                or candidate.images.shape[1:] != head.images.shape[1:]
+            ):
+                break
+            budget -= candidate.image_count
+            group.append(self._dequeue_head(node_id))
+        return group
+
+    def _dispatch_group(self) -> List[ClusterResult]:
+        """Execute the next dispatch (one request, or a coalesced group)."""
+        self._sync_states()
+        selected = self._select_head()
+        if selected is None:
+            return []
+        node_id, start = selected
+        node = self._by_id[node_id]
+        group = self._gather_group(node, start)
+
+        try:
+            if len(group) == 1:
+                request = group[0][0]
+                dispatch = node.execute(
+                    request.model_id, request.images, input_digest=request.input_digest
+                )
+                predictions = [dispatch.predictions]
+            else:
+                predictions, dispatch = node.execute_group(
+                    group[0][0].model_id,
+                    [(request.images, request.input_digest) for request, _ in group],
+                )
+        except Exception as error:
+            # Mirror the serve layer's contract one level up: the failure is
+            # stored on the requests (re-raised by result()) instead of the
+            # requests silently vanishing from the queue.  The failed
+            # reservations are genuinely released: the node's clock is
+            # re-derived from measured reality plus the spans of what is
+            # still queued (not from tail estimates that embed the failed
+            # spans).
+            for request, _ in group:
+                self._failed[request.request_id] = error
+            self._rebuild_reservation(node_id)
+            self._push_head_candidate(node_id)
+            raise
+        finish = start + dispatch.compute_s
+        self._completed_s[node_id] = finish
+        if finish > self.clock_s:
+            self.clock_s = finish
+        # Executed work no longer needs its reservation; re-chain the
+        # remaining backlog's spans from measured reality (estimates of
+        # cold multi-layer dispatches can drift a little from actuals).
+        self._rebuild_reservation(node_id)
+        self._push_head_candidate(node_id)
+
+        total_images = sum(request.image_count for request, _ in group)
+        results: List[ClusterResult] = []
+        coalesced = len(group)
+        for (request, decision), request_predictions in zip(group, predictions):
+            if coalesced == 1:
+                compute_share = dispatch.compute_s
+                energy_share = dispatch.energy_j
+            else:
+                # A merged dispatch finishes as one unit; its cost is
+                # attributed proportionally to each request's image count
+                # (every layer's work scales linearly with the rows a
+                # request contributes to the batch).
+                fraction = request.image_count / total_images
+                compute_share = dispatch.compute_s * fraction
+                energy_share = dispatch.energy_j * fraction
+            latency = finish - request.arrival_s
+            missed = request.deadline_s is not None and latency > request.deadline_s
+            trace = RequestTrace(
+                request_id=request.request_id,
+                model_id=request.model_id,
+                node_id=node_id,
+                sla=request.sla.value,
+                images=request.image_count,
+                arrival_s=request.arrival_s,
+                start_s=start,
+                finish_s=finish,
+                compute_s=compute_share,
+                energy_j=energy_share,
+                deadline_s=request.deadline_s,
+                deadline_missed=missed,
+                affinity_hit=dispatch.affinity_hit,
+                programmed=dispatch.programmed,
+                feasible_at_admission=decision.feasible,
+                execution_mode=dispatch.execution_mode,
+                coalesced=coalesced,
+                spot_checked=dispatch.spot_checked,
+            )
+            self.telemetry.record(trace)
+            node.telemetry.record(trace)
+            result = ClusterResult(
+                trace=trace, sla=request.sla, predictions=request_predictions
+            )
+            self._results[request.request_id] = result
+            results.append(result)
+        return results
 
     def dispatch_next(self) -> Optional[ClusterResult]:
         """Execute the queued request that can start earliest (None if idle).
 
         Requests queued on parked nodes are re-placed first; if every node
         is parked they stay queued (and this returns None) rather than
-        failing work that was never attempted.
+        failing work that was never attempted.  With coalescing enabled a
+        dispatch may complete several requests at once; the head request's
+        result is returned and the others are retrievable via
+        :meth:`result` (:meth:`drain` returns every completed result).
         """
-        self._replace_parked_backlog()
-        head: Optional[Tuple[str, ClusterRequest, PlacementDecision, float]] = None
-        for node_id, queue in self._queues.items():
-            if not queue or self._by_id[node_id].state is not NodeState.ACTIVE:
-                continue
-            request, decision = queue[0]
-            start = max(self._completed_s[node_id], request.arrival_s)
-            if head is None or (start, node_id) < (head[3], head[0]):
-                head = (node_id, request, decision, start)
-        if head is None:
-            return None
-        node_id, request, decision, start = head
-        self._queues[node_id].popleft()
-        node = self._by_id[node_id]
-
-        try:
-            dispatch = node.execute(request.model_id, request.images)
-        except Exception as error:
-            # Mirror the serve layer's contract one level up: the failure is
-            # stored on the request (re-raised by result()) instead of the
-            # request silently vanishing from the queue.  The failed
-            # request's reservation is genuinely released: the node's clock
-            # is re-derived from measured reality plus the spans of what is
-            # still queued (not from tail estimates that embed the failed
-            # span).
-            self._failed[request.request_id] = error
-            self._rebuild_reservation(node_id)
-            raise
-        finish = start + dispatch.compute_s
-        self._completed_s[node_id] = finish
-        self.clock_s = max(self.clock_s, finish)
-        # Executed work no longer needs its reservation; re-chain the
-        # remaining backlog's spans from measured reality (estimates of
-        # cold multi-layer dispatches can drift a little from actuals).
-        self._rebuild_reservation(node_id)
-
-        latency = finish - request.arrival_s
-        missed = request.deadline_s is not None and latency > request.deadline_s
-
-        trace = RequestTrace(
-            request_id=request.request_id,
-            model_id=request.model_id,
-            node_id=node_id,
-            sla=request.sla.value,
-            images=request.image_count,
-            arrival_s=request.arrival_s,
-            start_s=start,
-            finish_s=finish,
-            compute_s=dispatch.compute_s,
-            energy_j=dispatch.energy_j,
-            deadline_s=request.deadline_s,
-            deadline_missed=missed,
-            affinity_hit=dispatch.affinity_hit,
-            programmed=dispatch.programmed,
-            feasible_at_admission=decision.feasible,
-        )
-        self.telemetry.record(trace)
-        node.telemetry.record(trace)
-
-        result = ClusterResult(
-            trace=trace, sla=request.sla, predictions=dispatch.predictions
-        )
-        self._results[request.request_id] = result
-        return result
+        results = self._dispatch_group()
+        return results[0] if results else None
 
     def drain(self) -> List[ClusterResult]:
         """Execute the whole backlog in earliest-start order."""
         completed: List[ClusterResult] = []
         while True:
-            result = self.dispatch_next()
-            if result is None:
+            results = self._dispatch_group()
+            if not results:
                 return completed
-            completed.append(result)
+            completed.extend(results)
 
     def result(self, request_id: int) -> ClusterResult:
         """The completed result of a request.

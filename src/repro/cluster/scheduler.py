@@ -55,6 +55,10 @@ class ClusterRequest:
     sla: SLAClass
     arrival_s: float
     deadline_s: Optional[float] = None
+    #: Optional caller-supplied identity of the images (see
+    #: :meth:`repro.cluster.node.ClusterNode.execute`); the analytic
+    #: execution mode memoises numeric forwards by it.
+    input_digest: Optional[str] = None
 
     @property
     def image_count(self) -> int:
@@ -90,13 +94,23 @@ class SLAScheduler:
     ranking among the replicas instead of programming ever more copies.
     """
 
-    def __init__(self, hot_threshold: int = 6, max_replicas: int = 2) -> None:
+    def __init__(
+        self,
+        hot_threshold: int = 6,
+        max_replicas: int = 2,
+        coalesce_affinity: bool = False,
+    ) -> None:
         if hot_threshold <= 0:
             raise ConfigurationError("hot_threshold must be positive")
         if max_replicas <= 0:
             raise ConfigurationError("max_replicas must be positive")
         self.hot_threshold = hot_threshold
         self.max_replicas = max_replicas
+        #: Prefer nodes that already hold queued work of the same model for
+        #: throughput / best-effort traffic, so a coalescing router
+        #: (``ClusterRouter(coalesce=True)``) finds mergeable neighbours at
+        #: the queue head instead of spreading mergeable requests thin.
+        self.coalesce_affinity = coalesce_affinity
 
     # ------------------------------------------------------------------ #
     # Pool construction
@@ -145,6 +159,20 @@ class SLAScheduler:
             return [entry for entry in scored if not entry[1].resident]
         return resident
 
+    def _coalesce_pool(self, pool, pending):
+        """Restrict a pool to nodes with queued same-model work (if any).
+
+        Only active when ``coalesce_affinity`` is set: steering mergeable
+        traffic onto the nodes where its model is already queued is what
+        lets the router's cross-request coalescing actually find adjacent
+        same-model requests.  Latency traffic is never steered — deadline
+        feasibility outranks batching efficiency.
+        """
+        if not self.coalesce_affinity or not pending:
+            return pool
+        mergeable = [entry for entry in pool if entry[0].node_id in pending]
+        return mergeable if mergeable else pool
+
     # ------------------------------------------------------------------ #
     # Placement
     # ------------------------------------------------------------------ #
@@ -191,6 +219,7 @@ class SLAScheduler:
             is_feasible = bool(feasible)
         elif request.sla is SLAClass.THROUGHPUT:
             pool = self._replication_pool(scored, resident, hot)
+            pool = self._coalesce_pool(pool, pending)
             # Cheapest joules per image wins; finish time breaks ties.  A
             # spreading pool is all non-resident nodes (this request pays
             # the programming that creates the replica); once max_replicas
@@ -204,6 +233,7 @@ class SLAScheduler:
         else:  # BEST_EFFORT
             # Same replication discipline, ranked by backlog instead.
             pool = self._replication_pool(scored, resident, hot)
+            pool = self._coalesce_pool(pool, pending)
             node, estimate, finish = min(
                 pool,
                 key=lambda e: (

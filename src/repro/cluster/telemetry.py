@@ -49,6 +49,12 @@ class RequestTrace:
     affinity_hit: bool
     programmed: bool
     feasible_at_admission: bool
+    #: Execution mode the dispatch ran under ("exact" / "analytic").
+    execution_mode: str = "exact"
+    #: How many requests shared the dispatch (1 = not coalesced).
+    coalesced: int = 1
+    #: Whether this dispatch's memoised predictions were spot-checked.
+    spot_checked: bool = False
 
     @property
     def queue_delay_s(self) -> float:
@@ -137,6 +143,10 @@ class ClusterTelemetry:
         self.window = window
         self.traces: List[RequestTrace] = []
         self._recent: Deque[RequestTrace] = deque(maxlen=window)
+        #: Per-model dispatch counts over the sliding window, maintained
+        #: incrementally: the scheduler reads model heat on every admission,
+        #: so the signal must not cost a window scan per request.
+        self._recent_model_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -144,7 +154,16 @@ class ClusterTelemetry:
     def record(self, trace: RequestTrace) -> None:
         """Append one routed request to the log and the sliding window."""
         self.traces.append(trace)
+        counts = self._recent_model_counts
+        if len(self._recent) == self.window:
+            evicted = self._recent[0].model_id
+            remaining = counts[evicted] - 1
+            if remaining:
+                counts[evicted] = remaining
+            else:
+                del counts[evicted]
         self._recent.append(trace)
+        counts[trace.model_id] = counts.get(trace.model_id, 0) + 1
 
     # ------------------------------------------------------------------ #
     # Reactive signals
@@ -165,8 +184,11 @@ class ClusterTelemetry:
         return sum(trace.deadline_missed for trace in eligible) / len(eligible)
 
     def recent_model_dispatches(self, model_id: str) -> int:
-        """How many of the last ``window`` dispatches served this model."""
-        return sum(trace.model_id == model_id for trace in self._recent)
+        """How many of the last ``window`` dispatches served this model.
+
+        O(1): served from the incrementally maintained window counts.
+        """
+        return self._recent_model_counts.get(model_id, 0)
 
     def recent_has_sla(self, sla: str) -> bool:
         """Whether any dispatch in the sliding window served this class.
@@ -232,5 +254,14 @@ class ClusterTelemetry:
             ),
             "programmed_dispatches": float(
                 sum(trace.programmed for trace in self.traces)
+            ),
+            "analytic_requests": float(
+                sum(trace.execution_mode == "analytic" for trace in self.traces)
+            ),
+            "coalesced_requests": float(
+                sum(trace.coalesced > 1 for trace in self.traces)
+            ),
+            "spot_checked_requests": float(
+                sum(trace.spot_checked for trace in self.traces)
             ),
         }

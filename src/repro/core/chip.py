@@ -92,6 +92,12 @@ class IMCChip:
             IMCMacro(replace(self.config, seed=self.config.seed + index))
             for index in range(num_macros)
         ]
+        # The delay model re-derives the frequency on every query (~10 us);
+        # the operating point is fixed per chip, so cycle times are pure
+        # functions of the precision and safe to memoise.  Serving charges
+        # one cycle-time read per batch and the analytic cluster path one
+        # per dispatch, which makes this cache a hot-path requirement.
+        self._cycle_time_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     # Macro access / delegated geometry
@@ -115,6 +121,8 @@ class IMCChip:
         """Reconfigure the carry-chain cut of every macro."""
         for macro in self.macros:
             macro.set_precision(precision_bits)
+        # The None key resolves against the configured precision.
+        self._cycle_time_cache.pop(None, None)
 
     @property
     def layout(self):
@@ -163,8 +171,12 @@ class IMCChip:
         return self._lead.lane_count(opcode, precision_bits) * self.num_macros
 
     def cycle_time_s(self, precision_bits: Optional[int] = None) -> float:
-        """Minimum cycle time at the configured operating point."""
-        return self._lead.cycle_time_s(precision_bits)
+        """Minimum cycle time at the configured operating point (memoised)."""
+        cached = self._cycle_time_cache.get(precision_bits)
+        if cached is None:
+            cached = self._lead.cycle_time_s(precision_bits)
+            self._cycle_time_cache[precision_bits] = cached
+        return cached
 
     def max_frequency_hz(self, precision_bits: Optional[int] = None) -> float:
         """Maximum clock frequency at the configured operating point."""

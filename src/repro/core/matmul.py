@@ -23,7 +23,14 @@ that execution discipline:
   behaviour a serving system has to plan around);
 * :meth:`TiledMatmulEngine.matmul_reference` retains the per-lane on-array
   execution as the bit-exactness oracle, and configurations that inject
-  read disturb are routed to it automatically.
+  read disturb are routed to it automatically;
+* :meth:`TiledMatmulEngine.charge_dispatch` is the *exact-charge* API: it
+  lands a dispatch's complete accounting (programming, per-tile MULT/ADD
+  streams, cache and engine counters) through the very same code path as
+  :meth:`TiledMatmulEngine.matmul` without computing the product — the
+  primitive behind the cluster layer's analytic execution mode, where
+  million-request scheduling studies run at wall-clock speed with ledgers
+  bit-identical to real execution.
 
 The engine is a drop-in integer matmul backend: calling it with
 ``(activation_codes, weight_codes)`` mirrors
@@ -35,8 +42,8 @@ The engine is a drop-in integer matmul backend: calling it with
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -109,6 +116,11 @@ class ProgrammedWeights:
     ``program_cycles`` / ``program_energy_j`` record what programming the
     tiles cost; the cost is charged when the entry is (re-)programmed, never
     on a cache hit — that is the whole point of weight-stationary execution.
+
+    ``charge_plan`` caches the per-tile constants the dispatch path charges
+    with — ``(macro_index, rows * cols, rows * col_groups)`` per tile — so
+    streaming a resident layer costs a handful of integer multiplies per
+    tile instead of re-deriving the tile geometry on every call.
     """
 
     layer_id: str
@@ -119,6 +131,11 @@ class ProgrammedWeights:
     program_energy_j: float
     programmed_count: int = 1
     hits: int = 0
+    charge_plan: Tuple[Tuple[int, int, int], ...] = ()
+    #: Per-batch-size memo of fully evaluated per-tile charge rows (see
+    #: :meth:`TiledMatmulEngine.charge_layers`); values only — applying a
+    #: cached row performs the identical arithmetic in the identical order.
+    charge_rows: Dict[int, Tuple[Tuple, ...]] = field(default_factory=dict)
 
     @property
     def tile_count(self) -> int:
@@ -369,6 +386,17 @@ class TiledMatmulEngine:
         self.last_dispatch: Optional[MatmulDispatch] = None
         self._slots = self.chip.macro(0).mult_slots_per_row(self.precision_bits)
         self._next_tile_macro = 0
+        # Hot-path constants and running accounting accumulators.  The
+        # accumulators mirror every cycle/energy charge the engine lands in
+        # the macro ledgers, so callers can bracket a dispatch with
+        # :meth:`ledger_mark` / :meth:`ledger_since` instead of snapshotting
+        # the merged chip ledger (which is O(macros x opcodes) per read).
+        self._macros = list(self.chip.macros)
+        self._mult_cycles_per_invocation = cycles_for(Opcode.MULT, self.precision_bits)
+        self._add_cycles_per_word = cycles_for(Opcode.ADD, accumulator_bits)
+        self._copy_cycles_per_row = cycles_for(Opcode.COPY, self.precision_bits)
+        self._macro_cycle_acc = [0] * self.chip.num_macros
+        self._energy_acc = 0.0
         # Per-word energies are construction-time constants (every macro
         # shares the config's operating point), so hoist them off the
         # per-tile dispatch path.
@@ -454,6 +482,8 @@ class TiledMatmulEngine:
             )
             macro.array.access_count += tile.rows
             macro.stats.array_accesses = macro.array.access_count
+            self._macro_cycle_acc[tile.macro_index] += cycles
+            self._energy_acc += energy
             total_cycles += cycles
             total_energy += energy
         return total_cycles, total_energy
@@ -494,6 +524,7 @@ class TiledMatmulEngine:
             tiles=tuple(tiles),
             program_cycles=cycles,
             program_energy_j=energy,
+            charge_plan=self._build_charge_plan(tiles),
         )
         self.cache.insert(entry)
         self.counters.programmed_tiles += len(tiles)
@@ -523,56 +554,87 @@ class TiledMatmulEngine:
                 f"operand magnitudes exceed the {self.precision_bits}-bit precision"
             )
 
-    def _tile_dispatch(
-        self, tile: TileAssignment, activations: np.ndarray, weights: np.ndarray
-    ) -> np.ndarray:
-        """Stream one activation batch past one stationary tile.
+    def _build_charge_plan(
+        self, tiles: Sequence[TileAssignment]
+    ) -> Tuple[Tuple[int, int, int], ...]:
+        """Per-tile charging constants: (macro, rows*cols, rows*col_groups)."""
+        return tuple(
+            (
+                tile.macro_index,
+                tile.rows * tile.cols,
+                tile.rows * -(-tile.cols // self._slots),
+            )
+            for tile in tiles
+        )
 
-        Every activation scalar is broadcast across the tile's columns: one
-        MULT row-invocation per ``tile_cols``-wide column group, plus one
-        near-memory accumulate ADD per product.  The arithmetic itself is
-        the macro's exact column-parallel model (int64 products + signed
-        accumulation), so the result is bit-identical to the golden int64
-        matrix product.
+    def _charge_plan_for(self, entry: ProgrammedWeights) -> Tuple[Tuple[int, int, int], ...]:
+        """The entry's charge plan (derived lazily for hand-built entries)."""
+        if not entry.charge_plan:
+            entry.charge_plan = self._build_charge_plan(entry.tiles)
+        return entry.charge_plan
+
+    def _charge_tile(
+        self, macro_index: int, products_pr: int, invocations_pr: int, batch: int
+    ) -> None:
+        """Charge one tile's MULT/ADD stream for a ``batch``-row dispatch.
+
+        ``products_pr`` / ``invocations_pr`` are the per-activation-row
+        product and MULT-invocation counts of the tile (from its charge
+        plan).  This is the single charging path of the engine: the real
+        dispatch and the analytic fast path both land their accounting here,
+        which is what makes the two modes ledger-identical by construction.
+        Every charge is mirrored into the engine's running accumulators so
+        dispatch-level accounting never has to re-read the macro ledgers.
         """
-        macro = self.chip.macro(tile.macro_index)
-        a_block = activations[:, tile.row_start : tile.row_stop]
-        w_block = weights[tile.row_start : tile.row_stop, tile.col_start : tile.col_stop]
-        batch = a_block.shape[0]
-        products = batch * tile.rows * tile.cols
+        macro = self._macros[macro_index]
         bits = self.precision_bits
+        products = batch * products_pr
 
         # MULT accounting: each activation scalar is broadcast over the
         # tile's columns; a row invocation covers min(tile_cols, slots)
         # product slots.
-        col_groups = -(-tile.cols // self._slots)
-        invocations = batch * tile.rows * col_groups
-        mult_cycles = cycles_for(Opcode.MULT, bits) * invocations
+        invocations = batch * invocations_pr
+        mult_cycles = self._mult_cycles_per_invocation * invocations
         mult_energy = self._mult_energy_per_word * products
-        macro.stats.record_batch(
-            Opcode.MULT,
-            invocations=invocations,
-            words=products,
-            cycles=mult_cycles,
-            energy_j=mult_energy,
-        )
+        record = macro.stats.records[Opcode.MULT]
+        record.invocations += invocations
+        record.words += products
+        record.cycles += mult_cycles
+        record.energy_j += mult_energy
         macro.array.access_count += (bits + 1) * invocations
-        macro.stats.array_accesses = macro.array.access_count
 
         # Accumulation: one near-memory ADD per product at the accumulator
         # precision (the partial sums never leave the tile's periphery).
-        acc_bits = self.accumulator_bits
+        add_cycles = self._add_cycles_per_word * products
         add_energy = self._add_energy_per_word * products
-        macro.stats.record_batch(
-            Opcode.ADD,
-            invocations=products,
-            words=products,
-            cycles=cycles_for(Opcode.ADD, acc_bits) * products,
-            energy_j=add_energy,
-        )
+        record = macro.stats.records[Opcode.ADD]
+        record.invocations += products
+        record.words += products
+        record.cycles += add_cycles
+        record.energy_j += add_energy
         macro.array.access_count += products
         macro.stats.array_accesses = macro.array.access_count
 
+        self._macro_cycle_acc[macro_index] += mult_cycles + add_cycles
+        self._energy_acc += mult_energy + add_energy
+
+    def _tile_dispatch(
+        self,
+        tile: TileAssignment,
+        plan: Tuple[int, int, int],
+        activations: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Stream one activation batch past one stationary tile.
+
+        The charging goes through :meth:`_charge_tile`; the arithmetic
+        itself is the macro's exact column-parallel model (int64 products +
+        signed accumulation), so the result is bit-identical to the golden
+        int64 matrix product.
+        """
+        a_block = activations[:, tile.row_start : tile.row_stop]
+        w_block = weights[tile.row_start : tile.row_stop, tile.col_start : tile.col_stop]
+        self._charge_tile(plan[0], plan[1], plan[2], a_block.shape[0])
         return a_block @ w_block
 
     def matmul(
@@ -597,28 +659,63 @@ class TiledMatmulEngine:
         batch, inner = activations.shape
         outer = weights.shape[1]
         entry, programmed = self.program(weights, layer_id=layer_id)
+        plan = self._charge_plan_for(entry)
 
-        cycles_before = [m.stats.total_cycles for m in self.chip.macros]
-        energy_before = [m.stats.total_energy_j for m in self.chip.macros]
-
+        mark = self.ledger_mark()
         output = np.zeros((batch, outer), dtype=np.int64)
-        for tile in entry.tiles:
-            partial = self._tile_dispatch(tile, activations, weights)
+        for tile, tile_plan in zip(entry.tiles, plan):
+            partial = self._tile_dispatch(tile, tile_plan, activations, weights)
             output[:, tile.col_start : tile.col_stop] += partial
 
-        per_macro = [
-            m.stats.total_cycles - before
-            for m, before in zip(self.chip.macros, cycles_before)
-        ]
-        total_cycles = int(sum(per_macro))
-        critical = int(max(per_macro, default=0))
-        energy = float(
-            sum(
-                m.stats.total_energy_j - before
-                for m, before in zip(self.chip.macros, energy_before)
-            )
+        self.last_dispatch = self._dispatch_from_mark(
+            mark, entry, programmed, batch, inner, outer
         )
-        dispatch = MatmulDispatch(
+        self.counters.mac_count += matmul_mac_count(activations, weights)
+        self.counters.matmul_calls += 1
+        return output
+
+    def __call__(self, activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Drop-in matmul backend interface (layer id derived from content)."""
+        return self.matmul(activations, weights)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch accounting (running accumulators)
+    # ------------------------------------------------------------------ #
+    def ledger_mark(self) -> Tuple[float, Tuple[int, ...]]:
+        """Cheap accounting bookmark: (energy so far, per-macro cycles so far).
+
+        The accumulators track every charge the engine lands in the macro
+        ledgers (tile streams *and* programming writes), so bracketing any
+        stretch of engine work with a mark and :meth:`ledger_since` yields
+        exactly the cycles/energy that stretch added — without the
+        O(macros x opcodes) cost of merging the chip ledger per read.
+        """
+        return (self._energy_acc, tuple(self._macro_cycle_acc))
+
+    def ledger_since(self, mark: Tuple[float, Tuple[int, ...]]) -> Tuple[int, int, float]:
+        """(total_cycles, critical_path_cycles, energy_j) since a mark."""
+        energy_before, cycles_before = mark
+        total = 0
+        critical = 0
+        for after, before in zip(self._macro_cycle_acc, cycles_before):
+            delta = after - before
+            total += delta
+            if delta > critical:
+                critical = delta
+        return total, critical, self._energy_acc - energy_before
+
+    def _dispatch_from_mark(
+        self,
+        mark: Tuple[float, Tuple[int, ...]],
+        entry: ProgrammedWeights,
+        programmed: bool,
+        batch: int,
+        inner: int,
+        outer: int,
+    ) -> MatmulDispatch:
+        """Build the dispatch record from the accumulator deltas."""
+        total_cycles, critical, energy = self.ledger_since(mark)
+        return MatmulDispatch(
             layer_id=entry.layer_id,
             batch=batch,
             inner=inner,
@@ -632,14 +729,157 @@ class TiledMatmulEngine:
             energy_j=energy,
             latency_s=critical * self.chip.cycle_time_s(self.precision_bits),
         )
-        self.last_dispatch = dispatch
-        self.counters.mac_count += matmul_mac_count(activations, weights)
-        self.counters.matmul_calls += 1
-        return output
 
-    def __call__(self, activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
-        """Drop-in matmul backend interface (layer id derived from content)."""
-        return self.matmul(activations, weights)
+    def charge_dispatch(
+        self,
+        batch: int,
+        weights: np.ndarray,
+        layer_id: Optional[str] = None,
+    ) -> MatmulDispatch:
+        """Charge a ``(batch x I) @ (I x O)`` dispatch without computing it.
+
+        The exact-charge half of :meth:`matmul`: weights are programmed (or
+        LRU-touched) through the same :meth:`program` path, every tile's
+        MULT/ADD stream lands in the macro ledgers through the same
+        :meth:`_charge_tile` calls in the same order, and the engine/cache
+        counters advance identically — only the integer arithmetic itself is
+        skipped.  The returned :class:`MatmulDispatch` is field-for-field
+        identical to what the real ``matmul`` would have produced, which is
+        the fidelity contract the analytic cluster execution mode rests on
+        (pinned by the property tests in ``tests/test_execution_modes.py``).
+
+        Read-disturb-injecting configurations execute on the per-lane
+        reference path whose accounting depends on the actual operand
+        values, so they cannot be charged analytically and are refused.
+        """
+        if batch <= 0:
+            check_positive("batch", batch)
+        if self.chip.config.inject_read_disturb:
+            raise ConfigurationError(
+                "analytic charging is undefined under read-disturb injection; "
+                "use matmul() (which routes to the reference oracle)"
+            )
+
+        # Resident fast path: the weights were validated when they were
+        # programmed, so a hit only needs the same lookup + shape check the
+        # program() hit path performs (identical LRU / counter effects).
+        # peek() first so a cold layer does not record a double miss (the
+        # program() path below runs its own counted lookup).
+        entry = self.cache.peek(layer_id) if layer_id is not None else None
+        if entry is not None:
+            self.cache.lookup(layer_id)
+            shape = getattr(weights, "shape", None)
+            if shape is not None and entry.shape != shape:
+                raise ConfigurationError(
+                    f"layer {layer_id!r} is resident with shape {entry.shape}, "
+                    f"got weights of shape {shape}"
+                )
+            programmed = False
+        else:
+            weights = np.asarray(weights, dtype=np.int64)
+            if weights.ndim != 2:
+                raise ConfigurationError("the engine expects a 2-D weight code matrix")
+            if weights.size:
+                if int(np.abs(weights).max()) > mask(self.precision_bits - 1):
+                    raise ConfigurationError(
+                        f"operand magnitudes exceed the "
+                        f"{self.precision_bits}-bit precision"
+                    )
+            entry, programmed = self.program(weights, layer_id=layer_id)
+        inner, outer = entry.shape
+        plan = self._charge_plan_for(entry)
+
+        mark = self.ledger_mark()
+        for macro_index, products_pr, invocations_pr in plan:
+            self._charge_tile(macro_index, products_pr, invocations_pr, batch)
+
+        dispatch = self._dispatch_from_mark(mark, entry, programmed, batch, inner, outer)
+        self.last_dispatch = dispatch
+        self.counters.mac_count += batch * inner * outer
+        self.counters.matmul_calls += 1
+        return dispatch
+
+    def _charge_rows_for(self, entry: ProgrammedWeights, batch: int) -> Tuple[Tuple, ...]:
+        """Fully evaluated per-tile charge rows of one (entry, batch) pair.
+
+        Each row holds exactly the values :meth:`_charge_tile` would compute
+        for the tile at this batch size — the same multiplications, memoised
+        — so applying a cached row replays the identical float/int updates.
+        """
+        rows = entry.charge_rows.get(batch)
+        if rows is None:
+            bits_plus = self.precision_bits + 1
+            built = []
+            for macro_index, products_pr, invocations_pr in self._charge_plan_for(entry):
+                products = batch * products_pr
+                invocations = batch * invocations_pr
+                mult_cycles = self._mult_cycles_per_invocation * invocations
+                mult_energy = self._mult_energy_per_word * products
+                add_cycles = self._add_cycles_per_word * products
+                add_energy = self._add_energy_per_word * products
+                built.append(
+                    (
+                        macro_index,
+                        invocations,
+                        products,
+                        mult_cycles,
+                        mult_energy,
+                        add_cycles,
+                        add_energy,
+                        bits_plus * invocations + products,
+                        mult_cycles + add_cycles,
+                        mult_energy + add_energy,
+                    )
+                )
+            rows = tuple(built)
+            if len(entry.charge_rows) >= 64:
+                entry.charge_rows.clear()
+            entry.charge_rows[batch] = rows
+        return rows
+
+    def charge_layers(self, layers: Sequence[Tuple[int, np.ndarray, Optional[str]]]) -> None:
+        """Lean exact-charge of several dispatches: (batch, weights, id) each.
+
+        The trace-replay hot path: per resident layer this is one counted
+        cache lookup plus the application of memoised per-tile charge rows —
+        no dispatch record, no per-layer accounting mark.  Every ledger and
+        counter mutation is value- and order-identical to a
+        :meth:`charge_dispatch` (and therefore :meth:`matmul`) of the same
+        layers; cold layers fall back to :meth:`charge_dispatch` so the
+        programming path stays the single shared one.
+        """
+        cache_peek = self.cache.peek
+        macros = self._macros
+        acc = self._macro_cycle_acc
+        counters = self.counters
+        mult_op = Opcode.MULT
+        add_op = Opcode.ADD
+        for batch, weights, layer_id in layers:
+            entry = cache_peek(layer_id) if layer_id is not None else None
+            if entry is None:
+                self.charge_dispatch(batch, weights, layer_id=layer_id)
+                continue
+            self.cache.lookup(layer_id)
+            for row in self._charge_rows_for(entry, batch):
+                macro = macros[row[0]]
+                stats = macro.stats
+                record = stats.records[mult_op]
+                record.invocations += row[1]
+                record.words += row[2]
+                record.cycles += row[3]
+                record.energy_j += row[4]
+                record = stats.records[add_op]
+                record.invocations += row[2]
+                record.words += row[2]
+                record.cycles += row[5]
+                record.energy_j += row[6]
+                macro.array.access_count += row[7]
+                stats.array_accesses = macro.array.access_count
+                acc[row[0]] += row[8]
+                self._energy_acc += row[9]
+            inner, outer = entry.shape
+            counters.mac_count += batch * inner * outer
+            counters.matmul_calls += 1
 
     # ------------------------------------------------------------------ #
     # Planning (no side effects)
@@ -792,3 +1032,5 @@ class TiledMatmulEngine:
         self.chip.reset_stats()
         self.counters = _EngineCounters()
         self.last_dispatch = None
+        self._macro_cycle_acc = [0] * self.chip.num_macros
+        self._energy_acc = 0.0

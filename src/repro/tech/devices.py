@@ -20,11 +20,18 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.tech.technology import OperatingPoint, TechnologyProfile
 from repro.utils.validation import check_positive
 
-__all__ = ["DeviceType", "Transistor", "alpha_power_current"]
+__all__ = [
+    "DeviceType",
+    "Transistor",
+    "alpha_power_current",
+    "alpha_power_current_batch",
+]
 
 
 class DeviceType(enum.Enum):
@@ -64,6 +71,32 @@ def alpha_power_current(
         # overdrive, enough to keep delay estimates finite but visibly huge.
         return 1e-3 * k * width_factor * (0.1 ** alpha)
     return k * width_factor * (overdrive ** alpha)
+
+
+def alpha_power_current_batch(
+    k: float,
+    width_factor: float,
+    vgs: float,
+    vths: np.ndarray,
+    alpha: float,
+) -> np.ndarray:
+    """Vectorised :func:`alpha_power_current` over an array of thresholds.
+
+    Element-for-element it evaluates the same expressions as the scalar
+    path (same floor constant, same ``overdrive ** alpha``); results agree
+    with a per-sample loop to floating-point round-off (numpy's vectorised
+    ``pow`` may differ from Python's scalar ``pow`` in the last ulp).
+    """
+    if k <= 0 or width_factor <= 0:
+        raise ConfigurationError("drive factor and width factor must be positive")
+    vths = np.asarray(vths, dtype=np.float64)
+    overdrive = vgs - vths
+    currents = np.full(
+        overdrive.shape, 1e-3 * k * width_factor * (0.1 ** alpha)
+    )
+    conducting = overdrive > 0
+    currents[conducting] = k * width_factor * (overdrive[conducting] ** alpha)
+    return currents
 
 
 @dataclass(frozen=True)
@@ -120,6 +153,28 @@ class Transistor:
             self.technology.alpha,
         )
         return current * self.technology.temperature_derate(point)
+
+    def on_current_batch(
+        self,
+        point: OperatingPoint,
+        vth_shifts: np.ndarray,
+        vgs: float | None = None,
+    ) -> np.ndarray:
+        """Vectorised :meth:`on_current` over an array of ``vth_shift``s.
+
+        The Monte-Carlo hot path: one call prices a whole mismatch
+        population, matching the scalar loop to round-off.
+        """
+        gate_drive = point.vdd if vgs is None else vgs
+        vths = self.threshold(point) + np.asarray(vth_shifts, dtype=np.float64)
+        currents = alpha_power_current_batch(
+            self.drive_factor,
+            self.width_factor,
+            gate_drive,
+            vths,
+            self.technology.alpha,
+        )
+        return currents * self.technology.temperature_derate(point)
 
     def effective_resistance(
         self,

@@ -1,0 +1,376 @@
+"""Fidelity contract of the analytic execution fast path.
+
+The cluster's ``ExecutionMode.ANALYTIC`` promises that skipping the numpy
+forwards changes *nothing observable*: ledgers, dispatch accounting,
+virtual-time telemetry and predictions are bit-identical to the exact path.
+These tests pin that contract at every layer — engine ``charge_dispatch``
+vs ``matmul``, node execute/execute_group, router trace streams, and the
+whole ``cluster_scheduling_study``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import cluster_scheduling_study
+from repro.cluster import (
+    ClusterNode,
+    ClusterRouter,
+    ExecutionMode,
+    ForwardMemo,
+    SLAClass,
+    SLAScheduler,
+)
+from repro.core.chip import IMCChip
+from repro.core.config import MacroConfig
+from repro.core.matmul import TiledMatmulEngine
+from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
+from repro.errors import ConfigurationError
+
+
+def _engine(num_macros=4, **kwargs):
+    return TiledMatmulEngine(
+        IMCChip(num_macros, MacroConfig(precision_bits=8)), **kwargs
+    )
+
+
+def _macro_records(engine):
+    return [
+        {
+            opcode: (rec.invocations, rec.words, rec.cycles, rec.energy_j)
+            for opcode, rec in macro.stats.records.items()
+        }
+        for macro in engine.chip.macros
+    ]
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = make_pattern_image_dataset(samples=120, size=8, seed=13)
+    cnn, _ = train_pattern_cnn(dataset, epochs=6, seed=13)
+    return dataset, cnn
+
+
+class TestChargeDispatch:
+    def test_charge_matches_matmul_ledger_and_dispatch_exactly(self):
+        """Property-style sweep: random shapes/batches, warm and cold."""
+        rng = np.random.default_rng(11)
+        real, charged = _engine(), _engine()
+        for index in range(24):
+            batch = int(rng.integers(1, 12))
+            inner = int(rng.integers(2, 200))
+            outer = int(rng.integers(1, 24))
+            layer_id = f"layer-{index % 5}"  # mix of cold, warm, re-shaped ids
+            acts = rng.integers(-9, 10, size=(batch, inner))
+            weights = rng.integers(-9, 10, size=(inner, outer))
+            try:
+                real.matmul(acts, weights, layer_id=layer_id)
+                charged.charge_dispatch(batch, weights, layer_id=layer_id)
+            except ConfigurationError:
+                # Shape conflict with a resident id: both paths must refuse
+                # identically; re-raise asymmetries as failures.
+                with pytest.raises(ConfigurationError):
+                    charged.charge_dispatch(batch, weights, layer_id=layer_id)
+                continue
+            assert real.last_dispatch == charged.last_dispatch
+            assert real.statistics() == charged.statistics()
+            assert _macro_records(real) == _macro_records(charged)
+        assert real.cache.resident_layers == charged.cache.resident_layers
+
+    def test_charge_layers_is_ledger_identical_to_charge_dispatch(self):
+        rng = np.random.default_rng(3)
+        a, b = _engine(), _engine()
+        layers = []
+        for index in range(3):
+            weights = rng.integers(-9, 10, size=(40 + 30 * index, 6))
+            layers.append((5 + index, weights, f"l{index}"))
+        for _ in range(3):  # cold first round, warm afterwards
+            for batch, weights, layer_id in layers:
+                a.charge_dispatch(batch, weights, layer_id=layer_id)
+            b.charge_layers(layers)
+        assert a.statistics() == b.statistics()
+        assert _macro_records(a) == _macro_records(b)
+
+    def test_charge_refuses_disturb_configs(self):
+        engine = TiledMatmulEngine(
+            IMCChip(2, MacroConfig(precision_bits=8, inject_read_disturb=True))
+        )
+        with pytest.raises(ConfigurationError):
+            engine.charge_dispatch(4, np.ones((8, 4), dtype=np.int64), layer_id="x")
+
+    def test_charge_validates_operands(self):
+        engine = _engine()
+        with pytest.raises(Exception):
+            engine.charge_dispatch(0, np.ones((8, 4), dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            engine.charge_dispatch(2, np.full((8, 4), 1 << 12))
+
+    def test_ledger_marks_bracket_programming_and_compute(self):
+        engine = _engine()
+        rng = np.random.default_rng(5)
+        weights = rng.integers(-9, 10, size=(80, 12))
+        mark = engine.ledger_mark()
+        engine.charge_dispatch(6, weights, layer_id="l")
+        total, critical, energy = engine.ledger_since(mark)
+        assert total == engine.chip.stats.total_cycles
+        assert energy == pytest.approx(engine.chip.stats.total_energy_j, rel=1e-12)
+        assert 0 < critical <= total
+
+
+class TestNodeFidelity:
+    def _pair(self, cnn, **kwargs):
+        exact = ClusterNode("exact", vdd=0.9, num_macros=16, **kwargs)
+        analytic = ClusterNode(
+            "analytic",
+            vdd=0.9,
+            num_macros=16,
+            execution_mode=ExecutionMode.ANALYTIC,
+            **kwargs,
+        )
+        for node in (exact, analytic):
+            node.register_model("cnn", cnn)
+        return exact, analytic
+
+    def test_execute_matches_exact_including_split_batches(self, trained):
+        dataset, cnn = trained
+        exact, analytic = self._pair(cnn, max_batch_size=4)
+        images = dataset.test_images[:11]  # forces a 4/4/3 split
+        for _ in range(2):  # cold then warm
+            de = exact.execute("cnn", images)
+            da = analytic.execute("cnn", images, input_digest="probe")
+            assert np.array_equal(de.predictions, da.predictions)
+            assert de.compute_s == da.compute_s
+            assert de.energy_j == da.energy_j
+            assert de.batches == da.batches == 3
+            assert de.critical_path_cycles == da.critical_path_cycles
+            assert (de.programmed, de.affinity_hit) == (da.programmed, da.affinity_hit)
+        assert exact.engine.statistics() == analytic.engine.statistics()
+        ledger_e, ledger_a = exact.ledger(), analytic.ledger()
+        assert ledger_e.total_cycles == ledger_a.total_cycles
+        assert ledger_e.total_energy_j == ledger_a.total_energy_j
+
+    def test_execute_group_matches_exact(self, trained):
+        dataset, cnn = trained
+        exact, analytic = self._pair(cnn, max_batch_size=8)
+        parts = [
+            (dataset.test_images[i * 3 : (i + 1) * 3], f"part-{i}") for i in range(3)
+        ]
+        preds_e, de = exact.execute_group("cnn", parts)
+        preds_a, da = analytic.execute_group("cnn", parts)
+        for a, b in zip(preds_e, preds_a):
+            assert np.array_equal(a, b)
+        assert de.compute_s == da.compute_s
+        assert de.energy_j == da.energy_j
+        assert de.batches == da.batches
+        assert exact.engine.statistics() == analytic.engine.statistics()
+
+    def test_memo_runs_model_once_per_unique_digest(self, trained):
+        dataset, cnn = trained
+        memo = ForwardMemo()
+        node = ClusterNode(
+            "a",
+            num_macros=16,
+            execution_mode=ExecutionMode.ANALYTIC,
+            forward_memo=memo,
+        )
+        node.register_model("cnn", cnn)
+        images = dataset.test_images[:5]
+        for _ in range(10):
+            node.execute("cnn", images, input_digest="same")
+        assert memo.misses == 1
+        assert memo.hits == 9
+        assert len(memo) == 1
+
+    def test_memo_falls_back_to_content_key_without_digest(self, trained):
+        dataset, cnn = trained
+        memo = ForwardMemo()
+        node = ClusterNode(
+            "a",
+            num_macros=16,
+            execution_mode=ExecutionMode.ANALYTIC,
+            forward_memo=memo,
+        )
+        node.register_model("cnn", cnn)
+        node.execute("cnn", dataset.test_images[:4])
+        node.execute("cnn", dataset.test_images[:4])
+        node.execute("cnn", dataset.test_images[4:8])
+        assert memo.misses == 2 and memo.hits == 1
+
+    def test_spot_check_catches_lying_digests(self, trained):
+        dataset, cnn = trained
+        node = ClusterNode(
+            "a",
+            num_macros=16,
+            execution_mode=ExecutionMode.ANALYTIC,
+            spot_check_every=1,
+        )
+        node.register_model("cnn", cnn)
+        node.execute("cnn", dataset.test_images[:4], input_digest="d")
+        with pytest.raises(ConfigurationError, match="spot check"):
+            # Same digest, different images: the memo would silently serve
+            # the wrong predictions; the sampled audit must catch it.
+            node.execute("cnn", dataset.test_images[4:8], input_digest="d")
+
+    def test_spot_check_passes_on_honest_digests(self, trained):
+        dataset, cnn = trained
+        node = ClusterNode(
+            "a",
+            num_macros=16,
+            execution_mode=ExecutionMode.ANALYTIC,
+            spot_check_every=2,
+        )
+        node.register_model("cnn", cnn)
+        for _ in range(5):
+            node.execute("cnn", dataset.test_images[:4], input_digest="d")
+        assert node.spot_checks == 2
+
+    def test_estimate_cache_tracks_residency_changes(self, trained):
+        dataset, cnn = trained
+        node = ClusterNode("a", num_macros=16)
+        node.register_model("cnn", cnn)
+        images = dataset.test_images[:4]
+        cold = node.estimate_request("cnn", images)
+        assert not cold.resident
+        node.execute("cnn", images)
+        warm = node.estimate_request("cnn", images)
+        assert warm.resident
+        assert warm.latency_s < cold.latency_s
+        # Cached warm estimate equals a recomputed one.
+        assert node.estimate_request("cnn", images) == warm
+
+
+class TestRouterFidelity:
+    def _route(self, cnn, dataset, mode, coalesce=False):
+        nodes = [
+            ClusterNode(
+                f"n{i}", vdd=vdd, num_macros=16, execution_mode=mode
+            )
+            for i, vdd in enumerate((1.0, 0.6))
+        ]
+        with ClusterRouter(
+            nodes, scheduler=SLAScheduler(), coalesce=coalesce
+        ) as router:
+            router.register_model("cnn", cnn)
+            for index in range(12):
+                images = dataset.test_images[(index % 4) * 3 : (index % 4) * 3 + 3]
+                router.submit(
+                    "cnn",
+                    images,
+                    sla=list(SLAClass)[index % 3],
+                    deadline_s=1.0 if index % 3 == 0 else None,
+                    arrival_s=index * 1e-5,
+                    input_digest=f"p{index % 4}",
+                )
+                if index % 5 == 4:
+                    router.drain()
+            router.drain()
+            traces = list(router.telemetry.traces)
+            ledger = router.ledger()
+            predictions = {
+                i: router.result(i).predictions for i in range(12)
+            }
+        return traces, ledger, predictions
+
+    def test_trace_stream_is_bit_identical_across_modes(self, trained):
+        dataset, cnn = trained
+        te, ledger_e, preds_e = self._route(cnn, dataset, ExecutionMode.EXACT)
+        ta, ledger_a, preds_a = self._route(cnn, dataset, ExecutionMode.ANALYTIC)
+        assert len(te) == len(ta)
+        for a, b in zip(te, ta):
+            assert (
+                a.request_id,
+                a.node_id,
+                a.start_s,
+                a.finish_s,
+                a.compute_s,
+                a.energy_j,
+                a.deadline_missed,
+                a.affinity_hit,
+                a.programmed,
+                a.feasible_at_admission,
+            ) == (
+                b.request_id,
+                b.node_id,
+                b.start_s,
+                b.finish_s,
+                b.compute_s,
+                b.energy_j,
+                b.deadline_missed,
+                b.affinity_hit,
+                b.programmed,
+                b.feasible_at_admission,
+            )
+            assert b.execution_mode == "analytic"
+        assert ledger_e.total_cycles == ledger_a.total_cycles
+        assert ledger_e.total_energy_j == ledger_a.total_energy_j
+        for request_id in preds_e:
+            assert np.array_equal(preds_e[request_id], preds_a[request_id])
+
+    def test_coalesced_modes_agree_with_each_other(self, trained):
+        dataset, cnn = trained
+        te, ledger_e, preds_e = self._route(
+            cnn, dataset, ExecutionMode.EXACT, coalesce=True
+        )
+        ta, ledger_a, preds_a = self._route(
+            cnn, dataset, ExecutionMode.ANALYTIC, coalesce=True
+        )
+        assert [t.coalesced for t in te] == [t.coalesced for t in ta]
+        assert [t.finish_s for t in te] == [t.finish_s for t in ta]
+        assert [t.energy_j for t in te] == [t.energy_j for t in ta]
+        assert ledger_e.total_cycles == ledger_a.total_cycles
+        assert ledger_e.total_energy_j == ledger_a.total_energy_j
+        for request_id in preds_e:
+            assert np.array_equal(preds_e[request_id], preds_a[request_id])
+
+    def test_coalescing_merges_adjacent_same_model_requests(self, trained):
+        dataset, cnn = trained
+        node = ClusterNode("solo", num_macros=16, max_batch_size=64)
+        with ClusterRouter([node], coalesce=True) as router:
+            router.register_model("cnn", cnn)
+            for index in range(4):
+                router.submit("cnn", dataset.test_images[:3], arrival_s=0.0)
+            results = router.drain()
+        assert len(results) == 4
+        assert results[0].coalesced == 4
+        assert router.telemetry.summary()["coalesced_requests"] == 4.0
+
+    def test_queue_depth_and_pending_counters_stay_consistent(self, trained):
+        dataset, cnn = trained
+        nodes = [ClusterNode(f"n{i}", num_macros=16) for i in range(2)]
+        with ClusterRouter(nodes) as router:
+            router.register_model("cnn", cnn)
+            for index in range(6):
+                router.submit("cnn", dataset.test_images[:2], arrival_s=index * 1e-6)
+            assert router.queue_depth() == 6
+            assert router.queue_depth() == sum(
+                router.queue_depth(node.node_id) for node in nodes
+            )
+            assert router._pending_nodes("cnn") <= {"n0", "n1"}
+            router.drain()
+            assert router.queue_depth() == 0
+            assert router._pending_nodes("cnn") == frozenset()
+
+
+class TestStudyFidelity:
+    @pytest.fixture(scope="class")
+    def studies(self):
+        kwargs = dict(num_macros=16, samples=60, epochs=3, waves=2)
+        return (
+            cluster_scheduling_study(execution_mode="exact", **kwargs),
+            cluster_scheduling_study(execution_mode="analytic", **kwargs),
+        )
+
+    def test_analytic_study_reproduces_exact_bit_for_bit(self, studies):
+        exact, analytic = studies
+        assert exact.keys() == analytic.keys()
+        for fleet in exact:
+            assert dataclasses.asdict(exact[fleet]) == dataclasses.asdict(
+                analytic[fleet]
+            ), fleet
+
+    def test_studies_remain_internally_consistent(self, studies):
+        _, analytic = studies
+        for point in analytic.values():
+            assert point.ledger_conserved
+            assert point.bit_exact

@@ -92,3 +92,67 @@ class TestMonteCarloEngine:
 
         with pytest.raises(ConfigurationError):
             engine.sample_delays(WordlineScheme.WLUD, 0)
+
+
+class TestVectorizedSampling:
+    """The batched delay path against its per-sample scalar oracle."""
+
+    @pytest.mark.parametrize("scheme", list(WordlineScheme))
+    def test_vectorized_matches_scalar_oracle(self, scheme):
+        from repro.tech import CALIBRATED_28NM, default_macro_calibration
+
+        calibration = default_macro_calibration()
+        fast = MonteCarloEngine(CALIBRATED_28NM, calibration, seed=2020)
+        oracle = MonteCarloEngine(CALIBRATED_28NM, calibration, seed=2020)
+        vectorized = fast.sample_delays(scheme, 1500)
+        reference = oracle.sample_delays_reference(scheme, 1500)
+        # Identically seeded engines draw identical variation populations;
+        # the delays agree to floating-point round-off (the vectorised
+        # power function has last-ulp freedom).
+        assert np.allclose(vectorized, reference, rtol=1e-12, atol=0.0)
+
+    @pytest.mark.parametrize("vdd", [0.6, 0.9, 1.1])
+    def test_vectorized_matches_oracle_across_voltages(self, vdd):
+        from repro.tech import CALIBRATED_28NM, default_macro_calibration
+
+        calibration = default_macro_calibration()
+        point = OperatingPoint(vdd=vdd)
+        fast = MonteCarloEngine(CALIBRATED_28NM, calibration, seed=7)
+        oracle = MonteCarloEngine(CALIBRATED_28NM, calibration, seed=7)
+        vectorized = fast.sample_delays(
+            WordlineScheme.SHORT_PULSE_BOOST, 400, point=point
+        )
+        reference = oracle.sample_delays_reference(
+            WordlineScheme.SHORT_PULSE_BOOST, 400, point=point
+        )
+        assert np.allclose(vectorized, reference, rtol=1e-12, atol=0.0)
+
+    def test_compute_delays_matches_scalar_compute_delay(self, engine):
+        """Direct model-level check, including the weak-cell fallback branch."""
+        point = OperatingPoint(vdd=0.6)
+        rng = np.random.default_rng(42)
+        sigma = engine.technology.sigma_vth_mismatch
+        # Oversized shifts push some cells into the no-boost fallback branch.
+        cell_shifts = rng.normal(0.0, 4.0 * sigma, size=300)
+        boost_shifts = rng.normal(0.0, sigma, size=300)
+        sa_offsets = rng.normal(0.0, engine.calibration.bitline.sa_resolve_sigma_s, size=300)
+        batched = engine.model.compute_delays(
+            point,
+            WordlineScheme.SHORT_PULSE_BOOST,
+            cell_shifts,
+            boost_shifts,
+            sa_offsets,
+        )
+        scalar = np.array(
+            [
+                engine.model.compute_delay(
+                    point,
+                    scheme=WordlineScheme.SHORT_PULSE_BOOST,
+                    cell_vth_shift=float(cell_shifts[i]),
+                    boost_vth_shift=float(boost_shifts[i]),
+                    sa_offset_s=float(sa_offsets[i]),
+                )
+                for i in range(300)
+            ]
+        )
+        assert np.allclose(batched, scalar, rtol=1e-12, atol=0.0)
