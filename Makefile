@@ -2,11 +2,15 @@
 #
 #   make test         tier-1 verification (the command CI runs)
 #   make lint         ruff check + format check (skipped if ruff is absent)
+#   make coverage     tier-1 suite under pytest-cov with the CI floor
+#                     (skipped if pytest-cov is absent)
 #   make bench        regenerate every paper artefact + extension study
 #   make bench-smoke  the tracked benchmarks in smoke mode (JSON results)
+#   make bench-full   the tracked benchmarks at full fidelity (the nightly
+#                     CI tier, locally; 10^6-request traces — minutes)
 #   make bench-check  compare results against benchmarks/baselines.json
 #   make ci           the full GitHub Actions pipeline, locally:
-#                     lint -> tier-1 tests -> bench smoke -> regression check
+#                     lint -> tests -> coverage -> bench smoke -> regression
 #   make docs-check   documentation-consistency tests only
 #   make chip-bench   just the sharded multi-macro scaling benchmark
 #   make examples     run every example script end-to-end
@@ -20,9 +24,13 @@ TRACKED_BENCHES := benchmarks/bench_chip_scaling.py \
                    benchmarks/bench_matmul_engine.py \
                    benchmarks/bench_serving_throughput.py \
                    benchmarks/bench_cluster_scheduling.py \
-                   benchmarks/bench_router_throughput.py
+                   benchmarks/bench_router_throughput.py \
+                   benchmarks/bench_fleet_reliability.py
 
-.PHONY: test lint bench bench-smoke bench-check ci docs-check chip-bench examples clean
+#: Coverage floor the CI coverage job enforces (keep in sync with ci.yml).
+COV_FAIL_UNDER := 80
+
+.PHONY: test lint coverage bench bench-smoke bench-full bench-check ci docs-check chip-bench examples clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,8 +43,20 @@ lint:
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
 
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest -q --cov=repro \
+			--cov-report=term-missing:skip-covered \
+			--cov-fail-under=$(COV_FAIL_UNDER); \
+	else \
+		echo "pytest-cov not installed; skipping coverage (CI runs it)"; \
+	fi
+
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest -q $(TRACKED_BENCHES)
+
+bench-full:
+	$(PYTHON) -m pytest -q $(TRACKED_BENCHES)
 
 bench-check:
 	$(PYTHON) benchmarks/check_regression.py
@@ -46,6 +66,7 @@ bench-check:
 ci:
 	$(MAKE) lint
 	$(MAKE) test
+	$(MAKE) coverage
 	$(MAKE) bench-smoke
 	$(MAKE) bench-check
 

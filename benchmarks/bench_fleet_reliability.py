@@ -1,0 +1,154 @@
+"""Fleet reliability: crash/degrade trace studies on a variation-binned fleet.
+
+The reliability PR's acceptance gates, measured on
+:func:`repro.analysis.experiments.fleet_reliability_study`:
+
+* **conservation** — a trace replayed through an injected node crash (and a
+  chaos scenario stacking crash + degrade + stall) completes every admitted
+  request: zero lost, zero duplicated (the router's result map holds exactly
+  one result per admitted id);
+* **availability** — the scripted node-time availability of the crash
+  scenario is genuinely below 1.0 (a real hole in capacity), while the
+  *served* availability stays 1.0: the fleet serves through the hole via
+  backlog replay and the autoscaler's failure-pressure spare wake;
+* **fidelity** — the EXACT and ANALYTIC execution modes produce identical
+  study points (ledgers, replays, miss rates) on the same fault plan, per
+  the PR 4 fidelity contract;
+* **replay overhead** — how much scenario throughput costs versus the
+  fault-free baseline, reported (wall-clock informational) alongside the
+  deterministic replay fraction.
+
+Full mode replays 10^6 modeled requests per scenario on the analytic fast
+path (the nightly CI tier); smoke mode shrinks the trace for the per-PR
+gate.  JSON lands in ``benchmarks/results/fleet_reliability.json``.
+"""
+
+import dataclasses
+import os
+
+from repro.analysis.experiments import fleet_reliability_study
+from repro.analysis.report import format_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+REQUESTS = 6_000 if SMOKE else 1_000_000
+#: Exact-vs-analytic identity is asserted on a prefix-sized run (the exact
+#: path prices every numpy product, so the full trace would take hours).
+FIDELITY_REQUESTS = 400
+
+SCENARIOS = ("baseline", "crash", "chaos")
+
+#: Study geometry (smoke shrinks the workload, not the scenario shapes).
+STUDY_KWARGS = dict(
+    scenarios=SCENARIOS,
+    fleet_size=3,
+    spares=1,
+    num_macros=16,
+    image_size=12 if SMOKE else 20,
+    image_counts=(8, 16, 32) if SMOKE else (32, 64, 128),
+    samples=400 if SMOKE else 1600,
+    epochs=3 if SMOKE else 6,
+    bin_samples=256 if SMOKE else 512,
+)
+
+
+def _fidelity_mismatches():
+    """Field-by-field exact-vs-analytic comparison on the same fault plans."""
+    kwargs = dict(STUDY_KWARGS, requests=FIDELITY_REQUESTS)
+    analytic = fleet_reliability_study(execution_mode="analytic", **kwargs)
+    exact = fleet_reliability_study(execution_mode="exact", **kwargs)
+    skip = {"wall_s", "requests_per_s"}  # host wall clock, not modeled time
+    mismatches = []
+    for scenario in analytic:
+        analytic_point = dataclasses.asdict(analytic[scenario])
+        exact_point = dataclasses.asdict(exact[scenario])
+        for key, value in analytic_point.items():
+            if key not in skip and exact_point[key] != value:
+                mismatches.append(f"{scenario}.{key}")
+    return mismatches
+
+
+def test_fleet_reliability(benchmark, reporter, write_results_json):
+    study = benchmark.pedantic(
+        fleet_reliability_study,
+        kwargs=dict(STUDY_KWARGS, requests=REQUESTS),
+        rounds=1,
+        iterations=1,
+    )
+    mismatches = _fidelity_mismatches()
+
+    baseline = study["baseline"]
+    crash = study["crash"]
+    chaos = study["chaos"]
+    conservation_ok = all(
+        point.lost == 0 and point.errored == 0 and point.completed == point.requests
+        for point in study.values()
+    )
+    replay_overhead = (
+        baseline.requests_per_s / crash.requests_per_s
+        if crash.requests_per_s > 0
+        else float("inf")
+    )
+
+    rows = [
+        [
+            point.scenario,
+            point.completed,
+            point.lost,
+            point.replayed,
+            point.fault_events_applied,
+            f"{point.scripted_availability:.4f}",
+            f"{point.latency_miss_rate:.4f}",
+            f"{point.latency_quantiles_s[0.999] * 1e3:.3f}",
+            point.autoscaler_actions,
+            f"{point.requests_per_s:.0f}",
+        ]
+        for point in study.values()
+    ]
+    reporter(
+        f"Fleet reliability: {REQUESTS} requests/scenario on a binned fleet "
+        f"(grades {'/'.join(baseline.speed_grades)})",
+        format_table(
+            [
+                "scenario",
+                "completed",
+                "lost",
+                "replayed",
+                "faults",
+                "avail",
+                "miss rate",
+                "p99.9 ms",
+                "scaler",
+                "req/s",
+            ],
+            rows,
+        )
+        + f"\nreplay overhead (baseline/crash wall throughput): {replay_overhead:.2f}x"
+        + f"\nfidelity mismatches vs exact study: {mismatches if mismatches else 'none'}",
+    )
+
+    write_results_json(
+        "fleet_reliability",
+        {
+            "smoke": SMOKE,
+            "requests": REQUESTS,
+            "fidelity_requests": FIDELITY_REQUESTS,
+            "scenarios": {
+                name: dataclasses.asdict(point) for name, point in study.items()
+            },
+            "conservation_ok": 1.0 if conservation_ok else 0.0,
+            "replay_overhead": replay_overhead,
+            "fidelity_bit_exact": 0.0 if mismatches else 1.0,
+            "fidelity_mismatches": mismatches,
+        },
+    )
+
+    # Acceptance gates of the reliability PR.
+    assert conservation_ok, "requests were lost or errored across a fault window"
+    assert not mismatches, f"analytic study diverged from exact: {mismatches}"
+    assert crash.replayed > 0, "the crash scenario never exercised backlog replay"
+    assert crash.fault_events_applied >= 2, "crash + recovery must both fire"
+    assert crash.scripted_availability < 1.0
+    assert baseline.scripted_availability == 1.0
+    assert chaos.fault_events_applied >= crash.fault_events_applied
+    assert all(point.ledger_conserved for point in study.values())

@@ -26,7 +26,11 @@ A metric **regresses** when it is worse than the baseline by more than the
 tolerance: ``value > baseline * (1 + tol)`` for ``direction: lower``,
 ``value < baseline * (1 - tol)`` for ``direction: higher``.  Missing result
 files or paths fail the gate too — a silently vanished benchmark is a
-regression of the harness itself.  Host-wall-derived ratio metrics use
+regression of the harness itself.  The inverse gap is also closed: a
+results file that **no tracked metric references** fails with a message
+listing the untracked files, so a newly added benchmark cannot land
+without baseline coverage (pass ``--allow-untracked`` to lift the
+requirement for ad-hoc local runs).  Host-wall-derived ratio metrics use
 deliberately conservative baselines so machine-speed differences do not
 flake the gate; modeled cycle counts are deterministic and use the default
 20 % tolerance.
@@ -88,7 +92,26 @@ def _check_metric(name, spec, results_dir, default_tolerance):
     return ("regression" if regressed else "ok"), detail, measured
 
 
-def run(results_dir: Path, baselines_path: Path, update: bool) -> int:
+def _untracked_results(results_dir: Path, metrics: dict) -> list:
+    """Result files under ``results_dir`` that no tracked metric references.
+
+    A benchmark that writes JSON nobody gates is a new bench whose baseline
+    entry was forgotten — the silent twin of a vanished results file.
+    """
+    tracked_files = {spec.get("file") for spec in metrics.values()}
+    return sorted(
+        path.name
+        for path in results_dir.glob("*.json")
+        if path.name not in tracked_files
+    )
+
+
+def run(
+    results_dir: Path,
+    baselines_path: Path,
+    update: bool,
+    allow_untracked: bool = False,
+) -> int:
     config = json.loads(baselines_path.read_text(encoding="utf-8"))
     default_tolerance = float(config.get("default_tolerance", 0.2))
     metrics = config.get("metrics", {})
@@ -116,6 +139,19 @@ def run(results_dir: Path, baselines_path: Path, update: bool) -> int:
                 failures += 1
         print(f"{name:<{width}}  {status_mark:<10}  {detail}")
 
+    untracked = [] if allow_untracked else _untracked_results(results_dir, metrics)
+    if untracked:
+        print(
+            f"\nMISSING BASELINES: {len(untracked)} results file(s) have no "
+            "tracked metric — a new benchmark was added without baseline "
+            "coverage:"
+        )
+        for name in untracked:
+            print(
+                f'  - {name}: add a metrics entry with "file": "{name}" '
+                f"to {baselines_path.name}"
+            )
+
     if update:
         baselines_path.write_text(
             json.dumps(config, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -124,9 +160,12 @@ def run(results_dir: Path, baselines_path: Path, update: bool) -> int:
         if failures:
             print(f"{failures} metric(s) could not be measured — baseline kept stale")
             return 1
-        return 0
-    if failures:
-        print(f"\n{failures} metric(s) regressed or errored")
+        return 1 if untracked else 0
+    if failures or untracked:
+        print(
+            f"\n{failures} metric(s) regressed or errored, "
+            f"{len(untracked)} results file(s) untracked"
+        )
         return 1
     print("\nall tracked metrics within tolerance")
     return 0
@@ -141,8 +180,18 @@ def main() -> int:
         action="store_true",
         help="rewrite baseline values from the current results",
     )
+    parser.add_argument(
+        "--allow-untracked",
+        action="store_true",
+        help="do not fail on results files that no tracked metric references",
+    )
     arguments = parser.parse_args()
-    return run(arguments.results, arguments.baselines, arguments.update)
+    return run(
+        arguments.results,
+        arguments.baselines,
+        arguments.update,
+        allow_untracked=arguments.allow_untracked,
+    )
 
 
 if __name__ == "__main__":

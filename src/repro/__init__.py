@@ -10,6 +10,7 @@ The package is organised into:
 * :mod:`repro.baselines` — conventional WLUD and bit-serial IMC baselines
 * :mod:`repro.dnn`       — quantised-MLP inference on the IMC macro
 * :mod:`repro.analysis`  — metrics, sweeps and the per-figure experiment drivers
+* :mod:`repro.reliability` — variation-aware chip binning + fault injection
 
 Quickstart::
 
@@ -45,6 +46,7 @@ from repro.circuits import (
     ReadDisturbModel,
     WordlineScheme,
 )
+from repro.reliability import ChipBin, ChipBinner, FaultEvent, FaultKind, FaultPlan
 from repro.tech import (
     CALIBRATED_28NM,
     MacroCalibration,
@@ -80,5 +82,10 @@ __all__ = [
     "OperatingPoint",
     "ProcessCorner",
     "TechnologyProfile",
+    "ChipBin",
+    "ChipBinner",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
     "__version__",
 ]

@@ -60,6 +60,8 @@ __all__ = [
     "cluster_scheduling_study",
     "MillionRequestTracePoint",
     "million_request_trace_study",
+    "FleetReliabilityPoint",
+    "fleet_reliability_study",
 ]
 
 
@@ -1213,6 +1215,293 @@ def million_request_trace_study(
                 memo_hits=memo.hits,
                 memo_misses=memo.misses,
                 spot_checks=sum(node.spot_checks for node in nodes),
+                ledger_cycles=cluster_ledger.total_cycles,
+                ledger_energy_j=cluster_ledger.total_energy_j,
+                ledger_conserved=conserved,
+            )
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Extension — fleet reliability under chip variation and injected faults
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FleetReliabilityPoint:
+    """Outcome of one fault scenario on a variation-binned fleet."""
+
+    scenario: str
+    fleet: Tuple[str, ...]
+    speed_grades: Tuple[str, ...]
+    hazards: Tuple[float, ...]
+    requests: int
+    completed: int
+    #: Requests that vanished (must be zero: conservation of requests).
+    lost: int
+    #: Requests whose dispatch raised an execution error.
+    errored: int
+    #: Distinct requests re-placed after admission (crash/park replay).
+    replayed: int
+    #: Fraction of admitted requests that needed a replay.
+    replay_fraction: float
+    fault_events_applied: int
+    #: Scripted node-time availability over the trace span (1.0 = no
+    #: downtime; crash-to-recovery windows and stalls count as down).
+    scripted_availability: float
+    #: Serving availability: completed over admitted requests.
+    served_availability: float
+    autoscaler_actions: int
+    latency_requests: int
+    latency_miss_rate: float
+    #: Deadline-miss CDF summary: latency-class latency quantiles (s).
+    latency_quantiles_s: Dict[float, float]
+    mean_latency_s: float
+    total_energy_j: float
+    wall_s: float
+    requests_per_s: float
+    ledger_cycles: int
+    ledger_energy_j: float
+    ledger_conserved: bool
+
+
+def _reliability_fault_plan(
+    scenario: str, node_ids: Sequence[str], span_s: float
+):
+    """The scripted chaos of one named scenario, scaled to the trace span.
+
+    Timestamps are fractions of the span so the same scenario shape holds
+    from smoke-sized traces to the full 10^6-request run.
+    """
+    from repro.reliability import FaultEvent, FaultKind, FaultPlan
+
+    if scenario == "baseline":
+        return FaultPlan()
+    if scenario == "crash":
+        # The first node dies a quarter into the trace and comes back at
+        # 60 % — queued work replays onto survivors (and the woken spare).
+        return FaultPlan.node_crash(
+            node_ids[0], at_s=0.25 * span_s, recover_at_s=0.6 * span_s
+        )
+    if scenario == "chaos":
+        # Crash + thermal throttling + a transient stall, overlapping.
+        events = [
+            FaultEvent(at_s=0.25 * span_s, kind=FaultKind.CRASH, node_id=node_ids[0]),
+            FaultEvent(at_s=0.6 * span_s, kind=FaultKind.RECOVER, node_id=node_ids[0]),
+        ]
+        if len(node_ids) > 1:
+            events += [
+                FaultEvent(
+                    at_s=0.4 * span_s,
+                    kind=FaultKind.DEGRADE,
+                    node_id=node_ids[1],
+                    factor=1.5,
+                ),
+                FaultEvent(
+                    at_s=0.8 * span_s, kind=FaultKind.RESTORE, node_id=node_ids[1]
+                ),
+            ]
+        if len(node_ids) > 2:
+            events.append(
+                FaultEvent(
+                    at_s=0.5 * span_s,
+                    kind=FaultKind.STALL,
+                    node_id=node_ids[2],
+                    duration_s=0.02 * span_s,
+                )
+            )
+        return FaultPlan(events)
+    raise ValueError(f"unknown reliability scenario {scenario!r}")
+
+
+def fleet_reliability_study(
+    scenarios: Sequence[str] = ("baseline", "crash", "chaos"),
+    requests: int = 1_000_000,
+    fleet_size: int = 3,
+    spares: int = 1,
+    num_macros: int = 16,
+    image_size: int = 20,
+    image_counts: Tuple[int, ...] = (32, 64, 128),
+    samples: int = 1600,
+    epochs: int = 6,
+    load: float = 0.45,
+    deadline_scale: float = 4.0,
+    latency_share: float = 0.2,
+    throughput_share: float = 0.5,
+    bin_seed: int = 2020,
+    bin_samples: int = 512,
+    spot_check_every: int = 1000,
+    drain_every: int = 64,
+    seed: int = 13,
+    execution_mode: str = "analytic",
+) -> Dict[str, FleetReliabilityPoint]:
+    """Serve one trace through crash/degrade scenarios on a binned fleet.
+
+    The reliability counterpart of :func:`million_request_trace_study`: the
+    fleet is built from :class:`repro.reliability.ChipBinner` variation
+    bins (heterogeneous speed/energy/hazard, not nominal clones), ``spares``
+    extra binned nodes start parked, and each scenario replays the *same*
+    seeded trace through a scripted
+    :class:`~repro.reliability.faults.FaultPlan` while a
+    :class:`~repro.cluster.autoscale.ReactiveAutoscaler` observes inside
+    the serving loop — a crash strands the dead node's queue, the router
+    replays it onto survivors, and failure pressure wakes a spare.
+
+    Everything runs on the cluster's virtual clock, so every scenario is
+    deterministic and the two execution modes are bit-identical (ledgers,
+    placements, latencies); the numbers to watch are
+
+    * **conservation** — ``lost`` must be zero across every crash window,
+    * **availability** — scripted node-time availability vs the served
+      fraction (the fleet should serve through the hole),
+    * **deadline-miss CDF** — how far the latency class degrades while
+      capacity is out,
+    * **replay overhead** — how many requests needed re-placement.
+
+    Returns ``{scenario: FleetReliabilityPoint}``.
+    """
+    from repro.cluster import (
+        ClusterNode,
+        ClusterRouter,
+        ExecutionMode,
+        ForwardMemo,
+        ReactiveAutoscaler,
+        SLAClass,
+        SLAScheduler,
+        build_image_pool,
+        poisson_trace,
+        replay,
+    )
+    from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
+    from repro.reliability import ChipBinner
+
+    mode = ExecutionMode(execution_mode)
+    dataset = make_pattern_image_dataset(samples=samples, size=image_size, seed=seed)
+    model_a, _ = train_pattern_cnn(
+        dataset, conv_channels=(1,), hidden_sizes=(6,), epochs=epochs, seed=seed
+    )
+    model_b, _ = train_pattern_cnn(
+        dataset, conv_channels=(1,), hidden_sizes=(6,), epochs=epochs, seed=seed + 1
+    )
+    models = {"model-a": model_a, "model-b": model_b}
+    max_images = max(image_counts)
+
+    bins = ChipBinner(seed=bin_seed, samples=bin_samples).bin_fleet(
+        fleet_size + spares
+    )
+
+    # Deadline and rate calibration against the *slowest binned die* of the
+    # fleet, so the identical trace stays inside modeled capacity even when
+    # traffic concentrates on slow silicon (same discipline as the
+    # million-request study's slow-rung rating).
+    slowest = max(bins, key=lambda b: b.speed_factor)
+    probe = ClusterNode(
+        "probe",
+        vdd=0.9,
+        num_macros=num_macros,
+        max_batch_size=max_images,
+        bin=slowest,
+    )
+    probe.register_model("model-a", model_a)
+    probe.execute("model-a", dataset.test_images[:max_images])
+    warm_latencies = {
+        count: probe.estimate_request(
+            "model-a", dataset.test_images[:count]
+        ).latency_s
+        for count in image_counts
+    }
+    probe.shutdown()
+    deadline_s = deadline_scale * warm_latencies[max_images]
+    mean_latency = sum(warm_latencies.values()) / len(warm_latencies)
+    rate_rps = load * fleet_size / mean_latency
+
+    trace = poisson_trace(
+        requests,
+        rate_rps=rate_rps,
+        model_ids=tuple(models),
+        image_counts=image_counts,
+        sla_mix={
+            "latency": latency_share,
+            "throughput": throughput_share,
+            "best_effort": max(0.0, 1.0 - latency_share - throughput_share),
+        },
+        deadline_s=deadline_s,
+        seed=seed,
+    )
+    span_s = trace.duration_s
+    pool = build_image_pool(
+        {model_id: dataset.test_images for model_id in models}, image_counts
+    )
+
+    results: Dict[str, FleetReliabilityPoint] = {}
+    for scenario in scenarios:
+        memo = ForwardMemo()
+        nodes = [
+            ClusterNode(
+                chip_bin.chip_id,
+                vdd=0.9,
+                num_macros=num_macros,
+                max_batch_size=max_images,
+                execution_mode=mode,
+                forward_memo=memo,
+                spot_check_every=spot_check_every,
+                bin=chip_bin,
+            )
+            for chip_bin in bins
+        ]
+        serving_ids = [node.node_id for node in nodes[:fleet_size]]
+        for node in nodes[fleet_size:]:
+            node.park()  # spares wait for failure/backlog pressure
+        plan = _reliability_fault_plan(scenario, serving_ids, span_s)
+        with ClusterRouter(
+            nodes, scheduler=SLAScheduler(), fault_plan=plan
+        ) as router:
+            autoscaler = ReactiveAutoscaler(
+                router,
+                min_active=1,
+                wake_queue_depth=max(1, drain_every // 2),
+                park_after_idle=1_000_000,  # spares park by script, not churn
+            )
+            for model_id, model in models.items():
+                router.register_model(model_id, model)
+            stats = replay(
+                router, trace, pool, drain_every=drain_every, autoscaler=autoscaler
+            )
+
+            telemetry = router.telemetry
+            latency_traces = telemetry.traces_for(sla=SLAClass.LATENCY.value)
+            cluster_ledger = router.ledger()
+            part_cycles = sum(node.ledger().total_cycles for node in nodes)
+            part_energy = sum(node.ledger().total_energy_j for node in nodes)
+            conserved = cluster_ledger.total_cycles == part_cycles and bool(
+                np.isclose(cluster_ledger.total_energy_j, part_energy, rtol=1e-9)
+            )
+            completed = router.completed_requests
+            lost = requests - completed - router.failed_requests - router.queue_depth()
+            results[scenario] = FleetReliabilityPoint(
+                scenario=scenario,
+                fleet=tuple(node.node_id for node in nodes),
+                speed_grades=tuple(b.speed_grade for b in bins),
+                hazards=tuple(b.failure_hazard for b in bins),
+                requests=requests,
+                completed=completed,
+                lost=lost,
+                errored=router.failed_requests,
+                replayed=router.replayed_requests,
+                replay_fraction=router.replayed_requests / requests,
+                fault_events_applied=len(router.fault_log),
+                scripted_availability=plan.availability(serving_ids, span_s),
+                served_availability=completed / requests if requests else 1.0,
+                autoscaler_actions=len(autoscaler.actions),
+                latency_requests=len(latency_traces),
+                latency_miss_rate=telemetry.deadline_miss_rate(
+                    sla=SLAClass.LATENCY.value
+                ),
+                latency_quantiles_s=telemetry.latency_quantiles_s(
+                    sla=SLAClass.LATENCY.value
+                ),
+                mean_latency_s=telemetry.mean_latency_s(),
+                total_energy_j=sum(t.energy_j for t in telemetry.traces),
+                wall_s=stats["wall_s"],
+                requests_per_s=stats["requests_per_s"],
                 ledger_cycles=cluster_ledger.total_cycles,
                 ledger_energy_j=cluster_ledger.total_energy_j,
                 ledger_conserved=conserved,

@@ -129,6 +129,35 @@ class MonteCarloEngine:
             point, scheme, cell_shifts, boost_shifts, sa_offsets
         )
 
+    def sample_delays_with_offset(
+        self,
+        scheme: WordlineScheme,
+        samples: int,
+        vth_offset_v: float,
+        point: Optional[OperatingPoint] = None,
+    ) -> np.ndarray:
+        """Delay population of one *specific* chip instance.
+
+        Chip binning decomposes variation into a chip-wide (global) threshold
+        offset — one die landing fast or slow on the process distribution —
+        plus the per-access local mismatch the Fig. 2 engine already models.
+        The offset is added to both the cell and the boost draws (a global
+        shift moves every device on the die), while the sense-amp electrical
+        offsets stay purely local.  Same RNG discipline as
+        :meth:`sample_delays`: identically seeded engines produce identical
+        populations for identical offsets.
+        """
+        if point is None:
+            point = OperatingPoint(vdd=self.technology.vdd_nominal)
+        cell_shifts, boost_shifts, sa_offsets = self._sample_variations(samples)
+        return self.model.compute_delays(
+            point,
+            scheme,
+            cell_shifts + vth_offset_v,
+            boost_shifts + vth_offset_v,
+            sa_offsets,
+        )
+
     def sample_delays_reference(
         self,
         scheme: WordlineScheme,

@@ -43,6 +43,7 @@ from repro.cluster.node import (
 from repro.cluster.router import ClusterResult, ClusterRouter
 from repro.cluster.scheduler import (
     ClusterRequest,
+    NoActiveNodesError,
     PlacementDecision,
     SLAClass,
     SLAScheduler,
@@ -65,6 +66,7 @@ __all__ = [
     "ClusterTelemetry",
     "ExecutionMode",
     "ForwardMemo",
+    "NoActiveNodesError",
     "NodeDispatch",
     "NodeState",
     "NodeTelemetry",

@@ -109,6 +109,7 @@ class ReactiveAutoscaler:
         router = self.router
         active = [n for n in router.nodes if n.state is NodeState.ACTIVE]
         parked = [n for n in router.nodes if n.state is NodeState.PARKED]
+        failed = [n for n in router.nodes if n.state is NodeState.FAILED]
         depth = router.queue_depth()
         miss_rate = router.telemetry.recent_deadline_miss_rate(
             sla=SLAClass.LATENCY.value
@@ -136,12 +137,36 @@ class ReactiveAutoscaler:
             else:
                 self._idle_steps[node.node_id] = 0
 
+        # 0. Failure pressure: dead capacity with work on the books wakes a
+        # spare immediately — a crash is not a demand signal that should
+        # have to climb over the queue-depth threshold.  The fastest parked
+        # node replaces the failed one (the replayed requests already lost
+        # time; do not hand them to slow silicon too).
+        if failed and parked and (depth > 0 or miss_pressure):
+            # max_frequency_hz folds in both the rail and the die's bin
+            # derate, so "fastest" holds on uniform-vdd binned fleets too.
+            node = max(parked, key=lambda n: (n.max_frequency_hz, n.node_id))
+            node.wake()
+            self._idle_steps[node.node_id] = 0
+            actions.append(
+                ScalingAction(
+                    self.step,
+                    "wake",
+                    node.node_id,
+                    node.vdd,
+                    f"failure pressure: {len(failed)} node(s) failed",
+                )
+            )
+            active.append(node)
+            parked.remove(node)
+
         # 1. Wake under pressure.  With zero active nodes any backlog at
         # all must wake something — nothing else can ever drain it.
         if parked and (miss_pressure or depth > self.wake_queue_depth * len(active)):
             if miss_pressure:
-                # Deadlines are bleeding: bring back the fastest silicon.
-                node = max(parked, key=lambda n: (n.vdd, n.node_id))
+                # Deadlines are bleeding: bring back the fastest silicon
+                # (frequency, not vdd — bins derate dice at the same rail).
+                node = max(parked, key=lambda n: (n.max_frequency_hz, n.node_id))
                 reason = f"deadline miss rate {miss_rate:.2f}"
             else:
                 # Pure backlog: the efficient node absorbs it cheapest.

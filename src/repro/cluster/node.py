@@ -58,10 +58,18 @@ __all__ = [
 
 
 class NodeState(enum.Enum):
-    """Lifecycle state of a cluster node."""
+    """Lifecycle state of a cluster node.
+
+    ``PARKED`` is an *operator* decision (autoscaler, maintenance) and
+    ``FAILED`` a *fault* outcome (crash injection, dead hardware); the
+    router treats both as out-of-rotation — queued work is re-placed onto
+    survivors — but the autoscaler only ever wakes parked nodes: a failed
+    node returns through :meth:`ClusterNode.recover`, not :meth:`wake`.
+    """
 
     ACTIVE = "active"
     PARKED = "parked"
+    FAILED = "failed"
 
 
 class ExecutionMode(enum.Enum):
@@ -236,6 +244,7 @@ class ClusterNode:
         execution_mode: ExecutionMode = ExecutionMode.EXACT,
         forward_memo: Optional[ForwardMemo] = None,
         spot_check_every: int = 0,
+        bin: Optional[object] = None,
     ) -> None:
         if not node_id:
             raise ConfigurationError("node_id must be non-empty")
@@ -247,11 +256,21 @@ class ClusterNode:
             # silently ignoring it would run every estimate and dispatch at
             # the wrong width.
             base = base.with_precision(precision_bits)
+        if bin is not None:
+            # The variation bin (repro.reliability.ChipBin) derates the
+            # calibrated constants: this node serves on one specific die.
+            # Applied before the chip is built so the derate survives every
+            # retune (it is baked into the configuration, not re-applied).
+            base = bin.apply_to_config(base)
         point = base.operating_point.at_voltage(vdd)
         self.node_id = node_id
         self.num_macros = num_macros
         self.max_batch_size = max_batch_size
         self.execution_mode = execution_mode
+        #: The die's variation bin (None = nominal-corner clone).
+        self.bin = bin
+        #: Modeled compute-time multiplier (>1 = degraded / throttled).
+        self.degrade_factor = 1.0
         #: Shared (or per-node) memo of numeric forwards; analytic mode only.
         self.forward_memo = forward_memo if forward_memo is not None else ForwardMemo()
         #: Every Nth memo *hit* re-runs the real forward and compares
@@ -260,7 +279,10 @@ class ClusterNode:
         self.spot_checks = 0
         self._memo_hits_since_check = 0
         self.config = base.with_operating_point(point)
+        # The bin is already baked into the configuration; attach it to the
+        # chip for introspection only (passing it would derate twice).
         self.chip = IMCChip(num_macros, self.config)
+        self.chip.bin = bin
         self.engine = TiledMatmulEngine(self.chip)
         self.state = NodeState.ACTIVE
         self.telemetry = NodeTelemetry(node_id=node_id)
@@ -298,6 +320,18 @@ class ClusterNode:
     def cycle_time_s(self) -> float:
         """Cycle time the operating point supports."""
         return self.chip.cycle_time_s()
+
+    @property
+    def hazard(self) -> float:
+        """The die's binned failure hazard (0.0 for a nominal clone).
+
+        A pure scheduling weight: the scheduler multiplies its ranking
+        scores by ``1 + hazard_weight * hazard``, so risky silicon needs a
+        real speed/energy advantage to win a placement.
+        """
+        if self.bin is None:
+            return 0.0
+        return float(self.bin.failure_hazard)
 
     def retune(self, vdd: float) -> None:
         """Move the node to another supply voltage (DVFS actuation).
@@ -451,6 +485,7 @@ class ClusterNode:
             images_shape,
             engine.counters.programmed_tiles,
             residency,
+            self.degrade_factor,
         )
         cached = self._estimate_cache.get(key)
         if cached is not None:
@@ -478,7 +513,10 @@ class ClusterNode:
             model_id=model_id,
             images=batch_images,
             resident=resident,
-            latency_s=latency,
+            # A degraded node really is slower: pricing must see the same
+            # stretch the dispatch path applies, or placement would chase
+            # latencies the node cannot deliver.
+            latency_s=latency * self.degrade_factor,
             energy_j=energy,
             program_cycles=program_cycles,
             critical_path_cycles=critical,
@@ -510,7 +548,8 @@ class ClusterNode:
         """
         if self.state is not NodeState.ACTIVE:
             raise ConfigurationError(
-                f"node {self.node_id!r} is parked; wake() it before dispatching"
+                f"node {self.node_id!r} is {self.state.value}; it must return "
+                "to rotation (wake/recover) before dispatching"
             )
         if self.execution_mode is ExecutionMode.ANALYTIC:
             return self._execute_analytic(model_id, images, input_digest)
@@ -530,7 +569,8 @@ class ClusterNode:
         new_batches = server.batches[batches_before:]
         return NodeDispatch(
             predictions=result.predictions,
-            compute_s=sum(batch.modeled_latency_s for batch in new_batches),
+            compute_s=self.degrade_factor
+            * sum(batch.modeled_latency_s for batch in new_batches),
             energy_j=sum(batch.energy_j for batch in new_batches),
             affinity_hit=affinity_hit,
             programmed=self.engine.cache.misses > misses_before,
@@ -567,7 +607,9 @@ class ClusterNode:
                 [(factor * size, codes, layer_id) for factor, codes, layer_id in specs]
             )
             _, critical, batch_energy = engine.ledger_since(mark)
-            compute += critical * cycle_time
+            # Degradation stretches modeled time only — the work (cycles)
+            # and energy ledgers are what the silicon actually switched.
+            compute += critical * cycle_time * self.degrade_factor
             energy += batch_energy
             critical_total += critical
             batches += 1
@@ -687,7 +729,8 @@ class ClusterNode:
         """
         if self.state is not NodeState.ACTIVE:
             raise ConfigurationError(
-                f"node {self.node_id!r} is parked; wake() it before dispatching"
+                f"node {self.node_id!r} is {self.state.value}; it must return "
+                "to rotation (wake/recover) before dispatching"
             )
         if not parts:
             raise ConfigurationError("execute_group needs at least one request")
@@ -710,7 +753,8 @@ class ClusterNode:
         new_batches = server.batches[batches_before:]
         dispatch = NodeDispatch(
             predictions=np.concatenate(predictions),
-            compute_s=sum(batch.modeled_latency_s for batch in new_batches),
+            compute_s=self.degrade_factor
+            * sum(batch.modeled_latency_s for batch in new_batches),
             energy_j=sum(batch.energy_j for batch in new_batches),
             affinity_hit=affinity_hit,
             programmed=self.engine.cache.misses > misses_before,
@@ -776,8 +820,46 @@ class ClusterNode:
         self.state = NodeState.PARKED
 
     def wake(self) -> None:
-        """Return the node to rotation."""
+        """Return a *parked* node to rotation.
+
+        Refuses failed nodes: a crash is not an operator decision, and the
+        autoscaler must never be able to "wake" dead silicon — recovery is
+        the fault plan's (or the operator's) explicit :meth:`recover`.
+        """
+        if self.state is NodeState.FAILED:
+            raise ConfigurationError(
+                f"node {self.node_id!r} has failed; recover() it instead"
+            )
         self.state = NodeState.ACTIVE
+
+    def fail(self) -> None:
+        """Take the node out of rotation as a fault (crash injection).
+
+        The server workers stop like a park, but the state is ``FAILED`` so
+        the autoscaler treats the node as dead capacity, not a spare.  The
+        chip's programmed weights are modeled as retained (a controller
+        crash, not a power loss): recovery costs rescheduling, not
+        re-programming.
+        """
+        for server in self._servers.values():
+            server.stop()
+        self.state = NodeState.FAILED
+
+    def recover(self) -> None:
+        """Return a failed (or parked) node to rotation at full health."""
+        self.state = NodeState.ACTIVE
+        self.degrade_factor = 1.0
+
+    def degrade(self, factor: float) -> None:
+        """Throttle the node: modeled compute time stretches by ``factor``."""
+        check_positive("degrade factor", factor)
+        self.degrade_factor = float(factor)
+        # Cached estimates embed the previous factor; the key carries it,
+        # so stale entries simply stop being hit — nothing to flush.
+
+    def restore(self) -> None:
+        """End degradation (compute time back to the binned baseline)."""
+        self.degrade_factor = 1.0
 
     def shutdown(self) -> None:
         """Stop every server worker; safe to call repeatedly."""
@@ -807,6 +889,12 @@ class ClusterNode:
             "vdd": self.vdd,
             "max_frequency_hz": self.max_frequency_hz,
             "state": 1.0 if self.state is NodeState.ACTIVE else 0.0,
+            "failed": 1.0 if self.state is NodeState.FAILED else 0.0,
+            "hazard": self.hazard,
+            "degrade_factor": self.degrade_factor,
+            "bin_speed_factor": (
+                float(self.bin.speed_factor) if self.bin is not None else 1.0
+            ),
             "available_s": self.available_s,
             "resident_layers": float(len(self.engine.resident_layer_ids)),
             "ledger_cycles": float(ledger.total_cycles),

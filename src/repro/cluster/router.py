@@ -21,6 +21,15 @@ Virtual time makes the whole control loop deterministic: the same workload
 on the same fleet always produces the same placements, latencies, joules and
 deadline outcomes, so scheduling behaviour is testable down to equality.
 
+With a ``fault_plan`` (:class:`repro.reliability.faults.FaultPlan`) the
+router also injects deterministic failures on the same virtual clock:
+scripted crash/stall/degrade/recovery events fire as admissions and
+completions advance ``clock_s``, a dead node's queued requests are
+*replayed* onto survivors through the same exclusion/re-placement
+machinery parking uses (flagged ``replayed`` in their traces), and even a
+whole-fleet outage only strands admissions until a scripted recovery —
+request conservation holds across any crash window.
+
 The dispatch loop is built for million-request traces: head selection runs
 on a lazily invalidated heap of per-node earliest-start candidates,
 "which nodes hold queued work of model X" comes from incrementally
@@ -44,6 +53,7 @@ import numpy as np
 from repro.cluster.node import ClusterNode, NodeState
 from repro.cluster.scheduler import (
     ClusterRequest,
+    NoActiveNodesError,
     PlacementDecision,
     SLAClass,
     SLAScheduler,
@@ -51,6 +61,7 @@ from repro.cluster.scheduler import (
 from repro.cluster.telemetry import ClusterTelemetry, RequestTrace
 from repro.core.stats import MacroStatistics
 from repro.errors import ConfigurationError
+from repro.reliability.faults import FaultEvent, FaultKind, FaultPlan
 
 __all__ = ["ClusterResult", "ClusterRouter"]
 
@@ -87,6 +98,7 @@ class ClusterRouter:
         scheduler: Optional[SLAScheduler] = None,
         telemetry: Optional[ClusterTelemetry] = None,
         coalesce: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         nodes = list(nodes)
         if not nodes:
@@ -100,6 +112,25 @@ class ClusterRouter:
         self.telemetry = telemetry if telemetry is not None else ClusterTelemetry()
         #: Merge consecutive queued same-model requests into one dispatch.
         self.coalesce = coalesce
+        #: Scripted virtual-time fault injection (repro.reliability).  The
+        #: plan is immutable and shared; the router keeps its own cursor.
+        self.fault_plan = fault_plan
+        self._fault_events: Tuple[FaultEvent, ...] = (
+            tuple(fault_plan) if fault_plan is not None else ()
+        )
+        for event in self._fault_events:
+            if event.node_id not in self._by_id:
+                raise ConfigurationError(
+                    f"fault plan names unknown node {event.node_id!r}"
+                )
+        self._fault_cursor = 0
+        #: Events applied so far, in application order (for reports).
+        self.fault_log: List[FaultEvent] = []
+        #: Requests re-placed after their original admission (crash or park
+        #: replay); ids, since one request can strand more than once.
+        self._replayed: Set[int] = set()
+        #: Total re-placements performed (the replay-overhead numerator).
+        self.replayed_placements = 0
         #: Virtual clock: the latest arrival or completion seen so far.
         self.clock_s = 0.0
         self._queues: Dict[str, Deque[Tuple[ClusterRequest, PlacementDecision]]] = {
@@ -151,6 +182,86 @@ class ClusterRouter:
         if node_id is not None:
             return len(self._queues[node_id])
         return self._queued_requests
+
+    @property
+    def completed_requests(self) -> int:
+        """Requests that produced a result (the conservation numerator)."""
+        return len(self._results)
+
+    @property
+    def failed_requests(self) -> int:
+        """Requests whose dispatch raised (re-raised by :meth:`result`)."""
+        return len(self._failed)
+
+    @property
+    def replayed_requests(self) -> int:
+        """Distinct requests re-placed after admission (crash/park replay)."""
+        return len(self._replayed)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (repro.reliability.FaultPlan)
+    # ------------------------------------------------------------------ #
+    def _apply_due_faults(self) -> None:
+        """Fire every scripted event the virtual clock has reached."""
+        events = self._fault_events
+        while (
+            self._fault_cursor < len(events)
+            and events[self._fault_cursor].at_s <= self.clock_s
+        ):
+            event = events[self._fault_cursor]
+            self._fault_cursor += 1
+            self._apply_fault(event)
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        """Actuate one event and update the dispatch bookkeeping in place.
+
+        The lifecycle bookkeeping (backlog replay, head candidates,
+        stranded retries) is performed here, not deferred to
+        :meth:`_sync_states`: a crash and its recovery can both fire
+        between two dispatches (e.g. during a run of admissions), and a
+        diff of before/after states would see nothing happened.
+        """
+        node = self._by_id[event.node_id]
+        if event.kind is FaultKind.CRASH:
+            if node.state is not NodeState.FAILED:
+                node.fail()
+            self._seen_state[event.node_id] = NodeState.FAILED
+            if self._queues[event.node_id]:
+                # The same exclusion/re-placement machinery parking uses.
+                self._replace_parked_backlog(event.node_id)
+        elif event.kind is FaultKind.RECOVER:
+            node.recover()
+            if self._seen_state[event.node_id] is not NodeState.ACTIVE:
+                self._seen_state[event.node_id] = NodeState.ACTIVE
+                self._push_head_candidate(event.node_id)
+                self._retry_stranded()
+        elif event.kind is FaultKind.STALL:
+            # The hiccup pushes the node's completion clock forward; the
+            # lazy dispatch heap revalidates starts, so no heap surgery.
+            self._completed_s[event.node_id] = (
+                max(self._completed_s[event.node_id], event.at_s) + event.duration_s
+            )
+            self._rebuild_reservation(event.node_id)
+        elif event.kind is FaultKind.DEGRADE:
+            node.degrade(event.factor)
+        elif event.kind is FaultKind.RESTORE:
+            node.restore()
+        self.fault_log.append(event)
+
+    def _advance_to_next_fault(self) -> bool:
+        """Move the virtual clock to the next scripted event, if any.
+
+        The escape hatch for a fully stranded fleet: queued work exists but
+        nothing can run until a scripted recovery — time must pass for the
+        recovery to fire, so the router advances to it instead of giving
+        up with requests still queued.
+        """
+        if self._fault_cursor >= len(self._fault_events):
+            return False
+        self.clock_s = max(
+            self.clock_s, self._fault_events[self._fault_cursor].at_s
+        )
+        return True
 
     # ------------------------------------------------------------------ #
     # Queue bookkeeping (counters + dispatch heap stay consistent)
@@ -230,6 +341,10 @@ class ClusterRouter:
             raise ConfigurationError("arrival_s must be non-negative")
         if arrival > self.clock_s:
             self.clock_s = arrival
+        # Scripted faults the arrival clock has reached fire before
+        # placement, so admission never chooses a node that is already
+        # (virtually) dead at this request's arrival.
+        self._apply_due_faults()
 
         request = ClusterRequest(
             request_id=self._next_request_id,
@@ -242,9 +357,29 @@ class ClusterRouter:
         )
         self._next_request_id += 1
 
-        decision = self.scheduler.choose(
-            request, self.nodes, self.telemetry, pending=self._pending_nodes(model_id)
-        )
+        try:
+            decision = self.scheduler.choose(
+                request,
+                self.nodes,
+                self.telemetry,
+                pending=self._pending_nodes(model_id),
+            )
+        except NoActiveNodesError:
+            # Only the capacity outage is caught — request validation
+            # errors (plain ConfigurationError) always propagate.
+            states = [node.state for node in self.nodes]
+            if NodeState.FAILED not in states:
+                # A fully *parked* fleet is an operator decision and still
+                # refuses admission (pinned behaviour); only a fault
+                # outage gets the stranding path.
+                raise
+            # Total outage with failed capacity: the request is admitted
+            # anyway — stranded deterministically on the first node — and
+            # replays through the normal machinery when any node recovers
+            # or wakes.  Dropping admissions during an outage would break
+            # request conservation.
+            self._strand_admission(request)
+            return request.request_id
         node = self._by_id[decision.node_id]
         # Reserve the backlog: the next admission must queue behind this
         # request's modeled span.
@@ -252,6 +387,27 @@ class ClusterRouter:
         self._enqueue(node.node_id, request, decision)
         self._decisions[request.request_id] = decision
         return request.request_id
+
+    def _strand_admission(self, request: ClusterRequest) -> PlacementDecision:
+        """Queue a request admitted while the whole fleet is down."""
+        node = min(self.nodes, key=lambda n: n.node_id)
+        decision = PlacementDecision(
+            request_id=request.request_id,
+            node_id=node.node_id,
+            sla=request.sla,
+            feasible=False,
+            affinity_hit=False,
+            replicated=False,
+            est_start_s=request.arrival_s,
+            est_finish_s=request.arrival_s,  # zero-span: re-priced on replay
+            est_latency_s=0.0,
+            est_energy_per_image_j=0.0,
+            candidates=0,
+        )
+        self._enqueue(node.node_id, request, decision)
+        self._decisions[request.request_id] = decision
+        self._stranded.add(node.node_id)
+        return decision
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -306,16 +462,24 @@ class ClusterRouter:
                 self._push_head_candidate(node_id)
             elif self._queues[node_id]:
                 self._replace_parked_backlog(node_id)
-        if woke and self._stranded:
-            for node_id in sorted(self._stranded):
-                if self._by_id[node_id].state is NodeState.ACTIVE:
-                    # The stranded node itself woke: its backlog runs where
-                    # it is (the head candidate was pushed above).
-                    self._stranded.discard(node_id)
-                elif self._queues[node_id]:
-                    self._replace_parked_backlog(node_id)
-                else:
-                    self._stranded.discard(node_id)
+        if woke:
+            self._retry_stranded()
+
+    def _retry_stranded(self) -> None:
+        """Re-try backlogs stranded while the whole fleet was down.
+
+        Called when any node returns to rotation (wake or recovery; the
+        returning node's own head candidate is pushed by the caller).
+        """
+        for node_id in sorted(self._stranded):
+            if self._by_id[node_id].state is NodeState.ACTIVE:
+                # The stranded node itself returned: its backlog runs
+                # where it is.
+                self._stranded.discard(node_id)
+            elif self._queues[node_id]:
+                self._replace_parked_backlog(node_id)
+            else:
+                self._stranded.discard(node_id)
 
     def _replace_parked_backlog(self, node_id: str) -> None:
         """Re-place one parked node's queued requests onto active nodes.
@@ -338,7 +502,7 @@ class ClusterRouter:
                     self.telemetry,
                     pending=self._pending_nodes(request.model_id),
                 )
-            except ConfigurationError:
+            except NoActiveNodesError:
                 # No active nodes: park the rest back where they were,
                 # restoring the reservation that covers them.
                 for item in stranded[index:]:
@@ -350,6 +514,8 @@ class ClusterRouter:
             target.available_s = decision.est_finish_s
             self._enqueue(target.node_id, request, decision)
             self._decisions[request.request_id] = decision
+            self._replayed.add(request.request_id)
+            self.replayed_placements += 1
         self._stranded.discard(node_id)
 
     def _select_head(self) -> Optional[Tuple[str, float]]:
@@ -410,9 +576,17 @@ class ClusterRouter:
 
     def _dispatch_group(self) -> List[ClusterResult]:
         """Execute the next dispatch (one request, or a coalesced group)."""
-        self._sync_states()
-        selected = self._select_head()
-        if selected is None:
+        while True:
+            self._apply_due_faults()
+            self._sync_states()
+            selected = self._select_head()
+            if selected is not None:
+                break
+            # Nothing dispatchable.  If work is queued and scripted events
+            # remain, let virtual time pass to the next event (a recovery
+            # may unstrand the backlog); otherwise the router is idle.
+            if self._queued_requests and self._advance_to_next_fault():
+                continue
             return []
         node_id, start = selected
         node = self._by_id[node_id]
@@ -489,6 +663,7 @@ class ClusterRouter:
                 execution_mode=dispatch.execution_mode,
                 coalesced=coalesced,
                 spot_checked=dispatch.spot_checked,
+                replayed=request.request_id in self._replayed,
             )
             self.telemetry.record(trace)
             node.telemetry.record(trace)
@@ -570,6 +745,9 @@ class ClusterRouter:
         return {
             "clock_s": self.clock_s,
             "queue_depth": float(self.queue_depth()),
+            "completed_requests": float(self.completed_requests),
+            "replayed_requests": float(self.replayed_requests),
+            "fault_events_applied": float(len(self.fault_log)),
             "cluster": self.telemetry.summary(),
             "nodes": {node.node_id: node.summary() for node in self.nodes},
         }

@@ -20,6 +20,13 @@ nodes and the chosen request pays the programming that creates the next
 replica (whose LRU cache evicts whatever went coldest to make room).
 Spreading stops once ``max_replicas`` nodes hold the model; steady-state
 hot traffic then ranks energy-first among the replicas.
+
+Variation-binned fleets (``ClusterNode(bin=...)``) add one more signal:
+each die's binned *failure hazard* multiplies its ranking score by
+``1 + hazard_weight * hazard``, so risky silicon must out-price reliable
+silicon to win a placement.  Bin *speed* needs no extra term — a slow
+die's derated cycle time already prices every estimate the classes rank
+by, the same way re-programming charges price affinity.
 """
 
 from __future__ import annotations
@@ -34,7 +41,22 @@ from repro.cluster.node import ClusterNode, NodeState, RequestEstimate
 from repro.cluster.telemetry import ClusterTelemetry
 from repro.errors import ConfigurationError
 
-__all__ = ["SLAClass", "ClusterRequest", "PlacementDecision", "SLAScheduler"]
+__all__ = [
+    "SLAClass",
+    "ClusterRequest",
+    "NoActiveNodesError",
+    "PlacementDecision",
+    "SLAScheduler",
+]
+
+
+class NoActiveNodesError(ConfigurationError):
+    """No node is in rotation to price a request against.
+
+    A distinct type so the router can tell a *capacity* outage (which may
+    legitimately strand an admission during fault injection) from request
+    validation errors, which must always propagate to the caller.
+    """
 
 
 class SLAClass(enum.Enum):
@@ -99,13 +121,23 @@ class SLAScheduler:
         hot_threshold: int = 6,
         max_replicas: int = 2,
         coalesce_affinity: bool = False,
+        hazard_weight: float = 1.0,
     ) -> None:
         if hot_threshold <= 0:
             raise ConfigurationError("hot_threshold must be positive")
         if max_replicas <= 0:
             raise ConfigurationError("max_replicas must be positive")
+        if hazard_weight < 0:
+            raise ConfigurationError("hazard_weight must be non-negative")
         self.hot_threshold = hot_threshold
         self.max_replicas = max_replicas
+        #: How strongly a node's binned failure hazard penalises its ranking
+        #: score (``score * (1 + hazard_weight * hazard)``).  Bin speed needs
+        #: no extra term — a slow die's derated cycle time already prices
+        #: every estimate — but hazard is invisible to the cost models, so
+        #: it enters here.  Nominal (un-binned) nodes have hazard 0.0 and
+        #: rank exactly as before.
+        self.hazard_weight = hazard_weight
         #: Prefer nodes that already hold queued work of the same model for
         #: throughput / best-effort traffic, so a coalescing router
         #: (``ClusterRouter(coalesce=True)``) finds mergeable neighbours at
@@ -127,7 +159,7 @@ class SLAScheduler:
             start = max(node.available_s, request.arrival_s)
             scored.append((node, estimate, start + estimate.latency_s))
         if not scored:
-            raise ConfigurationError(
+            raise NoActiveNodesError(
                 "no active nodes: wake a parked node before submitting"
             )
         return scored
@@ -202,6 +234,13 @@ class SLAScheduler:
         ]
         hot = self.is_hot(request.model_id, telemetry)
 
+        # Hazard penalty: a binned die's failure hazard multiplies its
+        # ranking score, so risky silicon must out-price reliable silicon
+        # to win.  Deadline *feasibility* stays physical (raw finish time):
+        # hazard shapes preference, not the laws of the delay model.
+        def risk(entry) -> float:
+            return 1.0 + self.hazard_weight * entry[0].hazard
+
         if request.sla is SLAClass.LATENCY:
             if request.deadline_s is None:
                 raise ConfigurationError("latency-class requests need a deadline_s")
@@ -211,33 +250,47 @@ class SLAScheduler:
                 if entry[2] - request.arrival_s <= request.deadline_s
             ]
             pool = feasible if feasible else scored
-            # Earliest modeled finish wins; energy breaks ties so two equally
-            # fast nodes prefer the cheaper one.
+            # Earliest hazard-weighted modeled finish wins; energy breaks
+            # ties so two equally fast nodes prefer the cheaper one.  The
+            # penalty weights the request's *latency from arrival* — an
+            # absolute clock value would make the same hazard count for
+            # more virtual seconds the later in a trace the request
+            # arrives (subtracting the shared arrival leaves the
+            # hazard-free ordering untouched).
             node, estimate, finish = min(
-                pool, key=lambda e: (e[2], e[1].energy_j, e[0].node_id)
+                pool,
+                key=lambda e: (
+                    (e[2] - request.arrival_s) * risk(e),
+                    e[1].energy_j,
+                    e[0].node_id,
+                ),
             )
             is_feasible = bool(feasible)
         elif request.sla is SLAClass.THROUGHPUT:
             pool = self._replication_pool(scored, resident, hot)
             pool = self._coalesce_pool(pool, pending)
-            # Cheapest joules per image wins; finish time breaks ties.  A
-            # spreading pool is all non-resident nodes (this request pays
-            # the programming that creates the replica); once max_replicas
-            # hold the model the ranking returns to energy-first among the
-            # replicas, so sustained batch traffic keeps the low-VDD
-            # dividend.
+            # Cheapest hazard-weighted joules per image wins; finish time
+            # breaks ties.  A spreading pool is all non-resident nodes
+            # (this request pays the programming that creates the replica);
+            # once max_replicas hold the model the ranking returns to
+            # energy-first among the replicas, so sustained batch traffic
+            # keeps the low-VDD dividend.
             node, estimate, finish = min(
-                pool, key=lambda e: (e[1].energy_per_image_j, e[2], e[0].node_id)
+                pool,
+                key=lambda e: (e[1].energy_per_image_j * risk(e), e[2], e[0].node_id),
             )
             is_feasible = True
         else:  # BEST_EFFORT
-            # Same replication discipline, ranked by backlog instead.
-            pool = self._replication_pool(scored, resident, hot)
-            pool = self._coalesce_pool(pool, pending)
+            # Same replication discipline, ranked by backlog instead: the
+            # hazard penalty weights the modeled *wait from arrival* (not
+            # the absolute clock), and also breaks clear-immediately ties
+            # toward the safer die.
             node, estimate, finish = min(
-                pool,
+                self._coalesce_pool(self._replication_pool(scored, resident, hot), pending),
                 key=lambda e: (
-                    max(e[0].available_s, request.arrival_s),
+                    (max(e[0].available_s, request.arrival_s) - request.arrival_s)
+                    * risk(e),
+                    e[0].hazard,
                     e[0].node_id,
                 ),
             )

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 __all__ = ["RequestTrace", "NodeTelemetry", "ClusterTelemetry"]
 
@@ -55,6 +55,9 @@ class RequestTrace:
     coalesced: int = 1
     #: Whether this dispatch's memoised predictions were spot-checked.
     spot_checked: bool = False
+    #: Whether the request was re-placed after admission (its original node
+    #: crashed or was parked before the dispatch could run).
+    replayed: bool = False
 
     @property
     def queue_delay_s(self) -> float:
@@ -231,6 +234,26 @@ class ClusterTelemetry:
             return 0.0
         return sum(trace.energy_j for trace in traces) / images
 
+    def latency_quantiles_s(
+        self,
+        quantiles: Sequence[float] = (0.5, 0.9, 0.99, 0.999),
+        sla: Optional[str] = None,
+    ) -> Dict[float, float]:
+        """Latency quantiles over (a class of) the full log.
+
+        The deadline-miss CDF summary reliability studies report: where the
+        latency distribution sits relative to the deadline shows *how badly*
+        requests missed during a fault window, not just how many.
+        """
+        traces = self.traces_for(sla=sla)
+        if not traces:
+            return {q: 0.0 for q in quantiles}
+        latencies = sorted(trace.latency_s for trace in traces)
+        last = len(latencies) - 1
+        return {
+            q: latencies[min(last, int(q * len(latencies)))] for q in quantiles
+        }
+
     def mean_latency_s(self, sla: Optional[str] = None) -> float:
         """Mean modeled request latency over (a class of) the full log."""
         traces = self.traces_for(sla=sla)
@@ -263,5 +286,8 @@ class ClusterTelemetry:
             ),
             "spot_checked_requests": float(
                 sum(trace.spot_checked for trace in self.traces)
+            ),
+            "replayed_requests": float(
+                sum(trace.replayed for trace in self.traces)
             ),
         }

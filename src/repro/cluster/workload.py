@@ -384,6 +384,7 @@ def replay(
     trace: WorkloadTrace,
     image_pool: Dict[Tuple[str, int], List[Tuple[str, np.ndarray]]],
     drain_every: int = 64,
+    autoscaler=None,
 ) -> Dict[str, float]:
     """Stream a trace through a router in arrival order.
 
@@ -391,8 +392,13 @@ def replay(
     (the slot digest rides along as ``input_digest``), and the backlog is
     drained every ``drain_every`` admissions — bounded queues keep the
     per-dispatch reservation re-chaining cheap and mirror a live router
-    that serves while it admits.  Returns flat replay statistics including
-    the wall-clock requests/sec of the whole loop.
+    that serves while it admits.  ``autoscaler`` (a
+    :class:`~repro.cluster.autoscale.ReactiveAutoscaler`) observes after
+    every drain chunk, so fleet reshaping — including waking spares under
+    the failure pressure of an injected crash — happens *inside* the
+    serving loop, reacting to the same telemetry a live controller would.
+    Returns flat replay statistics including the wall-clock requests/sec of
+    the whole loop.
     """
     import time
 
@@ -425,7 +431,13 @@ def replay(
             input_digest=digest,
         )
         if (index + 1) % drain_every == 0:
+            # Observe *before* draining: queue depth (and therefore failure
+            # pressure) is visible while the chunk's backlog is still real.
+            if autoscaler is not None:
+                autoscaler.observe()
             completed += len(router.drain())
+    if autoscaler is not None:
+        autoscaler.observe()
     completed += len(router.drain())
     wall_s = time.perf_counter() - start_wall
 

@@ -81,9 +81,17 @@ class IMCChip:
         self,
         num_macros: int = 1,
         config: Optional[MacroConfig] = None,
+        bin: Optional[object] = None,
     ) -> None:
         check_positive("num_macros", num_macros)
         self.config = config if config is not None else MacroConfig()
+        # A variation bin (repro.reliability.ChipBin, duck-typed so the
+        # core stays free of upward imports) derates the calibrated
+        # constants before any model is built: this chip is one specific
+        # die, not the nominal corner.
+        self.bin = bin
+        if bin is not None:
+            self.config = bin.apply_to_config(self.config)
         self.num_macros = num_macros
         # Each shard gets its own RNG seed so stochastic behaviour (read
         # disturb injection) is decorrelated across macros; shard 0 keeps
@@ -149,9 +157,14 @@ class IMCChip:
 
         Array contents and ledgers start empty — retuning a real chip's
         supply rail invalidates its programmed state, so the cluster node
-        that calls this must re-program (and re-charge) its weights.
+        that calls this must re-program (and re-charge) its weights.  The
+        variation bin rides along as already-derated calibration (it is a
+        property of the die, not of the operating point), so it is *not*
+        re-applied.
         """
-        return IMCChip(self.num_macros, self.config.with_operating_point(point))
+        retuned = IMCChip(self.num_macros, self.config.with_operating_point(point))
+        retuned.bin = self.bin
+        return retuned
 
     @property
     def capacity_bytes(self) -> int:

@@ -117,6 +117,15 @@ class MacroConfig:
         """Copy of this configuration at a different operating point."""
         return replace(self, operating_point=point)
 
+    def with_calibration(self, calibration: MacroCalibration) -> "MacroConfig":
+        """Copy of this configuration with different calibrated constants.
+
+        The seam chip binning derates through: a per-chip variation bin is a
+        transformed calibration bundle, so every delay/energy model built
+        from the configuration prices the *binned* silicon.
+        """
+        return replace(self, calibration=calibration)
+
     def with_bl_separator(self, enabled: bool) -> "MacroConfig":
         """Copy of this configuration with the BL separator on or off."""
         return replace(self, bl_separator=enabled)

@@ -1,0 +1,38 @@
+"""Variation-aware reliability runtime: chip binning + fault injection.
+
+Two halves, both deterministic:
+
+* :mod:`repro.reliability.binning` turns seeded Monte-Carlo variation draws
+  into per-chip speed/energy/hazard bins (:class:`ChipBin`), which
+  :class:`repro.core.chip.IMCChip` and
+  :class:`repro.cluster.node.ClusterNode` accept so fleets are
+  heterogeneous silicon instead of nominal-corner clones;
+* :mod:`repro.reliability.faults` scripts node crash / stall / degrade /
+  recovery events on the cluster's virtual clock (:class:`FaultPlan`),
+  which :class:`repro.cluster.router.ClusterRouter` consumes — queued work
+  on a dead node is replayed onto survivors, never lost or duplicated.
+
+Typical wiring::
+
+    from repro.cluster import ClusterNode, ClusterRouter
+    from repro.reliability import ChipBinner, FaultPlan
+
+    bins = ChipBinner(seed=7).bin_fleet(4)
+    nodes = [
+        ClusterNode(b.chip_id, vdd=0.9, bin=b) for b in bins
+    ]
+    plan = FaultPlan.node_crash(bins[0].chip_id, at_s=1.0, recover_at_s=3.0)
+    router = ClusterRouter(nodes, fault_plan=plan)
+"""
+
+from repro.reliability.binning import SPEED_GRADE_CUTOFFS, ChipBin, ChipBinner
+from repro.reliability.faults import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "ChipBin",
+    "ChipBinner",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "SPEED_GRADE_CUTOFFS",
+]

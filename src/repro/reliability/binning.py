@@ -1,0 +1,250 @@
+"""Variation-aware chip binning: from Monte-Carlo draws to speed/energy bins.
+
+The paper's central reliability result is that *local device variation sets
+the safe operating frequency*: the Fig. 2 Monte-Carlo spread of bit-line /
+sense-amp delays means a chip cannot be clocked at its nominal-corner delay
+but at the tail of its own variation population.  The cluster runtime used
+to treat every chip as a nominal-corner clone; this module turns each chip
+into an individually *binned* device, the way real silicon is speed-binned
+at test:
+
+* every chip draws a **chip-wide (global) threshold offset** — where the die
+  landed on the process distribution — plus the usual per-access local
+  mismatch population, through
+  :meth:`repro.circuits.montecarlo.MonteCarloEngine.sample_delays_with_offset`;
+* the chip's **safe cycle budget** is the p99.9 of its own delay population
+  (clock faster than your tail and reads start failing), so its speed
+  derate is ``p999 / nominal`` relative to the no-variation delay;
+* the derate and a global-offset-driven energy factor are folded back into
+  the calibrated constants via
+  :meth:`repro.tech.calibration.MacroCalibration.with_variation`, so
+  ``f_max``, joules-per-MAC and every downstream estimate fall out of the
+  *ordinary* delay/energy models on the derated constants — binning is a
+  calibration transform, not a parallel bookkeeping path;
+* a **failure hazard** summarises how much of the population still lives
+  beyond the binned budget's guard band — the long-tailed die that binned
+  slow is also the one most likely to fail in the field, and the scheduler
+  reweights placement by exactly this number.
+
+Everything is seeded: ``ChipBinner(seed=s).bin_chip(i)`` is a pure function
+of ``(s, i)``, so heterogeneous fleets are reproducible down to the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.energy import OperationEnergyModel
+from repro.circuits.frequency import FrequencyModel
+from repro.circuits.montecarlo import MonteCarloEngine
+from repro.circuits.wordline import WordlineScheme
+from repro.core.config import MacroConfig
+from repro.tech.calibration import MacroCalibration, default_macro_calibration
+from repro.tech.technology import OperatingPoint, ProcessCorner, TechnologyProfile
+from repro.utils.validation import check_positive
+
+__all__ = ["ChipBin", "ChipBinner", "SPEED_GRADE_CUTOFFS"]
+
+
+#: Speed-grade cutoffs on the overall cycle-time derate (nominal f_max over
+#: binned f_max).  Calibrated against the population of the default binner
+#: configuration: the global Vth draw spreads the derate over roughly
+#: 0.90-1.11, so a die that derates under 0.99 clocked *faster* than the
+#: nominal corner ("fast"), the bulk sits below 1.05, and the long-tail
+#: dice past that bin "slow".
+SPEED_GRADE_CUTOFFS: Tuple[Tuple[str, float], ...] = (
+    ("fast", 0.99),
+    ("typical", 1.05),
+    ("slow", float("inf")),
+)
+
+
+@dataclass(frozen=True)
+class ChipBin:
+    """One chip's measured corner: speed, energy and reliability in a card.
+
+    ``speed_factor`` / ``energy_factor`` are the calibration derates
+    (:meth:`MacroCalibration.with_variation`); ``f_max_hz`` and
+    ``joules_per_mac`` are the headline numbers they imply at the nominal
+    supply; ``failure_hazard`` is a unitless [0, 1) weight the scheduler and
+    fault planners treat as "how likely is this die to misbehave".
+    """
+
+    chip_id: str
+    seed: int
+    speed_grade: str
+    #: Overall cycle-time derate: nominal f_max over this chip's f_max.
+    speed_factor: float
+    #: BL-path derate: chip p99.9 delay over the no-variation delay.
+    bl_speed_scale: float
+    #: Per-bit switching-energy multiplier from the global Vth offset.
+    energy_factor: float
+    #: Chip-wide threshold offset (volts) the die drew on the process
+    #: distribution (positive = slow die).
+    global_vth_offset_v: float
+    #: Safe clock at the nominal supply implied by the derated calibration.
+    f_max_hz: float
+    #: 8-bit MULT+ADD energy per MAC at the nominal supply, derated.
+    joules_per_mac: float
+    #: Fraction of the delay population beyond the binned guard band.
+    failure_hazard: float
+    #: p99.9 of the chip's sampled BL-computing delay population (seconds).
+    p999_delay_s: float
+    #: No-variation BL-computing delay of the same model/point (seconds).
+    nominal_delay_s: float
+
+    def derated_calibration(self, calibration: MacroCalibration) -> MacroCalibration:
+        """Fold this bin's derates into a calibration bundle."""
+        return calibration.with_variation(
+            bl_speed_scale=self.bl_speed_scale,
+            energy_scale=self.energy_factor,
+            vth_shift_v=self.global_vth_offset_v,
+        )
+
+    def apply_to_config(self, config: MacroConfig) -> MacroConfig:
+        """A macro/chip configuration derated to this bin's corner."""
+        return config.with_calibration(self.derated_calibration(config.calibration))
+
+    def summary(self) -> dict:
+        """Flat description for fleet reports."""
+        return {
+            "chip_id": self.chip_id,
+            "speed_grade": self.speed_grade,
+            "speed_factor": self.speed_factor,
+            "energy_factor": self.energy_factor,
+            "f_max_hz": self.f_max_hz,
+            "joules_per_mac": self.joules_per_mac,
+            "failure_hazard": self.failure_hazard,
+        }
+
+
+class ChipBinner:
+    """Deterministic per-chip binning from seeded Monte-Carlo populations.
+
+    ``sigma_global_scale`` sets the chip-to-chip spread as a fraction of the
+    local-mismatch sigma (global process variation is tighter than minimum-
+    size local mismatch); ``energy_sensitivity`` converts the global Vth
+    offset into a per-bit energy multiplier (``exp(-offset / sensitivity)``
+    — a fast low-Vth die burns more switching energy); ``hazard_guardband``
+    places the failure guard band relative to the *nominal* delay, so the
+    hazard measures how much of the die's population a nominal-margin
+    design would misread.
+    """
+
+    def __init__(
+        self,
+        technology: Optional[TechnologyProfile] = None,
+        calibration: Optional[MacroCalibration] = None,
+        samples: int = 2048,
+        seed: int = 2020,
+        vdd: Optional[float] = None,
+        scheme: WordlineScheme = WordlineScheme.SHORT_PULSE_BOOST,
+        sigma_global_scale: float = 0.5,
+        energy_sensitivity_v: float = 0.25,
+        hazard_guardband: float = 1.06,
+    ) -> None:
+        from repro.tech.calibration import CALIBRATED_28NM
+
+        check_positive("samples", samples)
+        check_positive("sigma_global_scale", sigma_global_scale)
+        check_positive("energy_sensitivity_v", energy_sensitivity_v)
+        check_positive("hazard_guardband", hazard_guardband)
+        self.technology = technology if technology is not None else CALIBRATED_28NM
+        self.calibration = (
+            calibration if calibration is not None else default_macro_calibration()
+        )
+        self.samples = samples
+        self.seed = seed
+        self.vdd = vdd if vdd is not None else self.technology.vdd_nominal
+        self.scheme = scheme
+        self.sigma_global = self.technology.sigma_vth_mismatch * sigma_global_scale
+        self.energy_sensitivity_v = energy_sensitivity_v
+        self.hazard_guardband = hazard_guardband
+        point = OperatingPoint(vdd=self.vdd)
+        #: No-variation BL-computing delay every chip's tail is measured
+        #: against (shared by the whole fleet).
+        probe = MonteCarloEngine(
+            technology=self.technology, calibration=self.calibration, seed=0
+        )
+        self.nominal_delay_s = float(probe.model.compute_delay(point, scheme=self.scheme))
+        #: Nominal-chip clock the per-chip derates are graded against.  NN
+        #: corner: the bin expresses *within-die* variation on top of the
+        #: typical process, which is also the corner every IMCChip built
+        #: from the bin runs at — so a chip's cycle time is exactly
+        #: ``nominal / f_max`` times the nominal chip's.
+        self.nominal_f_max_hz = (
+            FrequencyModel(technology=self.technology, calibration=self.calibration)
+            .max_frequency(self.vdd, corner=ProcessCorner.NN)
+            .max_frequency_hz
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-chip binning
+    # ------------------------------------------------------------------ #
+    def _chip_seed(self, index: int) -> int:
+        # SeedSequence-spawned streams keep chips statistically independent
+        # while staying a pure function of (fleet seed, chip index).
+        return int(np.random.SeedSequence((self.seed, index)).generate_state(1)[0])
+
+    def bin_chip(self, index: int, chip_id: Optional[str] = None) -> ChipBin:
+        """Bin one chip; a pure function of ``(binner seed, index)``."""
+        if index < 0:
+            raise ValueError("chip index must be non-negative")
+        chip_seed = self._chip_seed(index)
+        rng = np.random.default_rng(chip_seed)
+        global_vth = float(rng.normal(0.0, self.sigma_global))
+        engine = MonteCarloEngine(
+            technology=self.technology, calibration=self.calibration, seed=chip_seed + 1
+        )
+        point = OperatingPoint(vdd=self.vdd)
+        delays = engine.sample_delays_with_offset(
+            self.scheme, self.samples, global_vth, point
+        )
+        p999 = float(np.percentile(delays, 99.9))
+        bl_speed_scale = max(p999 / self.nominal_delay_s, 1.0)
+        energy_factor = float(np.exp(-global_vth / self.energy_sensitivity_v))
+        hazard = float(
+            np.mean(delays > self.hazard_guardband * self.nominal_delay_s)
+        )
+
+        derated = self.calibration.with_variation(
+            bl_speed_scale=bl_speed_scale,
+            energy_scale=energy_factor,
+            vth_shift_v=global_vth,
+        )
+        frequency = FrequencyModel(technology=self.technology, calibration=derated)
+        f_max = frequency.max_frequency(
+            self.vdd, corner=ProcessCorner.NN
+        ).max_frequency_hz
+        speed_factor = self.nominal_f_max_hz / f_max
+        energy_model = OperationEnergyModel(derated)
+        joules_per_mac = (
+            energy_model.mult_energy(8, vdd=self.vdd, bl_separator=True).total_j
+            + energy_model.add_energy(8, vdd=self.vdd).total_j
+        )
+
+        grade = next(
+            name for name, cutoff in SPEED_GRADE_CUTOFFS if speed_factor < cutoff
+        )
+        return ChipBin(
+            chip_id=chip_id if chip_id is not None else f"chip-{index}",
+            seed=chip_seed,
+            speed_grade=grade,
+            speed_factor=speed_factor,
+            bl_speed_scale=bl_speed_scale,
+            energy_factor=energy_factor,
+            global_vth_offset_v=global_vth,
+            f_max_hz=f_max,
+            joules_per_mac=joules_per_mac,
+            failure_hazard=hazard,
+            p999_delay_s=p999,
+            nominal_delay_s=self.nominal_delay_s,
+        )
+
+    def bin_fleet(self, count: int) -> Tuple[ChipBin, ...]:
+        """Bin ``count`` chips (indices 0..count-1)."""
+        check_positive("count", count)
+        return tuple(self.bin_chip(index) for index in range(count))

@@ -22,7 +22,7 @@ See DESIGN.md section 5 for the calibration policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import CalibrationError
 from repro.tech.technology import TechnologyProfile
@@ -64,6 +64,12 @@ class TimingCalibration:
     vth_eff: float = 0.43
     vth_eff_logic_fa: float = 0.46
     alpha_eff: float = 2.0
+    #: Chip-wide threshold offset (volts) applied on top of any corner
+    #: shift — the per-die global variation term chip binning derates
+    #: through.  Behaves exactly like a corner shift: the reference delay
+    #: stays pinned to the typical die, so a shifted die is slower (or
+    #: faster) even at the reference supply.
+    vth_global_shift_v: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -92,7 +98,7 @@ class TimingCalibration:
         slightly higher effective threshold of the logic-gate FA baseline.
         """
         base = self.vth_eff_logic_fa if logic_fa else self.vth_eff
-        vth = base + vth_shift
+        vth = base + vth_shift + self.vth_global_shift_v
         if vdd <= vth + 0.02:
             raise CalibrationError(
                 f"supply voltage {vdd} V is too close to the effective threshold "
@@ -248,6 +254,60 @@ class MacroCalibration:
     def __post_init__(self) -> None:
         check_positive("area_overhead_fraction", self.area_overhead_fraction)
         check_positive("interleave_factor", self.interleave_factor)
+
+    def with_variation(
+        self,
+        bl_speed_scale: float = 1.0,
+        energy_scale: float = 1.0,
+        vth_shift_v: float = 0.0,
+    ) -> "MacroCalibration":
+        """A per-chip derated copy of the calibration bundle.
+
+        Chip binning (``repro.reliability``) expresses one die's measured
+        variation as three scalars derived from its Monte-Carlo delay
+        population and its chip-wide (global) threshold offset:
+
+        * ``bl_speed_scale`` stretches the *variation-limited* bit-line path
+          components — precharge and sense-amp resolve — so the chip's safe
+          cycle budget covers its own p99.9 delay tail (the Fig. 2 result:
+          variation, not the nominal corner, sets the safe frequency).  The
+          WL pulse width is a design constant (disturb-calibrated) and is
+          not scaled.
+        * ``vth_shift_v`` moves the effective threshold of the digital
+          (logic/FA/write-back) timing path by the die's global Vth offset
+          through the existing ``voltage_scale`` law — a slow (high-Vth)
+          die loses digital headroom exactly the way a slow corner does.
+        * ``energy_scale`` scales every per-bit switching-energy component
+          (a fast, low-Vth die burns more dynamic and short-circuit energy
+          per access; a slow die less).
+
+        All default to neutral, returning an identical bundle — the nominal
+        chip is the degenerate bin.
+        """
+        check_positive("bl_speed_scale", bl_speed_scale)
+        check_positive("energy_scale", energy_scale)
+        if bl_speed_scale == 1.0 and energy_scale == 1.0 and vth_shift_v == 0.0:
+            return self
+        timing = replace(
+            self.timing,
+            bl_precharge_s=self.timing.bl_precharge_s * bl_speed_scale,
+            sense_amp_resolve_s=self.timing.sense_amp_resolve_s * bl_speed_scale,
+            vth_global_shift_v=self.timing.vth_global_shift_v + vth_shift_v,
+        )
+        energy = replace(
+            self.energy,
+            bl_compute_dual_per_bit_j=self.energy.bl_compute_dual_per_bit_j
+            * energy_scale,
+            bl_compute_single_per_bit_j=self.energy.bl_compute_single_per_bit_j
+            * energy_scale,
+            logic_per_bit_j=self.energy.logic_per_bit_j * energy_scale,
+            writeback_separator_per_bit_j=self.energy.writeback_separator_per_bit_j
+            * energy_scale,
+            writeback_no_separator_per_bit_j=self.energy.writeback_no_separator_per_bit_j
+            * energy_scale,
+            flipflop_per_bit_j=self.energy.flipflop_per_bit_j * energy_scale,
+        )
+        return replace(self, timing=timing, energy=energy)
 
 
 #: The calibrated 28 nm technology profile used throughout the reproduction.

@@ -144,6 +144,62 @@ class TestGate:
         assert rewritten["metrics"]["speedup"]["value"] == 42.0
 
 
+class TestUntrackedResults:
+    """A new bench that writes results nobody gates must fail the check."""
+
+    def _good_results(self):
+        return {"bench.json": {"nested": {"cycles": 100}, "speedup": 10.0}}
+
+    def test_untracked_results_file_fails(self, tmp_path, base_config):
+        results = self._good_results()
+        results["new_bench.json"] = {"metric": 1.0}
+        results_dir, baselines = _write(tmp_path, results, base_config)
+        assert check_regression.run(results_dir, baselines, update=False) == 1
+
+    def test_untracked_failure_message_names_the_file(
+        self, tmp_path, base_config, capsys
+    ):
+        results = self._good_results()
+        results["new_bench.json"] = {"metric": 1.0}
+        results_dir, baselines = _write(tmp_path, results, base_config)
+        check_regression.run(results_dir, baselines, update=False)
+        output = capsys.readouterr().out
+        assert "MISSING BASELINES" in output
+        assert "new_bench.json" in output
+
+    def test_allow_untracked_lifts_the_requirement(self, tmp_path, base_config):
+        results = self._good_results()
+        results["new_bench.json"] = {"metric": 1.0}
+        results_dir, baselines = _write(tmp_path, results, base_config)
+        assert (
+            check_regression.run(
+                results_dir, baselines, update=False, allow_untracked=True
+            )
+            == 0
+        )
+
+    def test_update_does_not_hide_untracked_results(self, tmp_path, base_config):
+        results = self._good_results()
+        results["new_bench.json"] = {"metric": 1.0}
+        results_dir, baselines = _write(tmp_path, results, base_config)
+        # --update cannot invent a baseline entry for a file it knows
+        # nothing about, so it must still fail.
+        assert check_regression.run(results_dir, baselines, update=True) == 1
+
+    def test_every_tracked_file_present_passes(self, tmp_path, base_config):
+        results_dir, baselines = _write(tmp_path, self._good_results(), base_config)
+        assert check_regression.run(results_dir, baselines, update=False) == 0
+
+    def test_untracked_helper_lists_only_unreferenced(self, tmp_path, base_config):
+        results = self._good_results()
+        results["orphan.json"] = {"x": 1}
+        results_dir, _ = _write(tmp_path, results, base_config)
+        untracked = check_regression._untracked_results(
+            results_dir, base_config["metrics"]
+        )
+        assert untracked == ["orphan.json"]
+
+
 class TestRepoBaselines:
     def test_committed_baselines_are_well_formed(self):
         config = json.loads(

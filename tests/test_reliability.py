@@ -1,0 +1,622 @@
+"""Tests for the variation-aware reliability runtime (repro.reliability).
+
+Chip binning is a pure function of its seed (pinned to dataclass equality),
+fault injection runs on the cluster's virtual clock (pinned to exact
+replay/conservation outcomes), and the property test sweeps random fault
+plans through random bursts asserting the conservation law: no admitted
+request is ever lost or duplicated across crash/recovery windows.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import (
+    ClusterNode,
+    ClusterRouter,
+    NodeState,
+    ReactiveAutoscaler,
+    SLAClass,
+    SLAScheduler,
+)
+from repro.cluster.node import ExecutionMode
+from repro.core.chip import IMCChip
+from repro.core.config import MacroConfig
+from repro.dnn import make_pattern_image_dataset, train_pattern_cnn
+from repro.errors import ConfigurationError
+from repro.reliability import (
+    SPEED_GRADE_CUTOFFS,
+    ChipBinner,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+)
+from repro.tech.calibration import default_macro_calibration
+
+NUM_MACROS = 16
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = make_pattern_image_dataset(samples=90, size=8)
+    model, _ = train_pattern_cnn(dataset, epochs=6, seed=0)
+    return dataset, model
+
+
+@pytest.fixture(scope="module")
+def binner():
+    return ChipBinner(seed=2020, samples=256)
+
+
+@pytest.fixture(scope="module")
+def bins(binner):
+    return binner.bin_fleet(4)
+
+
+def _images(dataset, count=2):
+    return dataset.test_images[:count]
+
+
+# ---------------------------------------------------------------------- #
+# Calibration derating
+# ---------------------------------------------------------------------- #
+class TestCalibrationVariation:
+    def test_neutral_variation_is_identity(self):
+        calibration = default_macro_calibration()
+        assert calibration.with_variation() is calibration
+
+    def test_bl_scale_stretches_only_the_bl_path(self):
+        calibration = default_macro_calibration()
+        derated = calibration.with_variation(bl_speed_scale=1.5)
+        assert derated.timing.bl_precharge_s == pytest.approx(
+            1.5 * calibration.timing.bl_precharge_s
+        )
+        assert derated.timing.sense_amp_resolve_s == pytest.approx(
+            1.5 * calibration.timing.sense_amp_resolve_s
+        )
+        # The disturb-calibrated pulse and the digital path are untouched.
+        assert derated.timing.wl_pulse_s == calibration.timing.wl_pulse_s
+        assert derated.timing.fa_tg_per_bit_s == calibration.timing.fa_tg_per_bit_s
+
+    def test_energy_scale_scales_every_switching_component(self):
+        calibration = default_macro_calibration()
+        derated = calibration.with_variation(energy_scale=1.2)
+        assert derated.energy.bl_compute_dual_per_bit_j == pytest.approx(
+            1.2 * calibration.energy.bl_compute_dual_per_bit_j
+        )
+        assert derated.energy.logic_per_bit_j == pytest.approx(
+            1.2 * calibration.energy.logic_per_bit_j
+        )
+
+    def test_global_vth_shift_changes_delay_at_reference_supply(self):
+        # The shift must behave like a corner: slower even at 0.9 V, where
+        # a naive vth_eff rewrite would cancel against the reference term.
+        timing = default_macro_calibration().with_variation(vth_shift_v=0.02).timing
+        assert timing.voltage_scale(0.9) > 1.0
+        fast = default_macro_calibration().with_variation(vth_shift_v=-0.02).timing
+        assert fast.voltage_scale(0.9) < 1.0
+
+
+# ---------------------------------------------------------------------- #
+# Chip binning
+# ---------------------------------------------------------------------- #
+class TestChipBinning:
+    def test_same_seed_produces_identical_bins(self):
+        first = ChipBinner(seed=7, samples=256).bin_fleet(3)
+        second = ChipBinner(seed=7, samples=256).bin_fleet(3)
+        # Dataclass equality covers every float field — bit-identical.
+        assert first == second
+
+    def test_different_seeds_produce_different_bins(self):
+        a = ChipBinner(seed=7, samples=256).bin_chip(0)
+        b = ChipBinner(seed=8, samples=256).bin_chip(0)
+        assert a.speed_factor != b.speed_factor
+
+    def test_chips_within_a_fleet_are_independent(self, bins):
+        assert len({b.speed_factor for b in bins}) == len(bins)
+        assert len({b.seed for b in bins}) == len(bins)
+
+    def test_bin_fields_are_physical(self, bins, binner):
+        for chip_bin in bins:
+            assert chip_bin.bl_speed_scale >= 1.0  # tail is never faster
+            assert chip_bin.f_max_hz > 0
+            assert chip_bin.joules_per_mac > 0
+            assert 0.0 <= chip_bin.failure_hazard < 1.0
+            assert chip_bin.p999_delay_s > chip_bin.nominal_delay_s
+            # The grade matches the published cutoffs.
+            expected = next(
+                name
+                for name, cutoff in SPEED_GRADE_CUTOFFS
+                if chip_bin.speed_factor < cutoff
+            )
+            assert chip_bin.speed_grade == expected
+
+    def test_f_max_consistent_with_speed_factor(self, bins, binner):
+        for chip_bin in bins:
+            assert chip_bin.f_max_hz == pytest.approx(
+                binner.nominal_f_max_hz / chip_bin.speed_factor
+            )
+
+    def test_chip_from_bin_runs_at_the_binned_speed(self, bins):
+        nominal = IMCChip(1, MacroConfig())
+        for chip_bin in bins[:2]:
+            binned = IMCChip(1, MacroConfig(), bin=chip_bin)
+            assert binned.bin is chip_bin
+            assert binned.cycle_time_s() == pytest.approx(
+                nominal.cycle_time_s() * chip_bin.speed_factor, rel=1e-6
+            )
+
+    def test_retune_preserves_the_bin_without_reapplying(self, bins):
+        chip_bin = bins[0]
+        chip = IMCChip(1, MacroConfig(), bin=chip_bin)
+        point = chip.operating_point.at_voltage(1.0)
+        retuned = chip.at_operating_point(point)
+        assert retuned.bin is chip_bin
+        # Derate applied exactly once: retuning must land on the same
+        # physics as building the die's chip at 1.0 V from scratch (a
+        # re-applied bin would compound the derate).
+        fresh = IMCChip(1, MacroConfig().with_operating_point(point), bin=chip_bin)
+        assert retuned.cycle_time_s() == pytest.approx(
+            fresh.cycle_time_s(), rel=1e-12
+        )
+
+    def test_binned_results_are_bit_identical_to_nominal(self):
+        # Variation changes physics (time/energy), never arithmetic.
+        chip_bin = ChipBinner(seed=3, samples=256).bin_chip(0)
+        nominal = IMCChip(2, MacroConfig())
+        binned = IMCChip(2, MacroConfig(), bin=chip_bin)
+        from repro.core.operations import Opcode
+
+        a = list(range(0, 64))
+        b = list(range(64, 128))
+        assert binned.elementwise(Opcode.ADD, a, b) == nominal.elementwise(
+            Opcode.ADD, a, b
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Binned cluster nodes
+# ---------------------------------------------------------------------- #
+class TestBinnedNodes:
+    def test_node_estimates_reflect_the_bin(self, trained, bins):
+        dataset, model = trained
+        slow_bin = max(bins, key=lambda b: b.speed_factor)
+        fast_bin = min(bins, key=lambda b: b.speed_factor)
+        slow = ClusterNode("slow", num_macros=NUM_MACROS, bin=slow_bin)
+        fast = ClusterNode("fast", num_macros=NUM_MACROS, bin=fast_bin)
+        for node in (slow, fast):
+            node.register_model("m", model)
+        images = _images(dataset)
+        est_slow = slow.estimate_request("m", images)
+        est_fast = fast.estimate_request("m", images)
+        # Identical work, binned physics.
+        assert est_slow.critical_path_cycles == est_fast.critical_path_cycles
+        assert est_slow.latency_s > est_fast.latency_s
+        assert slow.hazard == slow_bin.failure_hazard
+        assert ClusterNode("nominal", num_macros=NUM_MACROS).hazard == 0.0
+
+    def test_degrade_stretches_time_but_not_work(self, trained):
+        dataset, model = trained
+        node = ClusterNode("n", num_macros=NUM_MACROS)
+        node.register_model("m", model)
+        images = _images(dataset)
+        node.execute("m", images)  # programming charge out of the way
+        baseline = node.execute("m", images)
+        ledger_before = node.ledger().total_cycles
+        node.degrade(2.0)
+        degraded = node.execute("m", images)
+        ledger_delta = node.ledger().total_cycles - ledger_before
+        assert degraded.compute_s == pytest.approx(2.0 * baseline.compute_s)
+        assert degraded.critical_path_cycles == baseline.critical_path_cycles
+        # Pricing sees the stretch too (fresh estimate, not a stale cache).
+        est = node.estimate_request("m", images)
+        node.restore()
+        assert est.latency_s == pytest.approx(
+            2.0 * node.estimate_request("m", images).latency_s
+        )
+        # The work ledger is throttling-blind: same cycles as a healthy run.
+        node.execute("m", images)
+        assert node.ledger().total_cycles - ledger_before == 2 * ledger_delta
+
+    def test_fail_recover_lifecycle(self, trained):
+        dataset, model = trained
+        node = ClusterNode("n", num_macros=NUM_MACROS)
+        node.register_model("m", model)
+        node.fail()
+        assert node.state is NodeState.FAILED
+        with pytest.raises(ConfigurationError):
+            node.execute("m", _images(dataset))
+        with pytest.raises(ConfigurationError):
+            node.wake()  # dead silicon is not a parked spare
+        node.recover()
+        assert node.state is NodeState.ACTIVE
+        assert node.execute("m", _images(dataset)).compute_s > 0
+
+    def test_summary_reports_reliability_fields(self, bins):
+        node = ClusterNode("n", num_macros=2, bin=bins[0])
+        node.degrade(1.5)
+        summary = node.summary()
+        assert summary["hazard"] == bins[0].failure_hazard
+        assert summary["degrade_factor"] == 1.5
+        assert summary["bin_speed_factor"] == pytest.approx(bins[0].speed_factor)
+        assert summary["failed"] == 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Hazard-aware scheduling
+# ---------------------------------------------------------------------- #
+class TestHazardScheduling:
+    def _twin_nodes(self, model, hazards):
+        fake_bins = []
+        reference = ChipBinner(seed=11, samples=256).bin_chip(0)
+        for index, hazard in enumerate(hazards):
+            fake_bins.append(
+                dataclasses.replace(
+                    reference, chip_id=f"twin-{index}", failure_hazard=hazard
+                )
+            )
+        nodes = [
+            ClusterNode(b.chip_id, num_macros=NUM_MACROS, bin=b) for b in fake_bins
+        ]
+        for node in nodes:
+            node.register_model("m", model)
+        return nodes
+
+    def test_best_effort_prefers_the_safer_twin(self, trained):
+        dataset, model = trained
+        nodes = self._twin_nodes(model, hazards=(0.2, 0.0))
+        router = ClusterRouter(nodes)
+        request_id = router.submit("m", _images(dataset))
+        assert router.decision(request_id).node_id == "twin-1"
+        router.shutdown()
+
+    def test_latency_class_prefers_the_safer_twin(self, trained):
+        dataset, model = trained
+        nodes = self._twin_nodes(model, hazards=(0.3, 0.0))
+        router = ClusterRouter(nodes)
+        request_id = router.submit(
+            "m", _images(dataset), sla=SLAClass.LATENCY, deadline_s=10.0
+        )
+        assert router.decision(request_id).node_id == "twin-1"
+        router.shutdown()
+
+    def test_zero_hazard_weight_disables_the_penalty(self, trained):
+        dataset, model = trained
+        nodes = self._twin_nodes(model, hazards=(0.3, 0.0))
+        router = ClusterRouter(nodes, scheduler=SLAScheduler(hazard_weight=0.0))
+        request_id = router.submit(
+            "m", _images(dataset), sla=SLAClass.LATENCY, deadline_s=10.0
+        )
+        # Identical estimates, no penalty: node-id tie-break wins.
+        assert router.decision(request_id).node_id == "twin-0"
+        router.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# Fault plans
+# ---------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_events_sort_stably_by_time(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(at_s=2.0, kind=FaultKind.RECOVER, node_id="a"),
+                FaultEvent(at_s=1.0, kind=FaultKind.CRASH, node_id="a"),
+                FaultEvent(at_s=1.0, kind=FaultKind.DEGRADE, node_id="b", factor=2.0),
+            ]
+        )
+        assert [e.kind for e in plan] == [
+            FaultKind.CRASH,
+            FaultKind.DEGRADE,
+            FaultKind.RECOVER,
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at_s=-1.0, kind=FaultKind.CRASH, node_id="a")
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at_s=0.0, kind=FaultKind.STALL, node_id="a")  # no duration
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at_s=0.0, kind=FaultKind.DEGRADE, node_id="a", factor=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.node_crash("a", at_s=2.0, recover_at_s=1.0)
+
+    def test_downtime_and_availability(self):
+        plan = FaultPlan.node_crash("a", at_s=2.0, recover_at_s=6.0)
+        downtime = plan.downtime_s(["a", "b"], span_s=10.0)
+        assert downtime == {"a": 4.0, "b": 0.0}
+        assert plan.availability(["a", "b"], 10.0) == pytest.approx(0.8)
+        # An open crash runs to the span end.
+        open_plan = FaultPlan.node_crash("a", at_s=8.0)
+        assert open_plan.downtime_s(["a"], 10.0)["a"] == pytest.approx(2.0)
+
+    def test_merged_interleaves(self):
+        a = FaultPlan.node_crash("a", at_s=5.0)
+        b = FaultPlan.node_crash("b", at_s=1.0)
+        assert [e.node_id for e in a.merged(b)] == ["b", "a"]
+
+
+# ---------------------------------------------------------------------- #
+# Fault injection through the router
+# ---------------------------------------------------------------------- #
+class TestRouterFaultInjection:
+    def _fleet(self, model, count=3, **node_kwargs):
+        nodes = [
+            ClusterNode(f"n{i}", num_macros=NUM_MACROS, **node_kwargs)
+            for i in range(count)
+        ]
+        for node in nodes:
+            node.register_model("m", model)
+        return nodes
+
+    def test_unknown_node_in_plan_is_rejected(self, trained):
+        _, model = trained
+        nodes = self._fleet(model, count=1)
+        with pytest.raises(ConfigurationError):
+            ClusterRouter(nodes, fault_plan=FaultPlan.node_crash("ghost", at_s=1.0))
+
+    def test_crash_replays_backlog_onto_survivors(self, trained):
+        dataset, model = trained
+        nodes = self._fleet(model)
+        plan = FaultPlan.node_crash("n0", at_s=0.0001)
+        router = ClusterRouter(nodes, fault_plan=plan)
+        images = _images(dataset)
+        # A same-arrival burst builds a backlog before anything dispatches;
+        # affinity pins it all to one node, which then dies.
+        ids = [router.submit("m", images, arrival_s=0.0) for _ in range(12)]
+        victim = router.decision(ids[0]).node_id
+        assert all(router.decision(i).node_id == victim for i in ids)
+        ids.append(router.submit("m", images, arrival_s=0.001))  # passes crash
+        results = router.drain()
+        assert len(results) == len(ids)
+        assert router.completed_requests == len(ids)
+        assert router.replayed_requests > 0
+        reference = model.predict(images)
+        for request_id in ids:
+            assert np.array_equal(router.result(request_id).predictions, reference)
+        # Replayed dispatches are flagged in telemetry; none ran on a
+        # failed node.
+        assert any(trace.replayed for trace in router.telemetry.traces)
+        crashed_after = [
+            t for t in router.telemetry.traces if t.node_id == victim and t.replayed
+        ]
+        assert not crashed_after
+        router.shutdown()
+
+    def test_recovery_returns_the_node_to_rotation(self, trained):
+        dataset, model = trained
+        nodes = self._fleet(model, count=2)
+        plan = FaultPlan.node_crash("n0", at_s=0.0, recover_at_s=0.001)
+        router = ClusterRouter(nodes, fault_plan=plan)
+        router.submit("m", _images(dataset), arrival_s=0.0)
+        router.drain()
+        assert router.node("n0").state is NodeState.FAILED
+        router.submit("m", _images(dataset), arrival_s=0.002)
+        router.drain()
+        assert router.node("n0").state is NodeState.ACTIVE
+        assert [e.kind for e in router.fault_log] == [
+            FaultKind.CRASH,
+            FaultKind.RECOVER,
+        ]
+        router.shutdown()
+
+    def test_whole_fleet_crash_waits_for_scripted_recovery(self, trained):
+        dataset, model = trained
+        nodes = self._fleet(model, count=1)
+        plan = FaultPlan.node_crash("n0", at_s=0.0005, recover_at_s=0.01)
+        router = ClusterRouter(nodes, fault_plan=plan)
+        ids = [router.submit("m", _images(dataset), arrival_s=0.0006 * (i + 1))
+               for i in range(3)]
+        results = router.drain()
+        # Nothing lost: the router advanced virtual time to the recovery.
+        assert len(results) == len(ids)
+        assert router.completed_requests == len(ids)
+        assert router.clock_s >= 0.01
+        router.shutdown()
+
+    def test_validation_errors_still_propagate_during_outage(self, trained):
+        dataset, model = trained
+        nodes = self._fleet(model, count=1)
+        plan = FaultPlan.node_crash("n0", at_s=0.0, recover_at_s=0.01)
+        router = ClusterRouter(nodes, fault_plan=plan)
+        stranded_id = router.submit("m", _images(dataset), arrival_s=0.0)
+        assert router.queue_depth() == 1  # outage strands a valid request
+        # Invalid requests are rejected, outage or not — only the capacity
+        # shortfall may strand admissions.
+        with pytest.raises(ConfigurationError):
+            router.submit(
+                "m", _images(dataset), sla=SLAClass.LATENCY, arrival_s=0.0
+            )
+        assert router.queue_depth() == 1
+        router.submit("m", _images(dataset), arrival_s=0.02)  # past recovery
+        router.drain()
+        assert router.completed_requests == 2
+        router.result(stranded_id)
+        router.shutdown()
+
+    def test_stall_pushes_completion_forward(self, trained):
+        dataset, model = trained
+        nodes = self._fleet(model, count=1)
+        stall = FaultPlan(
+            [FaultEvent(at_s=0.0, kind=FaultKind.STALL, node_id="n0", duration_s=0.5)]
+        )
+        router = ClusterRouter(nodes, fault_plan=stall)
+        request_id = router.submit("m", _images(dataset), arrival_s=0.0)
+        router.drain()
+        trace = router.result(request_id).trace
+        assert trace.start_s >= 0.5  # the hiccup delayed the dispatch
+        router.shutdown()
+
+    def test_degrade_and_restore_shape_latency(self, trained):
+        dataset, model = trained
+        plain_nodes = self._fleet(model, count=1)
+        plain = ClusterRouter(plain_nodes)
+        cold_id = plain.submit("m", _images(dataset), arrival_s=0.0)
+        plain.drain()
+        warm_id = plain.submit("m", _images(dataset), arrival_s=1.0)
+        plain.drain()
+        cold_baseline = plain.result(cold_id).compute_s
+        warm_baseline = plain.result(warm_id).compute_s
+        plain.shutdown()
+
+        nodes = self._fleet(model, count=1)
+        plan = FaultPlan(
+            [
+                FaultEvent(at_s=0.0, kind=FaultKind.DEGRADE, node_id="n0", factor=3.0),
+                FaultEvent(at_s=1.0, kind=FaultKind.RESTORE, node_id="n0"),
+            ]
+        )
+        router = ClusterRouter(nodes, fault_plan=plan)
+        slow_id = router.submit("m", _images(dataset), arrival_s=0.0)  # cold
+        router.drain()
+        fast_id = router.submit("m", _images(dataset), arrival_s=2.0)  # warm
+        router.drain()
+        assert router.result(slow_id).compute_s == pytest.approx(3.0 * cold_baseline)
+        assert router.result(fast_id).compute_s == pytest.approx(warm_baseline)
+        router.shutdown()
+
+    def test_fault_fidelity_exact_vs_analytic(self, trained):
+        dataset, model = trained
+        outcomes = {}
+        for mode in (ExecutionMode.EXACT, ExecutionMode.ANALYTIC):
+            nodes = [
+                ClusterNode(
+                    f"n{i}", num_macros=NUM_MACROS, execution_mode=mode
+                )
+                for i in range(2)
+            ]
+            for node in nodes:
+                node.register_model("m", model)
+            plan = FaultPlan.node_crash("n0", at_s=0.0002, recover_at_s=0.01)
+            router = ClusterRouter(nodes, fault_plan=plan)
+            for i in range(8):
+                router.submit("m", _images(dataset), arrival_s=0.0001 * i)
+            router.drain()
+            outcomes[mode] = (
+                [
+                    (t.request_id, t.node_id, t.start_s, t.finish_s, t.energy_j,
+                     t.replayed)
+                    for t in router.telemetry.traces
+                ],
+                router.ledger().total_cycles,
+                router.ledger().total_energy_j,
+            )
+            router.shutdown()
+        assert outcomes[ExecutionMode.EXACT] == outcomes[ExecutionMode.ANALYTIC]
+
+
+# ---------------------------------------------------------------------- #
+# Autoscaler failure pressure
+# ---------------------------------------------------------------------- #
+class TestFailurePressure:
+    def test_crash_with_backlog_wakes_a_spare(self, trained):
+        dataset, model = trained
+        nodes = [ClusterNode(f"n{i}", num_macros=NUM_MACROS) for i in range(3)]
+        for node in nodes:
+            node.register_model("m", model)
+        nodes[2].park()  # the spare
+        plan = FaultPlan.node_crash("n0", at_s=0.0)
+        router = ClusterRouter(nodes, fault_plan=plan)
+        autoscaler = ReactiveAutoscaler(router, min_active=1, park_after_idle=1000)
+        router.submit("m", _images(dataset), arrival_s=0.0)
+        router.submit("m", _images(dataset), arrival_s=0.0)
+        actions = autoscaler.observe()
+        assert [a.action for a in actions] == ["wake"]
+        assert "failure pressure" in actions[0].reason
+        assert router.node("n2").state is NodeState.ACTIVE
+        router.drain()
+        assert router.completed_requests == 2
+        router.shutdown()
+
+    def test_no_failure_no_spurious_wake(self, trained):
+        dataset, model = trained
+        nodes = [ClusterNode(f"n{i}", num_macros=NUM_MACROS) for i in range(2)]
+        for node in nodes:
+            node.register_model("m", model)
+        nodes[1].park()
+        router = ClusterRouter(nodes)
+        autoscaler = ReactiveAutoscaler(router, min_active=1, park_after_idle=1000)
+        router.submit("m", _images(dataset), arrival_s=0.0)
+        assert autoscaler.observe() == []  # below wake_queue_depth, no fault
+        router.drain()
+        router.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# Property: conservation of requests across arbitrary fault plans
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def tiny(trained):
+    return trained
+
+
+class TestConservationProperty:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        crash_at=st.floats(min_value=0.0, max_value=0.002),
+        recover_gap=st.one_of(
+            st.none(), st.floats(min_value=1e-4, max_value=0.005)
+        ),
+        victim=st.integers(min_value=0, max_value=2),
+        second_kind=st.sampled_from(["none", "stall", "degrade", "crash"]),
+        burst=st.integers(min_value=1, max_value=10),
+        spread=st.floats(min_value=0.0, max_value=0.003),
+    )
+    def test_no_request_lost_or_duplicated(
+        self, tiny, crash_at, recover_gap, victim, second_kind, burst, spread
+    ):
+        dataset, model = tiny
+        nodes = [ClusterNode(f"n{i}", num_macros=NUM_MACROS) for i in range(3)]
+        for node in nodes:
+            node.register_model("m", model)
+        events = [
+            FaultEvent(at_s=crash_at, kind=FaultKind.CRASH, node_id=f"n{victim}")
+        ]
+        if recover_gap is not None:
+            events.append(
+                FaultEvent(
+                    at_s=crash_at + recover_gap,
+                    kind=FaultKind.RECOVER,
+                    node_id=f"n{victim}",
+                )
+            )
+        other = f"n{(victim + 1) % 3}"
+        if second_kind == "stall":
+            events.append(
+                FaultEvent(
+                    at_s=crash_at / 2, kind=FaultKind.STALL, node_id=other,
+                    duration_s=0.001,
+                )
+            )
+        elif second_kind == "degrade":
+            events.append(
+                FaultEvent(
+                    at_s=0.0, kind=FaultKind.DEGRADE, node_id=other, factor=2.5
+                )
+            )
+        elif second_kind == "crash":
+            events.append(
+                FaultEvent(at_s=crash_at, kind=FaultKind.CRASH, node_id=other)
+            )
+        router = ClusterRouter(nodes, fault_plan=FaultPlan(events))
+        images = dataset.test_images[:2]
+        ids = []
+        for index in range(burst):
+            arrival = spread * index / burst
+            ids.append(router.submit("m", images, arrival_s=arrival))
+        results = router.drain()
+
+        # Conservation: every admitted request completes exactly once.
+        assert router.completed_requests == len(ids)
+        assert router.failed_requests == 0
+        assert router.queue_depth() == 0
+        returned = sorted(r.request_id for r in results)
+        assert returned == sorted(ids)  # no duplicates in the drain stream
+        for request_id in ids:
+            router.result(request_id)  # every id resolvable
+        router.shutdown()
