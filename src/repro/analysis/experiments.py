@@ -1031,6 +1031,7 @@ def million_request_trace_study(
     drain_every: int = 64,
     seed: int = 13,
     execution_mode: str = "analytic",
+    kernel: str = "object",
 ) -> Dict[str, MillionRequestTracePoint]:
     """Compare fleets over a synthesised trace of up to 10^6 modeled requests.
 
@@ -1049,6 +1050,12 @@ def million_request_trace_study(
     latency: ``load`` times the modeled capacity of a fleet of that many
     fast nodes, so the same trace pressures every fleet identically while
     staying inside the modeled service capacity of the fast configuration.
+
+    ``kernel`` selects the router implementation: ``"object"`` replays the
+    trace through the per-request object router, ``"columnar"`` through the
+    vectorized :class:`repro.cluster.EventKernel` — the study's numbers are
+    bit-identical either way (the fidelity contract the differential tests
+    pin); the columnar kernel just gets there much faster.
 
     Returns ``{fleet_name: MillionRequestTracePoint}``.
     """
@@ -1174,13 +1181,13 @@ def million_request_trace_study(
             )
             for index, vdd in enumerate(vdds)
         ]
-        with ClusterRouter(nodes) as router:
+        with ClusterRouter(nodes, kernel=kernel) as router:
             for model_id, model in models.items():
                 router.register_model(model_id, model)
             stats = replay(router, trace, pool, drain_every=drain_every)
 
             telemetry = router.telemetry
-            latency_traces = telemetry.traces_for(sla=SLAClass.LATENCY.value)
+            fleet_summary = telemetry.summary()
             cluster_ledger = router.ledger()
             part_cycles = sum(node.ledger().total_cycles for node in nodes)
             part_energy = sum(node.ledger().total_energy_j for node in nodes)
@@ -1191,12 +1198,14 @@ def million_request_trace_study(
                 fleet=fleet_name,
                 vdds=tuple(vdds),
                 scenario=trace.scenario,
-                requests=len(telemetry.traces),
-                images=sum(t.images for t in telemetry.traces),
+                requests=int(fleet_summary["requests"]),
+                images=int(fleet_summary["images"]),
                 wall_s=stats["wall_s"],
                 requests_per_s=stats["requests_per_s"],
                 images_per_s=stats["images_per_s"],
-                latency_requests=len(latency_traces),
+                latency_requests=telemetry.request_count(
+                    sla=SLAClass.LATENCY.value
+                ),
                 latency_miss_rate=telemetry.deadline_miss_rate(
                     sla=SLAClass.LATENCY.value
                 ),
@@ -1204,13 +1213,8 @@ def million_request_trace_study(
                 throughput_energy_per_image_j=telemetry.energy_per_image_j(
                     sla=SLAClass.THROUGHPUT.value
                 ),
-                total_energy_j=sum(t.energy_j for t in telemetry.traces),
-                affinity_hit_rate=(
-                    sum(t.affinity_hit for t in telemetry.traces)
-                    / len(telemetry.traces)
-                    if telemetry.traces
-                    else 0.0
-                ),
+                total_energy_j=fleet_summary["energy_j"],
+                affinity_hit_rate=fleet_summary["affinity_hit_rate"],
                 memo_entries=len(memo),
                 memo_hits=memo.hits,
                 memo_misses=memo.misses,
@@ -1332,6 +1336,7 @@ def fleet_reliability_study(
     drain_every: int = 64,
     seed: int = 13,
     execution_mode: str = "analytic",
+    kernel: str = "object",
 ) -> Dict[str, FleetReliabilityPoint]:
     """Serve one trace through crash/degrade scenarios on a binned fleet.
 
@@ -1355,6 +1360,10 @@ def fleet_reliability_study(
     * **deadline-miss CDF** — how far the latency class degrades while
       capacity is out,
     * **replay overhead** — how many requests needed re-placement.
+
+    ``kernel`` selects the router implementation (``"object"`` or
+    ``"columnar"``); fault application, replays, autoscaler actions and
+    every reported number are bit-identical across the two.
 
     Returns ``{scenario: FleetReliabilityPoint}``.
     """
@@ -1452,7 +1461,7 @@ def fleet_reliability_study(
             node.park()  # spares wait for failure/backlog pressure
         plan = _reliability_fault_plan(scenario, serving_ids, span_s)
         with ClusterRouter(
-            nodes, scheduler=SLAScheduler(), fault_plan=plan
+            nodes, scheduler=SLAScheduler(), fault_plan=plan, kernel=kernel
         ) as router:
             autoscaler = ReactiveAutoscaler(
                 router,
@@ -1467,7 +1476,6 @@ def fleet_reliability_study(
             )
 
             telemetry = router.telemetry
-            latency_traces = telemetry.traces_for(sla=SLAClass.LATENCY.value)
             cluster_ledger = router.ledger()
             part_cycles = sum(node.ledger().total_cycles for node in nodes)
             part_energy = sum(node.ledger().total_energy_j for node in nodes)
@@ -1491,7 +1499,9 @@ def fleet_reliability_study(
                 scripted_availability=plan.availability(serving_ids, span_s),
                 served_availability=completed / requests if requests else 1.0,
                 autoscaler_actions=len(autoscaler.actions),
-                latency_requests=len(latency_traces),
+                latency_requests=telemetry.request_count(
+                    sla=SLAClass.LATENCY.value
+                ),
                 latency_miss_rate=telemetry.deadline_miss_rate(
                     sla=SLAClass.LATENCY.value
                 ),
@@ -1499,7 +1509,7 @@ def fleet_reliability_study(
                     sla=SLAClass.LATENCY.value
                 ),
                 mean_latency_s=telemetry.mean_latency_s(),
-                total_energy_j=sum(t.energy_j for t in telemetry.traces),
+                total_energy_j=telemetry.total_energy_j(),
                 wall_s=stats["wall_s"],
                 requests_per_s=stats["requests_per_s"],
                 ledger_cycles=cluster_ledger.total_cycles,

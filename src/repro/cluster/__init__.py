@@ -31,6 +31,7 @@ Typical wiring::
 """
 
 from repro.cluster.autoscale import ReactiveAutoscaler, ScalingAction
+from repro.cluster.kernel import ColumnarTelemetry, EventKernel
 from repro.cluster.node import (
     ClusterNode,
     ExecutionMode,
@@ -64,6 +65,8 @@ __all__ = [
     "ClusterResult",
     "ClusterRouter",
     "ClusterTelemetry",
+    "ColumnarTelemetry",
+    "EventKernel",
     "ExecutionMode",
     "ForwardMemo",
     "NoActiveNodesError",

@@ -82,7 +82,10 @@ class ReactiveAutoscaler:
         }
         #: Traces seen as of the previous observation; starts at zero so the
         #: first observe() treats pre-attachment history as fresh traffic.
+        #: Counter-based (not a trace-list slice) so the probe works over
+        #: the columnar telemetry too, which may not retain trace rows.
         self._traces_seen = 0
+        self._deadline_traces_seen = 0
 
     # ------------------------------------------------------------------ #
     # Rung arithmetic
@@ -120,9 +123,11 @@ class ReactiveAutoscaler:
         # window alive.  Miss pressure therefore requires *deadline-class*
         # traffic since the last observation: without it the fleet may
         # decay (park / retune down) normally.
-        new_traces = router.telemetry.traces[self._traces_seen :]
-        self._traces_seen = len(router.telemetry.traces)
-        latency_traffic = any(trace.deadline_s is not None for trace in new_traces)
+        trace_count = router.telemetry.trace_count
+        deadline_count = router.telemetry.deadline_trace_count
+        latency_traffic = deadline_count > self._deadline_traces_seen
+        self._traces_seen = trace_count
+        self._deadline_traces_seen = deadline_count
         miss_pressure = latency_traffic and miss_rate > self.miss_rate_threshold
 
         # Update idle tracking before acting: a node is idle this step when

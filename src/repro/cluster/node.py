@@ -31,7 +31,7 @@ import enum
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -297,6 +297,10 @@ class ClusterNode:
         self._estimate_cache: Dict[Tuple, RequestEstimate] = {}
         #: Ledgers of chips retired by :meth:`retune`.
         self._retired = MacroStatistics()
+        #: Called (no args) just before the chip/engine are torn down and
+        #: rebuilt (retune).  The columnar kernel registers a flush here so
+        #: its deferred charges land on the engine they were priced against.
+        self._pre_mutate_hooks: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------ #
     # Operating point
@@ -344,6 +348,8 @@ class ClusterNode:
         """
         if vdd == self.vdd:
             return
+        for hook in self._pre_mutate_hooks:
+            hook()
         for server in self._servers.values():
             server.stop()  # retire worker threads with the old engine
         self._retired.merge(self.chip.stats)

@@ -99,13 +99,37 @@ class ClusterRouter:
         telemetry: Optional[ClusterTelemetry] = None,
         coalesce: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        kernel: str = "object",
+        retain_results: bool = True,
     ) -> None:
+        #: Set first: ``clock_s``/``replayed_placements`` are properties that
+        #: consult the delegate, and __init__ assigns through them below.
+        self._impl = None
         nodes = list(nodes)
         if not nodes:
             raise ConfigurationError("a cluster needs at least one node")
         ids = [node.node_id for node in nodes]
         if len(set(ids)) != len(ids):
             raise ConfigurationError(f"node ids must be unique, got {ids}")
+        if kernel not in ("object", "columnar"):
+            raise ConfigurationError(
+                f"kernel must be 'object' or 'columnar', got {kernel!r}"
+            )
+        if kernel == "object" and not retain_results:
+            raise ConfigurationError(
+                "retain_results=False needs kernel='columnar' (the object "
+                "router always materializes results)"
+            )
+        self.kernel = kernel
+        if kernel == "columnar":
+            from repro.cluster.kernel import ColumnarTelemetry
+
+            if telemetry is None:
+                telemetry = ColumnarTelemetry()
+            elif not isinstance(telemetry, ColumnarTelemetry):
+                raise ConfigurationError(
+                    "kernel='columnar' needs a ColumnarTelemetry (or None)"
+                )
         self.nodes = nodes
         self._by_id: Dict[str, ClusterNode] = {node.node_id: node for node in nodes}
         self.scheduler = scheduler if scheduler is not None else SLAScheduler()
@@ -130,9 +154,9 @@ class ClusterRouter:
         #: replay); ids, since one request can strand more than once.
         self._replayed: Set[int] = set()
         #: Total re-placements performed (the replay-overhead numerator).
-        self.replayed_placements = 0
+        self._replayed_placements = 0
         #: Virtual clock: the latest arrival or completion seen so far.
-        self.clock_s = 0.0
+        self._clock_s = 0.0
         self._queues: Dict[str, Deque[Tuple[ClusterRequest, PlacementDecision]]] = {
             node.node_id: deque() for node in nodes
         }
@@ -157,6 +181,36 @@ class ClusterRouter:
         #: Parked nodes whose backlog could not be re-placed (no active
         #: capacity); re-tried when any node wakes.
         self._stranded: Set[str] = set()
+        if kernel == "columnar":
+            from repro.cluster.kernel import EventKernel
+
+            #: The columnar delegate owns the whole serving loop from here
+            #: on; the object-path state above stays untouched (and unused).
+            self._impl = EventKernel(self, retain_results=retain_results)
+
+    # ------------------------------------------------------------------ #
+    # Kernel delegation
+    # ------------------------------------------------------------------ #
+    @property
+    def clock_s(self) -> float:
+        """Virtual clock: the latest arrival or completion seen so far."""
+        if self._impl is not None:
+            return self._impl.clock
+        return self._clock_s
+
+    @clock_s.setter
+    def clock_s(self, value: float) -> None:
+        if self._impl is not None:
+            self._impl.clock = value
+        else:
+            self._clock_s = value
+
+    @property
+    def replayed_placements(self) -> int:
+        """Total re-placements performed (the replay-overhead numerator)."""
+        if self._impl is not None:
+            return self._impl.replayed_placements
+        return self._replayed_placements
 
     # ------------------------------------------------------------------ #
     # Fleet management
@@ -179,6 +233,8 @@ class ClusterRouter:
 
     def queue_depth(self, node_id: Optional[str] = None) -> int:
         """Queued (admitted, not yet executed) requests."""
+        if self._impl is not None:
+            return self._impl.queue_depth(node_id)
         if node_id is not None:
             return len(self._queues[node_id])
         return self._queued_requests
@@ -186,16 +242,22 @@ class ClusterRouter:
     @property
     def completed_requests(self) -> int:
         """Requests that produced a result (the conservation numerator)."""
+        if self._impl is not None:
+            return self._impl.completed_requests
         return len(self._results)
 
     @property
     def failed_requests(self) -> int:
         """Requests whose dispatch raised (re-raised by :meth:`result`)."""
+        if self._impl is not None:
+            return self._impl.failed_requests
         return len(self._failed)
 
     @property
     def replayed_requests(self) -> int:
         """Distinct requests re-placed after admission (crash/park replay)."""
+        if self._impl is not None:
+            return self._impl.replayed_requests
         return len(self._replayed)
 
     # ------------------------------------------------------------------ #
@@ -326,6 +388,15 @@ class ClusterRouter:
         images for the analytic execution mode's forward memo (two requests
         may share a digest only if their images are identical).
         """
+        if self._impl is not None:
+            return self._impl.submit(
+                model_id,
+                images,
+                sla=sla,
+                deadline_s=deadline_s,
+                arrival_s=arrival_s,
+                input_digest=input_digest,
+            )
         images = np.asarray(images, dtype=np.float64)
         if images.ndim != 4 or images.shape[0] == 0:
             raise ConfigurationError(
@@ -515,7 +586,7 @@ class ClusterRouter:
             self._enqueue(target.node_id, request, decision)
             self._decisions[request.request_id] = decision
             self._replayed.add(request.request_id)
-            self.replayed_placements += 1
+            self._replayed_placements += 1
         self._stranded.discard(node_id)
 
     def _select_head(self) -> Optional[Tuple[str, float]]:
@@ -684,11 +755,15 @@ class ClusterRouter:
         result is returned and the others are retrievable via
         :meth:`result` (:meth:`drain` returns every completed result).
         """
+        if self._impl is not None:
+            return self._impl.dispatch_next()
         results = self._dispatch_group()
         return results[0] if results else None
 
     def drain(self) -> List[ClusterResult]:
         """Execute the whole backlog in earliest-start order."""
+        if self._impl is not None:
+            return self._impl.drain()
         completed: List[ClusterResult] = []
         while True:
             results = self._dispatch_group()
@@ -696,12 +771,38 @@ class ClusterRouter:
                 return completed
             completed.extend(results)
 
+    def replay_trace(
+        self, trace, image_pool, drain_every: int = 64, autoscaler=None
+    ) -> Dict[str, float]:
+        """Stream a workload trace through the router in arrival order.
+
+        Same observable behaviour as :func:`repro.cluster.workload.replay`
+        (same pool-slot rotation, drain cadence and autoscaler observation
+        points).  On the columnar kernel, steady-state chunks run the
+        kernel's batch admission+dispatch loop — the fast way to replay
+        multi-million-request traces; the object kernel takes the
+        per-request loop (it *is* the oracle).
+        """
+        if self._impl is not None:
+            return self._impl.replay_trace(
+                trace, image_pool, drain_every=drain_every,
+                autoscaler=autoscaler,
+            )
+        from repro.cluster.workload import replay
+
+        return replay(
+            self, trace, image_pool, drain_every=drain_every,
+            autoscaler=autoscaler,
+        )
+
     def result(self, request_id: int) -> ClusterResult:
         """The completed result of a request.
 
         Re-raises the original execution failure if the request's dispatch
         failed, and raises :class:`ConfigurationError` while it is queued.
         """
+        if self._impl is not None:
+            return self._impl.result(request_id)
         if request_id in self._failed:
             raise self._failed[request_id]
         if request_id not in self._results:
@@ -712,6 +813,8 @@ class ClusterRouter:
 
     def decision(self, request_id: int) -> PlacementDecision:
         """The admission-time placement decision of a request."""
+        if self._impl is not None:
+            return self._impl.decision(request_id)
         if request_id not in self._decisions:
             raise ConfigurationError(f"unknown request {request_id}")
         return self._decisions[request_id]
@@ -721,6 +824,9 @@ class ClusterRouter:
     # ------------------------------------------------------------------ #
     def shutdown(self) -> None:
         """Stop every node's server workers (idempotent)."""
+        if self._impl is not None:
+            self._impl.shutdown()
+            return
         for node in self.nodes:
             node.shutdown()
 
@@ -735,6 +841,8 @@ class ClusterRouter:
     # ------------------------------------------------------------------ #
     def ledger(self) -> MacroStatistics:
         """Cluster-level ledger: the merge of every node's lifetime ledger."""
+        if self._impl is not None:
+            self._impl.flush_all()
         merged = MacroStatistics()
         for node in self.nodes:
             merged.merge(node.ledger())
@@ -742,6 +850,8 @@ class ClusterRouter:
 
     def summary(self) -> Dict[str, object]:
         """Fleet-wide report: telemetry aggregates plus per-node summaries."""
+        if self._impl is not None:
+            self._impl.flush_all()
         return {
             "clock_s": self.clock_s,
             "queue_depth": float(self.queue_depth()),

@@ -145,6 +145,11 @@ class ClusterTelemetry:
             raise ValueError("window must be positive")
         self.window = window
         self.traces: List[RequestTrace] = []
+        #: Traces recorded with a deadline attached, maintained as a counter
+        #: so the autoscaler's "any latency traffic yet?" probe is O(1) —
+        #: and identical across this log and the columnar one (which may
+        #: not retain the rows the probe would otherwise scan).
+        self.deadline_trace_count = 0
         self._recent: Deque[RequestTrace] = deque(maxlen=window)
         #: Per-model dispatch counts over the sliding window, maintained
         #: incrementally: the scheduler reads model heat on every admission,
@@ -157,6 +162,8 @@ class ClusterTelemetry:
     def record(self, trace: RequestTrace) -> None:
         """Append one routed request to the log and the sliding window."""
         self.traces.append(trace)
+        if trace.deadline_s is not None:
+            self.deadline_trace_count += 1
         counts = self._recent_model_counts
         if len(self._recent) == self.window:
             evicted = self._recent[0].model_id
@@ -204,6 +211,21 @@ class ClusterTelemetry:
     # ------------------------------------------------------------------ #
     # Whole-history aggregates
     # ------------------------------------------------------------------ #
+    @property
+    def trace_count(self) -> int:
+        """Requests recorded so far (shared API with the columnar log)."""
+        return len(self.traces)
+
+    def request_count(self, sla: Optional[str] = None) -> int:
+        """Requests recorded so far, optionally restricted to one class."""
+        if sla is None:
+            return len(self.traces)
+        return sum(trace.sla == sla for trace in self.traces)
+
+    def total_energy_j(self) -> float:
+        """Total modeled energy over the full log."""
+        return sum(trace.energy_j for trace in self.traces)
+
     def traces_for(
         self, sla: Optional[str] = None, model_id: Optional[str] = None
     ) -> List[RequestTrace]:

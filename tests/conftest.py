@@ -1,12 +1,53 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures, hypothesis profiles and markers for the test suite.
+
+Hypothesis settings are centralised here instead of per-module
+``settings.register_profile`` calls so every property-based module runs
+under the same policy:
+
+* ``ci`` (default) — derandomized, bounded example counts, no deadline
+  (CI machines are noisy; a slow example is not a failing example);
+* ``nightly`` — ten times the examples, randomized, for the scheduled
+  full-fidelity tier (select with ``REPRO_HYPOTHESIS_PROFILE=nightly``).
+
+The ``slow`` marker is registered here (there is no pytest.ini); the CI
+test matrix deselects it with ``-m "not slow"`` while tier-1 and the
+nightly tier run everything.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core import IMCMacro, MacroConfig
 from repro.dnn import make_classification_dataset
 from repro.tech import CALIBRATED_28NM, OperatingPoint, default_macro_calibration
+
+settings.register_profile(
+    "ci",
+    max_examples=30,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+settings.register_profile(
+    "nightly",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: heavyweight differential/property cases; the per-PR CI "
+        'matrix deselects them with -m "not slow", tier-1 and nightly '
+        "run them",
+    )
 
 
 @pytest.fixture(scope="session")

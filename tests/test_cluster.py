@@ -21,6 +21,7 @@ from repro.cluster import (
 )
 from repro.dnn import make_pattern_image_dataset, train_pattern_cnn
 from repro.errors import ConfigurationError
+from repro.utils.validation import check_ledger_conservation
 
 NUM_MACROS = 16
 
@@ -400,13 +401,9 @@ class TestRouterAccounting:
         router.nodes[2].retune(1.0)
         router.submit("a", dataset.test_images[:2], sla=SLAClass.BEST_EFFORT)
         router.drain()
-        cluster = router.ledger()
-        parts = [node.ledger() for node in router.nodes]
-        assert cluster.total_cycles == sum(p.total_cycles for p in parts)
-        assert cluster.total_energy_j == pytest.approx(
-            sum(p.total_energy_j for p in parts), rel=1e-12
+        check_ledger_conservation(
+            router.ledger(), [node.ledger() for node in router.nodes]
         )
-        assert cluster.total_operations == sum(p.total_operations for p in parts)
 
     def test_virtual_time_is_monotonic_and_fifo_per_node(self, trained):
         dataset, model_a, _ = trained

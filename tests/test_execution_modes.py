@@ -27,6 +27,7 @@ from repro.core.config import MacroConfig
 from repro.core.matmul import TiledMatmulEngine
 from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
 from repro.errors import ConfigurationError
+from repro.utils.validation import check_ledger_conservation
 
 
 def _engine(num_macros=4, **kwargs):
@@ -267,6 +268,11 @@ class TestRouterFidelity:
             router.drain()
             traces = list(router.telemetry.traces)
             ledger = router.ledger()
+            # Every mode/coalescing configuration must satisfy the same
+            # conservation law: cluster ledger == sum of node ledgers.
+            check_ledger_conservation(
+                ledger, [node.ledger() for node in nodes]
+            )
             predictions = {
                 i: router.result(i).predictions for i in range(12)
             }

@@ -2,7 +2,7 @@
 bit-exact equivalence between the in-memory arithmetic and ordinary integers."""
 
 import numpy as np
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.baselines.bitserial import BitSerialIMC
 from repro.baselines.logicfa import LogicGateRippleAdder
@@ -30,10 +30,9 @@ def _macro(precision: int) -> IMCMacro:
     return _MACROS[precision]
 
 
-settings.register_profile(
-    "repro", max_examples=30, suppress_health_check=[HealthCheck.function_scoped_fixture]
-)
-settings.load_profile("repro")
+# Hypothesis policy (example counts, derandomization, health checks) comes
+# from the shared profiles in conftest.py: "ci" by default, "nightly" via
+# REPRO_HYPOTHESIS_PROFILE=nightly.
 
 
 # ---------------------------------------------------------------------- #

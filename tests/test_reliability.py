@@ -11,7 +11,7 @@ import dataclasses
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.cluster import (
     ClusterNode,
@@ -34,6 +34,7 @@ from repro.reliability import (
     FaultPlan,
 )
 from repro.tech.calibration import default_macro_calibration
+from repro.utils.validation import check_ledger_conservation
 
 NUM_MACROS = 16
 
@@ -502,6 +503,11 @@ class TestRouterFaultInjection:
                 router.ledger().total_cycles,
                 router.ledger().total_energy_j,
             )
+            # Fault plans (crash + replay) must not leak charge out of the
+            # cluster-vs-node conservation law in either mode.
+            check_ledger_conservation(
+                router.ledger(), [node.ledger() for node in nodes]
+            )
             router.shutdown()
         assert outcomes[ExecutionMode.EXACT] == outcomes[ExecutionMode.ANALYTIC]
 
@@ -552,11 +558,9 @@ def tiny(trained):
 
 
 class TestConservationProperty:
-    @settings(
-        max_examples=25,
-        deadline=None,
-        suppress_health_check=[HealthCheck.function_scoped_fixture],
-    )
+    # Example counts / deadline / health-check policy come from the shared
+    # hypothesis profiles in conftest.py ("ci" by default, "nightly" via
+    # REPRO_HYPOTHESIS_PROFILE).
     @given(
         crash_at=st.floats(min_value=0.0, max_value=0.002),
         recover_gap=st.one_of(
