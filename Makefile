@@ -10,8 +10,10 @@
 #                     CI tier, locally; 10^6-request traces — minutes)
 #   make bench-check  compare results against benchmarks/baselines.json
 #   make ci           the full GitHub Actions pipeline, locally:
-#                     lint -> tests -> coverage -> bench smoke -> regression
+#                     lint -> docs links -> tests -> coverage ->
+#                     bench smoke -> regression
 #   make docs-check   documentation-consistency tests only
+#   make docs-links   internal markdown link/anchor checker
 #   make chip-bench   just the sharded multi-macro scaling benchmark
 #   make examples     run every example script end-to-end
 
@@ -26,20 +28,21 @@ TRACKED_BENCHES := benchmarks/bench_chip_scaling.py \
                    benchmarks/bench_cluster_scheduling.py \
                    benchmarks/bench_router_throughput.py \
                    benchmarks/bench_fleet_reliability.py \
-                   benchmarks/bench_event_kernel.py
+                   benchmarks/bench_event_kernel.py \
+                   benchmarks/bench_gateway_throughput.py
 
 #: Coverage floor the CI coverage job enforces (keep in sync with ci.yml).
 COV_FAIL_UNDER := 81
 
-.PHONY: test lint coverage bench bench-smoke bench-full bench-check ci docs-check chip-bench examples clean
+.PHONY: test lint coverage bench bench-smoke bench-full bench-check ci docs-check docs-links chip-bench examples clean
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src tests benchmarks examples && \
-		ruff format --check src tests benchmarks examples; \
+		ruff check src tests benchmarks examples tools && \
+		ruff format --check src tests benchmarks examples tools; \
 	else \
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
@@ -66,6 +69,7 @@ bench-check:
 # (bench-check must read the JSON bench-smoke just wrote).
 ci:
 	$(MAKE) lint
+	$(MAKE) docs-links
 	$(MAKE) test
 	$(MAKE) coverage
 	$(MAKE) bench-smoke
@@ -76,6 +80,9 @@ bench:
 
 docs-check:
 	$(PYTHON) -m pytest tests/test_documentation.py -q
+
+docs-links:
+	$(PYTHON) tools/check_docs_links.py
 
 chip-bench:
 	$(PYTHON) -m pytest benchmarks/bench_chip_scaling.py -q

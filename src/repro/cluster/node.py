@@ -345,6 +345,9 @@ class ClusterNode:
         re-charged) on first touch, exactly the cost the autoscaler weighs
         against the new operating point.  The retired chip's ledger is
         folded into :attr:`_retired` so :meth:`ledger` stays lifetime-exact.
+
+        Args:
+            vdd: The new supply voltage in volts (no-op when unchanged).
         """
         if vdd == self.vdd:
             return
@@ -477,6 +480,18 @@ class ClusterNode:
         On the admission hot path of a trace study the scheduler prices
         every candidate node per request, which makes this cache worth
         roughly two orders of magnitude of router throughput.
+
+        Args:
+            model_id: A model previously passed to ``register_model``.
+            images: ``(batch, channels, height, width)`` float64 tensor
+                (only its geometry matters to the price).
+
+        Returns:
+            The request's :class:`RequestEstimate` (modeled latency,
+            energy and programming need).
+
+        Raises:
+            ConfigurationError: The model is not registered on this node.
         """
         images_shape = np.shape(images)
         if model_id not in self._models:
@@ -543,14 +558,25 @@ class ClusterNode:
     ) -> NodeDispatch:
         """Run one request through the node's serving path.
 
-        Returns the *measured* modeled compute time / energy of the batches
-        the request produced (programming charges included when the weights
-        were cold), which is what the router advances the node's virtual
-        clock by.  ``input_digest`` is an optional caller-supplied identity
-        of the request's images (trace generators know their pool indices);
-        the analytic mode memoises forwards by it instead of hashing the
-        image bytes.  Two requests may share a digest only if their images
-        are identical — the sampled spot checks guard the contract.
+        Args:
+            model_id: A model previously passed to ``register_model``.
+            images: ``(batch, channels, height, width)`` float64 tensor.
+            input_digest: Optional caller-supplied identity of the
+                request's images (trace generators know their pool
+                indices); the analytic mode memoises forwards by it
+                instead of hashing the image bytes.  Two requests may
+                share a digest only if their images are identical — the
+                sampled spot checks guard the contract.
+
+        Returns:
+            The :class:`NodeDispatch` with the *measured* modeled compute
+            time / energy of the batches the request produced (programming
+            charges included when the weights were cold), which is what
+            the router advances the node's virtual clock by.
+
+        Raises:
+            ConfigurationError: The node is parked/failed, or the model is
+                not registered.
         """
         if self.state is not NodeState.ACTIVE:
             raise ConfigurationError(

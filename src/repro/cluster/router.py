@@ -200,6 +200,7 @@ class ClusterRouter:
 
     @clock_s.setter
     def clock_s(self, value: float) -> None:
+        """Advance the virtual clock (delegates to the active kernel)."""
         if self._impl is not None:
             self._impl.clock = value
         else:
@@ -378,15 +379,27 @@ class ClusterRouter:
         arrival_s: Optional[float] = None,
         input_digest: Optional[str] = None,
     ) -> int:
-        """Admit one request; returns its id.
+        """Admit one request into the cluster.
 
-        ``arrival_s`` pins the request's position on the virtual clock
-        (workload generators use it to model inter-arrival gaps); omitted,
-        the request arrives "now".  The chosen node's virtual clock is
-        reserved through the request's modeled finish so later admissions
-        queue behind it.  ``input_digest`` optionally names the request's
-        images for the analytic execution mode's forward memo (two requests
-        may share a digest only if their images are identical).
+        The chosen node's virtual clock is reserved through the request's
+        modeled finish so later admissions queue behind it.
+
+        Args:
+            model_id: A model previously passed to ``register_model``.
+            images: ``(batch, channels, height, width)`` float64 tensor.
+            sla: The request's service class (latency / throughput /
+                best effort).
+            deadline_s: Virtual-time deadline; required for (and only
+                meaningful to) the latency class.
+            arrival_s: Pins the request's position on the virtual clock
+                (workload generators use it to model inter-arrival gaps);
+                omitted, the request arrives "now".
+            input_digest: Optionally names the request's images for the
+                analytic execution mode's forward memo (two requests may
+                share a digest only if their images are identical).
+
+        Returns:
+            The request id to pass to :meth:`result`.
         """
         if self._impl is not None:
             return self._impl.submit(
@@ -484,10 +497,11 @@ class ClusterRouter:
     # Dispatch
     # ------------------------------------------------------------------ #
     def _rebuild_reservation(self, node_id: str) -> None:
-        """Re-derive a node's reserved clock from its measured completion
-        time plus the modeled span of everything still queued on it.
+        """Re-derive a node's reserved clock from measured reality.
 
-        Each queued decision contributes its own span (est_finish - est_start
+        The reservation becomes the node's measured completion time plus
+        the modeled span of everything still queued on it.  Each queued
+        decision contributes its own span (est_finish - est_start
         at admission), re-chained from reality — this is how reservations
         stay exact when a dispatch finishes (or fails) at a different time
         than its admission-time estimate assumed.
@@ -754,6 +768,10 @@ class ClusterRouter:
         dispatch may complete several requests at once; the head request's
         result is returned and the others are retrievable via
         :meth:`result` (:meth:`drain` returns every completed result).
+
+        Returns:
+            The head :class:`ClusterResult`, or ``None`` when nothing is
+            dispatchable.
         """
         if self._impl is not None:
             return self._impl.dispatch_next()
@@ -761,7 +779,12 @@ class ClusterRouter:
         return results[0] if results else None
 
     def drain(self) -> List[ClusterResult]:
-        """Execute the whole backlog in earliest-start order."""
+        """Execute the whole backlog in earliest-start order.
+
+        Returns:
+            Every :class:`ClusterResult` completed by this call, in
+            completion order.
+        """
         if self._impl is not None:
             return self._impl.drain()
         completed: List[ClusterResult] = []

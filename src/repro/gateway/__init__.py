@@ -1,0 +1,75 @@
+"""Async wire gateway: the cluster behind a real TCP socket.
+
+Everything below :mod:`repro.cluster` serves in-process; this package puts
+the fleet behind a wire.  It has three layers, documented contract-first:
+
+* :mod:`repro.gateway.protocol` — the length-prefixed JSON framing both
+  sides speak.  The normative spec is ``docs/PROTOCOL.md``; a test builds
+  frames from that document's byte layout alone and the server must
+  accept them.
+* :mod:`repro.gateway.server` — :class:`GatewayServer`, a single-event-loop
+  asyncio front end multiplexing many connections onto one (deterministic,
+  virtual-time) :class:`~repro.cluster.ClusterRouter`, with a bounded
+  admission queue, ``BUSY``/retry-after backpressure frames, slow-reader
+  write throttling and graceful drain.  :class:`ThreadedGateway` hosts it
+  for synchronous callers.
+* :mod:`repro.gateway.client` — the SDK: a pooled synchronous
+  :class:`GatewayClient` and a pipelined :class:`AsyncGatewayClient`, both
+  with deterministic retry/backoff honouring the server's hints.
+
+Typical wiring::
+
+    from repro.cluster import ClusterNode, ClusterRouter
+    from repro.gateway import GatewayClient, ThreadedGateway
+
+    router = ClusterRouter([ClusterNode("n0", vdd=1.0, num_macros=8)])
+    router.register_model("cnn", trained_cnn)
+    with ThreadedGateway(router) as gateway:
+        host, port = gateway.server.host, gateway.server.port
+        with GatewayClient(host, port) as client:
+            result = client.predict("cnn", images, sla="throughput")
+
+Operator documentation (tuning queue bounds, reading the latency
+histograms, fault drills) lives in ``docs/OPERATIONS.md``.
+"""
+
+from repro.gateway.client import (
+    AsyncGatewayClient,
+    GatewayBusyError,
+    GatewayClient,
+    GatewayError,
+    GatewayRequestError,
+    GatewayResult,
+)
+from repro.gateway.protocol import (
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    decode_frame,
+    decode_images,
+    encode_frame,
+    encode_images,
+    images_digest,
+    percentile_summary,
+)
+from repro.gateway.server import GatewayServer, ThreadedGateway
+
+__all__ = [
+    "AsyncGatewayClient",
+    "FrameDecoder",
+    "FrameType",
+    "GatewayBusyError",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayRequestError",
+    "GatewayResult",
+    "GatewayServer",
+    "ProtocolError",
+    "ThreadedGateway",
+    "decode_frame",
+    "decode_images",
+    "encode_frame",
+    "encode_images",
+    "images_digest",
+    "percentile_summary",
+]

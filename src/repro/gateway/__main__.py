@@ -1,0 +1,123 @@
+"""Command-line gateway: serve a demo fleet over TCP.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.gateway --port 7421
+    PYTHONPATH=src python -m repro.gateway --port 7421 --nodes 4 \\
+        --max-queue 512 --mode analytic
+
+Trains a small pattern CNN (seeded, a few seconds), builds a mixed-VDD
+fleet, registers the model as ``"cnn"`` and serves until interrupted.
+This is the entry point the operator guide (``docs/OPERATIONS.md``) walks
+through; production embeddings build their own router and hand it to
+:class:`~repro.gateway.server.GatewayServer` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.cluster import ClusterNode, ClusterRouter, ExecutionMode, ForwardMemo
+from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
+from repro.gateway.server import GatewayServer
+
+
+def build_demo_router(
+    nodes: int, num_macros: int, mode: str, coalesce: bool
+) -> ClusterRouter:
+    """Build the demo fleet the CLI serves.
+
+    Args:
+        nodes: Fleet size; even indices get 1.0 V, odd 0.6 V.
+        num_macros: Macros per chip.
+        mode: ``"exact"`` or ``"analytic"`` execution mode.
+        coalesce: Merge adjacent same-model requests into one dispatch.
+
+    Returns:
+        A router with the trained demo model registered as ``"cnn"``.
+    """
+    dataset = make_pattern_image_dataset(samples=150, size=8, seed=13)
+    cnn, _ = train_pattern_cnn(
+        dataset, conv_channels=(1,), hidden_sizes=(4,), epochs=6, seed=13
+    )
+    execution_mode = (
+        ExecutionMode.ANALYTIC if mode == "analytic" else ExecutionMode.EXACT
+    )
+    memo = ForwardMemo() if execution_mode is ExecutionMode.ANALYTIC else None
+    fleet = [
+        ClusterNode(
+            f"node-{index}",
+            vdd=1.0 if index % 2 == 0 else 0.6,
+            num_macros=num_macros,
+            max_batch_size=256,
+            execution_mode=execution_mode,
+            forward_memo=memo,
+        )
+        for index in range(nodes)
+    ]
+    router = ClusterRouter(fleet, coalesce=coalesce)
+    router.register_model("cnn", cnn)
+    return router
+
+
+async def _serve(arguments: argparse.Namespace) -> None:
+    """Run the gateway until cancelled (Ctrl-C)."""
+    router = build_demo_router(
+        arguments.nodes, arguments.num_macros, arguments.mode, arguments.coalesce
+    )
+    server = GatewayServer(
+        router,
+        host=arguments.host,
+        port=arguments.port,
+        max_queue=arguments.max_queue,
+        admission_batch=arguments.admission_batch,
+    )
+    await server.start()
+    print(
+        f"gateway serving model 'cnn' on {server.host}:{server.port} "
+        f"({arguments.nodes} nodes, {arguments.mode} mode, "
+        f"queue bound {arguments.max_queue})"
+    )
+    try:
+        while True:
+            await asyncio.sleep(3600)
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.drain_and_stop()
+        router.shutdown()
+
+
+def main(argv=None) -> int:
+    """Parse arguments and serve; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7421)
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--num-macros", type=int, default=8)
+    parser.add_argument(
+        "--mode", choices=("exact", "analytic"), default="analytic"
+    )
+    parser.add_argument("--max-queue", type=int, default=1024)
+    parser.add_argument("--admission-batch", type=int, default=128)
+    parser.add_argument(
+        "--no-coalesce", dest="coalesce", action="store_false", default=True
+    )
+    arguments = parser.parse_args(argv)
+    try:
+        # On 3.11+ asyncio.Runner turns SIGINT into cancellation of the
+        # main task; _serve absorbs it after draining, so asyncio.run
+        # returns normally and KeyboardInterrupt only escapes if the
+        # signal lands outside the running task.
+        asyncio.run(_serve(arguments))
+    except KeyboardInterrupt:
+        pass
+    print("gateway stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

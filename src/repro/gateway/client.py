@@ -1,0 +1,579 @@
+"""Client SDK for the gateway wire protocol: sync + async, pool + retry.
+
+Two clients share the protocol module and the retry policy:
+
+* :class:`GatewayClient` — synchronous, built on blocking sockets behind a
+  thread-safe connection pool (one request in flight per pooled
+  connection); the ergonomic entry point for scripts and notebooks;
+* :class:`AsyncGatewayClient` — asyncio, one connection, *pipelined*: many
+  requests in flight at once, demultiplexed by the request ``id`` the
+  protocol echoes back.  The load generator's building block.
+
+Both honour the server's explicit backpressure: a ``BUSY`` frame is
+retried after ``max(server hint, base * 2**attempt)`` capped at
+``backoff_cap_s`` (deterministic, no jitter — the hint already spreads
+clients out because it scales with the queue each client observed), up to
+``retries`` attempts, then :class:`GatewayBusyError` propagates.  The
+sleep is injectable, so tests assert the backoff schedule without real
+waiting.
+
+Image tensors are transferred once: the SDK computes the wire content
+digest locally (:func:`~repro.gateway.protocol.images_digest`), optimistically
+sends ``images_ref``, and falls back to a full ``images`` payload when the
+server answers ``unknown_images_ref`` (a restarted server loses its
+cache).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.gateway.protocol import (
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    encode_frame,
+    encode_images,
+    images_digest,
+)
+
+__all__ = [
+    "GatewayError",
+    "GatewayBusyError",
+    "GatewayRequestError",
+    "GatewayResult",
+    "GatewayClient",
+    "AsyncGatewayClient",
+]
+
+
+class GatewayError(RuntimeError):
+    """Base class of every client-side gateway failure."""
+
+
+class GatewayBusyError(GatewayError):
+    """The server refused admission and the retry budget is exhausted.
+
+    Attributes:
+        retry_after_s: The server's last backoff hint in seconds.
+        draining: True when the refusal came from a draining server.
+    """
+
+    def __init__(self, message: str, retry_after_s: float, draining: bool) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.draining = draining
+
+
+class GatewayRequestError(GatewayError):
+    """The server answered with an ERROR frame.
+
+    Attributes:
+        code: The machine-readable error code from the wire.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+@dataclass(frozen=True)
+class GatewayResult:
+    """One successful wire inference: predictions plus the modeled trace.
+
+    Attributes:
+        predictions: Predicted class labels, one per image.
+        request_id: The router-side request id.
+        trace: The modeled telemetry the server returned (node, modeled
+            latency/energy, deadline outcome, execution mode...).
+        images_ref: Content digest under which the server cached the
+            images (present when this request uploaded them).
+        attempts: Admission attempts taken (1 = no BUSY retry).
+        wire_latency_s: Wall-clock send-to-response time of the winning
+            attempt.
+    """
+
+    predictions: np.ndarray
+    request_id: int
+    trace: Dict[str, object]
+    images_ref: Optional[str]
+    attempts: int
+    wire_latency_s: float
+
+
+def _backoff_delay_s(
+    attempt: int, hint_s: float, base_s: float, cap_s: float
+) -> float:
+    """The retry policy both clients share.
+
+    Args:
+        attempt: Zero-based index of the attempt that just got BUSY.
+        hint_s: The server's ``retry_after_s`` hint.
+        base_s: First-retry backoff.
+        cap_s: Upper bound of any single delay.
+
+    Returns:
+        Seconds to wait before the next attempt.
+    """
+    return min(cap_s, max(hint_s, base_s * (2.0**attempt)))
+
+
+def _request_payload(
+    wire_id,
+    model_id: str,
+    images: np.ndarray,
+    ref: str,
+    send_full: bool,
+    sla: str,
+    deadline_s: Optional[float],
+) -> dict:
+    """Build one REQUEST payload, by reference or with the full tensor."""
+    payload: dict = {"id": wire_id, "model_id": model_id, "sla": sla}
+    if deadline_s is not None:
+        payload["deadline_s"] = deadline_s
+    if send_full:
+        payload["images"] = encode_images(images)
+    else:
+        payload["images_ref"] = ref
+    return payload
+
+
+def _result_from_response(payload: dict, attempts: int, latency_s: float) -> GatewayResult:
+    """Convert a RESPONSE payload into a :class:`GatewayResult`."""
+    return GatewayResult(
+        predictions=np.asarray(payload["predictions"]),
+        request_id=int(payload["request_id"]),
+        trace=payload.get("trace", {}),
+        images_ref=payload.get("images_ref"),
+        attempts=attempts,
+        wire_latency_s=latency_s,
+    )
+
+
+class _PooledConnection:
+    """One blocking socket plus its incremental decoder."""
+
+    def __init__(self, host: str, port: int, timeout_s: float) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout_s)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.decoder = FrameDecoder()
+
+    def close(self) -> None:
+        """Close the socket, ignoring teardown races."""
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def roundtrip(self, frame: bytes):
+        """Send one frame and block for the next reply on the stream.
+
+        Unsolicited ``DRAIN`` notices (a server beginning its graceful
+        shutdown) are skipped — the caller still gets its terminal frame.
+
+        Returns:
+            The ``(frame_type, payload)`` of the reply.
+
+        Raises:
+            ConnectionError: If the server closes the stream first.
+        """
+        self.sock.sendall(frame)
+        while True:
+            for decoded in self.decoder.feed(b""):
+                if decoded[0] is not FrameType.DRAIN:
+                    return decoded
+            chunk = self.sock.recv(64 * 1024)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            for decoded in self.decoder.feed(chunk):
+                if decoded[0] is not FrameType.DRAIN:
+                    return decoded
+
+
+class GatewayClient:
+    """Synchronous gateway client with connection pooling and retry.
+
+    Thread-safe: up to ``pool_size`` threads issue requests concurrently,
+    each on its own pooled connection (strict request/response per
+    connection keeps demultiplexing trivial; use
+    :class:`AsyncGatewayClient` for pipelining).
+
+    Args:
+        host: Gateway host.
+        port: Gateway port.
+        pool_size: Maximum concurrently open connections.
+        retries: Admission attempts before :class:`GatewayBusyError`.
+        backoff_base_s: First-retry backoff (doubles per attempt).
+        backoff_cap_s: Upper bound of any single backoff delay.
+        timeout_s: Socket connect/read timeout.
+        sleep: Injectable sleep for the backoff waits (tests pass a
+            recorder; production leaves ``time.sleep``).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 4,
+        retries: int = 6,
+        backoff_base_s: float = 0.01,
+        backoff_cap_s: float = 1.0,
+        timeout_s: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.timeout_s = timeout_s
+        self._sleep = sleep
+        self._idle: List[_PooledConnection] = []
+        self._slots = threading.BoundedSemaphore(pool_size)
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+        self._known_refs: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Pool plumbing
+    # ------------------------------------------------------------------ #
+    def _checkout(self) -> _PooledConnection:
+        """Borrow a pooled connection (opening one when none is idle)."""
+        self._slots.acquire()
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        try:
+            return _PooledConnection(self.host, self.port, self.timeout_s)
+        except BaseException:
+            self._slots.release()
+            raise
+
+    def _checkin(self, connection: Optional[_PooledConnection]) -> None:
+        """Return a connection to the pool (None = it died, drop the slot)."""
+        if connection is not None:
+            with self._lock:
+                self._idle.append(connection)
+        self._slots.release()
+
+    def close(self) -> None:
+        """Close every idle pooled connection (idempotent)."""
+        self._closed = True
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
+
+    def __enter__(self) -> "GatewayClient":
+        """The client is its own context value."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Close the pool on exit."""
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Wire operations
+    # ------------------------------------------------------------------ #
+    def predict(
+        self,
+        model_id: str,
+        images: np.ndarray,
+        sla: str = "best_effort",
+        deadline_s: Optional[float] = None,
+    ) -> GatewayResult:
+        """Run one inference over the wire.
+
+        Args:
+            model_id: Registered model to run.
+            images: ``(batch, channels, height, width)`` image tensor.
+            sla: Wire SLA class name (``latency`` / ``throughput`` /
+                ``best_effort``).
+            deadline_s: Virtual-time deadline (required by the server for
+                the latency class).
+
+        Returns:
+            The :class:`GatewayResult` with predictions and trace.
+
+        Raises:
+            GatewayBusyError: Admission kept failing past the retry budget.
+            GatewayRequestError: The server rejected or failed the request.
+            GatewayError: The connection died repeatedly or the server
+                answered out of protocol.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        ref = images_digest(images)
+        send_full = ref not in self._known_refs
+        last_hint = 0.0
+        draining = False
+        for attempt in range(self.retries + 1):
+            wire_id = next(self._ids)
+            payload = _request_payload(
+                wire_id, model_id, images, ref, send_full, sla, deadline_s
+            )
+            frame_type, reply, latency_s = self._roundtrip(
+                encode_frame(FrameType.REQUEST, payload)
+            )
+            if frame_type is FrameType.RESPONSE:
+                self._known_refs.add(ref)
+                return _result_from_response(reply, attempt + 1, latency_s)
+            if frame_type is FrameType.BUSY:
+                last_hint = float(reply.get("retry_after_s", 0.0))
+                draining = bool(reply.get("draining", False))
+                if attempt < self.retries:
+                    self._sleep(
+                        _backoff_delay_s(
+                            attempt, last_hint, self.backoff_base_s, self.backoff_cap_s
+                        )
+                    )
+                continue
+            if frame_type is FrameType.ERROR:
+                if reply.get("code") == "unknown_images_ref" and not send_full:
+                    # A restarted server lost its cache: re-upload once.
+                    self._known_refs.discard(ref)
+                    send_full = True
+                    continue
+                raise GatewayRequestError(
+                    reply.get("code", "unknown"), reply.get("message", "")
+                )
+            raise GatewayError(f"unexpected frame {frame_type.name} to a request")
+        raise GatewayBusyError(
+            f"server still busy after {self.retries + 1} attempts",
+            retry_after_s=last_hint,
+            draining=draining,
+        )
+
+    def ping(self) -> float:
+        """Round-trip a PING; returns the wall-clock latency in seconds."""
+        _, _, latency_s = self._roundtrip(
+            encode_frame(FrameType.PING, {"id": next(self._ids)})
+        )
+        return latency_s
+
+    def stats(self) -> Dict[str, float]:
+        """Fetch the server's counters via the wire STATS query."""
+        frame_type, reply, _ = self._roundtrip(
+            encode_frame(FrameType.STATS, {"id": next(self._ids)})
+        )
+        if frame_type is not FrameType.STATS:
+            raise GatewayError(f"unexpected frame {frame_type.name} to STATS")
+        return reply["stats"]
+
+    def _roundtrip(self, frame: bytes):
+        """One request/response exchange on a pooled connection.
+
+        Reconnects once on a dead pooled socket (idle connections outlive
+        server restarts); a second consecutive failure propagates.
+
+        Returns:
+            ``(frame_type, payload, wall_latency_s)``.
+        """
+        if self._closed:
+            raise GatewayError("client is closed")
+        connection = self._checkout()
+        try:
+            try:
+                started = time.perf_counter()
+                frame_type, payload = connection.roundtrip(frame)
+            except (ConnectionError, OSError, ProtocolError):
+                # A pooled socket can outlive a server restart: reconnect
+                # once and resend (inference is stateless, so a re-run of
+                # a possibly-served request is safe — see PROTOCOL.md).
+                connection.close()
+                connection = _PooledConnection(self.host, self.port, self.timeout_s)
+                started = time.perf_counter()
+                frame_type, payload = connection.roundtrip(frame)
+        except BaseException:
+            connection.close()
+            self._checkin(None)
+            raise
+        self._checkin(connection)
+        return frame_type, payload, time.perf_counter() - started
+
+
+class AsyncGatewayClient:
+    """Pipelined asyncio client: many requests in flight on one stream.
+
+    A single reader task demultiplexes replies by the echoed request id,
+    so callers simply ``await predict(...)`` concurrently; BUSY retries
+    re-submit under a fresh id after an (injectable) async sleep.
+
+    Args:
+        host: Gateway host.
+        port: Gateway port.
+        retries: Admission attempts before :class:`GatewayBusyError`.
+        backoff_base_s: First-retry backoff (doubles per attempt).
+        backoff_cap_s: Upper bound of any single backoff delay.
+        sleep: Injectable async sleep (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retries: int = 6,
+        backoff_base_s: float = 0.01,
+        backoff_cap_s: float = 1.0,
+        sleep=asyncio.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._sleep = sleep
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._waiters: Dict[object, asyncio.Future] = {}
+        self._ids = itertools.count()
+        self._known_refs: set = set()
+        self.drained = False
+
+    async def connect(self) -> None:
+        """Open the stream and start the demultiplexing reader task."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def close(self) -> None:
+        """Close the stream and cancel the reader task (idempotent)."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+    async def __aenter__(self) -> "AsyncGatewayClient":
+        """Connect on entry."""
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        """Close on exit."""
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        """Route every inbound frame to the future waiting on its id."""
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await self._reader.read(64 * 1024)
+                if not chunk:
+                    raise ConnectionError("server closed the connection")
+                for frame_type, payload in decoder.feed(chunk):
+                    if frame_type is FrameType.DRAIN:
+                        self.drained = True
+                        continue
+                    waiter = self._waiters.pop(payload.get("id"), None)
+                    if waiter is not None and not waiter.done():
+                        waiter.set_result((frame_type, payload))
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - fan the failure out
+            for waiter in self._waiters.values():
+                if not waiter.done():
+                    waiter.set_exception(GatewayError(str(error)))
+            self._waiters.clear()
+
+    async def _exchange(self, frame_type: FrameType, payload: dict):
+        """Send one frame and await the reply frame with the same id."""
+        waiter = asyncio.get_event_loop().create_future()
+        self._waiters[payload["id"]] = waiter
+        self._writer.write(encode_frame(frame_type, payload))
+        await self._writer.drain()
+        return await waiter
+
+    async def predict(
+        self,
+        model_id: str,
+        images: np.ndarray,
+        sla: str = "best_effort",
+        deadline_s: Optional[float] = None,
+    ) -> GatewayResult:
+        """Run one inference over the pipelined stream.
+
+        Args:
+            model_id: Registered model to run.
+            images: ``(batch, channels, height, width)`` image tensor.
+            sla: Wire SLA class name.
+            deadline_s: Virtual-time deadline (latency class).
+
+        Returns:
+            The :class:`GatewayResult`.
+
+        Raises:
+            GatewayBusyError: Admission kept failing past the retry budget.
+            GatewayRequestError: The server rejected or failed the request.
+            GatewayError: The stream failed.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        ref = images_digest(images)
+        send_full = ref not in self._known_refs
+        last_hint = 0.0
+        draining = False
+        for attempt in range(self.retries + 1):
+            wire_id = next(self._ids)
+            started = time.perf_counter()
+            frame_type, reply = await self._exchange(
+                FrameType.REQUEST,
+                _request_payload(
+                    wire_id, model_id, images, ref, send_full, sla, deadline_s
+                ),
+            )
+            latency_s = time.perf_counter() - started
+            if frame_type is FrameType.RESPONSE:
+                self._known_refs.add(ref)
+                return _result_from_response(reply, attempt + 1, latency_s)
+            if frame_type is FrameType.BUSY:
+                last_hint = float(reply.get("retry_after_s", 0.0))
+                draining = bool(reply.get("draining", False))
+                if attempt < self.retries:
+                    await self._sleep(
+                        _backoff_delay_s(
+                            attempt, last_hint, self.backoff_base_s, self.backoff_cap_s
+                        )
+                    )
+                continue
+            if frame_type is FrameType.ERROR:
+                if reply.get("code") == "unknown_images_ref" and not send_full:
+                    self._known_refs.discard(ref)
+                    send_full = True
+                    continue
+                raise GatewayRequestError(
+                    reply.get("code", "unknown"), reply.get("message", "")
+                )
+            raise GatewayError(f"unexpected frame {frame_type.name} to a request")
+        raise GatewayBusyError(
+            f"server still busy after {self.retries + 1} attempts",
+            retry_after_s=last_hint,
+            draining=draining,
+        )
+
+    async def stats(self) -> Dict[str, float]:
+        """Fetch the server's counters via the wire STATS query."""
+        frame_type, reply = await self._exchange(
+            FrameType.STATS, {"id": next(self._ids)}
+        )
+        if frame_type is not FrameType.STATS:
+            raise GatewayError(f"unexpected frame {frame_type.name} to STATS")
+        return reply["stats"]

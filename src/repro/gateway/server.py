@@ -1,0 +1,691 @@
+"""Asyncio TCP gateway multiplexing wire clients onto a ClusterRouter.
+
+:class:`GatewayServer` is the event-driven, non-threaded serving front end
+(one event loop, no worker threads — the CCP-interpreter concurrency model
+from PAPERS.md translated to asyncio):
+
+* every client connection is one reader coroutine feeding an incremental
+  :class:`~repro.gateway.protocol.FrameDecoder`;
+* validated requests land in a *bounded* admission queue — when it is
+  full the client gets an immediate ``BUSY`` frame carrying a
+  ``retry_after_s`` hint instead of unbounded buffering (explicit
+  backpressure, the zero-loss contract: every request is answered with
+  RESPONSE, ERROR or BUSY, nothing is silently dropped);
+* a single dispatcher coroutine drains the admission queue in bounded
+  batches through :meth:`ClusterRouter.submit` / ``drain`` — adjacent
+  same-model requests coalesce inside the router — and streams each
+  response back on its own connection, yielding to the loop between
+  batches so admission and I/O never starve;
+* writes go through ``await writer.drain()``, so a slow reader throttles
+  its own response stream via the transport's flow control instead of
+  growing server buffers;
+* :meth:`drain_and_stop` is the graceful shutdown: new work is refused
+  with ``BUSY {"draining": true}``, everything already admitted completes
+  and is flushed, every connection gets a ``DRAIN`` frame, then sockets
+  close.
+
+:class:`ThreadedGateway` hosts the server loop in a daemon thread for
+synchronous callers (tests, benchmarks, the example scripts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster import ClusterRouter, SLAClass
+from repro.errors import ConfigurationError
+from repro.gateway.protocol import (
+    FrameDecoder,
+    FrameType,
+    MAX_PAYLOAD_BYTES,
+    ProtocolError,
+    decode_images,
+    encode_frame,
+    images_digest,
+)
+
+__all__ = ["GatewayServer", "ThreadedGateway"]
+
+#: Wire names of the SLA classes, straight from the enum values.
+_SLA_BY_WIRE = {sla.value: sla for sla in SLAClass}
+
+
+class _Connection:
+    """Per-connection state: the writer, a decoder, and send accounting."""
+
+    __slots__ = ("reader", "writer", "decoder", "open", "peer")
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_payload: int,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder(max_payload=max_payload)
+        self.open = True
+        peer = writer.get_extra_info("peername")
+        self.peer = f"{peer[0]}:{peer[1]}" if peer else "?"
+
+
+class _Pending:
+    """One admitted request waiting for its router result."""
+
+    __slots__ = ("connection", "wire_id", "router_id", "parsed")
+
+    def __init__(
+        self, connection: _Connection, wire_id, router_id: int, parsed: dict
+    ) -> None:
+        self.connection = connection
+        self.wire_id = wire_id
+        self.router_id = router_id
+        self.parsed = parsed
+
+
+class GatewayServer:
+    """Length-prefixed-JSON TCP front end for a :class:`ClusterRouter`.
+
+    The server owns no models and no fleet — it translates frames into
+    admissions on the router it is given and router results back into
+    frames.  All router interaction happens on the event loop from the
+    single dispatcher coroutine, so the (synchronous, single-threaded)
+    router never sees concurrent calls.
+
+    Args:
+        router: The cluster router requests are admitted to.  Models must
+            already be registered.
+        host: Interface to bind (loopback by default).
+        port: TCP port; 0 picks a free port (read :attr:`port` after
+            :meth:`start`).
+        max_queue: Bound of the admission queue; a request arriving while
+            it is full is refused with a ``BUSY`` frame.
+        admission_batch: Most requests the dispatcher admits+drains per
+            cycle before yielding to the event loop.
+        max_payload_bytes: Per-frame payload cap for this server.
+        min_retry_after_s: Floor of the ``retry_after_s`` hint in ``BUSY``
+            frames.
+    """
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue: int = 1024,
+        admission_batch: int = 128,
+        max_payload_bytes: int = MAX_PAYLOAD_BYTES,
+        min_retry_after_s: float = 0.01,
+    ) -> None:
+        if max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        if admission_batch < 1:
+            raise ConfigurationError("admission_batch must be >= 1")
+        self.router = router
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.admission_batch = admission_batch
+        self.max_payload_bytes = max_payload_bytes
+        self.min_retry_after_s = min_retry_after_s
+        #: Decoded image tensors by content digest (the ``images_ref``
+        #: cache).  Bounded only by distinct payloads seen; an operator
+        #: restarts the gateway to flush it (documented in OPERATIONS.md).
+        self._images_by_ref: Dict[str, np.ndarray] = {}
+        self._admission: List[Tuple[_Connection, dict]] = []
+        self._pending: List[_Pending] = []
+        self._dispatch_wakeup: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._dispatcher_task: Optional[asyncio.Task] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: List[_Connection] = []
+        self._draining = False
+        self._paused = False
+        #: Exponential moving average of per-request service time, the
+        #: basis of the ``retry_after_s`` backpressure hint.
+        self._service_time_ema_s = 0.001
+        self.stats: Dict[str, int] = {
+            "connections_opened": 0,
+            "connections_closed": 0,
+            "frames_received": 0,
+            "requests_received": 0,
+            "requests_admitted": 0,
+            "responses_sent": 0,
+            "responses_dropped": 0,
+            "busy_sent": 0,
+            "errors_sent": 0,
+            "malformed_frames": 0,
+            "pings": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listening socket and start the dispatcher.
+
+        Raises:
+            OSError: If the bind fails (port in use, bad interface).
+        """
+        self._dispatch_wakeup = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher_task = asyncio.ensure_future(self._dispatcher())
+
+    async def drain_and_stop(self) -> None:
+        """Graceful shutdown: refuse new work, finish admitted work, close.
+
+        New ``REQUEST`` frames arriving during the drain are answered with
+        ``BUSY {"draining": true}``.  Once the admission queue and the
+        in-flight batch are empty, every connection receives a ``DRAIN``
+        frame and is closed, then the listener stops.
+        """
+        self._draining = True
+        self._paused = False
+        if self._server is not None:
+            self._server.close()
+        while self._admission or self._pending:
+            self._dispatch_wakeup.set()
+            await asyncio.sleep(0)
+        if self._dispatcher_task is not None:
+            self._dispatcher_task.cancel()
+            try:
+                await self._dispatcher_task
+            except asyncio.CancelledError:
+                pass
+        farewell = encode_frame(
+            FrameType.DRAIN,
+            {
+                "reason": "shutdown",
+                "completed": self.stats["responses_sent"],
+            },
+        )
+        for connection in list(self._connections):
+            if connection.open:
+                try:
+                    connection.writer.write(farewell)
+                    await connection.writer.drain()
+                except (ConnectionError, RuntimeError):
+                    pass
+            await self._close_connection(connection)
+        # One tick for reader coroutines to observe their closed sockets
+        # and finish, so stopping the loop does not strand pending tasks.
+        await asyncio.sleep(0)
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    def pause_dispatch(self) -> None:
+        """Hold the dispatcher (admissions keep queueing until ``BUSY``).
+
+        A test/operations knob: with dispatch paused, offered load beyond
+        ``max_queue`` is refused with ``BUSY`` frames, which is how the
+        backpressure drills produce a deterministic overload.
+        """
+        self._paused = True
+
+    def resume_dispatch(self) -> None:
+        """Release a :meth:`pause_dispatch` hold.
+
+        Safe to call from any thread: the wakeup is marshalled onto the
+        server's loop with ``call_soon_threadsafe`` — a plain
+        ``Event.set()`` from a foreign thread would not interrupt a loop
+        blocked in ``select()``, leaving queued admissions stranded until
+        unrelated I/O happened to arrive.
+        """
+        self._paused = False
+        if self._loop is not None and self._dispatch_wakeup is not None:
+            self._loop.call_soon_threadsafe(self._dispatch_wakeup.set)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Reader loop of one client connection."""
+        connection = _Connection(reader, writer, self.max_payload_bytes)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # Response frames are small; without NODELAY, Nagle + delayed
+            # ACK would add 40 ms stalls to every tail percentile.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._connections.append(connection)
+        self.stats["connections_opened"] += 1
+        try:
+            while True:
+                chunk = await reader.read(64 * 1024)
+                if not chunk:
+                    break
+                try:
+                    for frame_type, payload in connection.decoder.feed(chunk):
+                        self.stats["frames_received"] += 1
+                        await self._handle_frame(connection, frame_type, payload)
+                except ProtocolError as error:
+                    self.stats["malformed_frames"] += 1
+                    await self._send_error(connection, None, "malformed_frame", str(error))
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self._close_connection(connection)
+
+    async def _close_connection(self, connection: _Connection) -> None:
+        """Tear one connection down idempotently."""
+        if not connection.open:
+            return
+        connection.open = False
+        self.stats["connections_closed"] += 1
+        if connection in self._connections:
+            self._connections.remove(connection)
+        try:
+            connection.writer.close()
+            await connection.writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def _send(self, connection: _Connection, frame: bytes) -> bool:
+        """Write one frame with flow control; False if the peer is gone.
+
+        ``await writer.drain()`` is the slow-reader throttle: a client
+        that stops reading blocks only its own response stream (this
+        coroutine), never the dispatcher or other connections.
+        """
+        if not connection.open:
+            return False
+        try:
+            connection.writer.write(frame)
+            await connection.writer.drain()
+            return True
+        except (ConnectionError, RuntimeError):
+            await self._close_connection(connection)
+            return False
+
+    async def _send_error(
+        self, connection: _Connection, wire_id, code: str, message: str
+    ) -> None:
+        """Send one ERROR frame (counted)."""
+        self.stats["errors_sent"] += 1
+        await self._send(
+            connection,
+            encode_frame(
+                FrameType.ERROR, {"id": wire_id, "code": code, "message": message}
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Frame handling
+    # ------------------------------------------------------------------ #
+    async def _handle_frame(
+        self, connection: _Connection, frame_type: FrameType, payload: dict
+    ) -> None:
+        """Route one decoded frame to its handler."""
+        if frame_type is FrameType.REQUEST:
+            await self._handle_request(connection, payload)
+        elif frame_type is FrameType.PING:
+            self.stats["pings"] += 1
+            await self._send(
+                connection,
+                encode_frame(FrameType.PONG, {"id": payload.get("id")}),
+            )
+        elif frame_type is FrameType.STATS:
+            await self._send(
+                connection,
+                encode_frame(
+                    FrameType.STATS,
+                    {"id": payload.get("id"), "stats": self.snapshot()},
+                ),
+            )
+        else:
+            await self._send_error(
+                connection,
+                payload.get("id"),
+                "bad_request",
+                f"frame type {frame_type.name} is not valid client -> server",
+            )
+
+    async def _handle_request(self, connection: _Connection, payload: dict) -> None:
+        """Validate one REQUEST and admit it (or answer BUSY/ERROR)."""
+        wire_id = payload.get("id")
+        self.stats["requests_received"] += 1
+        if self._draining or len(self._admission) + len(self._pending) >= self.max_queue:
+            self.stats["busy_sent"] += 1
+            await self._send(
+                connection,
+                encode_frame(
+                    FrameType.BUSY,
+                    {
+                        "id": wire_id,
+                        "retry_after_s": self._retry_after_s(),
+                        "queue_depth": len(self._admission) + len(self._pending),
+                        "queue_limit": self.max_queue,
+                        "draining": self._draining,
+                    },
+                ),
+            )
+            return
+        try:
+            parsed = self._parse_request(payload)
+        except ProtocolError as error:
+            await self._send_error(connection, wire_id, "bad_request", str(error))
+            return
+        except KeyError as error:
+            await self._send_error(
+                connection,
+                wire_id,
+                "unknown_images_ref",
+                f"images_ref {error.args[0]!r} has not been seen by this server",
+            )
+            return
+        self.stats["requests_admitted"] += 1
+        self._admission.append((connection, parsed))
+        self._dispatch_wakeup.set()
+
+    def _parse_request(self, payload: dict) -> dict:
+        """Decode and validate a REQUEST payload into submit() kwargs.
+
+        Raises:
+            ProtocolError: On schema violations.
+            KeyError: On an ``images_ref`` this server has never decoded.
+        """
+        if "model_id" not in payload or not isinstance(payload["model_id"], str):
+            raise ProtocolError("request needs a string model_id")
+        sla_name = payload.get("sla", SLAClass.BEST_EFFORT.value)
+        if sla_name not in _SLA_BY_WIRE:
+            raise ProtocolError(
+                f"unknown sla {sla_name!r} (one of {sorted(_SLA_BY_WIRE)})"
+            )
+        deadline_s = payload.get("deadline_s")
+        if deadline_s is not None and (
+            not isinstance(deadline_s, (int, float)) or deadline_s <= 0
+        ):
+            raise ProtocolError("deadline_s must be a positive number")
+        has_images = "images" in payload
+        has_ref = "images_ref" in payload
+        if has_images == has_ref:
+            raise ProtocolError("request needs exactly one of images / images_ref")
+        if has_images:
+            images = decode_images(payload["images"])
+            ref = images_digest(images)
+            self._images_by_ref.setdefault(ref, images)
+        else:
+            ref = payload["images_ref"]
+            if not isinstance(ref, str):
+                raise ProtocolError("images_ref must be a string digest")
+            images = self._images_by_ref[ref]  # KeyError -> unknown_images_ref
+        return {
+            "id": payload.get("id"),
+            "model_id": payload["model_id"],
+            "sla": _SLA_BY_WIRE[sla_name],
+            "deadline_s": float(deadline_s) if deadline_s is not None else None,
+            "images": images,
+            "images_ref": ref,
+            "echo_ref": has_images,
+        }
+
+    def _retry_after_s(self) -> float:
+        """Backpressure hint: modeled time to clear half the queue."""
+        backlog = len(self._admission) + len(self._pending)
+        return max(self.min_retry_after_s, 0.5 * backlog * self._service_time_ema_s)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatcher(self) -> None:
+        """The single dispatcher coroutine: admission queue -> router -> wire."""
+        while True:
+            await self._dispatch_wakeup.wait()
+            self._dispatch_wakeup.clear()
+            while self._admission and not self._paused:
+                await self._dispatch_batch()
+                # Yield: let readers admit / refuse while results stream out.
+                await asyncio.sleep(0)
+
+    async def _dispatch_batch(self) -> None:
+        """Admit one bounded batch into the router, drain it, respond."""
+        batch = self._admission[: self.admission_batch]
+        del self._admission[: len(batch)]
+        started = time.perf_counter()
+        for connection, parsed in batch:
+            try:
+                router_id = self.router.submit(
+                    parsed["model_id"],
+                    parsed["images"],
+                    sla=parsed["sla"],
+                    deadline_s=parsed["deadline_s"],
+                    input_digest=parsed["images_ref"],
+                )
+            except ConfigurationError as error:
+                await self._send_error(
+                    connection, parsed["id"], "bad_request", str(error)
+                )
+                continue
+            self._pending.append(
+                _Pending(connection, parsed["id"], router_id, parsed)
+            )
+        self._drain_router()
+        pending, self._pending = self._pending, []
+        touched = []
+        for entry in pending:
+            if self._respond_nodrain(entry) and entry.connection not in touched:
+                touched.append(entry.connection)
+        # One flow-control flush per connection per batch (not per frame):
+        # a slow reader still throttles its own stream here, but a healthy
+        # batch costs one drain instead of admission_batch of them.
+        for connection in touched:
+            try:
+                await connection.writer.drain()
+            except (ConnectionError, RuntimeError):
+                await self._close_connection(connection)
+        if pending:
+            span = time.perf_counter() - started
+            per_request = span / len(pending)
+            self._service_time_ema_s += 0.2 * (per_request - self._service_time_ema_s)
+
+    def _drain_router(self) -> None:
+        """Drain the router's backlog, tolerating per-dispatch failures.
+
+        A dispatch that raises marks its requests failed (the router's
+        contract) and leaves the rest queued; looping until the queue is
+        empty guarantees every admitted request reaches a terminal state,
+        which :meth:`_respond` then reports as RESPONSE or ERROR.
+        """
+        while self.router.queue_depth():
+            try:
+                self.router.drain()
+            except Exception:  # noqa: BLE001 - re-raised per request by result()
+                continue
+
+    def _write_nodrain(self, connection: _Connection, frame: bytes) -> bool:
+        """Buffer one frame on a connection without awaiting flow control.
+
+        The per-batch drain in :meth:`_dispatch_batch` applies the
+        backpressure; this just stages bytes.  Returns False when the
+        peer is already gone.
+        """
+        if not connection.open:
+            return False
+        try:
+            connection.writer.write(frame)
+            return True
+        except (ConnectionError, RuntimeError):
+            return False
+
+    def _respond_nodrain(self, entry: _Pending) -> bool:
+        """Stage the terminal frame (RESPONSE or ERROR) of one admission.
+
+        Returns:
+            True when bytes were staged on a live connection (the caller
+            owes that connection a drain).
+        """
+        try:
+            result = self.router.result(entry.router_id)
+        except ConfigurationError as error:
+            self.stats["errors_sent"] += 1
+            return self._write_nodrain(
+                entry.connection,
+                encode_frame(
+                    FrameType.ERROR,
+                    {"id": entry.wire_id, "code": "internal", "message": str(error)},
+                ),
+            )
+        except Exception as error:  # noqa: BLE001 - the dispatch failure, per contract
+            self.stats["errors_sent"] += 1
+            return self._write_nodrain(
+                entry.connection,
+                encode_frame(
+                    FrameType.ERROR,
+                    {
+                        "id": entry.wire_id,
+                        "code": "execution_failed",
+                        "message": str(error),
+                    },
+                ),
+            )
+        trace = result.trace
+        payload = {
+            "id": entry.wire_id,
+            "request_id": entry.router_id,
+            "predictions": np.asarray(result.predictions).tolist(),
+            "trace": {
+                "model_id": trace.model_id,
+                "node_id": trace.node_id,
+                "sla": trace.sla,
+                "latency_s": trace.latency_s,
+                "compute_s": trace.compute_s,
+                "energy_j": trace.energy_j,
+                "deadline_missed": bool(trace.deadline_missed),
+                "execution_mode": trace.execution_mode,
+                "coalesced": int(trace.coalesced),
+                "replayed": bool(trace.replayed),
+            },
+        }
+        if entry.parsed.get("echo_ref"):
+            payload["images_ref"] = entry.parsed["images_ref"]
+        # Count before writing: the socket send releases the GIL, so a
+        # client thread could otherwise observe its response (and read a
+        # snapshot) before this coroutine reaches the increment.
+        self.stats["responses_sent"] += 1
+        if self._write_nodrain(
+            entry.connection, encode_frame(FrameType.RESPONSE, payload)
+        ):
+            return True
+        # The client vanished mid-request: the work was still done and
+        # accounted (zero-loss means *answered or knowingly dropped at a
+        # closed socket*, never silently lost in a queue).
+        self.stats["responses_sent"] -= 1
+        self.stats["responses_dropped"] += 1
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, float]:
+        """Counters answering the wire ``STATS`` query.
+
+        Returns:
+            Gateway counters plus the router's conservation numerators
+            (``router_completed``, ``router_failed``) and the live
+            ``queue_depth`` / ``queue_limit`` / ``draining`` state.
+        """
+        snapshot: Dict[str, float] = dict(self.stats)
+        snapshot["queue_depth"] = len(self._admission) + len(self._pending)
+        snapshot["queue_limit"] = self.max_queue
+        snapshot["draining"] = bool(self._draining)
+        snapshot["router_completed"] = self.router.completed_requests
+        snapshot["router_failed"] = self.router.failed_requests
+        return snapshot
+
+
+class ThreadedGateway:
+    """Host a :class:`GatewayServer` event loop in a daemon thread.
+
+    The synchronous harness around the async server: benchmarks, tests and
+    examples start it, talk to ``(host, port)`` with the client SDK, and
+    stop it.  The router is handed over to the gateway thread and must not
+    be used concurrently from the starting thread while serving.
+
+    Args:
+        router: The cluster router to serve (models registered).
+        **server_kwargs: Forwarded to :class:`GatewayServer`.
+    """
+
+    def __init__(self, router: ClusterRouter, **server_kwargs) -> None:
+        self.server = GatewayServer(router, **server_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    def start(self, timeout_s: float = 10.0) -> Tuple[str, int]:
+        """Start the loop thread; returns the bound ``(host, port)``.
+
+        Args:
+            timeout_s: Seconds to wait for the socket to bind.
+
+        Raises:
+            RuntimeError: If the server does not come up within the
+                timeout.
+        """
+        self._thread = threading.Thread(
+            target=self._run, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise RuntimeError("gateway server failed to start in time")
+        return self.server.host, self.server.port
+
+    def _run(self) -> None:
+        """Thread body: a fresh event loop running the server forever."""
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def call(self, factory: Callable[[], Awaitable], timeout_s: float = 30.0):
+        """Run one coroutine on the gateway loop and return its result.
+
+        Args:
+            factory: Zero-argument callable building the coroutine (built
+                on the gateway loop's thread).
+            timeout_s: Seconds to wait for completion.
+
+        Returns:
+            Whatever the coroutine returns.
+        """
+        future = asyncio.run_coroutine_threadsafe(factory(), self._loop)
+        return future.result(timeout_s)
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Gracefully drain the server and join the loop thread.
+
+        Args:
+            timeout_s: Seconds to wait for the drain and the join.
+        """
+        if self._loop is None:
+            return
+        self.call(self.server.drain_and_stop, timeout_s=timeout_s)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+        self._loop = None
+
+    def __enter__(self) -> "ThreadedGateway":
+        """Start on entry; the instance is the context value."""
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Stop on exit (graceful drain)."""
+        self.stop()

@@ -211,7 +211,19 @@ class InferenceServer:
     # Client interface
     # ------------------------------------------------------------------ #
     def submit(self, images: np.ndarray) -> int:
-        """Enqueue a batch of images; returns the request id (thread safe)."""
+        """Enqueue a batch of images for inference (thread safe).
+
+        Args:
+            images: ``(batch, channels, height, width)`` float64 tensor;
+                any batch size (oversized requests are split at dispatch).
+
+        Returns:
+            The request id to pass to :meth:`result`.
+
+        Raises:
+            ConfigurationError: The tensor is not 4-D or the batch is
+                empty.
+        """
         images = np.asarray(images, dtype=np.float64)
         if images.ndim != 4:
             raise ConfigurationError(
@@ -238,6 +250,12 @@ class InferenceServer:
 
         Everything already queued ahead of this request is served too (in
         arrival order), exactly like a real server draining its backlog.
+
+        Args:
+            images: ``(batch, channels, height, width)`` float64 tensor.
+
+        Returns:
+            Predicted class labels, one per image.
         """
         request_id = self.submit(images)
         self.drain()
@@ -246,10 +264,17 @@ class InferenceServer:
     def result(self, request_id: int) -> RequestResult:
         """The completed result of a request.
 
-        Raises the original model/engine exception if the request's batch
-        failed (whether it failed on the synchronous path or inside the
-        background worker), and :class:`ConfigurationError` if the request
-        is still pending.
+        Args:
+            request_id: The id :meth:`submit` returned.
+
+        Returns:
+            The request's :class:`RequestResult` (predictions + latency).
+
+        Raises:
+            ConfigurationError: The request is still pending.
+            Exception: The original model/engine exception if the
+                request's batch failed (whether it failed on the
+                synchronous path or inside the background worker).
         """
         with self._lock:
             if request_id in self._failed:
@@ -402,7 +427,12 @@ class InferenceServer:
             return self._execute_batch(plan)
 
     def drain(self) -> List[RequestResult]:
-        """Serve the whole backlog; returns every request completed."""
+        """Serve the whole backlog synchronously.
+
+        Returns:
+            Every :class:`RequestResult` completed by this call, in
+            completion order.
+        """
         completed: List[RequestResult] = []
         while True:
             batch = self.serve_once()

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "vector_image_processing.py",
     "serve_cnn.py",
     "cluster_serve.py",
+    "gateway_serve.py",
 ]
 
 

@@ -1,0 +1,671 @@
+"""The wire gateway: framing, server behaviour, SDK, and the spec contract.
+
+Four layers of coverage:
+
+* protocol unit tests — framing round-trips, incremental decoding across
+  arbitrary chunk boundaries, every malformed-frame rejection;
+* the **spec contract** — ``TestSpecByteLayout`` builds frames from raw
+  ``struct``/``json``/``base64`` calls following only the byte layout
+  documented in ``docs/PROTOCOL.md`` (never the protocol module's
+  encoder), and a live server must accept them: the acceptance gate that
+  the document and the implementation cannot drift;
+* server behaviour over real loopback sockets — concurrent clients,
+  pipelined frames, mid-request disconnect, backpressure BUSY round-trips
+  with the zero-loss accounting, graceful drain;
+* SDK behaviour — pooling, retry/backoff schedules (injected sleep, no
+  real waiting), images_ref re-upload fallback, error surfacing.
+"""
+
+import base64
+import json
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterNode, ClusterRouter, ExecutionMode, ForwardMemo
+from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
+from repro.gateway import (
+    AsyncGatewayClient,
+    FrameDecoder,
+    FrameType,
+    GatewayBusyError,
+    GatewayClient,
+    GatewayRequestError,
+    ProtocolError,
+    ThreadedGateway,
+    decode_frame,
+    decode_images,
+    encode_frame,
+    encode_images,
+    images_digest,
+)
+from repro.gateway.client import _backoff_delay_s
+
+
+# --------------------------------------------------------------------- #
+# Shared fixtures: one tiny trained CNN, fresh gateway per test
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def trained():
+    dataset = make_pattern_image_dataset(samples=60, size=8, seed=13)
+    cnn, _ = train_pattern_cnn(
+        dataset, conv_channels=(1,), hidden_sizes=(4,), epochs=2, seed=13
+    )
+    return dataset, cnn
+
+
+def make_router(cnn, nodes=1):
+    memo = ForwardMemo()
+    fleet = [
+        ClusterNode(
+            f"n{index}",
+            vdd=1.0,
+            num_macros=4,
+            max_batch_size=256,
+            execution_mode=ExecutionMode.ANALYTIC,
+            forward_memo=memo,
+        )
+        for index in range(nodes)
+    ]
+    router = ClusterRouter(fleet, coalesce=True)
+    router.register_model("cnn", cnn)
+    return router
+
+
+@pytest.fixture()
+def gateway(trained):
+    _, cnn = trained
+    router = make_router(cnn)
+    gw = ThreadedGateway(router, max_queue=64, min_retry_after_s=1e-6)
+    gw.start()
+    yield gw
+    gw.stop()
+    router.shutdown()
+
+
+def wait_until(predicate, timeout_s=10.0):
+    """Poll a cross-thread condition on the live server (real time, bounded)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.001)
+    raise AssertionError("condition not met within timeout")
+
+
+def recv_frames(sock, count, decoder=None):
+    """Read exactly ``count`` frames from a blocking socket."""
+    decoder = decoder or FrameDecoder()
+    frames = []
+    while len(frames) < count:
+        chunk = sock.recv(65536)
+        assert chunk, "server closed the connection early"
+        frames.extend(decoder.feed(chunk))
+    return frames
+
+
+# --------------------------------------------------------------------- #
+# Protocol unit tests
+# --------------------------------------------------------------------- #
+class TestFraming:
+    def test_round_trip(self):
+        frame = encode_frame(FrameType.PING, {"id": 7})
+        assert decode_frame(frame) == (FrameType.PING, {"id": 7})
+
+    def test_incremental_decode_any_chunking(self):
+        frames = b"".join(
+            encode_frame(FrameType.REQUEST, {"id": index}) for index in range(5)
+        )
+        for step in (1, 3, 8, 11, len(frames)):
+            decoder = FrameDecoder()
+            seen = []
+            for start in range(0, len(frames), step):
+                seen.extend(decoder.feed(frames[start : start + step]))
+            assert [payload["id"] for _, payload in seen] == list(range(5))
+            assert decoder.pending_bytes == 0
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame(FrameType.PING, {}))
+        frame[0] = 0x58
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_unsupported_version_rejected(self):
+        frame = bytearray(encode_frame(FrameType.PING, {}))
+        frame[2] = 0x02
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(frame))
+
+    def test_unknown_type_rejected(self):
+        frame = bytearray(encode_frame(FrameType.PING, {}))
+        frame[3] = 0x7F
+        with pytest.raises(ProtocolError, match="frame type"):
+            decode_frame(bytes(frame))
+
+    def test_oversized_announcement_rejected_before_buffering(self):
+        header = struct.pack(">2sBBI", b"RG", 1, 1, 2**31)
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            list(decoder.feed(header))
+
+    def test_non_object_payload_rejected(self):
+        body = json.dumps([1, 2]).encode()
+        frame = struct.pack(">2sBBI", b"RG", 1, 5, len(body)) + body
+        with pytest.raises(ProtocolError, match="object"):
+            decode_frame(frame)
+
+    def test_length_mismatch_rejected(self):
+        frame = encode_frame(FrameType.PING, {"id": 1})
+        with pytest.raises(ProtocolError, match="length mismatch"):
+            decode_frame(frame + b"x")
+
+
+class TestImagesCodec:
+    def test_round_trip(self):
+        images = np.arange(2 * 1 * 3 * 3, dtype=np.float64).reshape(2, 1, 3, 3)
+        assert np.array_equal(decode_images(encode_images(images)), images)
+
+    def test_digest_is_content_derived_and_shape_aware(self):
+        images = np.ones((1, 1, 2, 2))
+        assert images_digest(images) == images_digest(images.copy())
+        assert images_digest(images) != images_digest(images.reshape(1, 1, 4, 1))
+        assert images_digest(images) != images_digest(images * 2)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda payload: payload.pop("data"),
+            lambda payload: payload.update(dtype=">f4"),
+            lambda payload: payload.update(shape=[1, 1]),
+            lambda payload: payload.update(data="!!!"),
+            lambda payload: payload.update(shape=[9, 9, 9, 9]),
+        ],
+    )
+    def test_malformed_images_rejected(self, mutate):
+        payload = encode_images(np.ones((1, 1, 2, 2)))
+        mutate(payload)
+        with pytest.raises(ProtocolError):
+            decode_images(payload)
+
+    def test_non_4d_images_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            encode_images(np.ones((3, 3)))
+
+
+class TestBackoffPolicy:
+    def test_exponential_doubling_from_base(self):
+        delays = [_backoff_delay_s(n, 0.0, 0.01, 10.0) for n in range(4)]
+        assert delays == [0.01, 0.02, 0.04, 0.08]
+
+    def test_server_hint_dominates_when_larger(self):
+        assert _backoff_delay_s(0, 0.5, 0.01, 10.0) == 0.5
+
+    def test_cap_clamps_both(self):
+        assert _backoff_delay_s(20, 0.0, 0.01, 1.0) == 1.0
+        assert _backoff_delay_s(0, 5.0, 0.01, 1.0) == 1.0
+
+
+# --------------------------------------------------------------------- #
+# The spec contract: frames built from the documented byte layout only
+# --------------------------------------------------------------------- #
+class TestSpecByteLayout:
+    """docs/PROTOCOL.md round-trips against a live server.
+
+    Everything below is built from the spec's documented constants —
+    magic ``0x52 0x47``, version ``0x01``, type codes, big-endian length
+    prefix, base64 little-endian float64 image buffers — without calling
+    the protocol module's encoder.
+    """
+
+    @staticmethod
+    def spec_frame(type_code: int, payload: dict) -> bytes:
+        body = json.dumps(payload).encode("utf-8")
+        return b"\x52\x47" + bytes([0x01, type_code]) + struct.pack(">I", len(body)) + body
+
+    def test_request_built_from_spec_is_served(self, trained, gateway):
+        dataset, cnn = trained
+        images = dataset.test_images[:2]
+        payload = {
+            "id": 1234,
+            "model_id": "cnn",
+            "sla": "throughput",
+            "images": {
+                "shape": list(images.shape),
+                "dtype": "<f8",
+                "data": base64.b64encode(
+                    np.ascontiguousarray(images, dtype="<f8").tobytes()
+                ).decode("ascii"),
+            },
+        }
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(self.spec_frame(0x01, payload))
+            ((frame_type, reply),) = recv_frames(sock, 1)
+        assert frame_type is FrameType.RESPONSE
+        assert reply["id"] == 1234
+        assert np.array_equal(np.asarray(reply["predictions"]), cnn.predict(images))
+        assert reply["trace"]["node_id"] == "n0"
+
+    def test_spec_ping_and_stats(self, gateway):
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(self.spec_frame(0x05, {"id": 1}))
+            sock.sendall(self.spec_frame(0x07, {"id": 2}))
+            frames = recv_frames(sock, 2)
+        assert frames[0][0] is FrameType.PONG and frames[0][1]["id"] == 1
+        assert frames[1][0] is FrameType.STATS
+        assert frames[1][1]["stats"]["pings"] == 1
+
+    def test_worked_example_digest_matches_spec(self):
+        # The §7 worked example of docs/PROTOCOL.md, pinned.
+        assert images_digest(np.zeros((1, 1, 2, 2))) == (
+            "f0ab42974e4b46f5fb9e0665255c1ff6f6f8e8c61a781431d80413ad89d81213"
+        )
+
+    def test_spec_version_byte_rejected(self, gateway):
+        frame = b"\x52\x47" + bytes([0x02, 0x05]) + struct.pack(">I", 2) + b"{}"
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(frame)
+            ((frame_type, reply),) = recv_frames(sock, 1)
+            assert frame_type is FrameType.ERROR
+            assert reply["code"] == "malformed_frame"
+            assert "version" in reply["message"]
+            assert sock.recv(1) == b""  # the server closes after a framing error
+
+
+# --------------------------------------------------------------------- #
+# Server behaviour over real sockets
+# --------------------------------------------------------------------- #
+class TestServing:
+    def test_concurrent_clients_all_served_correctly(self, trained, gateway):
+        dataset, cnn = trained
+        host, port = gateway.server.host, gateway.server.port
+        failures = []
+
+        def drive(offset):
+            try:
+                with GatewayClient(host, port, pool_size=1) as client:
+                    for index in range(8):
+                        images = dataset.test_images[offset + index : offset + index + 2]
+                        result = client.predict("cnn", images, sla="throughput")
+                        if not np.array_equal(
+                            result.predictions, cnn.predict(images)
+                        ):
+                            failures.append((offset, index))
+            except Exception as error:  # pragma: no cover - surfaced below
+                failures.append(error)
+
+        threads = [threading.Thread(target=drive, args=(offset,)) for offset in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        stats = gateway.server.snapshot()
+        assert stats["responses_sent"] == 48
+        assert stats["router_completed"] == 48
+
+    def test_pipelined_frames_in_one_segment(self, trained, gateway):
+        dataset, _ = trained
+        ref_result = None
+        with GatewayClient(gateway.server.host, gateway.server.port) as client:
+            ref_result = client.predict("cnn", dataset.test_images[:1])
+        burst = b"".join(
+            encode_frame(
+                FrameType.REQUEST,
+                {
+                    "id": index,
+                    "model_id": "cnn",
+                    "sla": "best_effort",
+                    "images_ref": ref_result.images_ref,
+                },
+            )
+            for index in range(5)
+        )
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(burst)
+            frames = recv_frames(sock, 5)
+        assert sorted(payload["id"] for _, payload in frames) == list(range(5))
+        assert all(frame_type is FrameType.RESPONSE for frame_type, _ in frames)
+
+    def test_latency_sla_deadline_round_trip(self, trained, gateway):
+        dataset, _ = trained
+        with GatewayClient(gateway.server.host, gateway.server.port) as client:
+            result = client.predict(
+                "cnn", dataset.test_images[:1], sla="latency", deadline_s=10.0
+            )
+        assert result.trace["sla"] == "latency"
+        assert result.trace["deadline_missed"] is False
+        assert result.trace["execution_mode"] == "analytic"
+
+    def test_unknown_model_is_bad_request(self, trained, gateway):
+        dataset, _ = trained
+        with GatewayClient(gateway.server.host, gateway.server.port) as client:
+            with pytest.raises(GatewayRequestError, match="bad_request"):
+                client.predict("nope", dataset.test_images[:1])
+
+    def test_latency_without_deadline_is_bad_request(self, trained, gateway):
+        dataset, _ = trained
+        with GatewayClient(gateway.server.host, gateway.server.port) as client:
+            with pytest.raises(GatewayRequestError, match="bad_request"):
+                client.predict("cnn", dataset.test_images[:1], sla="latency")
+
+    def test_unknown_images_ref_error_code(self, gateway):
+        frame = encode_frame(
+            FrameType.REQUEST,
+            {"id": 1, "model_id": "cnn", "images_ref": "f" * 64},
+        )
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(frame)
+            ((frame_type, reply),) = recv_frames(sock, 1)
+        assert frame_type is FrameType.ERROR
+        assert reply["code"] == "unknown_images_ref"
+
+    def test_malformed_frame_gets_error_then_close(self, gateway):
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(b"XXXXXXXXXXXXXXXX")
+            ((frame_type, reply),) = recv_frames(sock, 1)
+            assert frame_type is FrameType.ERROR
+            assert reply["code"] == "malformed_frame"
+            assert sock.recv(1) == b""
+        # The server survives and serves the next connection.
+        stats = gateway.server.snapshot()
+        assert stats["malformed_frames"] == 1
+
+    def test_mid_request_disconnect_is_absorbed(self, trained, gateway):
+        dataset, cnn = trained
+        host, port = gateway.server.host, gateway.server.port
+        gateway.server.pause_dispatch()
+        with socket.create_connection((host, port)) as sock:
+            sock.sendall(
+                encode_frame(
+                    FrameType.REQUEST,
+                    {
+                        "id": 9,
+                        "model_id": "cnn",
+                        "images": encode_images(dataset.test_images[:1]),
+                    },
+                )
+            )
+        # The client is gone before its (paused) request dispatches; wait
+        # until the server's reader has actually observed the hangup so the
+        # dispatch deterministically finds a closed connection.
+        wait_until(
+            lambda: gateway.server.snapshot()["connections_closed"] >= 1
+            and gateway.server.snapshot()["requests_received"] >= 1
+        )
+        gateway.server.resume_dispatch()
+        with GatewayClient(host, port) as client:
+            result = client.predict("cnn", dataset.test_images[1:2])
+            assert np.array_equal(
+                result.predictions, cnn.predict(dataset.test_images[1:2])
+            )
+            stats = client.stats()
+        # The orphaned request was still executed and knowingly dropped.
+        assert stats["responses_dropped"] == 1
+        assert stats["router_completed"] == 2
+        assert (
+            stats["requests_admitted"]
+            == stats["responses_sent"] + stats["responses_dropped"]
+        )
+
+    def test_partial_frame_then_disconnect_is_absorbed(self, gateway):
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(encode_frame(FrameType.PING, {"id": 0})[:5])
+        with GatewayClient(gateway.server.host, gateway.server.port) as client:
+            assert client.ping() > 0
+
+
+class TestBackpressure:
+    def test_busy_round_trip_zero_loss_under_2x_burst(self, trained):
+        """The acceptance invariant: admitted+BUSY == offered, all answered."""
+        dataset, cnn = trained
+        router = make_router(cnn)
+        gw = ThreadedGateway(router, max_queue=8, min_retry_after_s=1e-6)
+        gw.start()
+        try:
+            host, port = gw.server.host, gw.server.port
+            with GatewayClient(host, port) as client:
+                seed = client.predict("cnn", dataset.test_images[:1])
+            gw.server.pause_dispatch()
+            offered = 16  # 2x the admission bound
+            burst = b"".join(
+                encode_frame(
+                    FrameType.REQUEST,
+                    {
+                        "id": index,
+                        "model_id": "cnn",
+                        "sla": "throughput",
+                        "images_ref": seed.images_ref,
+                    },
+                )
+                for index in range(offered)
+            )
+            with socket.create_connection((host, port)) as sock:
+                sock.sendall(burst)
+                busy = [
+                    (frame_type, payload)
+                    for frame_type, payload in recv_frames(sock, 8)
+                ]
+                # With dispatch held, exactly max_queue admissions fit and
+                # the rest are refused immediately.
+                assert all(frame_type is FrameType.BUSY for frame_type, _ in busy)
+                for _, payload in busy:
+                    assert payload["retry_after_s"] > 0
+                    assert payload["queue_limit"] == 8
+                    assert payload["draining"] is False
+                gw.server.resume_dispatch()
+                responses = recv_frames(sock, 8)
+            assert all(
+                frame_type is FrameType.RESPONSE for frame_type, _ in responses
+            )
+            answered = {payload["id"] for _, payload in responses}
+            refused = {payload["id"] for _, payload in busy}
+            # Zero loss: every offered request got exactly one verdict.
+            assert answered | refused == set(range(offered))
+            assert answered & refused == set()
+            stats = gw.server.snapshot()
+            assert stats["requests_received"] == offered + 1
+            assert stats["requests_admitted"] == 8 + 1
+            assert stats["busy_sent"] == 8
+            assert stats["responses_sent"] == 8 + 1
+            assert stats["router_completed"] == 8 + 1
+        finally:
+            gw.stop()
+            router.shutdown()
+
+    def test_sdk_retry_backoff_schedule_without_sleeping(self, trained):
+        dataset, cnn = trained
+        router = make_router(cnn)
+        gw = ThreadedGateway(router, max_queue=1, min_retry_after_s=1e-6)
+        gw.start()
+        try:
+            host, port = gw.server.host, gw.server.port
+            with GatewayClient(host, port) as seeder:
+                seeder.predict("cnn", dataset.test_images[:1])
+            gw.server.pause_dispatch()
+            # Fill the queue bound with a request that will stay queued.
+            filler = socket.create_connection((host, port))
+            filler.sendall(
+                encode_frame(
+                    FrameType.REQUEST,
+                    {
+                        "id": 0,
+                        "model_id": "cnn",
+                        "images": encode_images(dataset.test_images[:1]),
+                    },
+                )
+            )
+            recorded = []
+            client = GatewayClient(
+                host,
+                port,
+                retries=3,
+                backoff_base_s=0.01,
+                backoff_cap_s=10.0,
+                sleep=recorded.append,
+            )
+            with client:
+                with pytest.raises(GatewayBusyError) as info:
+                    client.predict("cnn", dataset.test_images[1:2])
+            # Three backoff sleeps between four attempts, doubling from the
+            # base (the server hint is driven to ~0 by min_retry_after_s).
+            assert recorded == [0.01, 0.02, 0.04]
+            assert info.value.retry_after_s > 0
+            assert info.value.draining is False
+            # Releasing the dispatcher serves the queued filler: zero loss.
+            gw.server.resume_dispatch()
+            ((frame_type, _),) = recv_frames(filler, 1)
+            assert frame_type is FrameType.RESPONSE
+            filler.close()
+            with GatewayClient(host, port) as fresh:
+                result = fresh.predict("cnn", dataset.test_images[1:2])
+                assert result.attempts == 1
+        finally:
+            gw.stop()
+            router.shutdown()
+
+    def test_sdk_reuploads_after_unknown_images_ref(self, trained, gateway):
+        dataset, cnn = trained
+        images = dataset.test_images[:2]
+        with GatewayClient(gateway.server.host, gateway.server.port) as client:
+            # Poison the client's ref cache: it believes the server has
+            # seen these images although it has not.
+            client._known_refs.add(images_digest(images))
+            result = client.predict("cnn", images)
+        assert np.array_equal(result.predictions, cnn.predict(images))
+
+
+class TestGracefulDrain:
+    def test_draining_server_refuses_with_busy_draining(self, trained, gateway):
+        dataset, _ = trained
+        with GatewayClient(gateway.server.host, gateway.server.port) as client:
+            client.predict("cnn", dataset.test_images[:1])
+            gateway.server._draining = True
+            try:
+                recorded = []
+                client._sleep = recorded.append
+                client.retries = 1
+                with pytest.raises(GatewayBusyError) as info:
+                    client.predict("cnn", dataset.test_images[:1])
+                assert info.value.draining is True
+            finally:
+                gateway.server._draining = False
+
+    def test_drain_completes_admitted_work_and_says_goodbye(self, trained):
+        dataset, cnn = trained
+        router = make_router(cnn)
+        gw = ThreadedGateway(router, max_queue=64)
+        gw.start()
+        try:
+            host, port = gw.server.host, gw.server.port
+            with GatewayClient(host, port) as seeder:
+                seed = seeder.predict("cnn", dataset.test_images[:1])
+            gw.server.pause_dispatch()
+            sock = socket.create_connection((host, port))
+            for index in range(5):
+                sock.sendall(
+                    encode_frame(
+                        FrameType.REQUEST,
+                        {
+                            "id": index,
+                            "model_id": "cnn",
+                            "sla": "throughput",
+                            "images_ref": seed.images_ref,
+                        },
+                    )
+                )
+            # Wait until the server has really accepted the connection and
+            # queued all 5 admissions (the listener may not have run yet),
+            # then stop: the drain must finish them, announce DRAIN, and
+            # close the stream.
+            wait_until(
+                lambda: gw.server.snapshot()["requests_admitted"] == 6
+            )
+            stopper = threading.Thread(target=gw.stop)
+            stopper.start()
+            frames = recv_frames(sock, 6)
+            stopper.join(timeout=30)
+            assert not stopper.is_alive()
+            assert [frame_type for frame_type, _ in frames[:5]] == [
+                FrameType.RESPONSE
+            ] * 5
+            assert frames[5][0] is FrameType.DRAIN
+            assert frames[5][1]["reason"] == "shutdown"
+            assert sock.recv(1) == b""
+            sock.close()
+            stats = gw.server.snapshot()
+            assert stats["requests_admitted"] == 6
+            assert stats["responses_sent"] == 6
+        finally:
+            router.shutdown()
+
+
+class TestAsyncClient:
+    def test_pipelined_predictions_demultiplex(self, trained, gateway):
+        import asyncio
+
+        dataset, cnn = trained
+        host, port = gateway.server.host, gateway.server.port
+
+        async def drive():
+            async with AsyncGatewayClient(host, port) as client:
+                await client.predict("cnn", dataset.test_images[:1])
+                batches = [dataset.test_images[i : i + 2] for i in range(8)]
+                results = await asyncio.gather(
+                    *[client.predict("cnn", batch, sla="throughput") for batch in batches]
+                )
+                stats = await client.stats()
+                return batches, results, stats
+
+        batches, results, stats = asyncio.run(drive())
+        for batch, result in zip(batches, results):
+            assert np.array_equal(result.predictions, cnn.predict(batch))
+        assert stats["responses_sent"] == 9
+
+    def test_async_retry_backoff_schedule(self, trained):
+        import asyncio
+
+        dataset, cnn = trained
+        router = make_router(cnn)
+        gw = ThreadedGateway(router, max_queue=1, min_retry_after_s=1e-6)
+        gw.start()
+        try:
+            host, port = gw.server.host, gw.server.port
+            with GatewayClient(host, port) as seeder:
+                seeder.predict("cnn", dataset.test_images[:1])
+            gw.server.pause_dispatch()
+            filler = socket.create_connection((host, port))
+            filler.sendall(
+                encode_frame(
+                    FrameType.REQUEST,
+                    {
+                        "id": 0,
+                        "model_id": "cnn",
+                        "images": encode_images(dataset.test_images[:1]),
+                    },
+                )
+            )
+            recorded = []
+
+            async def fake_sleep(delay):
+                recorded.append(delay)
+
+            async def drive():
+                async with AsyncGatewayClient(
+                    host, port, retries=2, backoff_base_s=0.01, sleep=fake_sleep
+                ) as client:
+                    with pytest.raises(GatewayBusyError):
+                        await client.predict("cnn", dataset.test_images[1:2])
+
+            asyncio.run(drive())
+            assert recorded == [0.01, 0.02]
+            gw.server.resume_dispatch()
+            ((frame_type, _),) = recv_frames(filler, 1)
+            assert frame_type is FrameType.RESPONSE
+            filler.close()
+        finally:
+            gw.stop()
+            router.shutdown()
