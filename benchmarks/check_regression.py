@@ -17,9 +17,11 @@ Baselines live in ``benchmarks/baselines.json``::
           "direction": "lower",              # "lower" or "higher" is better
           "value": 123.0,                    # the checked-in baseline
           "tolerance": 0.2,                  # optional per-metric override
-          "smoke_only": true                 # optional: skip unless the
-        }                                    #   result file says "smoke": true
-      }
+          "smoke_only": true,                # optional: skip unless the
+                                             #   result file says "smoke": true
+          "check": "present"                 # optional: only require the
+        }                                    #   path to exist (artifacts
+      }                                      #   like registry snapshots)
     }
 
 A metric **regresses** when it is worse than the baseline by more than the
@@ -48,14 +50,14 @@ DEFAULT_RESULTS = BENCH_DIR / "results"
 DEFAULT_BASELINES = BENCH_DIR / "baselines.json"
 
 
-def _dig(payload, path: str):
+def _dig(payload, path: str, numeric: bool = True):
     """Walk a '/'-separated key path into nested dicts."""
     node = payload
     for key in path.split("/"):
         if not isinstance(node, dict) or key not in node:
             raise KeyError(path)
         node = node[key]
-    return float(node)
+    return float(node) if numeric else node
 
 
 def _check_metric(name, spec, results_dir, default_tolerance):
@@ -69,6 +71,15 @@ def _check_metric(name, spec, results_dir, default_tolerance):
         return "error", f"unreadable {spec['file']}: {error}", None
     if spec.get("smoke_only") and not payload.get("smoke", False):
         return "skip", "baseline defined for smoke mode only", None
+    if spec.get("check") == "present":
+        # Artifact check: the file must parse and the path must resolve —
+        # used for non-numeric outputs like registry snapshots, which CI
+        # uploads and `python -m repro.obs report` renders.
+        try:
+            found = _dig(payload, spec["path"], numeric=False)
+        except KeyError:
+            return "error", f"path {spec['path']!r} missing in {spec['file']}", None
+        return "ok", f"present ({found!r})", None
     try:
         measured = _dig(payload, spec["path"])
     except KeyError:

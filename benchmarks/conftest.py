@@ -8,7 +8,10 @@ paper-vs-measured record lives in EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import functools
 import json
+import platform
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -16,6 +19,25 @@ import pytest
 #: Where benchmarks drop machine-readable outputs (JSON), so successive PRs
 #: accumulate a perf trajectory that scripts can diff.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Version of the result-JSON envelope (the stamped provenance keys, not
+#: any benchmark's own payload shape).  Bump when the stamping changes.
+RESULTS_SCHEMA_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def _git_sha() -> str:
+    """The repository HEAD at benchmark time (``unknown`` outside git)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
 
 
 def _format_block(title: str, body: str) -> str:
@@ -37,9 +59,22 @@ def results_dir() -> Path:
 
 @pytest.fixture()
 def write_results_json(results_dir):
-    """Write one benchmark's machine-readable payload to results/<name>.json."""
+    """Write one benchmark's machine-readable payload to results/<name>.json.
+
+    Every dict payload is stamped with the same provenance envelope —
+    ``schema_version``, ``git_sha``, ``hostname`` — so results from
+    different machines/commits can be compared (or rejected) by scripts
+    without guessing where a JSON came from.  A payload's own keys win on
+    collision.
+    """
 
     def _write(name: str, payload) -> Path:
+        if isinstance(payload, dict):
+            stamped = dict(payload)
+            stamped.setdefault("schema_version", RESULTS_SCHEMA_VERSION)
+            stamped.setdefault("git_sha", _git_sha())
+            stamped.setdefault("hostname", platform.node())
+            payload = stamped
         path = results_dir / f"{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
         return path

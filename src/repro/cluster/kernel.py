@@ -119,6 +119,14 @@ class ColumnarTelemetry:
         #: "fresh latency traffic" signal without slicing the trace list).
         self.deadline_trace_count = 0
         self._flush_hook: Optional[Callable[[], None]] = None
+        #: Optional :class:`repro.cluster.instrumentation.ClusterInstrumentation`
+        #: folded into at flush boundaries (vectorised; never per-row).
+        self.instrumentation = None
+        #: Rows already folded into the instrumentation registry.
+        self._obs_folded = 0
+        #: request_id → root span id for sampled requests (spans are
+        #: emitted retroactively during the instrumentation fold).
+        self._span_by_request: Dict[int, int] = {}
         #: Materialized RequestTrace cache (extends incrementally).
         self._trace_objs: List[RequestTrace] = []
         self._columns_stamp = -1
@@ -241,6 +249,15 @@ class ColumnarTelemetry:
             trace.energy_j,
         )
 
+    def attach_instrumentation(self, instrumentation) -> None:
+        """Fold future flushes into a cluster instrumentation registry.
+
+        Rows recorded before attachment are folded on the next flush too
+        (the cursor starts at the current fold position, which is zero on
+        a fresh telemetry).
+        """
+        self.instrumentation = instrumentation
+
     # ------------------------------------------------------------------ #
     # Flush / aggregate-mode folding
     # ------------------------------------------------------------------ #
@@ -249,29 +266,63 @@ class ColumnarTelemetry:
         if self._flush_hook is not None:
             self._flush_hook()
         if self.retain_traces or not self._rows:
+            # Retained-trace mode: no aggregate fold runs, so the
+            # observability fold (if attached) walks the unfolded tail on
+            # its own.  Energies are resolved by the hook above, so the
+            # fold sees final values.
+            if self.instrumentation is not None and len(self._rows) > self._obs_folded:
+                spans = self.instrumentation.fold_rows(
+                    self._rows[self._obs_folded :],
+                    self._energy[self._obs_folded :],
+                )
+                if spans:
+                    self._span_by_request.update(spans)
+                self._obs_folded = len(self._rows)
             return
         rows = self._rows
         cols = list(zip(*rows))
         energy = np.asarray(self._energy, dtype=np.float64)
         images = np.asarray(cols[4], dtype=np.int64)
-        latency = np.asarray(cols[7], dtype=np.float64) - np.asarray(
-            cols[5], dtype=np.float64
-        )
+        arrival = np.asarray(cols[5], dtype=np.float64)
+        finish = np.asarray(cols[7], dtype=np.float64)
+        latency = finish - arrival
+        missed = np.asarray(cols[10], dtype=bool)
+        sla_arr = np.asarray(cols[3], dtype=object)
+        sla_masks = {sla: sla_arr == sla for sla in sorted(set(cols[3]))}
+        coalesced_n = sum(1 for c in cols[15] if c > 1)
+        replayed_n = int(np.count_nonzero(cols[17]))
+        if self.instrumentation is not None:
+            # One vectorised observability fold per flush, sharing the
+            # transpose and column arrays the aggregate fold below needs
+            # anyway — the sharing is what keeps the instrumented replay
+            # inside the ≤5% overhead gate.  The fold cursor is always at
+            # zero in aggregate mode (rows are dropped after every flush).
+            spans = self.instrumentation.fold_columns(
+                cols,
+                energy=energy,
+                images=images,
+                arrival=arrival,
+                finish=finish,
+                latency=latency,
+                missed=missed,
+                sla_masks=sla_masks,
+                coalesced_n=coalesced_n,
+                replayed_n=replayed_n,
+            )
+            if spans:
+                self._span_by_request.update(spans)
         self._agg_count += len(rows)
         self._agg_images += int(images.sum())
         self._agg_energy = _fold(self._agg_energy, [energy])
         self._agg_latency = _fold(self._agg_latency, [latency])
-        missed = np.asarray(cols[10], dtype=bool)
         self._agg_affinity += int(np.count_nonzero(cols[11]))
         self._agg_programmed += int(np.count_nonzero(cols[12]))
         self._agg_analytic += sum(1 for m in cols[14] if m == "analytic")
-        self._agg_coalesced += sum(1 for c in cols[15] if c > 1)
+        self._agg_coalesced += coalesced_n
         self._agg_spot += int(np.count_nonzero(cols[16]))
-        self._agg_replayed += int(np.count_nonzero(cols[17]))
+        self._agg_replayed += replayed_n
         has_deadline = np.asarray([d is not None for d in cols[9]], dtype=bool)
-        slas = cols[3]
-        for sla in set(slas):
-            mask = np.asarray([s == sla for s in slas], dtype=bool)
+        for sla, mask in sla_masks.items():
             self._agg_sla_count[sla] = self._agg_sla_count.get(sla, 0) + int(
                 mask.sum()
             )
@@ -292,6 +343,7 @@ class ColumnarTelemetry:
         self._rows = []
         self._energy = []
         self._trace_objs = []
+        self._obs_folded = 0
         self._columns_stamp = -1
 
     def _need_rows(self, what: str) -> None:
@@ -358,13 +410,14 @@ class ColumnarTelemetry:
         if built < len(self._rows):
             rows = self._rows
             energy = self._energy
+            span_ids = self._span_by_request
             for i in range(built, len(rows)):
                 r = rows[i]
                 self._trace_objs.append(
                     RequestTrace(
                         r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7], r[8],
                         energy[i], r[9], r[10], r[11], r[12], r[13], r[14],
-                        r[15], r[16], r[17],
+                        r[15], r[16], r[17], span_ids.get(r[0]),
                     )
                 )
         return self._trace_objs
@@ -1290,6 +1343,9 @@ class EventKernel:
             if state is self._seen_state[node_id]:
                 continue
             self._seen_state[node_id] = state
+            obs = getattr(self.router, "_obs", None)
+            if obs is not None:
+                obs.node_transition(node_id, state.name.lower())
             if state is NodeState.ACTIVE:
                 woke = True
                 self._push_head_candidate(node_id)

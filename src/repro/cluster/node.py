@@ -555,6 +555,8 @@ class ClusterNode:
         model_id: str,
         images: np.ndarray,
         input_digest: Optional[str] = None,
+        *,
+        span_attrs: Optional[Dict[str, object]] = None,
     ) -> NodeDispatch:
         """Run one request through the node's serving path.
 
@@ -567,6 +569,11 @@ class ClusterNode:
                 instead of hashing the image bytes.  Two requests may
                 share a digest only if their images are identical — the
                 sampled spot checks guard the contract.
+            span_attrs: Optional dict a tracing caller passes for the
+                node to fill with engine-level charge detail (execution
+                mode, whether weights were programmed, batch count); the
+                router attaches it to the request's sampled span tree.
+                ``None`` (the default, and every hot path) costs nothing.
 
         Returns:
             The :class:`NodeDispatch` with the *measured* modeled compute
@@ -584,8 +591,17 @@ class ClusterNode:
                 "to rotation (wake/recover) before dispatching"
             )
         if self.execution_mode is ExecutionMode.ANALYTIC:
-            return self._execute_analytic(model_id, images, input_digest)
-        return self._execute_exact(model_id, images)
+            dispatch = self._execute_analytic(model_id, images, input_digest)
+        else:
+            dispatch = self._execute_exact(model_id, images)
+        if span_attrs is not None:
+            span_attrs.update(
+                execution_mode=dispatch.execution_mode,
+                programmed=dispatch.programmed,
+                batches=dispatch.batches,
+                node_vdd=self.vdd,
+            )
+        return dispatch
 
     def _execute_exact(self, model_id: str, images: np.ndarray) -> NodeDispatch:
         """The full numpy forward pass through the node's inference server."""

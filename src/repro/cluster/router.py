@@ -46,7 +46,16 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -62,6 +71,9 @@ from repro.cluster.telemetry import ClusterTelemetry, RequestTrace
 from repro.core.stats import MacroStatistics
 from repro.errors import ConfigurationError
 from repro.reliability.faults import FaultEvent, FaultKind, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import MetricsRegistry, Tracer
 
 __all__ = ["ClusterResult", "ClusterRouter"]
 
@@ -101,6 +113,8 @@ class ClusterRouter:
         fault_plan: Optional[FaultPlan] = None,
         kernel: str = "object",
         retain_results: bool = True,
+        metrics: Optional["MetricsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         #: Set first: ``clock_s``/``replayed_placements`` are properties that
         #: consult the delegate, and __init__ assigns through them below.
@@ -187,6 +201,14 @@ class ClusterRouter:
             #: The columnar delegate owns the whole serving loop from here
             #: on; the object-path state above stays untouched (and unused).
             self._impl = EventKernel(self, retain_results=retain_results)
+        #: Observability bridge (repro.cluster.instrumentation); ``None``
+        #: keeps every hot path exactly as fast as an uninstrumented build.
+        self._obs = None
+        self.tracer = tracer
+        if metrics is not None:
+            from repro.cluster.instrumentation import attach_cluster_observability
+
+            attach_cluster_observability(self, metrics, tracer=tracer)
 
     # ------------------------------------------------------------------ #
     # Kernel delegation
@@ -542,6 +564,8 @@ class ClusterRouter:
             if state is self._seen_state[node_id]:
                 continue
             self._seen_state[node_id] = state
+            if self._obs is not None:
+                self._obs.node_transition(node_id, state.name.lower())
             if state is NodeState.ACTIVE:
                 woke = True
                 self._push_head_candidate(node_id)
@@ -677,11 +701,19 @@ class ClusterRouter:
         node = self._by_id[node_id]
         group = self._gather_group(node, start)
 
+        span_attrs = None
+        if self.tracer is not None and any(
+            self.tracer.should_sample(request.request_id) for request, _ in group
+        ):
+            span_attrs = {}
         try:
             if len(group) == 1:
                 request = group[0][0]
                 dispatch = node.execute(
-                    request.model_id, request.images, input_digest=request.input_digest
+                    request.model_id,
+                    request.images,
+                    input_digest=request.input_digest,
+                    span_attrs=span_attrs,
                 )
                 predictions = [dispatch.predictions]
             else:
@@ -729,6 +761,20 @@ class ClusterRouter:
                 energy_share = dispatch.energy_j * fraction
             latency = finish - request.arrival_s
             missed = request.deadline_s is not None and latency > request.deadline_s
+            span_id = None
+            if self.tracer is not None and self.tracer.should_sample(
+                request.request_id
+            ):
+                span_id = self.tracer.emit_request(
+                    request.request_id,
+                    node_id,
+                    request.arrival_s,
+                    start,
+                    finish,
+                    compute_share,
+                    sla=request.sla.value,
+                    **(span_attrs or {}),
+                )
             trace = RequestTrace(
                 request_id=request.request_id,
                 model_id=request.model_id,
@@ -749,6 +795,7 @@ class ClusterRouter:
                 coalesced=coalesced,
                 spot_checked=dispatch.spot_checked,
                 replayed=request.request_id in self._replayed,
+                span_id=span_id,
             )
             self.telemetry.record(trace)
             node.telemetry.record(trace)
@@ -785,6 +832,8 @@ class ClusterRouter:
             Every :class:`ClusterResult` completed by this call, in
             completion order.
         """
+        if self._obs is not None:
+            self._obs.drains.inc()
         if self._impl is not None:
             return self._impl.drain()
         completed: List[ClusterResult] = []

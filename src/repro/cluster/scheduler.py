@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -143,6 +143,25 @@ class SLAScheduler:
         #: (``ClusterRouter(coalesce=True)``) finds mergeable neighbours at
         #: the queue head instead of spreading mergeable requests thin.
         self.coalesce_affinity = coalesce_affinity
+
+    def policy(self) -> Dict[str, float]:
+        """The placement-policy knobs as numbers, for metric exposition.
+
+        Published by the cluster's scrape-time collector as the
+        ``scheduler_policy{param}`` gauge family, so every scrape is
+        self-describing about the policy that produced its placement
+        counters (see ``docs/OBSERVABILITY.md``).  Per-placement series
+        deliberately live on the fold side
+        (``cluster_requests_total{sla, node}``) rather than here: the
+        columnar kernel inlines :meth:`choose`, so scheduler-side
+        counters would undercount on the fast path.
+        """
+        return {
+            "hot_threshold": float(self.hot_threshold),
+            "max_replicas": float(self.max_replicas),
+            "hazard_weight": float(self.hazard_weight),
+            "coalesce_affinity": 1.0 if self.coalesce_affinity else 0.0,
+        }
 
     # ------------------------------------------------------------------ #
     # Pool construction

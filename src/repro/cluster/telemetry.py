@@ -58,6 +58,10 @@ class RequestTrace:
     #: Whether the request was re-placed after admission (its original node
     #: crashed or was parked before the dispatch could run).
     replayed: bool = False
+    #: Root span id of the request's modeled-time span tree, when the run
+    #: carried a :class:`repro.obs.Tracer` and this request was sampled
+    #: (``request_id % sample_every == 0``); ``None`` otherwise.
+    span_id: Optional[int] = None
 
     @property
     def queue_delay_s(self) -> float:

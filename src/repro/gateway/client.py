@@ -368,6 +368,22 @@ class GatewayClient:
             raise GatewayError(f"unexpected frame {frame_type.name} to STATS")
         return reply["stats"]
 
+    def metrics(self) -> dict:
+        """Scrape the server's full metrics registry (wire METRICS query).
+
+        Returns the JSON-safe registry snapshot (see
+        ``repro.obs.MetricsRegistry.snapshot``); render it with
+        ``repro.obs.render_prometheus`` / ``render_json`` or feed it to
+        ``python -m repro.obs report``.  METRICS is a protocol revision-2
+        frame, so this raises against a pre-revision-2 server.
+        """
+        frame_type, reply, _ = self._roundtrip(
+            encode_frame(FrameType.METRICS, {"id": next(self._ids)})
+        )
+        if frame_type is not FrameType.METRICS:
+            raise GatewayError(f"unexpected frame {frame_type.name} to METRICS")
+        return reply["snapshot"]
+
     def _roundtrip(self, frame: bytes):
         """One request/response exchange on a pooled connection.
 

@@ -5,7 +5,7 @@ frame is an 8-byte fixed header followed by a UTF-8 JSON object::
 
     offset  size  field
     0       2     magic, the ASCII bytes "RG" (0x52 0x47)
-    2       1     protocol version (currently 0x01)
+    2       1     protocol version (0x01; 0x02 for METRICS frames)
     3       1     frame type (one of :class:`FrameType`)
     4       4     payload length N, big-endian unsigned
     8       N     payload, a UTF-8 encoded JSON object
@@ -40,6 +40,9 @@ __all__ = [
     "FrameDecoder",
     "MAGIC",
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_2",
+    "SUPPORTED_VERSIONS",
+    "MIN_VERSION_BY_TYPE",
     "HEADER_SIZE",
     "HEADER_STRUCT",
     "MAX_PAYLOAD_BYTES",
@@ -54,10 +57,18 @@ __all__ = [
 
 #: The two magic bytes opening every frame ("RG": Repro Gateway).
 MAGIC = b"RG"
-#: The protocol version this implementation speaks.  The high bit of the
-#: version byte is reserved to flag a non-JSON payload codec (msgpack) in
-#: a future revision; today any version other than 0x01 is rejected.
+#: The baseline protocol version (revision 1: frame types 0x01–0x08).
+#: Revision 2 added the METRICS frame; per the versioning rules in
+#: docs/PROTOCOL.md a new frame type bumps the version byte, so METRICS
+#: frames carry 0x02 while every revision-1 frame keeps 0x01 — existing
+#: byte layouts are unchanged.  The high bit of the version byte stays
+#: reserved to flag a non-JSON payload codec (msgpack) in a future
+#: revision; any version outside :data:`SUPPORTED_VERSIONS` is rejected.
 PROTOCOL_VERSION = 0x01
+#: Revision 2: adds :attr:`FrameType.METRICS` (registry scrape).
+PROTOCOL_VERSION_2 = 0x02
+#: Version bytes this implementation accepts.
+SUPPORTED_VERSIONS = frozenset({PROTOCOL_VERSION, PROTOCOL_VERSION_2})
 #: struct layout of the fixed header: magic(2) version(1) type(1) length(4).
 HEADER_STRUCT = struct.Struct(">2sBBI")
 #: Size of the fixed header in bytes.
@@ -89,6 +100,17 @@ class FrameType(enum.IntEnum):
     STATS = 0x07
     #: Server -> client: the server is draining; no new work is accepted.
     DRAIN = 0x08
+    #: Client -> server: observability scrape; server -> client: the full
+    #: metrics registry snapshot.  Revision 2 — frames of this type carry
+    #: version byte 0x02.
+    METRICS = 0x09
+
+
+#: Frame types that exist only from a given protocol revision onward.
+#: ``_parse_header`` enforces this: a revision-1 header naming a
+#: revision-2 type is rejected, exactly as a pure revision-1 receiver
+#: would reject it.
+MIN_VERSION_BY_TYPE = {FrameType.METRICS: PROTOCOL_VERSION_2}
 
 
 class ProtocolError(ValueError):
@@ -102,27 +124,43 @@ class ProtocolError(ValueError):
     """
 
 
-def encode_frame(frame_type: FrameType, payload: dict) -> bytes:
+def encode_frame(
+    frame_type: FrameType, payload: dict, version: Optional[int] = None
+) -> bytes:
     """Serialise one frame: fixed header plus UTF-8 JSON payload.
 
     Args:
         frame_type: The frame's :class:`FrameType`.
         payload: JSON-serialisable payload object (a dict).
+        version: Version byte to stamp; defaults to the lowest revision
+            that defines ``frame_type`` (0x01 for the revision-1 types,
+            0x02 for METRICS), so every pre-existing frame's bytes are
+            identical to what revision 1 produced.
 
     Returns:
         The wire bytes of the complete frame.
 
     Raises:
         ProtocolError: If the encoded payload exceeds
-            :data:`MAX_PAYLOAD_BYTES`.
+            :data:`MAX_PAYLOAD_BYTES`, or ``version`` is unsupported or
+            predates ``frame_type``.
     """
+    if version is None:
+        version = MIN_VERSION_BY_TYPE.get(frame_type, PROTOCOL_VERSION)
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(f"unsupported protocol version 0x{version:02x}")
+    if version < MIN_VERSION_BY_TYPE.get(frame_type, PROTOCOL_VERSION):
+        raise ProtocolError(
+            f"frame type {frame_type.name} needs protocol version "
+            f"0x{MIN_VERSION_BY_TYPE[frame_type]:02x} or later"
+        )
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_PAYLOAD_BYTES:
         raise ProtocolError(
             f"payload of {len(body)} bytes exceeds the "
             f"{MAX_PAYLOAD_BYTES}-byte frame limit"
         )
-    return HEADER_STRUCT.pack(MAGIC, PROTOCOL_VERSION, int(frame_type), len(body)) + body
+    return HEADER_STRUCT.pack(MAGIC, version, int(frame_type), len(body)) + body
 
 
 def _parse_header(header: bytes, max_payload: int) -> Tuple[FrameType, int]:
@@ -130,15 +168,25 @@ def _parse_header(header: bytes, max_payload: int) -> Tuple[FrameType, int]:
     magic, version, type_code, length = HEADER_STRUCT.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r} (expected {MAGIC!r})")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"unsupported protocol version 0x{version:02x} "
-            f"(this implementation speaks 0x{PROTOCOL_VERSION:02x})"
+            f"(this implementation speaks 0x{PROTOCOL_VERSION:02x}"
+            f"-0x{PROTOCOL_VERSION_2:02x})"
         )
     try:
         frame_type = FrameType(type_code)
     except ValueError:
         raise ProtocolError(f"unknown frame type 0x{type_code:02x}") from None
+    if version < MIN_VERSION_BY_TYPE.get(frame_type, PROTOCOL_VERSION):
+        # A revision-1 header must not name a revision-2 type: a pure
+        # revision-1 receiver would reject the code as unknown, and the
+        # spec's rule is that new types arrive only with the version bump.
+        raise ProtocolError(
+            f"frame type {frame_type.name} (0x{type_code:02x}) requires "
+            f"protocol version 0x{MIN_VERSION_BY_TYPE[frame_type]:02x}, "
+            f"header says 0x{version:02x}"
+        )
     if length > max_payload:
         raise ProtocolError(
             f"announced payload of {length} bytes exceeds the "
@@ -333,10 +381,16 @@ def percentile_summary(latencies_s: List[float]) -> dict:
     Returns:
         A dict with ``count``, ``p50_s``, ``p99_s``, ``p999_s`` and
         ``max_s`` (zeros when the sample is empty).
+
+    Raises:
+        ValueError: If any latency is NaN — a NaN would silently poison
+            every percentile, so it is rejected at the door.
     """
     if not len(latencies_s):
         return {"count": 0, "p50_s": 0.0, "p99_s": 0.0, "p999_s": 0.0, "max_s": 0.0}
     array = np.asarray(latencies_s, dtype=np.float64)
+    if np.isnan(array).any():
+        raise ValueError("latencies must not contain NaN")
     p50, p99, p999 = np.percentile(array, [50.0, 99.0, 99.9])
     return {
         "count": int(array.size),

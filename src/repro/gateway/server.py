@@ -34,7 +34,8 @@ import asyncio
 import socket
 import threading
 import time
-from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+from collections.abc import MutableMapping
+from typing import Awaitable, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +50,7 @@ from repro.gateway.protocol import (
     encode_frame,
     images_digest,
 )
+from repro.obs import MetricsRegistry, Tracer
 
 __all__ = ["GatewayServer", "ThreadedGateway"]
 
@@ -73,6 +75,62 @@ class _Connection:
         self.open = True
         peer = writer.get_extra_info("peername")
         self.peer = f"{peer[0]}:{peer[1]}" if peer else "?"
+
+
+#: Wire stats keys → help text; each is backed by a registry counter
+#: named ``gateway_<key>_total``, the single source both ``snapshot()``
+#: and the METRICS scrape read (so the two can never drift).
+_STATS_KEYS = {
+    "connections_opened": "Client connections accepted.",
+    "connections_closed": "Client connections torn down.",
+    "frames_received": "Well-formed frames decoded off the wire.",
+    "requests_received": "REQUEST frames seen (admitted or refused).",
+    "requests_admitted": "REQUEST frames accepted into the admission queue.",
+    "responses_sent": "RESPONSE frames delivered to live peers.",
+    "responses_dropped": "Responses computed for peers that vanished.",
+    "busy_sent": "BUSY backpressure frames sent.",
+    "errors_sent": "ERROR frames sent.",
+    "malformed_frames": "Framing violations (connection closed).",
+    "pings": "PING frames answered.",
+    "bytes_received": "Raw bytes read off client sockets.",
+    "bytes_sent": "Raw frame bytes written to client sockets.",
+}
+
+
+class _RegistryStats(MutableMapping):
+    """The gateway's stats dict, backed by registry counters.
+
+    Keeps every ``stats["key"] += 1`` call site (and the existing test
+    assertions on integer values) working while making the registry the
+    one source of truth: ``snapshot()``, the wire ``STATS`` reply and a
+    ``METRICS`` scrape all read the same counters.
+    """
+
+    __slots__ = ("_families",)
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._families = {
+            key: registry.counter(f"gateway_{key}_total", help_text)
+            for key, help_text in _STATS_KEYS.items()
+        }
+
+    def __getitem__(self, key: str) -> int:
+        return int(self._families[key].value)
+
+    def __setitem__(self, key: str, value: int) -> None:
+        family = self._families[key]
+        delta = float(value) - family.value
+        if delta:
+            family.inc(delta)
+
+    def __delitem__(self, key: str) -> None:
+        raise TypeError("gateway stats keys are fixed")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._families)
+
+    def __len__(self) -> int:
+        return len(self._families)
 
 
 class _Pending:
@@ -111,6 +169,14 @@ class GatewayServer:
         max_payload_bytes: Per-frame payload cap for this server.
         min_retry_after_s: Floor of the ``retry_after_s`` hint in ``BUSY``
             frames.
+        metrics: Observability registry answering the wire ``METRICS``
+            scrape; one is created when omitted.  The router is attached
+            to it (cluster metric families, virtual clock) unless it
+            already carries its own instrumentation.
+        tracer: Span tracer; one is created (with ``sample_every``) when
+            omitted.
+        sample_every: Deterministic trace sampling rate for the default
+            tracer (trace one request in this many; 0 disables).
     """
 
     def __init__(
@@ -122,6 +188,9 @@ class GatewayServer:
         admission_batch: int = 128,
         max_payload_bytes: int = MAX_PAYLOAD_BYTES,
         min_retry_after_s: float = 0.01,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        sample_every: int = 1024,
     ) -> None:
         if max_queue < 1:
             raise ConfigurationError("max_queue must be >= 1")
@@ -150,19 +219,39 @@ class GatewayServer:
         #: Exponential moving average of per-request service time, the
         #: basis of the ``retry_after_s`` backpressure hint.
         self._service_time_ema_s = 0.001
-        self.stats: Dict[str, int] = {
-            "connections_opened": 0,
-            "connections_closed": 0,
-            "frames_received": 0,
-            "requests_received": 0,
-            "requests_admitted": 0,
-            "responses_sent": 0,
-            "responses_dropped": 0,
-            "busy_sent": 0,
-            "errors_sent": 0,
-            "malformed_frames": 0,
-            "pings": 0,
-        }
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(sample_every)
+        if getattr(router, "_obs", None) is None:
+            from repro.cluster.instrumentation import attach_cluster_observability
+
+            attach_cluster_observability(router, self.metrics, tracer=self.tracer)
+        if getattr(router, "tracer", None) is None:
+            router.tracer = self.tracer
+        self.stats: MutableMapping = _RegistryStats(self.metrics)
+        self._ema_gauge = self.metrics.gauge(
+            "gateway_service_time_ema_seconds",
+            "EMA of per-request wall service time (retry_after basis).",
+        )
+        self._retry_gauge = self.metrics.gauge(
+            "gateway_retry_after_seconds",
+            "The retry_after_s hint a BUSY frame would carry right now.",
+        )
+        self._queue_gauge = self.metrics.gauge(
+            "gateway_queue_depth",
+            "Admitted-but-unanswered requests (admission + in flight).",
+        )
+        self._queue_limit_gauge = self.metrics.gauge(
+            "gateway_queue_limit", "Bound of the admission queue."
+        )
+        self._queue_limit_gauge.set(float(max_queue))
+        self.metrics.register_collector(self._collect_gauges)
+
+    def _collect_gauges(self, _registry: MetricsRegistry) -> None:
+        """Scrape-time collector: live queue/backpressure state."""
+        self._ema_gauge.set(self._service_time_ema_s)
+        self._retry_gauge.set(self._retry_after_s())
+        self._queue_gauge.set(float(len(self._admission) + len(self._pending)))
+        self._queue_limit_gauge.set(float(self.max_queue))
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -265,6 +354,7 @@ class GatewayServer:
                 chunk = await reader.read(64 * 1024)
                 if not chunk:
                     break
+                self.stats["bytes_received"] += len(chunk)
                 try:
                     for frame_type, payload in connection.decoder.feed(chunk):
                         self.stats["frames_received"] += 1
@@ -303,6 +393,7 @@ class GatewayServer:
             return False
         try:
             connection.writer.write(frame)
+            self.stats["bytes_sent"] += len(frame)
             await connection.writer.drain()
             return True
         except (ConnectionError, RuntimeError):
@@ -342,6 +433,14 @@ class GatewayServer:
                 encode_frame(
                     FrameType.STATS,
                     {"id": payload.get("id"), "stats": self.snapshot()},
+                ),
+            )
+        elif frame_type is FrameType.METRICS:
+            await self._send(
+                connection,
+                encode_frame(
+                    FrameType.METRICS,
+                    {"id": payload.get("id"), "snapshot": self.metrics.snapshot()},
                 ),
             )
         else:
@@ -386,6 +485,9 @@ class GatewayServer:
             )
             return
         self.stats["requests_admitted"] += 1
+        # Wall stamp of the accept, so the sampled gateway.accept span can
+        # be emitted retroactively once the router id is known.
+        parsed["_accept_wall_s"] = time.time()
         self._admission.append((connection, parsed))
         self._dispatch_wakeup.set()
 
@@ -515,6 +617,7 @@ class GatewayServer:
             return False
         try:
             connection.writer.write(frame)
+            self.stats["bytes_sent"] += len(frame)
             return True
         except (ConnectionError, RuntimeError):
             return False
@@ -570,6 +673,22 @@ class GatewayServer:
         }
         if entry.parsed.get("echo_ref"):
             payload["images_ref"] = entry.parsed["images_ref"]
+        accept_span = None
+        if self.tracer.should_sample(entry.router_id):
+            # The wall-clock legs of the span tree: gateway.accept covers
+            # socket arrival to result availability, response.write the
+            # frame staging.  Same trace id as the modeled-time spans the
+            # cluster emitted for this request.
+            accept_span = self.tracer.start_span(
+                "gateway.accept", entry.router_id, sla=trace.sla
+            )
+            accept_span.start_wall_s = entry.parsed.get(
+                "_accept_wall_s", accept_span.start_wall_s
+            )
+            self.tracer.end_span(accept_span)
+            write_span = self.tracer.start_span(
+                "response.write", entry.router_id, parent=accept_span
+            )
         # Count before writing: the socket send releases the GIL, so a
         # client thread could otherwise observe its response (and read a
         # snapshot) before this coroutine reaches the increment.
@@ -577,6 +696,8 @@ class GatewayServer:
         if self._write_nodrain(
             entry.connection, encode_frame(FrameType.RESPONSE, payload)
         ):
+            if accept_span is not None:
+                self.tracer.end_span(write_span)
             return True
         # The client vanished mid-request: the work was still done and
         # accounted (zero-loss means *answered or knowingly dropped at a
@@ -592,14 +713,20 @@ class GatewayServer:
         """Counters answering the wire ``STATS`` query.
 
         Returns:
-            Gateway counters plus the router's conservation numerators
-            (``router_completed``, ``router_failed``) and the live
-            ``queue_depth`` / ``queue_limit`` / ``draining`` state.
+            Gateway counters (read from the metrics registry — the same
+            source a ``METRICS`` scrape renders, so the two cannot
+            drift) plus the router's conservation numerators
+            (``router_completed``, ``router_failed``), the live
+            ``queue_depth`` / ``queue_limit`` / ``draining`` state, and
+            the backpressure signals ``service_time_ema_s`` /
+            ``retry_after_s``.
         """
         snapshot: Dict[str, float] = dict(self.stats)
         snapshot["queue_depth"] = len(self._admission) + len(self._pending)
         snapshot["queue_limit"] = self.max_queue
         snapshot["draining"] = bool(self._draining)
+        snapshot["service_time_ema_s"] = self._service_time_ema_s
+        snapshot["retry_after_s"] = self._retry_after_s()
         snapshot["router_completed"] = self.router.completed_requests
         snapshot["router_failed"] = self.router.failed_requests
         return snapshot

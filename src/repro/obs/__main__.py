@@ -1,0 +1,246 @@
+"""``python -m repro.obs`` — scrape, tail, and report observability data.
+
+Two subcommands:
+
+``tail HOST:PORT``
+    Scrape a live gateway's ``METRICS`` wire frame (protocol revision 2)
+    and render it — repeatedly at ``--interval`` seconds, or once with
+    ``--once``.  The default ``report`` format is the operator view the
+    node-crash drill in docs/OPERATIONS.md reads; ``--format prom`` and
+    ``--format json`` emit the raw exposition formats.
+
+``report SNAPSHOT.json``
+    Render a saved registry snapshot (e.g. the ``metrics-snapshot`` CI
+    artifact, or a study's ``registry.snapshot()`` dump) into the same
+    per-SLA / per-node latency+energy report.
+
+Examples (see docs/OBSERVABILITY.md for reading guidance)::
+
+    python -m repro.obs tail 127.0.0.1:9000 --once
+    python -m repro.obs tail 127.0.0.1:9000 --interval 5 --format prom
+    python -m repro.obs report results/metrics_snapshot.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.render import render_json, render_prometheus
+
+
+def _fmt(value: float, digits: int = 4) -> str:
+    return f"{value:.{digits}g}"
+
+
+def _sample_value(snapshot: dict, name: str, labels: Dict[str, str]) -> float:
+    family = snapshot.get("metrics", {}).get(name)
+    if not family:
+        return 0.0
+    for sample in family["samples"]:
+        if sample.get("labels", {}) == labels:
+            return float(sample.get("value", 0.0))
+    return 0.0
+
+
+def render_report(snapshot: dict) -> str:
+    """The per-SLA / per-node latency+energy operator report.
+
+    Rebuilds real histograms from the snapshot (log-bucketed histograms
+    are mergeable, so a saved snapshot answers the same quantile queries
+    a live registry does) and prints one row per (sla, node) series plus
+    gateway and fleet summary lines.
+    """
+    registry = MetricsRegistry.from_snapshot(snapshot)
+    lines: List[str] = []
+    virtual = snapshot.get("virtual_time_s")
+    wall = snapshot.get("wall_time_s")
+    header = "repro.obs report"
+    if virtual is not None:
+        header += f" · virtual {_fmt(float(virtual))}s"
+    if wall is not None:
+        header += f" · wall {time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(wall))}"
+    lines.append(header)
+    lines.append("")
+
+    latency = registry.get("cluster_request_latency_seconds")
+    rows: List[Tuple[str, str, float, float, float, float, float, float]] = []
+    if latency is not None:
+        for histogram in latency.samples():
+            sla = histogram.labels.get("sla", "?")
+            node = histogram.labels.get("node", "?")
+            requests = _sample_value(
+                snapshot, "cluster_requests_total", {"sla": sla, "node": node}
+            )
+            energy = _sample_value(
+                snapshot, "cluster_energy_joules_total", {"sla": sla, "node": node}
+            )
+            images = _sample_value(
+                snapshot, "cluster_images_total", {"sla": sla, "node": node}
+            )
+            rows.append(
+                (
+                    sla,
+                    node,
+                    requests,
+                    histogram.quantile(0.5),
+                    histogram.quantile(0.99),
+                    energy,
+                    energy / images if images else 0.0,
+                    images,
+                )
+            )
+    if rows:
+        rows.sort(key=lambda r: (r[0], r[1]))
+        lines.append(
+            f"{'sla':<12} {'node':<10} {'requests':>9} {'p50 s':>10} "
+            f"{'p99 s':>10} {'energy J':>12} {'J/image':>10}"
+        )
+        for sla, node, requests, p50, p99, energy, per_image, _ in rows:
+            lines.append(
+                f"{sla:<12} {node:<10} {int(requests):>9} {_fmt(p50):>10} "
+                f"{_fmt(p99):>10} {_fmt(energy):>12} {_fmt(per_image):>10}"
+            )
+        misses = registry.get("cluster_deadline_misses_total")
+        if misses is not None and misses.samples():
+            miss_text = ", ".join(
+                f"{c.labels.get('sla', '?')}={int(c.value)}" for c in misses.samples()
+            )
+            lines.append(f"deadline misses: {miss_text}")
+    else:
+        lines.append("no cluster request series in this snapshot")
+    lines.append("")
+
+    metrics = snapshot.get("metrics", {})
+    gateway_bits = []
+    for key, label in (
+        ("gateway_requests_received_total", "requests"),
+        ("gateway_busy_sent_total", "busy"),
+        ("gateway_responses_sent_total", "responses"),
+        ("gateway_bytes_received_total", "bytes in"),
+        ("gateway_bytes_sent_total", "bytes out"),
+    ):
+        family = metrics.get(key)
+        if family and family["samples"]:
+            gateway_bits.append(f"{label}={int(family['samples'][0]['value'])}")
+    for key, label in (
+        ("gateway_queue_depth", "queue"),
+        ("gateway_retry_after_seconds", "retry_after_s"),
+    ):
+        family = metrics.get(key)
+        if family and family["samples"]:
+            gateway_bits.append(f"{label}={_fmt(family['samples'][0]['value'])}")
+    if gateway_bits:
+        lines.append("gateway: " + " ".join(gateway_bits))
+
+    transitions = metrics.get("cluster_node_transitions_total")
+    if transitions and transitions["samples"]:
+        moved = ", ".join(
+            f"{s['labels'].get('node', '?')}→{s['labels'].get('transition', '?')}"
+            f"×{int(s['value'])}"
+            for s in transitions["samples"]
+        )
+        lines.append(f"node transitions: {moved}")
+    faults = metrics.get("cluster_fault_events_total")
+    if faults and faults["samples"]:
+        fault_text = ", ".join(
+            f"{s['labels'].get('kind', '?')}={int(s['value'])}"
+            for s in faults["samples"]
+        )
+        lines.append(f"fault events: {fault_text}")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+_RENDERERS = {
+    "report": render_report,
+    "prom": render_prometheus,
+    "json": render_json,
+}
+
+
+def _scrape(host: str, port: int, timeout_s: float) -> dict:
+    from repro.gateway.client import GatewayClient
+
+    with GatewayClient(host, port, timeout_s=timeout_s) as client:
+        return client.metrics()
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    host, _, port_text = args.target.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"target must be HOST:PORT, got {args.target!r}", file=sys.stderr)
+        return 2
+    render = _RENDERERS[args.format]
+    while True:
+        snapshot = _scrape(host, int(port_text), args.timeout_s)
+        sys.stdout.write(render(snapshot))
+        sys.stdout.flush()
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+        sys.stdout.write("\n")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    with open(args.snapshot, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    sys.stdout.write(_RENDERERS[args.format](snapshot))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Scrape, tail, and report repro.obs metrics.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    tail = commands.add_parser(
+        "tail", help="scrape a live gateway's METRICS frame and render it"
+    )
+    tail.add_argument("target", help="gateway address, HOST:PORT")
+    tail.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between scrapes"
+    )
+    tail.add_argument(
+        "--once", action="store_true", help="scrape and render exactly once"
+    )
+    tail.add_argument(
+        "--timeout-s", type=float, default=5.0, help="per-scrape socket timeout"
+    )
+    tail.add_argument(
+        "--format",
+        choices=sorted(_RENDERERS),
+        default="report",
+        help="output format (default: report)",
+    )
+    tail.set_defaults(func=_cmd_tail)
+
+    report = commands.add_parser(
+        "report", help="render a saved registry snapshot JSON file"
+    )
+    report.add_argument("snapshot", help="path to a registry snapshot JSON")
+    report.add_argument(
+        "--format",
+        choices=sorted(_RENDERERS),
+        default="report",
+        help="output format (default: report)",
+    )
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

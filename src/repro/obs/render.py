@@ -1,0 +1,87 @@
+"""Exposition renderers: registry snapshot → Prometheus text / JSON.
+
+Both renderers consume the JSON-safe snapshot dict produced by
+:meth:`repro.obs.registry.MetricsRegistry.snapshot` (also the payload of
+the wire ``METRICS`` frame), so a live scrape and a saved study render
+identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+__all__ = ["render_prometheus", "render_json"]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_block(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
+    pairs = {**labels, **(extra or {})}
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in pairs.items()
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms become the
+    conventional ``_bucket{le=…}`` cumulative series plus ``_sum`` and
+    ``_count``.  The snapshot's registry-level dual timestamps are
+    exposed as two synthetic gauges (``obs_virtual_time_seconds`` /
+    ``obs_wall_time_seconds``) so a scrape is self-describing in both
+    time bases.
+    """
+    lines: List[str] = []
+    for name, value in (
+        ("obs_virtual_time_seconds", snapshot.get("virtual_time_s")),
+        ("obs_wall_time_seconds", snapshot.get("wall_time_s")),
+    ):
+        if value is not None:
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format(value)}")
+    for name, family in snapshot.get("metrics", {}).items():
+        kind = family["kind"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_label_block(labels)} {_format(sample['value'])}")
+            else:  # histogram
+                per_octave = sample["buckets_per_octave"]
+                cumulative = sample["zero_count"]
+                for index in sorted(int(i) for i in sample["buckets"]):
+                    cumulative += sample["buckets"][str(index)]
+                    edge = 2.0 ** ((index + 1) / per_octave)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_block(labels, {'le': _format(edge)})} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_label_block(labels, {'le': '+Inf'})} "
+                    f"{sample['count']}"
+                )
+                lines.append(f"{name}_sum{_label_block(labels)} {_format(sample['sum'])}")
+                lines.append(f"{name}_count{_label_block(labels)} {sample['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _format(value) -> str:
+    """Compact numeric formatting (integers without a trailing .0)."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_json(snapshot: dict, indent: int = 2) -> str:
+    """Render a registry snapshot as stable, pretty-printed JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)

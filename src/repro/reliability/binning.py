@@ -33,7 +33,7 @@ of ``(s, i)``, so heterogeneous fleets are reproducible down to the ledger.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -118,6 +118,21 @@ class ChipBin:
             "f_max_hz": self.f_max_hz,
             "joules_per_mac": self.joules_per_mac,
             "failure_hazard": self.failure_hazard,
+        }
+
+    def metric_summary(self) -> Dict[str, float]:
+        """The bin card as numeric gauges for metric exposition.
+
+        Published per node by the cluster's scrape-time collector as
+        ``node_bin_<field>`` gauges (``docs/OBSERVABILITY.md``), so a
+        scrape of a binned fleet shows which silicon grade each node's
+        latency and energy series came from.
+        """
+        return {
+            "speed_factor": float(self.speed_factor),
+            "energy_factor": float(self.energy_factor),
+            "f_max_hz": float(self.f_max_hz),
+            "failure_hazard": float(self.failure_hazard),
         }
 
 

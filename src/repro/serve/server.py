@@ -201,6 +201,7 @@ class InferenceServer:
         self._next_request_id = 0
         self._batches: List[BatchRecord] = []
         self._results: List[RequestResult] = []
+        self._images_served = 0
         self._failed: Dict[int, BaseException] = {}
         self._worker: Optional[threading.Thread] = None
         self._stop_requested = False
@@ -377,6 +378,7 @@ class InferenceServer:
         done_s = time.perf_counter()
         with self._lock:
             self._batches.append(record)
+            self._images_served += record.images
             for request, start, stop in plan:
                 pending = self._pending[request.request_id]
                 pending.predictions.append(predictions[offset : stop - start + offset])
@@ -528,6 +530,24 @@ class InferenceServer:
     def results(self) -> List[RequestResult]:
         """Per-request results (in completion order)."""
         return list(self._results)
+
+    def counters(self) -> Dict[str, float]:
+        """O(1) serving totals for scrape-time observability collectors.
+
+        Unlike :meth:`report` (which walks every batch and result record),
+        this reads only running totals and list lengths, so a metrics
+        collector can poll it per scrape without touching the per-batch
+        history (see ``docs/OBSERVABILITY.md``).
+        """
+        with self._lock:
+            return {
+                "requests_completed": float(len(self._results)),
+                "batches": float(len(self._batches)),
+                "images_served": float(self._images_served),
+                "pending_images": float(
+                    sum(request.remaining for request in self._queue)
+                ),
+            }
 
     def report(self) -> ServerReport:
         """Aggregate everything served so far."""

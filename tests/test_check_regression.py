@@ -207,7 +207,10 @@ class TestRepoBaselines:
         )
         assert config["metrics"], "no tracked metrics"
         for name, spec_ in config["metrics"].items():
-            assert spec_["direction"] in ("lower", "higher"), name
-            assert isinstance(spec_["value"], (int, float)), name
             assert spec_["file"].endswith(".json"), name
             assert spec_["path"], name
+            if spec_.get("check") == "present":
+                # Presence-only gates carry no numeric baseline.
+                continue
+            assert spec_["direction"] in ("lower", "higher"), name
+            assert isinstance(spec_["value"], (int, float)), name

@@ -135,9 +135,26 @@ class TestFraming:
             decode_frame(bytes(frame))
 
     def test_unsupported_version_rejected(self):
+        # 0x01 and 0x02 are the supported revisions; 0x03 does not exist.
         frame = bytearray(encode_frame(FrameType.PING, {}))
-        frame[2] = 0x02
+        frame[2] = 0x03
         with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(frame))
+
+    def test_revision2_version_byte_accepted(self):
+        # Revision 2 (METRICS) bumped the version byte; a 0x02 header on a
+        # revision-1 frame type decodes fine.
+        frame = bytearray(encode_frame(FrameType.PING, {"id": 1}))
+        frame[2] = 0x02
+        assert decode_frame(bytes(frame)) == (FrameType.PING, {"id": 1})
+
+    def test_metrics_frame_requires_revision2(self):
+        # METRICS under a revision-1 version byte is the spec violation a
+        # pure revision-1 receiver would reject as an unknown type.
+        frame = bytearray(encode_frame(FrameType.METRICS, {}))
+        assert frame[2] == 0x02  # the encoder stamps revision 2 by itself
+        frame[2] = 0x01
+        with pytest.raises(ProtocolError, match="requires"):
             decode_frame(bytes(frame))
 
     def test_unknown_type_rejected(self):
@@ -265,7 +282,7 @@ class TestSpecByteLayout:
         )
 
     def test_spec_version_byte_rejected(self, gateway):
-        frame = b"\x52\x47" + bytes([0x02, 0x05]) + struct.pack(">I", 2) + b"{}"
+        frame = b"\x52\x47" + bytes([0x03, 0x05]) + struct.pack(">I", 2) + b"{}"
         with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
             sock.sendall(frame)
             ((frame_type, reply),) = recv_frames(sock, 1)
@@ -273,6 +290,34 @@ class TestSpecByteLayout:
             assert reply["code"] == "malformed_frame"
             assert "version" in reply["message"]
             assert sock.recv(1) == b""  # the server closes after a framing error
+
+    def test_spec_metrics_scrape(self, gateway):
+        # The revision-2 METRICS frame from §7 of docs/PROTOCOL.md, built
+        # byte-by-byte: version 0x02, type 0x09.  The reply is a METRICS
+        # frame whose snapshot carries the same counters STATS reports.
+        body = json.dumps({"id": 3}).encode("utf-8")
+        frame = b"\x52\x47" + bytes([0x02, 0x09]) + struct.pack(">I", len(body)) + body
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(self.spec_frame(0x05, {"id": 1}))  # one PING first
+            sock.sendall(frame)
+            frames = recv_frames(sock, 2)
+        assert frames[0][0] is FrameType.PONG
+        assert frames[1][0] is FrameType.METRICS
+        reply = frames[1][1]
+        assert reply["id"] == 3
+        snapshot = reply["snapshot"]
+        assert snapshot["schema"] == "repro.obs/1"
+        pings = snapshot["metrics"]["gateway_pings_total"]["samples"][0]["value"]
+        assert pings == 1
+
+    def test_spec_metrics_under_revision1_is_malformed(self, gateway):
+        # Type 0x09 with version byte 0x01 violates the versioning rules.
+        frame = b"\x52\x47" + bytes([0x01, 0x09]) + struct.pack(">I", 2) + b"{}"
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(frame)
+            ((frame_type, reply),) = recv_frames(sock, 1)
+            assert frame_type is FrameType.ERROR
+            assert reply["code"] == "malformed_frame"
 
 
 # --------------------------------------------------------------------- #
