@@ -30,6 +30,7 @@ TRACKED_BENCHES := benchmarks/bench_chip_scaling.py \
                    benchmarks/bench_fleet_reliability.py \
                    benchmarks/bench_event_kernel.py \
                    benchmarks/bench_gateway_throughput.py \
+                   benchmarks/bench_gateway_resilience.py \
                    benchmarks/bench_obs_overhead.py
 
 #: Coverage floor the CI coverage job enforces (keep in sync with ci.yml).

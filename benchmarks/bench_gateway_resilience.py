@@ -1,0 +1,393 @@
+"""End-to-end resilience gates: chaos availability, shedding, crash drill.
+
+Three drills against live TCP gateways, all journaled, all seeded:
+
+* **Chaos availability** — a hardened :class:`GatewayClient` (full-jitter
+  retries, circuit breaker, retry budget) pushes requests through a
+  :class:`ChaosProxy` running the standard fault plan (resets, frame
+  corruption, latency spikes, throttled writes, slow-loris reads).  Gates:
+  availability >= 99 %, and the admission journal reconciles **exactly** —
+  every acknowledged (admitted) request reaches exactly one terminal
+  outcome, none lost, none double-resolved.
+* **Deadline shedding** — requests whose wall-clock budget expires while
+  queued must be shed (``shed`` ERROR), never executed; zero-budget
+  requests are refused at admission without ever being acknowledged.
+* **Supervised-restart drill** — ``ThreadedGateway.kill()`` (abrupt loop
+  teardown, no drain, no final fsync) with requests parked in the queue;
+  recovery must report the lost set *exactly* — the parked ids, nothing
+  more, nothing fabricated — and a restarted gateway on the same journal
+  resumes ids past the dead incarnation.
+
+JSON lands in ``benchmarks/results/gateway_resilience.json`` for the
+`bench-regression` CI gate (``resilience.*`` metrics in baselines.json).
+"""
+
+import json
+import os
+import random
+import shutil
+import socket
+import time
+
+from repro.analysis.report import format_table
+from repro.chaos import ChaosPlan, ThreadedChaosProxy
+from repro.cluster import ClusterNode, ClusterRouter, ExecutionMode, ForwardMemo
+from repro.dnn import make_pattern_image_dataset, train_pattern_cnn
+from repro.gateway import (
+    AdmissionJournal,
+    CircuitBreaker,
+    FrameDecoder,
+    FrameType,
+    GatewayClient,
+    ThreadedGateway,
+    encode_frame,
+    encode_images,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+CHAOS_REQUESTS = 60 if SMOKE else 250
+CHAOS_SEED = 20260808
+AVAILABILITY_GATE = 0.99
+SHED_QUEUED = 8
+PARKED_IN_CRASH = 5
+
+
+def _build_gateway(journal_path, max_queue=256, **server_kwargs):
+    """One analytic node behind a journaled threaded gateway."""
+    dataset = make_pattern_image_dataset(samples=60, size=8, seed=13)
+    cnn, _ = train_pattern_cnn(
+        dataset, conv_channels=(1,), hidden_sizes=(4,), epochs=2, seed=13
+    )
+    node = ClusterNode(
+        "bench-node",
+        vdd=1.0,
+        num_macros=4,
+        max_batch_size=256,
+        execution_mode=ExecutionMode.ANALYTIC,
+        forward_memo=ForwardMemo(),
+    )
+    router = ClusterRouter([node], coalesce=True)
+    router.register_model("cnn", cnn)
+    gateway = ThreadedGateway(
+        router,
+        max_queue=max_queue,
+        min_retry_after_s=1e-6,
+        journal=str(journal_path),
+        **server_kwargs,
+    )
+    gateway.start()
+    return gateway, router, dataset
+
+
+def _journal_ledger(path):
+    """Reconcile a journal file at line level.
+
+    :meth:`AdmissionJournal.recover` collapses outcomes into a dict, which
+    would mask a request resolved *twice*; the exactly-once gate needs the
+    raw multiplicity, so this re-reads the lines and counts done records
+    per journal id.
+    """
+    admitted = []
+    done_counts = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail
+        if record.get("op") == "admit":
+            admitted.append(record["jid"])
+        elif record.get("op") == "done":
+            done_counts[record["jid"]] = done_counts.get(record["jid"], 0) + 1
+    lost = [jid for jid in admitted if jid not in done_counts]
+    multiple = [jid for jid, count in done_counts.items() if count > 1]
+    return {
+        "admitted": len(admitted),
+        "lost": len(lost),
+        "resolved_twice": len(multiple),
+    }
+
+
+def _chaos_drill(tmp_path, dataset):
+    """The availability run: hardened client vs the standard fault plan."""
+    journal_path = tmp_path / "chaos.jsonl"
+    gateway, router, gw_dataset = _build_gateway(journal_path)
+    dataset = dataset or gw_dataset
+    plan = ChaosPlan.standard(seed=CHAOS_SEED)
+    ok = 0
+    failed = 0
+    latencies = []
+    started = time.perf_counter()
+    try:
+        with ThreadedChaosProxy(
+            gateway.server.host, gateway.server.port, plan
+        ) as chaos:
+            client = GatewayClient(
+                chaos.proxy.host,
+                chaos.proxy.port,
+                retries=6,
+                timeout_s=10.0,
+                backoff_base_s=0.002,
+                rng=random.Random(7),
+                breaker=CircuitBreaker(
+                    failure_threshold=50, reset_timeout_s=0.01
+                ),
+            )
+            for index in range(CHAOS_REQUESTS):
+                images = dataset.test_images[index % 8 : index % 8 + 1]
+                attempt_started = time.perf_counter()
+                try:
+                    client.predict("cnn", images)
+                    ok += 1
+                    latencies.append(time.perf_counter() - attempt_started)
+                except Exception:  # noqa: BLE001 - loud failure, counted
+                    failed += 1
+            injected = dict(chaos.proxy.snapshot())
+            counters = dict(client.counters)
+            client.close()
+    finally:
+        gateway.stop()  # graceful: flushes + fsyncs the journal
+        router.shutdown()
+    span_s = time.perf_counter() - started
+    ledger = _journal_ledger(journal_path)
+    return {
+        "requests": CHAOS_REQUESTS,
+        "ok": ok,
+        "failed": failed,
+        "availability": ok / CHAOS_REQUESTS,
+        "span_s": span_s,
+        "journal_admitted": ledger["admitted"],
+        "journal_lost": ledger["lost"],
+        "journal_resolved_twice": ledger["resolved_twice"],
+        "journal_no_loss": 1.0 if ledger["lost"] == 0 else 0.0,
+        "journal_single_outcome": 1.0 if ledger["resolved_twice"] == 0 else 0.0,
+        "faults_injected": {
+            kind: injected[kind]
+            for kind in ("reset", "corrupt", "delay", "throttle", "stall_read")
+        },
+        "client_counters": counters,
+    }
+
+
+def _shedding_drill(tmp_path):
+    """Expired budgets must shed, at admission and at dispatch."""
+    journal_path = tmp_path / "shed.jsonl"
+    gateway, router, dataset = _build_gateway(journal_path)
+    try:
+        host, port = gateway.server.host, gateway.server.port
+        gateway.server.pause_dispatch()
+        sock = socket.create_connection((host, port))
+        # One request already dead on arrival: shed at admission, never
+        # acknowledged, never journaled.
+        sock.sendall(
+            encode_frame(
+                FrameType.REQUEST,
+                {
+                    "id": 0,
+                    "model_id": "cnn",
+                    "images": encode_images(dataset.test_images[:1]),
+                    "budget_s": 0.0,
+                },
+            )
+        )
+        # A batch whose budget expires while parked in the paused queue:
+        # shed at dispatch, journaled with outcome "shed".
+        for index in range(SHED_QUEUED):
+            sock.sendall(
+                encode_frame(
+                    FrameType.REQUEST,
+                    {
+                        "id": 1 + index,
+                        "model_id": "cnn",
+                        "images": encode_images(
+                            dataset.test_images[index % 8 : index % 8 + 1]
+                        ),
+                        "budget_s": 0.05,
+                    },
+                )
+            )
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if gateway.server.snapshot()["queue_depth"] >= SHED_QUEUED:
+                break
+            time.sleep(0.005)
+        time.sleep(0.1)  # let every queued budget expire
+        gateway.server.resume_dispatch()
+        decoder = FrameDecoder()
+        frames = []
+        sock.settimeout(10.0)
+        while len(frames) < SHED_QUEUED + 1:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            frames.extend(decoder.feed(chunk))
+        sock.close()
+        shed_replies = sum(
+            1
+            for frame_type, payload in frames
+            if frame_type is FrameType.ERROR and payload.get("code") == "shed"
+        )
+        responses = sum(
+            1 for frame_type, _ in frames if frame_type is FrameType.RESPONSE
+        )
+        stats = gateway.server.snapshot()
+    finally:
+        gateway.stop()
+        router.shutdown()
+    ledger = _journal_ledger(journal_path)
+    enforced = (
+        shed_replies == SHED_QUEUED + 1
+        and responses == 0
+        and stats["shed_sent"] == SHED_QUEUED + 1
+        and ledger["admitted"] == SHED_QUEUED  # admission-shed never journaled
+        and ledger["lost"] == 0
+    )
+    return {
+        "offered": SHED_QUEUED + 1,
+        "shed_replies": shed_replies,
+        "responses": responses,
+        "shed_sent": stats["shed_sent"],
+        "journal_admitted": ledger["admitted"],
+        "enforced": 1.0 if enforced else 0.0,
+    }
+
+
+def _restart_drill(tmp_path):
+    """kill() with parked work; recovery must name the lost set exactly."""
+    journal_path = tmp_path / "crash.jsonl"
+    gateway, router, dataset = _build_gateway(journal_path)
+    answered = 2
+    try:
+        host, port = gateway.server.host, gateway.server.port
+        with GatewayClient(host, port) as client:
+            for index in range(answered):
+                client.predict("cnn", dataset.test_images[index : index + 1])
+        gateway.server.pause_dispatch()
+        sock = socket.create_connection((host, port))
+        for index in range(PARKED_IN_CRASH):
+            sock.sendall(
+                encode_frame(
+                    FrameType.REQUEST,
+                    {
+                        "id": 100 + index,
+                        "model_id": "cnn",
+                        "images": encode_images(
+                            dataset.test_images[index % 8 : index % 8 + 1]
+                        ),
+                    },
+                )
+            )
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if gateway.server.snapshot()["queue_depth"] >= PARKED_IN_CRASH:
+                break
+            time.sleep(0.005)
+        gateway.kill()  # abrupt: no drain, no final fsync
+        sock.close()
+    finally:
+        router.shutdown()
+    recovery = AdmissionJournal.recover(journal_path)
+    exact = (
+        len(recovery.admitted) == answered + PARKED_IN_CRASH
+        and len(recovery.lost) == PARKED_IN_CRASH
+        and sorted(recovery.outcomes.values()) == ["responded"] * answered
+    )
+    # The restarted incarnation reuses the journal and resumes past it.
+    router2 = None
+    try:
+        gateway2, router2, dataset2 = _build_gateway(journal_path)
+        try:
+            with GatewayClient(
+                gateway2.server.host, gateway2.server.port
+            ) as client:
+                client.predict("cnn", dataset2.test_images[:1])
+        finally:
+            gateway2.stop()
+    finally:
+        if router2 is not None:
+            router2.shutdown()
+    after = AdmissionJournal.recover(journal_path)
+    resumed = (
+        len(after.admitted) == answered + PARKED_IN_CRASH + 1
+        and after.admitted[-1] > max(recovery.admitted)
+        and sorted(after.lost) == sorted(recovery.lost)
+    )
+    return {
+        "answered_before_crash": answered,
+        "parked_at_kill": PARKED_IN_CRASH,
+        "admitted": len(recovery.admitted),
+        "lost": len(recovery.lost),
+        "journal_exact": 1.0 if exact else 0.0,
+        "restart_resumed_ids": 1.0 if resumed else 0.0,
+    }
+
+
+def test_gateway_resilience(
+    benchmark, reporter, write_results_json, results_dir, tmp_path
+):
+    chaos = benchmark.pedantic(
+        _chaos_drill, args=(tmp_path, None), rounds=1, iterations=1
+    )
+    shedding = _shedding_drill(tmp_path)
+    restart = _restart_drill(tmp_path)
+
+    # Preserve the raw journals next to the JSON results so a failing CI
+    # run uploads the forensic evidence, not just the verdict.
+    for name in ("chaos", "shed", "crash"):
+        source = tmp_path / f"{name}.jsonl"
+        if source.exists():
+            shutil.copy(
+                source, results_dir / f"gateway_resilience_{name}_journal.jsonl"
+            )
+
+    faults = chaos["faults_injected"]
+    reporter(
+        f"Gateway resilience — {chaos['requests']} requests through the "
+        f"standard chaos plan (seed {CHAOS_SEED})",
+        format_table(
+            ["metric", "value"],
+            [
+                ["availability", chaos["availability"]],
+                ["ok / failed", f"{chaos['ok']} / {chaos['failed']}"],
+                ["journal admitted", chaos["journal_admitted"]],
+                ["journal lost", chaos["journal_lost"]],
+                ["resolved twice", chaos["journal_resolved_twice"]],
+                ["resets injected", faults["reset"]],
+                ["frames corrupted", faults["corrupt"]],
+                ["delays injected", faults["delay"]],
+                ["writes throttled", faults["throttle"]],
+                ["reads stalled", faults["stall_read"]],
+                ["client reconnects", chaos["client_counters"]["reconnects"]],
+                ["shed enforced", shedding["enforced"]],
+                ["crash drill exact", restart["journal_exact"]],
+                ["restart resumed ids", restart["restart_resumed_ids"]],
+            ],
+        ),
+    )
+
+    write_results_json(
+        "gateway_resilience",
+        {
+            "smoke": SMOKE,
+            "chaos_seed": CHAOS_SEED,
+            "chaos": chaos,
+            "shedding": shedding,
+            "restart": restart,
+        },
+    )
+
+    assert chaos["availability"] >= AVAILABILITY_GATE, (
+        f"availability {chaos['availability']:.4f} under the standard chaos "
+        f"plan fell below the {AVAILABILITY_GATE:.0%} gate"
+    )
+    assert chaos["journal_no_loss"] == 1.0, (
+        f"{chaos['journal_lost']} acknowledged request(s) lost under chaos"
+    )
+    assert chaos["journal_single_outcome"] == 1.0, (
+        f"{chaos['journal_resolved_twice']} request(s) resolved twice"
+    )
+    assert shedding["enforced"] == 1.0, f"shedding gate failed: {shedding}"
+    assert restart["journal_exact"] == 1.0, f"crash drill inexact: {restart}"
+    assert restart["restart_resumed_ids"] == 1.0, (
+        f"restarted gateway did not resume journal ids: {restart}"
+    )

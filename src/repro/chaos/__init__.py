@@ -1,0 +1,39 @@
+"""Wire-level chaos engineering: scripted faults against the live gateway.
+
+PR 5 made the *simulated* fleet unreliable on purpose (``FaultPlan``:
+scripted node crash/stall/degrade on the virtual clock, with
+request-conserving replay).  This package does the same to the *real*
+serving path: a :class:`ChaosPlan` scripts connection resets, byte-level
+frame corruption, latency spikes, throttled writes and slow-loris readers,
+and :class:`ChaosProxy` — a seeded TCP interposer — injects them into live
+traffic between a client and a :class:`~repro.gateway.server.GatewayServer`.
+
+Typical drill::
+
+    from repro.chaos import ChaosPlan, ThreadedChaosProxy
+    from repro.gateway import GatewayClient, ThreadedGateway
+
+    with ThreadedGateway(router) as gateway:
+        plan = ChaosPlan.standard(seed=7)
+        with ThreadedChaosProxy(
+            gateway.server.host, gateway.server.port, plan
+        ) as chaos:
+            with GatewayClient(chaos.proxy.host, chaos.proxy.port) as client:
+                client.predict("cnn", images)   # survives the chaos
+
+The resilience acceptance gates (``benchmarks/bench_gateway_resilience.py``)
+run the standard plan against a journaled gateway and prove zero
+acknowledged-request loss, no double-execution, deadline shedding and
+>= 99% availability; the operator runbook is docs/OPERATIONS.md.
+"""
+
+from repro.chaos.plan import ChaosKind, ChaosPlan, ChaosRule
+from repro.chaos.proxy import ChaosProxy, ThreadedChaosProxy
+
+__all__ = [
+    "ChaosKind",
+    "ChaosPlan",
+    "ChaosProxy",
+    "ChaosRule",
+    "ThreadedChaosProxy",
+]

@@ -1,0 +1,161 @@
+"""Seeded, deterministic chaos scripting for the wire layer.
+
+A :class:`ChaosPlan` is the wire-level mirror of
+:class:`~repro.reliability.faults.FaultPlan`: where a ``FaultPlan`` scripts
+*node* failures on the cluster's virtual clock, a ``ChaosPlan`` scripts
+*transport* failures on the byte stream between a client and a live
+:class:`~repro.gateway.server.GatewayServer` — connection resets,
+byte-level frame corruption, latency spikes, throttled/partial writes and
+slow-loris readers.  The plan is applied by :class:`~repro.chaos.proxy.ChaosProxy`,
+a TCP interposer sitting between the two.
+
+Determinism contract: every injection decision is drawn from a
+``random.Random`` seeded by ``(plan seed, connection index)``, one draw
+per rule per forwarded frame, in rule order.  Given the same seed and the
+same per-connection frame sequence, the proxy injects the identical fault
+sequence — a chaos run is a *scripted input*, not noise, exactly as a
+``FaultPlan`` replay is.
+
+Corruption detectability: the wire's JSON framing carries no payload
+checksum, so a byte flip that happens to leave a decodable frame would be
+indistinguishable from legitimate traffic (and would silently break the
+zero-acknowledged-loss accounting every resilience gate rests on).  The
+proxy therefore guarantees every injected corruption is *detectable*: if
+the flipped bytes still decode as a valid frame, the frame's magic is
+mangled too, forcing the server's ``malformed_frame`` path.  Undetectable
+corruption needs an end-to-end payload digest, which the protocol does not
+yet define (see docs/PROTOCOL.md §2.1, reserved bits).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ChaosKind", "ChaosRule", "ChaosPlan"]
+
+
+class ChaosKind(enum.Enum):
+    """What the proxy does to the stream when the rule fires."""
+
+    #: Abort both sides of the link (RST-style, mid-stream).
+    RESET = "reset"
+    #: Flip payload bytes of one client->server frame (made detectable).
+    CORRUPT = "corrupt"
+    #: Hold one client->server frame for ``delay_s`` (latency spike).
+    DELAY = "delay"
+    #: Forward one frame in ``chunk_bytes`` pieces with ``delay_s`` gaps
+    #: between them (throttled/partial writes).
+    THROTTLE = "throttle"
+    #: Pause reading the server->client direction for ``delay_s`` — the
+    #: slow-loris reader, exercising the gateway's write-side flow control.
+    STALL_READ = "stall_read"
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One probabilistic injection rule, evaluated per forwarded frame.
+
+    Attributes:
+        kind: The fault injected when the rule fires.
+        probability: Per-evaluation firing probability in ``[0, 1]``.
+        delay_s: DELAY / STALL_READ pause; THROTTLE inter-chunk gap.
+        chunk_bytes: THROTTLE only — partial-write size in bytes.
+        flip_bytes: CORRUPT only — how many payload bytes to flip.
+        after_frames: The rule arms only once this many frames have been
+            forwarded on the connection (lets a link establish before the
+            chaos starts, mirroring ``FaultEvent.at_s``).
+    """
+
+    kind: ChaosKind
+    probability: float
+    delay_s: float = 0.0
+    chunk_bytes: int = 0
+    flip_bytes: int = 1
+    after_frames: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("chaos rule probability must be in [0, 1]")
+        if self.after_frames < 0:
+            raise ConfigurationError("after_frames must be non-negative")
+        if self.kind in (ChaosKind.DELAY, ChaosKind.STALL_READ) and self.delay_s <= 0:
+            raise ConfigurationError(f"{self.kind.value} rules need a positive delay_s")
+        if self.kind is ChaosKind.THROTTLE and self.chunk_bytes <= 0:
+            raise ConfigurationError("throttle rules need a positive chunk_bytes")
+        if self.kind is ChaosKind.CORRUPT and self.flip_bytes <= 0:
+            raise ConfigurationError("corrupt rules need a positive flip_bytes")
+
+
+class ChaosPlan:
+    """An immutable, seeded set of chaos rules.
+
+    Like a :class:`~repro.reliability.faults.FaultPlan`, the plan holds no
+    cursor: the proxy derives one RNG per connection from the seed, so the
+    same plan can drive many proxies (or repeated runs) identically.
+    """
+
+    def __init__(self, rules: Iterable[ChaosRule] = (), seed: int = 0) -> None:
+        ordered = list(rules)
+        for rule in ordered:
+            if not isinstance(rule, ChaosRule):
+                raise ConfigurationError(f"not a ChaosRule: {rule!r}")
+        self.rules: Tuple[ChaosRule, ...] = tuple(ordered)
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def standard(cls, seed: int = 0) -> "ChaosPlan":
+        """The standard resilience-gate plan (see bench_gateway_resilience).
+
+        Connection resets, 5% frame corruption and latency spikes — the
+        scripted chaos every acceptance number in ``baselines.json`` is
+        measured under.
+        """
+        return cls(
+            [
+                ChaosRule(ChaosKind.RESET, probability=0.01, after_frames=1),
+                ChaosRule(ChaosKind.CORRUPT, probability=0.05, flip_bytes=2),
+                ChaosRule(ChaosKind.DELAY, probability=0.02, delay_s=0.005),
+                ChaosRule(
+                    ChaosKind.THROTTLE,
+                    probability=0.02,
+                    chunk_bytes=7,
+                    delay_s=0.0005,
+                ),
+                ChaosRule(ChaosKind.STALL_READ, probability=0.01, delay_s=0.005),
+            ],
+            seed=seed,
+        )
+
+    def merged(self, other: "ChaosPlan") -> "ChaosPlan":
+        """The union of two plans (this plan's seed wins)."""
+        return ChaosPlan(self.rules + other.rules, seed=self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def rules_for(self, kind: ChaosKind) -> List[ChaosRule]:
+        """The plan restricted to one fault kind."""
+        return [rule for rule in self.rules if rule.kind is kind]
+
+    def rng_for(self, connection_index: int) -> random.Random:
+        """The deterministic decision stream of one proxied connection.
+
+        Seeded by ``seed * 1_000_003 + connection_index`` (an injective
+        map for any realistic connection count), so decision sequences are
+        reproducible across processes — no string hashing involved.
+        """
+        return random.Random(self.seed * 1_000_003 + int(connection_index))

@@ -15,7 +15,13 @@ the fleet behind a wire.  It has three layers, documented contract-first:
   for synchronous callers.
 * :mod:`repro.gateway.client` — the SDK: a pooled synchronous
   :class:`GatewayClient` and a pipelined :class:`AsyncGatewayClient`, both
-  with deterministic retry/backoff honouring the server's hints.
+  with full-jitter retry/backoff honouring the server's hints, deadline
+  budget propagation, an optional :class:`CircuitBreaker`, and (async)
+  hedged re-sends of idempotent ``images_ref`` requests.
+* :mod:`repro.gateway.journal` — :class:`AdmissionJournal`, the
+  append-only crash-safety journal a restarted gateway reconciles to
+  report exactly which acknowledged requests were lost
+  (``python -m repro.gateway.journal``).
 
 Typical wiring::
 
@@ -35,12 +41,18 @@ histograms, fault drills) lives in ``docs/OPERATIONS.md``.
 
 from repro.gateway.client import (
     AsyncGatewayClient,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExpiredError,
     GatewayBusyError,
     GatewayClient,
     GatewayError,
     GatewayRequestError,
     GatewayResult,
+    GatewayShedError,
+    RetryBudgetExceeded,
 )
+from repro.gateway.journal import AdmissionJournal, JournalRecovery
 from repro.gateway.protocol import (
     FrameDecoder,
     FrameType,
@@ -55,7 +67,11 @@ from repro.gateway.protocol import (
 from repro.gateway.server import GatewayServer, ThreadedGateway
 
 __all__ = [
+    "AdmissionJournal",
     "AsyncGatewayClient",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExpiredError",
     "FrameDecoder",
     "FrameType",
     "GatewayBusyError",
@@ -64,7 +80,10 @@ __all__ = [
     "GatewayRequestError",
     "GatewayResult",
     "GatewayServer",
+    "GatewayShedError",
+    "JournalRecovery",
     "ProtocolError",
+    "RetryBudgetExceeded",
     "ThreadedGateway",
     "decode_frame",
     "decode_images",

@@ -72,6 +72,8 @@ async def _serve(arguments: argparse.Namespace) -> None:
         port=arguments.port,
         max_queue=arguments.max_queue,
         admission_batch=arguments.admission_batch,
+        idle_timeout_s=arguments.idle_timeout,
+        journal=arguments.journal,
     )
     await server.start()
     print(
@@ -79,6 +81,8 @@ async def _serve(arguments: argparse.Namespace) -> None:
         f"({arguments.nodes} nodes, {arguments.mode} mode, "
         f"queue bound {arguments.max_queue})"
     )
+    if arguments.journal:
+        print(f"admission journal: {arguments.journal}")
     try:
         while True:
             await asyncio.sleep(3600)
@@ -105,6 +109,20 @@ def main(argv=None) -> int:
     parser.add_argument("--admission-batch", type=int, default=128)
     parser.add_argument(
         "--no-coalesce", dest="coalesce", action="store_false", default=True
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close connections idle this long with no outstanding work",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append-only admission journal for crash recovery "
+        "(reconcile with: python -m repro.gateway.journal PATH)",
     )
     arguments = parser.parse_args(argv)
     try:

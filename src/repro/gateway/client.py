@@ -10,12 +10,33 @@ Two clients share the protocol module and the retry policy:
   protocol echoes back.  The load generator's building block.
 
 Both honour the server's explicit backpressure: a ``BUSY`` frame is
-retried after ``max(server hint, base * 2**attempt)`` capped at
-``backoff_cap_s`` (deterministic, no jitter — the hint already spreads
-clients out because it scales with the queue each client observed), up to
-``retries`` attempts, then :class:`GatewayBusyError` propagates.  The
-sleep is injectable, so tests assert the backoff schedule without real
-waiting.
+retried after a **full-jitter** exponential backoff —
+``uniform(0, min(cap, base * 2**attempt))`` floored by the server's
+``retry_after_s`` hint — up to ``retries`` attempts and at most
+``retry_budget_s`` of total waiting, then :class:`GatewayBusyError` (or
+:class:`RetryBudgetExceeded`) propagates.  Jitter matters under
+correlated load: a synchronized thundering herd retrying on the
+deterministic schedule re-collides every round, while full jitter spreads
+the herd across the whole backoff window (the classic AWS result).  The
+sleep *and* the jitter RNG are injectable, so tests pin the schedule
+without real waiting.
+
+Protocol revision 3 adds the resilience surface (see docs/PROTOCOL.md §6):
+
+* **deadline budgets** — ``predict(..., budget_s=...)`` stamps the
+  *remaining* wall-clock budget into each attempt; the server sheds
+  expired work with ``ERROR {"code": "shed"}``, surfaced as
+  :class:`GatewayShedError`, and the client refuses to even send once the
+  budget is locally gone (:class:`DeadlineExpiredError`);
+* **circuit breaking** — an optional :class:`CircuitBreaker` trips to
+  *open* after consecutive transport failures, fails calls fast with
+  :class:`CircuitOpenError` while open, and probes with a single
+  *half-open* request after the reset timeout;
+* **hedged requests** — the async client can re-send an idempotent
+  ``images_ref`` request that is slow to return and take whichever reply
+  lands first (``hedge_after_s``);
+* **CANCEL / HEALTH** — :meth:`AsyncGatewayClient.cancel` unwinds a
+  queued request, and both clients expose the server's ``HEALTH`` probe.
 
 Image tensors are transferred once: the SDK computes the wire content
 digest locally (:func:`~repro.gateway.protocol.images_digest`), optimistically
@@ -28,6 +49,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
 import threading
 import time
@@ -49,6 +71,11 @@ __all__ = [
     "GatewayError",
     "GatewayBusyError",
     "GatewayRequestError",
+    "GatewayShedError",
+    "DeadlineExpiredError",
+    "RetryBudgetExceeded",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "GatewayResult",
     "GatewayClient",
     "AsyncGatewayClient",
@@ -85,6 +112,139 @@ class GatewayRequestError(GatewayError):
         self.code = code
 
 
+class GatewayShedError(GatewayRequestError):
+    """The server shed the request: its deadline budget was already spent.
+
+    A shed is not a failure of the server — it is the server declining to
+    burn cluster time on work the caller has (by its own ``budget_s``
+    stamp) already abandoned.  Retrying with the same expired budget is
+    pointless; retry with a fresh one or not at all.
+    """
+
+
+class DeadlineExpiredError(GatewayError):
+    """The deadline budget ran out client-side before (re)sending.
+
+    Attributes:
+        elapsed_s: Wall-clock seconds spent since the first attempt.
+    """
+
+    def __init__(self, message: str, elapsed_s: float) -> None:
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+
+
+class RetryBudgetExceeded(GatewayBusyError):
+    """BUSY retries stopped early: the total retry *time* budget is spent.
+
+    Distinct from plain :class:`GatewayBusyError` (attempt-count
+    exhaustion): with full-jitter backoff, counting attempts bounds
+    nothing — only a wall-clock budget does.
+    """
+
+
+class CircuitOpenError(GatewayError):
+    """The circuit breaker is open: the call failed fast, nothing was sent.
+
+    Attributes:
+        retry_in_s: Seconds until the breaker will allow a half-open probe.
+    """
+
+    def __init__(self, message: str, retry_in_s: float) -> None:
+        super().__init__(message)
+        self.retry_in_s = retry_in_s
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over consecutive transport failures.
+
+    One breaker guards one gateway endpoint (shared by every pooled
+    connection to it): ``failure_threshold`` consecutive transport-level
+    failures trip it *open*, during which calls fail fast with
+    :class:`CircuitOpenError` — a dead server is not improved by more
+    connection attempts, and the callers behind the breaker stop burning
+    their own deadlines on it.  After ``reset_timeout_s`` one *half-open*
+    probe is let through: success closes the breaker, failure re-opens it
+    for another full timeout.
+
+    Server *application* errors (ERROR frames, BUSY) never count — the
+    service answered, so the transport is healthy.
+
+    Thread-safe; the clock is injectable for deterministic tests.
+
+    Args:
+        failure_threshold: Consecutive transport failures that trip the
+            breaker.
+        reset_timeout_s: Open-state hold before a half-open probe.
+        clock: Monotonic time source.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self.opens = 0
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (claims the probe slot)."""
+        with self._lock:
+            if self.state == "closed":
+                return True
+            if self.state == "open":
+                if self._clock() - self._opened_at >= self.reset_timeout_s:
+                    self.state = "half_open"
+                    return True
+                return False
+            # half_open: the single probe is already in flight.
+            return False
+
+    def retry_in_s(self) -> float:
+        """Seconds until the next half-open probe would be allowed."""
+        with self._lock:
+            if self.state != "open":
+                return 0.0
+            return max(
+                0.0, self.reset_timeout_s - (self._clock() - self._opened_at)
+            )
+
+    def record_success(self) -> None:
+        """A call completed at the transport level: close the breaker."""
+        with self._lock:
+            self.state = "closed"
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A transport failure: count it, trip or re-trip as needed."""
+        with self._lock:
+            if self.state == "half_open":
+                # The probe failed: straight back to open, fresh timeout.
+                self.state = "open"
+                self.opens += 1
+                self._opened_at = self._clock()
+                return
+            self._consecutive_failures += 1
+            if (
+                self.state == "closed"
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self.state = "open"
+                self.opens += 1
+                self._opened_at = self._clock()
+
+
 @dataclass(frozen=True)
 class GatewayResult:
     """One successful wire inference: predictions plus the modeled trace.
@@ -110,20 +270,35 @@ class GatewayResult:
 
 
 def _backoff_delay_s(
-    attempt: int, hint_s: float, base_s: float, cap_s: float
+    attempt: int,
+    hint_s: float,
+    base_s: float,
+    cap_s: float,
+    rng: Optional[random.Random] = None,
 ) -> float:
     """The retry policy both clients share.
+
+    With an ``rng`` this is **full jitter**: uniform over
+    ``[0, min(cap, base * 2**attempt)]``, floored by the server's hint
+    (the hint is the server's statement of when capacity *can* exist —
+    jittering below it would just buy another BUSY).  Without an ``rng``
+    it degrades to the deterministic ``max(hint, base * 2**attempt)``
+    schedule, which is what the policy unit tests pin.
 
     Args:
         attempt: Zero-based index of the attempt that just got BUSY.
         hint_s: The server's ``retry_after_s`` hint.
         base_s: First-retry backoff.
         cap_s: Upper bound of any single delay.
+        rng: Jitter source (``None`` = deterministic legacy schedule).
 
     Returns:
         Seconds to wait before the next attempt.
     """
-    return min(cap_s, max(hint_s, base_s * (2.0**attempt)))
+    ceiling = base_s * (2.0**attempt)
+    if rng is not None:
+        ceiling = rng.uniform(0.0, min(cap_s, ceiling))
+    return min(cap_s, max(hint_s, ceiling))
 
 
 def _request_payload(
@@ -134,11 +309,19 @@ def _request_payload(
     send_full: bool,
     sla: str,
     deadline_s: Optional[float],
+    budget_s: Optional[float] = None,
 ) -> dict:
-    """Build one REQUEST payload, by reference or with the full tensor."""
+    """Build one REQUEST payload, by reference or with the full tensor.
+
+    ``budget_s`` is the *remaining* wall-clock budget at send time — each
+    retry stamps a smaller value, which is what lets the server shed work
+    whose caller has already timed out (deadline propagation).
+    """
     payload: dict = {"id": wire_id, "model_id": model_id, "sla": sla}
     if deadline_s is not None:
         payload["deadline_s"] = deadline_s
+    if budget_s is not None:
+        payload["budget_s"] = budget_s
     if send_full:
         payload["images"] = encode_images(images)
     else:
@@ -213,9 +396,17 @@ class GatewayClient:
         retries: Admission attempts before :class:`GatewayBusyError`.
         backoff_base_s: First-retry backoff (doubles per attempt).
         backoff_cap_s: Upper bound of any single backoff delay.
+        retry_budget_s: Total BUSY-backoff *sleep* allowed per call before
+            :class:`RetryBudgetExceeded` (``None`` = attempt-count bound
+            only).
         timeout_s: Socket connect/read timeout.
         sleep: Injectable sleep for the backoff waits (tests pass a
             recorder; production leaves ``time.sleep``).
+        rng: Full-jitter source for the backoff (tests inject a pinned
+            one; ``None`` seeds a fresh ``random.Random()``).
+        breaker: Optional :class:`CircuitBreaker` guarding this endpoint
+            (shared across the pool; share one instance across clients to
+            guard the endpoint fleet-wide).
     """
 
     def __init__(
@@ -226,22 +417,38 @@ class GatewayClient:
         retries: int = 6,
         backoff_base_s: float = 0.01,
         backoff_cap_s: float = 1.0,
+        retry_budget_s: Optional[float] = None,
         timeout_s: float = 30.0,
         sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.retries = retries
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
+        self.retry_budget_s = retry_budget_s
         self.timeout_s = timeout_s
         self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self.breaker = breaker
         self._idle: List[_PooledConnection] = []
         self._slots = threading.BoundedSemaphore(pool_size)
         self._lock = threading.Lock()
         self._ids = itertools.count()
         self._known_refs: set = set()
         self._closed = False
+        #: Client-side resilience accounting (monotonic totals).
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "busy_retries": 0,
+            "reconnects": 0,
+            "transport_errors": 0,
+            "shed": 0,
+            "expired_local": 0,
+            "breaker_rejections": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # Pool plumbing
@@ -290,6 +497,7 @@ class GatewayClient:
         images: np.ndarray,
         sla: str = "best_effort",
         deadline_s: Optional[float] = None,
+        budget_s: Optional[float] = None,
     ) -> GatewayResult:
         """Run one inference over the wire.
 
@@ -300,12 +508,20 @@ class GatewayClient:
                 ``best_effort``).
             deadline_s: Virtual-time deadline (required by the server for
                 the latency class).
+            budget_s: Wall-clock deadline budget for the whole call.  Each
+                attempt stamps the *remaining* budget on the wire; the
+                server sheds expired work, and the client refuses to send
+                (or sleep) past the budget locally.
 
         Returns:
             The :class:`GatewayResult` with predictions and trace.
 
         Raises:
             GatewayBusyError: Admission kept failing past the retry budget.
+            RetryBudgetExceeded: The retry *time* budget ran out first.
+            GatewayShedError: The server shed the request (budget spent).
+            DeadlineExpiredError: The budget expired client-side.
+            CircuitOpenError: The breaker is open; nothing was sent.
             GatewayRequestError: The server rejected or failed the request.
             GatewayError: The connection died repeatedly or the server
                 answered out of protocol.
@@ -315,10 +531,24 @@ class GatewayClient:
         send_full = ref not in self._known_refs
         last_hint = 0.0
         draining = False
+        started = time.perf_counter()
+        slept_s = 0.0
+        self.counters["requests"] += 1
         for attempt in range(self.retries + 1):
+            remaining_s = None
+            if budget_s is not None:
+                remaining_s = budget_s - (time.perf_counter() - started)
+                if remaining_s <= 0.0:
+                    self.counters["expired_local"] += 1
+                    raise DeadlineExpiredError(
+                        f"deadline budget {budget_s}s expired before attempt "
+                        f"{attempt + 1}",
+                        elapsed_s=time.perf_counter() - started,
+                    )
             wire_id = next(self._ids)
             payload = _request_payload(
-                wire_id, model_id, images, ref, send_full, sla, deadline_s
+                wire_id, model_id, images, ref, send_full, sla, deadline_s,
+                budget_s=remaining_s,
             )
             frame_type, reply, latency_s = self._roundtrip(
                 encode_frame(FrameType.REQUEST, payload)
@@ -330,21 +560,45 @@ class GatewayClient:
                 last_hint = float(reply.get("retry_after_s", 0.0))
                 draining = bool(reply.get("draining", False))
                 if attempt < self.retries:
-                    self._sleep(
-                        _backoff_delay_s(
-                            attempt, last_hint, self.backoff_base_s, self.backoff_cap_s
-                        )
+                    delay_s = _backoff_delay_s(
+                        attempt,
+                        last_hint,
+                        self.backoff_base_s,
+                        self.backoff_cap_s,
+                        rng=self._rng,
                     )
+                    if (
+                        self.retry_budget_s is not None
+                        and slept_s + delay_s > self.retry_budget_s
+                    ):
+                        raise RetryBudgetExceeded(
+                            f"retry budget {self.retry_budget_s}s exhausted "
+                            f"after {attempt + 1} attempts",
+                            retry_after_s=last_hint,
+                            draining=draining,
+                        )
+                    self.counters["busy_retries"] += 1
+                    slept_s += delay_s
+                    self._sleep(delay_s)
                 continue
             if frame_type is FrameType.ERROR:
-                if reply.get("code") == "unknown_images_ref" and not send_full:
+                code = reply.get("code", "unknown")
+                if code == "unknown_images_ref" and not send_full:
                     # A restarted server lost its cache: re-upload once.
                     self._known_refs.discard(ref)
                     send_full = True
                     continue
-                raise GatewayRequestError(
-                    reply.get("code", "unknown"), reply.get("message", "")
-                )
+                if code == "shed":
+                    self.counters["shed"] += 1
+                    raise GatewayShedError(code, reply.get("message", ""))
+                if code == "malformed_frame" and attempt < self.retries:
+                    # The request bytes were mangled in transit: the server
+                    # never parsed them (re-sending cannot double-execute)
+                    # and closes the stream after this courtesy frame.  The
+                    # next attempt reconnects and re-sends.
+                    self.counters["transport_errors"] += 1
+                    continue
+                raise GatewayRequestError(code, reply.get("message", ""))
             raise GatewayError(f"unexpected frame {frame_type.name} to a request")
         raise GatewayBusyError(
             f"server still busy after {self.retries + 1} attempts",
@@ -358,6 +612,20 @@ class GatewayClient:
             encode_frame(FrameType.PING, {"id": next(self._ids)})
         )
         return latency_s
+
+    def health(self) -> Dict[str, object]:
+        """Probe the server's health (revision-3 HEALTH frame).
+
+        Returns:
+            The health payload: ``state`` (``ready`` / ``live`` /
+            ``draining``), ``queue_depth``, ``queue_limit``, ``draining``.
+        """
+        frame_type, reply, _ = self._roundtrip(
+            encode_frame(FrameType.HEALTH, {"id": next(self._ids)})
+        )
+        if frame_type is not FrameType.HEALTH:
+            raise GatewayError(f"unexpected frame {frame_type.name} to HEALTH")
+        return reply
 
     def stats(self) -> Dict[str, float]:
         """Fetch the server's counters via the wire STATS query."""
@@ -388,14 +656,28 @@ class GatewayClient:
         """One request/response exchange on a pooled connection.
 
         Reconnects once on a dead pooled socket (idle connections outlive
-        server restarts); a second consecutive failure propagates.
+        server restarts); a second consecutive failure propagates.  The
+        breaker (when configured) sees only transport outcomes: an ERROR
+        frame is a healthy transport.
 
         Returns:
             ``(frame_type, payload, wall_latency_s)``.
         """
         if self._closed:
             raise GatewayError("client is closed")
-        connection = self._checkout()
+        if self.breaker is not None and not self.breaker.allow():
+            self.counters["breaker_rejections"] += 1
+            retry_in_s = self.breaker.retry_in_s()
+            raise CircuitOpenError(
+                f"circuit breaker open for {self.host}:{self.port}; "
+                f"next probe in {retry_in_s:.3f}s",
+                retry_in_s=retry_in_s,
+            )
+        try:
+            connection = self._checkout()
+        except OSError:
+            self._record_transport_failure()
+            raise
         try:
             try:
                 started = time.perf_counter()
@@ -404,16 +686,27 @@ class GatewayClient:
                 # A pooled socket can outlive a server restart: reconnect
                 # once and resend (inference is stateless, so a re-run of
                 # a possibly-served request is safe — see PROTOCOL.md).
+                self.counters["reconnects"] += 1
                 connection.close()
                 connection = _PooledConnection(self.host, self.port, self.timeout_s)
                 started = time.perf_counter()
                 frame_type, payload = connection.roundtrip(frame)
-        except BaseException:
+        except BaseException as error:
+            if isinstance(error, (ConnectionError, OSError, ProtocolError)):
+                self._record_transport_failure()
             connection.close()
             self._checkin(None)
             raise
         self._checkin(connection)
+        if self.breaker is not None:
+            self.breaker.record_success()
         return frame_type, payload, time.perf_counter() - started
+
+    def _record_transport_failure(self) -> None:
+        """Count a transport-level failure and inform the breaker."""
+        self.counters["transport_errors"] += 1
+        if self.breaker is not None:
+            self.breaker.record_failure()
 
 
 class AsyncGatewayClient:
@@ -429,7 +722,11 @@ class AsyncGatewayClient:
         retries: Admission attempts before :class:`GatewayBusyError`.
         backoff_base_s: First-retry backoff (doubles per attempt).
         backoff_cap_s: Upper bound of any single backoff delay.
+        retry_budget_s: Total BUSY-backoff sleep allowed per call before
+            :class:`RetryBudgetExceeded` (``None`` = attempt bound only).
         sleep: Injectable async sleep (tests pass a recorder).
+        rng: Full-jitter source for the backoff (``None`` seeds a fresh
+            ``random.Random()``).
     """
 
     def __init__(
@@ -439,14 +736,18 @@ class AsyncGatewayClient:
         retries: int = 6,
         backoff_base_s: float = 0.01,
         backoff_cap_s: float = 1.0,
+        retry_budget_s: Optional[float] = None,
         sleep=asyncio.sleep,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.retries = retries
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
+        self.retry_budget_s = retry_budget_s
         self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
@@ -454,6 +755,9 @@ class AsyncGatewayClient:
         self._ids = itertools.count()
         self._known_refs: set = set()
         self.drained = False
+        #: Hedging accounting: hedges issued / hedges whose copy won.
+        self.hedges_sent = 0
+        self.hedge_wins = 0
 
     async def connect(self) -> None:
         """Open the stream and start the demultiplexing reader task."""
@@ -517,7 +821,45 @@ class AsyncGatewayClient:
         self._waiters[payload["id"]] = waiter
         self._writer.write(encode_frame(frame_type, payload))
         await self._writer.drain()
-        return await waiter
+        try:
+            return await waiter
+        finally:
+            # Normally the read loop popped this on reply; the pop here
+            # covers cancellation (an abandoned hedge) so dead waiters
+            # never accumulate.
+            self._waiters.pop(payload["id"], None)
+
+    async def _exchange_hedged(
+        self, build_payload, hedge_after_s: float
+    ):
+        """One REQUEST exchange with a single hedged re-send.
+
+        The primary is sent immediately; if no reply lands within
+        ``hedge_after_s`` a *copy under a fresh wire id* is sent and the
+        first reply of either wins.  Only safe for idempotent requests
+        (``images_ref``-only re-sends of memoized inference) — both copies
+        may execute.  The loser's reply is discarded by the demultiplexer
+        when it eventually arrives.
+        """
+        primary = asyncio.ensure_future(
+            self._exchange(FrameType.REQUEST, build_payload(next(self._ids)))
+        )
+        done, _ = await asyncio.wait({primary}, timeout=hedge_after_s)
+        if done:
+            return primary.result()
+        self.hedges_sent += 1
+        hedge = asyncio.ensure_future(
+            self._exchange(FrameType.REQUEST, build_payload(next(self._ids)))
+        )
+        done, pending = await asyncio.wait(
+            {primary, hedge}, return_when=asyncio.FIRST_COMPLETED
+        )
+        winner = primary if primary in done else hedge
+        if winner is hedge:
+            self.hedge_wins += 1
+        for loser in pending:
+            loser.cancel()
+        return winner.result()
 
     async def predict(
         self,
@@ -525,6 +867,8 @@ class AsyncGatewayClient:
         images: np.ndarray,
         sla: str = "best_effort",
         deadline_s: Optional[float] = None,
+        budget_s: Optional[float] = None,
+        hedge_after_s: Optional[float] = None,
     ) -> GatewayResult:
         """Run one inference over the pipelined stream.
 
@@ -533,12 +877,23 @@ class AsyncGatewayClient:
             images: ``(batch, channels, height, width)`` image tensor.
             sla: Wire SLA class name.
             deadline_s: Virtual-time deadline (latency class).
+            budget_s: Wall-clock deadline budget; each attempt stamps the
+                remaining budget on the wire (see :class:`GatewayClient`).
+            hedge_after_s: Hedge a slow attempt by re-sending after this
+                many seconds and racing the two replies.  Only applied to
+                idempotent ``images_ref`` re-sends (never the initial
+                tensor upload) — both copies may execute, which is safe
+                precisely because re-running memoized inference on the
+                same digest is a cache hit.
 
         Returns:
             The :class:`GatewayResult`.
 
         Raises:
             GatewayBusyError: Admission kept failing past the retry budget.
+            RetryBudgetExceeded: The retry *time* budget ran out first.
+            GatewayShedError: The server shed the request (budget spent).
+            DeadlineExpiredError: The budget expired client-side.
             GatewayRequestError: The server rejected or failed the request.
             GatewayError: The stream failed.
         """
@@ -547,15 +902,34 @@ class AsyncGatewayClient:
         send_full = ref not in self._known_refs
         last_hint = 0.0
         draining = False
+        call_started = time.perf_counter()
+        slept_s = 0.0
         for attempt in range(self.retries + 1):
-            wire_id = next(self._ids)
+            remaining_s = None
+            if budget_s is not None:
+                remaining_s = budget_s - (time.perf_counter() - call_started)
+                if remaining_s <= 0.0:
+                    raise DeadlineExpiredError(
+                        f"deadline budget {budget_s}s expired before attempt "
+                        f"{attempt + 1}",
+                        elapsed_s=time.perf_counter() - call_started,
+                    )
+
+            def _build_payload(wire_id, _remaining=remaining_s, _full=send_full):
+                return _request_payload(
+                    wire_id, model_id, images, ref, _full, sla, deadline_s,
+                    budget_s=_remaining,
+                )
+
             started = time.perf_counter()
-            frame_type, reply = await self._exchange(
-                FrameType.REQUEST,
-                _request_payload(
-                    wire_id, model_id, images, ref, send_full, sla, deadline_s
-                ),
-            )
+            if hedge_after_s is not None and not send_full:
+                frame_type, reply = await self._exchange_hedged(
+                    _build_payload, hedge_after_s
+                )
+            else:
+                frame_type, reply = await self._exchange(
+                    FrameType.REQUEST, _build_payload(next(self._ids))
+                )
             latency_s = time.perf_counter() - started
             if frame_type is FrameType.RESPONSE:
                 self._known_refs.add(ref)
@@ -564,26 +938,69 @@ class AsyncGatewayClient:
                 last_hint = float(reply.get("retry_after_s", 0.0))
                 draining = bool(reply.get("draining", False))
                 if attempt < self.retries:
-                    await self._sleep(
-                        _backoff_delay_s(
-                            attempt, last_hint, self.backoff_base_s, self.backoff_cap_s
-                        )
+                    delay_s = _backoff_delay_s(
+                        attempt,
+                        last_hint,
+                        self.backoff_base_s,
+                        self.backoff_cap_s,
+                        rng=self._rng,
                     )
+                    if (
+                        self.retry_budget_s is not None
+                        and slept_s + delay_s > self.retry_budget_s
+                    ):
+                        raise RetryBudgetExceeded(
+                            f"retry budget {self.retry_budget_s}s exhausted "
+                            f"after {attempt + 1} attempts",
+                            retry_after_s=last_hint,
+                            draining=draining,
+                        )
+                    slept_s += delay_s
+                    await self._sleep(delay_s)
                 continue
             if frame_type is FrameType.ERROR:
-                if reply.get("code") == "unknown_images_ref" and not send_full:
+                code = reply.get("code", "unknown")
+                if code == "unknown_images_ref" and not send_full:
                     self._known_refs.discard(ref)
                     send_full = True
                     continue
-                raise GatewayRequestError(
-                    reply.get("code", "unknown"), reply.get("message", "")
-                )
+                if code == "shed":
+                    raise GatewayShedError(code, reply.get("message", ""))
+                raise GatewayRequestError(code, reply.get("message", ""))
             raise GatewayError(f"unexpected frame {frame_type.name} to a request")
         raise GatewayBusyError(
             f"server still busy after {self.retries + 1} attempts",
             retry_after_s=last_hint,
             draining=draining,
         )
+
+    async def cancel(self, target_id) -> bool:
+        """Unwind one queued request by its wire id (revision-3 CANCEL).
+
+        The CANCEL op runs under its own fresh id, so the ack and the
+        target's terminal ``ERROR {"code": "cancelled"}`` (delivered to
+        whoever awaits the target) never collide.
+
+        Returns:
+            True when the server unwound the request before dispatch;
+            False when it was already past the point of no return (its
+            result still arrives).
+        """
+        frame_type, reply = await self._exchange(
+            FrameType.CANCEL, {"id": next(self._ids), "target_id": target_id}
+        )
+        if frame_type is not FrameType.CANCEL:
+            raise GatewayError(f"unexpected frame {frame_type.name} to CANCEL")
+        return bool(reply.get("cancelled"))
+
+    async def health(self) -> Dict[str, object]:
+        """Probe the server's health (revision-3 HEALTH frame)."""
+        frame_type, reply = await self._exchange(
+            FrameType.HEALTH, {"id": next(self._ids)}
+        )
+        if frame_type is not FrameType.HEALTH:
+            raise GatewayError(f"unexpected frame {frame_type.name} to HEALTH")
+        return reply
 
     async def stats(self) -> Dict[str, float]:
         """Fetch the server's counters via the wire STATS query."""

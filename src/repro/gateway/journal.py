@@ -1,0 +1,308 @@
+"""Crash-safe admission journal: no acknowledged request is silently lost.
+
+The gateway's zero-loss contract ("every request is answered with
+RESPONSE, ERROR or BUSY") holds only while the process lives.  The
+:class:`AdmissionJournal` extends it across a crash: an append-only JSONL
+file records every *admitted* request (the acknowledgement boundary — the
+client got no BUSY, so it is entitled to an answer) and every terminal
+outcome, so a restarted gateway can report **exactly** which acknowledged
+requests were lost in the crash window versus completed before it.
+
+Write path (hot, so it is deliberately simple):
+
+* every record is one compact JSON line, written and ``flush()``-ed
+  immediately — an in-process crash (the supervised-restart drill, a
+  killed worker) loses nothing already recorded;
+* ``fsync`` is *batched*: one every ``fsync_every`` records or
+  ``fsync_interval_s`` seconds, whichever comes first — an OS/power crash
+  can lose at most the tail batch, a bounded, documented window (the
+  classic group-commit trade: per-record fsync would serialise the
+  admission path on storage latency).
+
+Recovery (:meth:`AdmissionJournal.recover`) tolerates a torn final line
+(the crash can land mid-write) and reconciles admit records against done
+records into a :class:`JournalRecovery`: completed / shed / cancelled /
+dropped / errored / **lost** — the lost set is the restart drill's
+headline number, and the resilience bench gates it to be *exact* (every
+admitted id accounted, no fabrications).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["AdmissionJournal", "JournalRecovery"]
+
+#: Journal line schema version (bump on incompatible record changes).
+JOURNAL_SCHEMA = 1
+
+#: Terminal statuses a ``done`` record may carry.
+TERMINAL_STATUSES = ("responded", "error", "shed", "cancelled", "dropped")
+
+
+@dataclass
+class JournalRecovery:
+    """The reconciliation of one journal file after a restart.
+
+    Attributes:
+        path: The journal file recovered from.
+        admitted: Journal ids of every admitted request, in admit order.
+        outcomes: Terminal status by journal id (admitted ids only).
+        lost: Admitted ids with no terminal record — the requests the
+            crashed process acknowledged but never answered.
+        torn_lines: Unparseable lines skipped (at most the torn tail under
+            a clean JSONL discipline; more indicates file corruption).
+    """
+
+    path: str
+    admitted: List[int] = field(default_factory=list)
+    outcomes: Dict[int, str] = field(default_factory=dict)
+    lost: List[int] = field(default_factory=list)
+    torn_lines: int = 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Totals by outcome, plus ``admitted`` / ``lost`` / ``torn_lines``."""
+        totals = {status: 0 for status in TERMINAL_STATUSES}
+        for status in self.outcomes.values():
+            totals[status] = totals.get(status, 0) + 1
+        totals["admitted"] = len(self.admitted)
+        totals["lost"] = len(self.lost)
+        totals["torn_lines"] = self.torn_lines
+        return totals
+
+    def report(self) -> str:
+        """Human-readable one-paragraph recovery summary."""
+        counts = self.counts
+        outcome_text = ", ".join(
+            f"{counts[status]} {status}" for status in TERMINAL_STATUSES
+        )
+        lost_text = (
+            f"LOST {len(self.lost)} acknowledged request(s): ids {self.lost}"
+            if self.lost
+            else "no acknowledged request was lost"
+        )
+        return (
+            f"journal {self.path}: {len(self.admitted)} admitted "
+            f"({outcome_text}); {lost_text}"
+            + (f"; {self.torn_lines} torn line(s) skipped" if self.torn_lines else "")
+        )
+
+
+class AdmissionJournal:
+    """Append-only, fsync-batched JSONL journal of admissions and outcomes.
+
+    Args:
+        path: Journal file (created/appended; parent directories made).
+        fsync_every: Records between forced fsyncs (1 = per-record
+            durability, at per-record storage latency).
+        fsync_interval_s: Seconds after which a pending batch is fsynced
+            even if under ``fsync_every`` (bounds the loss window of a
+            quiet gateway).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync_every: int = 32,
+        fsync_interval_s: float = 0.05,
+    ) -> None:
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
+        self.path = str(path)
+        self.fsync_every = fsync_every
+        self.fsync_interval_s = fsync_interval_s
+        Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        # Resume numbering past any previous incarnation so journal ids
+        # stay unique across restarts onto the same file.
+        self._next_id = self._resume_next_id()
+        self._file = open(self.path, "a", encoding="utf-8")  # noqa: SIM115
+        self._pending_fsync = 0
+        self._last_fsync = time.monotonic()
+        self.fsyncs = 0
+        self.records_written = 0
+
+    def _resume_next_id(self) -> int:
+        """First unused journal id (0 on a fresh file)."""
+        recovery = self.recover(self.path, missing_ok=True)
+        return (max(recovery.admitted) + 1) if recovery.admitted else 0
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def record_admitted(
+        self, model_id: str, images_ref: str, wire_id=None
+    ) -> int:
+        """Journal one admission; returns the assigned journal id.
+
+        Called at the acknowledgement boundary: after this record is
+        flushed, a crash cannot silently erase the request — recovery will
+        list it as lost.
+        """
+        journal_id = self._next_id
+        self._next_id += 1
+        self._append(
+            {
+                "op": "admit",
+                "jid": journal_id,
+                "model": model_id,
+                "ref": images_ref,
+                "wire_id": wire_id,
+                "wall_s": time.time(),
+                "v": JOURNAL_SCHEMA,
+            }
+        )
+        return journal_id
+
+    def record_done(self, journal_id: int, status: str) -> None:
+        """Journal the terminal outcome of one admitted request.
+
+        Raises:
+            ValueError: On a status outside :data:`TERMINAL_STATUSES`.
+        """
+        if status not in TERMINAL_STATUSES:
+            raise ValueError(f"unknown terminal status {status!r}")
+        self._append({"op": "done", "jid": journal_id, "status": status})
+
+    def _append(self, record: dict) -> None:
+        """Write one line, flush, fsync when the batch policy says so.
+
+        A record offered after :meth:`abandon`/:meth:`close` is dropped
+        silently — exactly what a crashed process would have done with it.
+        """
+        if self._file.closed:
+            return
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+        self.records_written += 1
+        self._pending_fsync += 1
+        now = time.monotonic()
+        if (
+            self._pending_fsync >= self.fsync_every
+            or now - self._last_fsync >= self.fsync_interval_s
+        ):
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the pending batch to stable storage."""
+        if self._file.closed:
+            return
+        os.fsync(self._file.fileno())
+        self.fsyncs += 1
+        self._pending_fsync = 0
+        self._last_fsync = time.monotonic()
+
+    def close(self) -> None:
+        """Flush, fsync and close (idempotent) — the graceful-drain path."""
+        if self._file.closed:
+            return
+        self._file.flush()
+        self.sync()
+        self._file.close()
+
+    def abandon(self) -> None:
+        """Close without a final fsync — the simulated-crash path.
+
+        Records already written are still visible to a same-OS reader
+        (they were ``flush()``-ed); only stable-storage durability of the
+        tail batch is forfeited, which is exactly what an abrupt process
+        death forfeits.
+        """
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "AdmissionJournal":
+        """The journal is its own context value."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Graceful close on exit."""
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def recover(
+        cls, path: Union[str, Path], missing_ok: bool = False
+    ) -> JournalRecovery:
+        """Reconcile a journal file into a :class:`JournalRecovery`.
+
+        Args:
+            path: The journal file to read.
+            missing_ok: Return an empty recovery instead of raising when
+                the file does not exist (a first boot).
+
+        Raises:
+            FileNotFoundError: When the file is absent and ``missing_ok``
+                is false.
+        """
+        recovery = JournalRecovery(path=str(path))
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            if missing_ok:
+                return recovery
+            raise
+        admitted_set = set()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                op = record["op"]
+                journal_id = int(record["jid"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                recovery.torn_lines += 1
+                continue
+            if op == "admit" and journal_id not in admitted_set:
+                admitted_set.add(journal_id)
+                recovery.admitted.append(journal_id)
+            elif op == "done" and record.get("status") in TERMINAL_STATUSES:
+                recovery.outcomes[journal_id] = record["status"]
+        recovery.lost = [
+            journal_id
+            for journal_id in recovery.admitted
+            if journal_id not in recovery.outcomes
+        ]
+        return recovery
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.gateway.journal PATH``: print a recovery report."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway.journal",
+        description="Reconcile a gateway admission journal after a restart.",
+    )
+    parser.add_argument("path", help="journal JSONL file")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the reconciliation as JSON"
+    )
+    arguments = parser.parse_args(argv)
+    recovery = AdmissionJournal.recover(arguments.path)
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "path": recovery.path,
+                    "counts": recovery.counts,
+                    "lost": recovery.lost,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(recovery.report())
+    return 1 if recovery.lost else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,8 @@ frame is an 8-byte fixed header followed by a UTF-8 JSON object::
 
     offset  size  field
     0       2     magic, the ASCII bytes "RG" (0x52 0x47)
-    2       1     protocol version (0x01; 0x02 for METRICS frames)
+    2       1     protocol version (0x01; 0x02 for METRICS frames;
+                  0x03 for CANCEL / HEALTH frames)
     3       1     frame type (one of :class:`FrameType`)
     4       4     payload length N, big-endian unsigned
     8       N     payload, a UTF-8 encoded JSON object
@@ -41,6 +42,7 @@ __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
     "PROTOCOL_VERSION_2",
+    "PROTOCOL_VERSION_3",
     "SUPPORTED_VERSIONS",
     "MIN_VERSION_BY_TYPE",
     "HEADER_SIZE",
@@ -67,8 +69,17 @@ MAGIC = b"RG"
 PROTOCOL_VERSION = 0x01
 #: Revision 2: adds :attr:`FrameType.METRICS` (registry scrape).
 PROTOCOL_VERSION_2 = 0x02
+#: Revision 3: adds :attr:`FrameType.CANCEL` (unwind a queued request) and
+#: :attr:`FrameType.HEALTH` (live/ready/draining probe), plus the optional
+#: ``budget_s`` REQUEST field (deadline propagation) and the ``shed`` /
+#: ``cancelled`` / ``idle_timeout`` ERROR codes — field and code additions
+#: ride inside the existing frame layouts per the §2.1 forward-compat
+#: rules, so only the two new frame types carry the 0x03 version byte.
+PROTOCOL_VERSION_3 = 0x03
 #: Version bytes this implementation accepts.
-SUPPORTED_VERSIONS = frozenset({PROTOCOL_VERSION, PROTOCOL_VERSION_2})
+SUPPORTED_VERSIONS = frozenset(
+    {PROTOCOL_VERSION, PROTOCOL_VERSION_2, PROTOCOL_VERSION_3}
+)
 #: struct layout of the fixed header: magic(2) version(1) type(1) length(4).
 HEADER_STRUCT = struct.Struct(">2sBBI")
 #: Size of the fixed header in bytes.
@@ -104,13 +115,24 @@ class FrameType(enum.IntEnum):
     #: metrics registry snapshot.  Revision 2 — frames of this type carry
     #: version byte 0x02.
     METRICS = 0x09
+    #: Client -> server: unwind a queued-but-undispatched request
+    #: (``target_id`` names the REQUEST's id); server -> client: the
+    #: acknowledgement (``cancelled`` true/false).  Revision 3.
+    CANCEL = 0x0A
+    #: Client -> server: health probe; server -> client: the
+    #: live/ready/draining state.  Revision 3.
+    HEALTH = 0x0B
 
 
 #: Frame types that exist only from a given protocol revision onward.
 #: ``_parse_header`` enforces this: a revision-1 header naming a
 #: revision-2 type is rejected, exactly as a pure revision-1 receiver
 #: would reject it.
-MIN_VERSION_BY_TYPE = {FrameType.METRICS: PROTOCOL_VERSION_2}
+MIN_VERSION_BY_TYPE = {
+    FrameType.METRICS: PROTOCOL_VERSION_2,
+    FrameType.CANCEL: PROTOCOL_VERSION_3,
+    FrameType.HEALTH: PROTOCOL_VERSION_3,
+}
 
 
 class ProtocolError(ValueError):
@@ -172,7 +194,7 @@ def _parse_header(header: bytes, max_payload: int) -> Tuple[FrameType, int]:
         raise ProtocolError(
             f"unsupported protocol version 0x{version:02x} "
             f"(this implementation speaks 0x{PROTOCOL_VERSION:02x}"
-            f"-0x{PROTOCOL_VERSION_2:02x})"
+            f"-0x{PROTOCOL_VERSION_3:02x})"
         )
     try:
         frame_type = FrameType(type_code)

@@ -24,8 +24,35 @@ from PAPERS.md translated to asyncio):
   and is flushed, every connection gets a ``DRAIN`` frame, then sockets
   close.
 
+Protocol revision 3 adds the resilience surface:
+
+* **deadline budgets / load shedding** — a request carrying ``budget_s``
+  (remaining wall-clock budget, stamped by the client) is *shed* with
+  ``ERROR {"code": "shed"}`` the moment the budget is provably blown:
+  at admission when it arrives already expired, and again at dispatch
+  when queueing ate what was left.  Shedding at dispatch is the useful
+  half — work the caller has already abandoned never reaches the router;
+* **CANCEL** — unwinds a queued-but-undispatched request: the target gets
+  ``ERROR {"code": "cancelled"}``, the CANCEL op gets an ack with
+  ``cancelled`` true/false (false = already dispatched, result still
+  coming);
+* **HEALTH** — live/ready/draining probe for supervisors and load
+  balancers, answered from the reader coroutine even while dispatch is
+  saturated;
+* **idle timeout** — a connection that stays silent for
+  ``idle_timeout_s`` with no outstanding work is closed with
+  ``ERROR {"code": "idle_timeout"}``, so dead peers cannot pin
+  connection state forever (slow-loris defence);
+* **admission journal** — an optional
+  :class:`~repro.gateway.journal.AdmissionJournal` records every
+  admission and terminal outcome, so a restart after a crash reports
+  exactly which acknowledged requests were lost
+  (``python -m repro.gateway.journal``).
+
 :class:`ThreadedGateway` hosts the server loop in a daemon thread for
-synchronous callers (tests, benchmarks, the example scripts).
+synchronous callers (tests, benchmarks, the example scripts); its
+:meth:`~ThreadedGateway.kill` is the supervised-restart drill's abrupt
+stop — no drain, no farewell frames, no final journal fsync.
 """
 
 from __future__ import annotations
@@ -41,6 +68,7 @@ import numpy as np
 
 from repro.cluster import ClusterRouter, SLAClass
 from repro.errors import ConfigurationError
+from repro.gateway.journal import AdmissionJournal
 from repro.gateway.protocol import (
     FrameDecoder,
     FrameType,
@@ -94,6 +122,11 @@ _STATS_KEYS = {
     "pings": "PING frames answered.",
     "bytes_received": "Raw bytes read off client sockets.",
     "bytes_sent": "Raw frame bytes written to client sockets.",
+    "shed_sent": "Requests shed for an expired deadline budget.",
+    "cancels_received": "CANCEL frames received.",
+    "requests_cancelled": "Admitted requests unwound by CANCEL before dispatch.",
+    "health_checks": "HEALTH frames answered.",
+    "idle_timeouts": "Connections closed for exceeding the idle timeout.",
 }
 
 
@@ -177,6 +210,12 @@ class GatewayServer:
             omitted.
         sample_every: Deterministic trace sampling rate for the default
             tracer (trace one request in this many; 0 disables).
+        idle_timeout_s: Close a connection after this many seconds with
+            no bytes arriving *and* no outstanding admitted work (``None``
+            disables — the pre-revision-3 behaviour).
+        journal: Crash-safety journal — an
+            :class:`~repro.gateway.journal.AdmissionJournal`, or a path
+            one is opened at.  ``None`` (default) journals nothing.
     """
 
     def __init__(
@@ -191,11 +230,15 @@ class GatewayServer:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         sample_every: int = 1024,
+        idle_timeout_s: Optional[float] = None,
+        journal=None,
     ) -> None:
         if max_queue < 1:
             raise ConfigurationError("max_queue must be >= 1")
         if admission_batch < 1:
             raise ConfigurationError("admission_batch must be >= 1")
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ConfigurationError("idle_timeout_s must be positive (or None)")
         self.router = router
         self.host = host
         self.port = port
@@ -203,6 +246,11 @@ class GatewayServer:
         self.admission_batch = admission_batch
         self.max_payload_bytes = max_payload_bytes
         self.min_retry_after_s = min_retry_after_s
+        self.idle_timeout_s = idle_timeout_s
+        if journal is None or isinstance(journal, AdmissionJournal):
+            self.journal = journal
+        else:
+            self.journal = AdmissionJournal(journal)
         #: Decoded image tensors by content digest (the ``images_ref``
         #: cache).  Bounded only by distinct payloads seen; an operator
         #: restarts the gateway to flush it (documented in OPERATIONS.md).
@@ -311,6 +359,11 @@ class GatewayServer:
         await asyncio.sleep(0)
         if self._server is not None:
             await self._server.wait_closed()
+        if self.journal is not None:
+            # Graceful drains leave a fully reconciled journal: every
+            # admitted request has a terminal record, and the tail batch
+            # is fsynced by close().
+            self.journal.close()
 
     def pause_dispatch(self) -> None:
         """Hold the dispatcher (admissions keep queueing until ``BUSY``).
@@ -351,7 +404,27 @@ class GatewayServer:
         self.stats["connections_opened"] += 1
         try:
             while True:
-                chunk = await reader.read(64 * 1024)
+                if self.idle_timeout_s is None:
+                    chunk = await reader.read(64 * 1024)
+                else:
+                    try:
+                        chunk = await asyncio.wait_for(
+                            reader.read(64 * 1024), self.idle_timeout_s
+                        )
+                    except asyncio.TimeoutError:
+                        # A silent peer with admitted work in flight is a
+                        # pipelining client waiting on its responses, not
+                        # a dead one — only truly idle connections close.
+                        if self._has_outstanding(connection):
+                            continue
+                        self.stats["idle_timeouts"] += 1
+                        await self._send_error(
+                            connection,
+                            None,
+                            "idle_timeout",
+                            f"no frames for {self.idle_timeout_s}s; closing",
+                        )
+                        break
                 if not chunk:
                     break
                 self.stats["bytes_received"] += len(chunk)
@@ -367,6 +440,12 @@ class GatewayServer:
             pass
         finally:
             await self._close_connection(connection)
+
+    def _has_outstanding(self, connection: _Connection) -> bool:
+        """Whether any admitted or in-flight request belongs to this peer."""
+        return any(owner is connection for owner, _ in self._admission) or any(
+            entry.connection is connection for entry in self._pending
+        )
 
     async def _close_connection(self, connection: _Connection) -> None:
         """Tear one connection down idempotently."""
@@ -443,6 +522,10 @@ class GatewayServer:
                     {"id": payload.get("id"), "snapshot": self.metrics.snapshot()},
                 ),
             )
+        elif frame_type is FrameType.CANCEL:
+            await self._handle_cancel(connection, payload)
+        elif frame_type is FrameType.HEALTH:
+            await self._handle_health(connection, payload)
         else:
             await self._send_error(
                 connection,
@@ -450,6 +533,72 @@ class GatewayServer:
                 "bad_request",
                 f"frame type {frame_type.name} is not valid client -> server",
             )
+
+    async def _handle_cancel(self, connection: _Connection, payload: dict) -> None:
+        """Unwind one queued-but-undispatched request of this connection.
+
+        The CANCEL op carries its own ``id`` plus the ``target_id`` of the
+        request to unwind, so the ack and the target's terminal ERROR
+        never collide on one wire id.  A request already handed to the
+        router is past the point of no return: the ack reports
+        ``cancelled: false`` and the result (or its error) still arrives.
+        """
+        self.stats["cancels_received"] += 1
+        target_id = payload.get("target_id")
+        cancelled = False
+        for index, (owner, parsed) in enumerate(self._admission):
+            if owner is connection and parsed["id"] == target_id:
+                del self._admission[index]
+                cancelled = True
+                self.stats["requests_cancelled"] += 1
+                self._journal_done(parsed, "cancelled")
+                await self._send_error(
+                    connection,
+                    target_id,
+                    "cancelled",
+                    "request cancelled before dispatch",
+                )
+                break
+        await self._send(
+            connection,
+            encode_frame(
+                FrameType.CANCEL,
+                {
+                    "id": payload.get("id"),
+                    "target_id": target_id,
+                    "cancelled": cancelled,
+                },
+            ),
+        )
+
+    async def _handle_health(self, connection: _Connection, payload: dict) -> None:
+        """Answer a HEALTH probe from the reader coroutine (never queued).
+
+        States: ``draining`` (shutdown under way — stop sending work),
+        ``live`` (up but not accepting: dispatch paused or queue full),
+        ``ready`` (accepting work).
+        """
+        self.stats["health_checks"] += 1
+        depth = len(self._admission) + len(self._pending)
+        if self._draining:
+            state = "draining"
+        elif self._paused or depth >= self.max_queue:
+            state = "live"
+        else:
+            state = "ready"
+        await self._send(
+            connection,
+            encode_frame(
+                FrameType.HEALTH,
+                {
+                    "id": payload.get("id"),
+                    "state": state,
+                    "queue_depth": depth,
+                    "queue_limit": self.max_queue,
+                    "draining": self._draining,
+                },
+            ),
+        )
 
     async def _handle_request(self, connection: _Connection, payload: dict) -> None:
         """Validate one REQUEST and admit it (or answer BUSY/ERROR)."""
@@ -484,12 +633,39 @@ class GatewayServer:
                 f"images_ref {error.args[0]!r} has not been seen by this server",
             )
             return
+        if parsed["budget_s"] is not None and parsed["budget_s"] <= 0.0:
+            # The budget expired in flight: the caller has already given
+            # up, so executing would burn cluster time on a dead request.
+            # Shed before admission — never journaled, never queued.
+            self.stats["shed_sent"] += 1
+            await self._send_error(
+                connection,
+                wire_id,
+                "shed",
+                f"deadline budget {parsed['budget_s']}s already expired at admission",
+            )
+            return
         self.stats["requests_admitted"] += 1
         # Wall stamp of the accept, so the sampled gateway.accept span can
         # be emitted retroactively once the router id is known.
         parsed["_accept_wall_s"] = time.time()
+        if parsed["budget_s"] is not None:
+            parsed["_deadline_wall_s"] = parsed["_accept_wall_s"] + parsed["budget_s"]
+        self._journal_admit(parsed)
         self._admission.append((connection, parsed))
         self._dispatch_wakeup.set()
+
+    def _journal_admit(self, parsed: dict) -> None:
+        """Record one admission in the journal (when one is attached)."""
+        if self.journal is not None:
+            parsed["_jid"] = self.journal.record_admitted(
+                parsed["model_id"], parsed["images_ref"], wire_id=parsed["id"]
+            )
+
+    def _journal_done(self, parsed: dict, status: str) -> None:
+        """Record one terminal outcome in the journal (when attached)."""
+        if self.journal is not None and "_jid" in parsed:
+            self.journal.record_done(parsed["_jid"], status)
 
     def _parse_request(self, payload: dict) -> dict:
         """Decode and validate a REQUEST payload into submit() kwargs.
@@ -510,6 +686,17 @@ class GatewayServer:
             not isinstance(deadline_s, (int, float)) or deadline_s <= 0
         ):
             raise ProtocolError("deadline_s must be a positive number")
+        # budget_s is the *wall-clock* budget the client has left, distinct
+        # from deadline_s (the modeled virtual-time SLA deadline).  Zero or
+        # negative is legal on the wire — it means "already expired", which
+        # admission answers with a shed, not a schema error.
+        budget_s = payload.get("budget_s")
+        if budget_s is not None and (
+            isinstance(budget_s, bool)
+            or not isinstance(budget_s, (int, float))
+            or budget_s != budget_s  # NaN
+        ):
+            raise ProtocolError("budget_s must be a finite number")
         has_images = "images" in payload
         has_ref = "images_ref" in payload
         if has_images == has_ref:
@@ -528,6 +715,7 @@ class GatewayServer:
             "model_id": payload["model_id"],
             "sla": _SLA_BY_WIRE[sla_name],
             "deadline_s": float(deadline_s) if deadline_s is not None else None,
+            "budget_s": float(budget_s) if budget_s is not None else None,
             "images": images,
             "images_ref": ref,
             "echo_ref": has_images,
@@ -556,7 +744,21 @@ class GatewayServer:
         batch = self._admission[: self.admission_batch]
         del self._admission[: len(batch)]
         started = time.perf_counter()
+        now_wall_s = time.time()
         for connection, parsed in batch:
+            deadline_wall_s = parsed.get("_deadline_wall_s")
+            if deadline_wall_s is not None and now_wall_s > deadline_wall_s:
+                # Queueing ate the budget: the caller timed out while this
+                # request waited, so dispatching it would be pure waste.
+                self.stats["shed_sent"] += 1
+                self._journal_done(parsed, "shed")
+                await self._send_error(
+                    connection,
+                    parsed["id"],
+                    "shed",
+                    "deadline budget expired while queued",
+                )
+                continue
             try:
                 router_id = self.router.submit(
                     parsed["model_id"],
@@ -566,6 +768,7 @@ class GatewayServer:
                     input_digest=parsed["images_ref"],
                 )
             except ConfigurationError as error:
+                self._journal_done(parsed, "error")
                 await self._send_error(
                     connection, parsed["id"], "bad_request", str(error)
                 )
@@ -633,6 +836,7 @@ class GatewayServer:
             result = self.router.result(entry.router_id)
         except ConfigurationError as error:
             self.stats["errors_sent"] += 1
+            self._journal_done(entry.parsed, "error")
             return self._write_nodrain(
                 entry.connection,
                 encode_frame(
@@ -642,6 +846,7 @@ class GatewayServer:
             )
         except Exception as error:  # noqa: BLE001 - the dispatch failure, per contract
             self.stats["errors_sent"] += 1
+            self._journal_done(entry.parsed, "error")
             return self._write_nodrain(
                 entry.connection,
                 encode_frame(
@@ -698,12 +903,14 @@ class GatewayServer:
         ):
             if accept_span is not None:
                 self.tracer.end_span(write_span)
+            self._journal_done(entry.parsed, "responded")
             return True
         # The client vanished mid-request: the work was still done and
         # accounted (zero-loss means *answered or knowingly dropped at a
         # closed socket*, never silently lost in a queue).
         self.stats["responses_sent"] -= 1
         self.stats["responses_dropped"] += 1
+        self._journal_done(entry.parsed, "dropped")
         return False
 
     # ------------------------------------------------------------------ #
@@ -729,6 +936,9 @@ class GatewayServer:
         snapshot["retry_after_s"] = self._retry_after_s()
         snapshot["router_completed"] = self.router.completed_requests
         snapshot["router_failed"] = self.router.failed_requests
+        if self.journal is not None:
+            snapshot["journal_records_written"] = self.journal.records_written
+            snapshot["journal_fsyncs"] = self.journal.fsyncs
         return snapshot
 
 
@@ -778,6 +988,23 @@ class ThreadedGateway:
         try:
             self._loop.run_forever()
         finally:
+            # Settle whatever the stop left behind so closing the loop
+            # never destroys a pending task.  Readers are given a moment
+            # to observe their closed/aborted transports and exit on
+            # their own first — cancelling a streams client task outright
+            # trips asyncio.streams' done callback into logging a
+            # spurious CancelledError on this Python; only stragglers
+            # get cancelled.
+            pending = asyncio.all_tasks(self._loop)
+            if pending:
+                self._loop.run_until_complete(asyncio.wait(pending, timeout=1.0))
+                stragglers = [task for task in pending if not task.done()]
+                for task in stragglers:
+                    task.cancel()
+                if stragglers:
+                    self._loop.run_until_complete(
+                        asyncio.gather(*stragglers, return_exceptions=True)
+                    )
             self._loop.close()
 
     def call(self, factory: Callable[[], Awaitable], timeout_s: float = 30.0):
@@ -804,6 +1031,41 @@ class ThreadedGateway:
             return
         self.call(self.server.drain_and_stop, timeout_s=timeout_s)
         self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+        self._loop = None
+
+    def kill(self, timeout_s: float = 10.0) -> None:
+        """Abrupt stop: the supervised-restart drill's simulated crash.
+
+        No drain, no DRAIN farewell, no final journal fsync: connections
+        are aborted mid-flight, the dispatcher is cancelled wherever it
+        stands, and the journal is abandoned — admitted-but-unanswered
+        requests stay *unreconciled* on disk, exactly what
+        :meth:`AdmissionJournal.recover` exists to report after the
+        restart.
+
+        Args:
+            timeout_s: Seconds to wait for the loop thread to die.
+        """
+        if self._loop is None:
+            return
+
+        def _abort() -> None:
+            for connection in list(self.server._connections):
+                connection.open = False
+                transport = connection.writer.transport
+                if transport is not None:
+                    transport.abort()
+            if self.server._server is not None:
+                self.server._server.close()
+            if self.server._dispatcher_task is not None:
+                self.server._dispatcher_task.cancel()
+            if self.server.journal is not None:
+                self.server.journal.abandon()
+            self._loop.stop()
+
+        self._loop.call_soon_threadsafe(_abort)
         if self._thread is not None:
             self._thread.join(timeout_s)
         self._loop = None

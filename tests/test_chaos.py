@@ -1,0 +1,332 @@
+"""The chaos layer: plan validation, determinism, and live proxy drills.
+
+Three layers of coverage:
+
+* plan semantics — rule validation, immutability, the per-connection RNG
+  derivation and the standard plan's composition;
+* corruption mechanics — ``_corrupt_frame`` must always produce a frame
+  the protocol rejects (the detectability guarantee every
+  zero-acknowledged-loss gate rests on);
+* live drills over real loopback sockets — a transparent proxy is
+  byte-faithful, a seeded plan injects the identical fault sequence run
+  after run, resets surface as client-visible connection errors, and a
+  resilient client survives the standard plan end to end.
+"""
+
+import random
+import socket
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosKind, ChaosPlan, ChaosRule, ThreadedChaosProxy
+from repro.chaos.proxy import _corrupt_frame
+from repro.cluster import ClusterNode, ClusterRouter, ExecutionMode, ForwardMemo
+from repro.dnn.pipeline import make_pattern_image_dataset, train_pattern_cnn
+from repro.errors import ConfigurationError
+from repro.gateway import (
+    FrameDecoder,
+    FrameType,
+    GatewayClient,
+    ProtocolError,
+    ThreadedGateway,
+    decode_frame,
+    encode_frame,
+    encode_images,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = make_pattern_image_dataset(samples=60, size=8, seed=13)
+    cnn, _ = train_pattern_cnn(
+        dataset, conv_channels=(1,), hidden_sizes=(4,), epochs=2, seed=13
+    )
+    return dataset, cnn
+
+
+def make_router(cnn, nodes=1):
+    memo = ForwardMemo()
+    fleet = [
+        ClusterNode(
+            f"n{index}",
+            vdd=1.0,
+            num_macros=4,
+            max_batch_size=256,
+            execution_mode=ExecutionMode.ANALYTIC,
+            forward_memo=memo,
+        )
+        for index in range(nodes)
+    ]
+    router = ClusterRouter(fleet, coalesce=True)
+    router.register_model("cnn", cnn)
+    return router
+
+
+def recv_frames(sock, count, decoder=None):
+    decoder = decoder or FrameDecoder()
+    frames = []
+    while len(frames) < count:
+        chunk = sock.recv(65536)
+        assert chunk, "stream closed early"
+        frames.extend(decoder.feed(chunk))
+    return frames
+
+
+# --------------------------------------------------------------------- #
+# Plan semantics
+# --------------------------------------------------------------------- #
+class TestChaosPlan:
+    def test_rules_validate_their_parameters(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            ChaosRule(ChaosKind.RESET, probability=1.5)
+        with pytest.raises(ConfigurationError, match="delay_s"):
+            ChaosRule(ChaosKind.DELAY, probability=0.1)
+        with pytest.raises(ConfigurationError, match="delay_s"):
+            ChaosRule(ChaosKind.STALL_READ, probability=0.1, delay_s=0.0)
+        with pytest.raises(ConfigurationError, match="chunk_bytes"):
+            ChaosRule(ChaosKind.THROTTLE, probability=0.1)
+        with pytest.raises(ConfigurationError, match="flip_bytes"):
+            ChaosRule(ChaosKind.CORRUPT, probability=0.1, flip_bytes=0)
+        with pytest.raises(ConfigurationError, match="after_frames"):
+            ChaosRule(ChaosKind.RESET, probability=0.1, after_frames=-1)
+        with pytest.raises(ConfigurationError, match="not a ChaosRule"):
+            ChaosPlan(["reset"])
+
+    def test_plan_is_immutable_and_iterable(self):
+        rule = ChaosRule(ChaosKind.RESET, probability=0.5)
+        plan = ChaosPlan([rule], seed=3)
+        assert len(plan) == 1
+        assert list(plan) == [rule]
+        with pytest.raises(AttributeError):
+            rule.probability = 0.9  # frozen dataclass
+
+    def test_standard_plan_covers_every_fault_kind(self):
+        plan = ChaosPlan.standard(seed=1)
+        kinds = {rule.kind for rule in plan}
+        assert kinds == set(ChaosKind)
+
+    def test_merged_keeps_own_seed_and_concatenates(self):
+        one = ChaosPlan([ChaosRule(ChaosKind.RESET, probability=0.1)], seed=1)
+        two = ChaosPlan([ChaosRule(ChaosKind.DELAY, probability=0.1, delay_s=1.0)], seed=2)
+        merged = one.merged(two)
+        assert merged.seed == 1
+        assert [rule.kind for rule in merged] == [ChaosKind.RESET, ChaosKind.DELAY]
+
+    def test_rules_for_filters_by_kind(self):
+        plan = ChaosPlan.standard(seed=0)
+        stalls = plan.rules_for(ChaosKind.STALL_READ)
+        assert len(stalls) == 1
+        assert stalls[0].kind is ChaosKind.STALL_READ
+
+    def test_rng_streams_are_deterministic_and_independent(self):
+        plan = ChaosPlan.standard(seed=42)
+        again = ChaosPlan.standard(seed=42)
+        assert [plan.rng_for(5).random() for _ in range(4)] == [
+            again.rng_for(5).random() for _ in range(4)
+        ]
+        assert plan.rng_for(0).random() != plan.rng_for(1).random()
+        # Different seeds -> different decision streams.
+        assert (
+            ChaosPlan.standard(seed=1).rng_for(0).random()
+            != ChaosPlan.standard(seed=2).rng_for(0).random()
+        )
+
+
+# --------------------------------------------------------------------- #
+# Corruption mechanics
+# --------------------------------------------------------------------- #
+class TestCorruptionDetectability:
+    def test_corrupted_frames_never_decode(self):
+        # Whatever bytes get flipped, the result must be rejected by the
+        # protocol — otherwise injected corruption could alias legitimate
+        # traffic and the loss accounting would lie.
+        rule = ChaosRule(ChaosKind.CORRUPT, probability=1.0, flip_bytes=1)
+        rng = random.Random(99)
+        for index in range(200):
+            frame = bytearray(
+                encode_frame(FrameType.PING, {"id": index, "pad": "x" * (index % 7)})
+            )
+            _corrupt_frame(frame, rule, rng)
+            with pytest.raises(ProtocolError):
+                decode_frame(bytes(frame))
+
+    def test_corruption_is_deterministic_under_a_seeded_rng(self):
+        rule = ChaosRule(ChaosKind.CORRUPT, probability=1.0, flip_bytes=2)
+        one = bytearray(encode_frame(FrameType.PING, {"id": 1}))
+        two = bytearray(encode_frame(FrameType.PING, {"id": 1}))
+        _corrupt_frame(one, rule, random.Random(7))
+        _corrupt_frame(two, rule, random.Random(7))
+        assert one == two
+
+
+# --------------------------------------------------------------------- #
+# Live drills
+# --------------------------------------------------------------------- #
+class TestChaosProxyLive:
+    def test_empty_plan_is_a_transparent_pipe(self, trained):
+        dataset, cnn = trained
+        router = make_router(cnn)
+        gw = ThreadedGateway(router, max_queue=64)
+        gw.start()
+        try:
+            with ThreadedChaosProxy(gw.server.host, gw.server.port) as chaos:
+                with GatewayClient(chaos.proxy.host, chaos.proxy.port) as client:
+                    result = client.predict("cnn", dataset.test_images[:2])
+                    assert np.array_equal(
+                        result.predictions, cnn.predict(dataset.test_images[:2])
+                    )
+                    assert client.ping() >= 0
+                snap = chaos.proxy.snapshot()
+                assert snap["connections_proxied"] >= 1
+                assert snap["bytes_to_server"] > 0
+                assert snap["bytes_to_client"] > 0
+                assert all(snap[kind.value] == 0 for kind in ChaosKind)
+        finally:
+            gw.stop()
+            router.shutdown()
+
+    def test_certain_reset_surfaces_as_connection_error(self, trained):
+        dataset, cnn = trained
+        router = make_router(cnn)
+        gw = ThreadedGateway(router, max_queue=64)
+        gw.start()
+        try:
+            plan = ChaosPlan(
+                [ChaosRule(ChaosKind.RESET, probability=1.0)], seed=0
+            )
+            with ThreadedChaosProxy(gw.server.host, gw.server.port, plan) as chaos:
+                sock = socket.create_connection(
+                    (chaos.proxy.host, chaos.proxy.port)
+                )
+                sock.sendall(encode_frame(FrameType.PING, {"id": 1}))
+                # The proxy aborts the link instead of forwarding: the
+                # client sees a reset or an EOF, never a reply.
+                try:
+                    data = sock.recv(65536)
+                    assert data == b""
+                except ConnectionError:
+                    pass
+                sock.close()
+                assert chaos.proxy.injected["reset"] == 1
+        finally:
+            gw.stop()
+            router.shutdown()
+
+    def test_certain_corruption_triggers_malformed_frame_close(self, trained):
+        dataset, cnn = trained
+        router = make_router(cnn)
+        gw = ThreadedGateway(router, max_queue=64)
+        gw.start()
+        try:
+            plan = ChaosPlan(
+                [ChaosRule(ChaosKind.CORRUPT, probability=1.0, flip_bytes=2)],
+                seed=5,
+            )
+            with ThreadedChaosProxy(gw.server.host, gw.server.port, plan) as chaos:
+                sock = socket.create_connection(
+                    (chaos.proxy.host, chaos.proxy.port)
+                )
+                sock.sendall(
+                    encode_frame(
+                        FrameType.REQUEST,
+                        {
+                            "id": 1,
+                            "model_id": "cnn",
+                            "images": encode_images(dataset.test_images[:1]),
+                        },
+                    )
+                )
+                received = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    received += chunk
+                sock.close()
+                assert chaos.proxy.injected["corrupt"] == 1
+                # The server either rejected the frame explicitly (an
+                # ERROR frame reached us intact) or tore the stream down;
+                # a RESPONSE must never come back for corrupted input.
+                if received:
+                    decoder = FrameDecoder()
+                    frames = list(decoder.feed(received))
+                    assert all(
+                        frame_type is FrameType.ERROR for frame_type, _ in frames
+                    )
+                    assert frames[0][1]["code"] == "malformed_frame"
+                stats = gw.server.snapshot()
+                assert stats["malformed_frames"] == 1
+                assert stats["responses_sent"] == 0
+        finally:
+            gw.stop()
+            router.shutdown()
+
+    def test_delay_and_throttle_preserve_correctness(self, trained):
+        dataset, cnn = trained
+        router = make_router(cnn)
+        gw = ThreadedGateway(router, max_queue=64)
+        gw.start()
+        try:
+            plan = ChaosPlan(
+                [
+                    ChaosRule(ChaosKind.DELAY, probability=1.0, delay_s=0.002),
+                    ChaosRule(
+                        ChaosKind.THROTTLE,
+                        probability=1.0,
+                        chunk_bytes=5,
+                        delay_s=0.0001,
+                    ),
+                    ChaosRule(ChaosKind.STALL_READ, probability=1.0, delay_s=0.002),
+                ],
+                seed=11,
+            )
+            with ThreadedChaosProxy(gw.server.host, gw.server.port, plan) as chaos:
+                with GatewayClient(chaos.proxy.host, chaos.proxy.port) as client:
+                    result = client.predict("cnn", dataset.test_images[:2])
+                assert np.array_equal(
+                    result.predictions, cnn.predict(dataset.test_images[:2])
+                )
+                snap = chaos.proxy.snapshot()
+                assert snap["delay"] >= 1
+                assert snap["throttle"] >= 1
+                assert snap["stall_read"] >= 1
+        finally:
+            gw.stop()
+            router.shutdown()
+
+    def test_resilient_client_survives_the_standard_plan(self, trained):
+        # The miniature of the resilience bench: a retrying client pushes
+        # requests through the standard chaos plan and every call either
+        # succeeds or fails *loudly*; nothing hangs, nothing is silent.
+        dataset, cnn = trained
+        router = make_router(cnn)
+        gw = ThreadedGateway(router, max_queue=64, min_retry_after_s=1e-6)
+        gw.start()
+        try:
+            plan = ChaosPlan.standard(seed=1234)
+            with ThreadedChaosProxy(gw.server.host, gw.server.port, plan) as chaos:
+                ok = 0
+                failed = 0
+                with GatewayClient(
+                    chaos.proxy.host,
+                    chaos.proxy.port,
+                    retries=4,
+                    timeout_s=10.0,
+                    rng=random.Random(5),
+                ) as client:
+                    for index in range(30):
+                        images = dataset.test_images[index % 8 : index % 8 + 1]
+                        try:
+                            result = client.predict("cnn", images)
+                            assert np.array_equal(
+                                result.predictions, cnn.predict(images)
+                            )
+                            ok += 1
+                        except Exception:  # noqa: BLE001 - loud failure is fine
+                            failed += 1
+                assert ok + failed == 30
+                assert ok > 0  # the plan is survivable, not a blackout
+        finally:
+            gw.stop()
+            router.shutdown()

@@ -18,6 +18,7 @@ Four layers of coverage:
 
 import base64
 import json
+import random
 import socket
 import struct
 import threading
@@ -108,6 +109,16 @@ def recv_frames(sock, count, decoder=None):
     return frames
 
 
+class CeilingRng:
+    """A jitter RNG pinned to the top of the window: full jitter degrades
+    to the classic deterministic doubling schedule, which the retry tests
+    assert exactly."""
+
+    @staticmethod
+    def uniform(_low, high):
+        return high
+
+
 # --------------------------------------------------------------------- #
 # Protocol unit tests
 # --------------------------------------------------------------------- #
@@ -135,9 +146,9 @@ class TestFraming:
             decode_frame(bytes(frame))
 
     def test_unsupported_version_rejected(self):
-        # 0x01 and 0x02 are the supported revisions; 0x03 does not exist.
+        # 0x01-0x03 are the supported revisions; 0x04 does not exist.
         frame = bytearray(encode_frame(FrameType.PING, {}))
-        frame[2] = 0x03
+        frame[2] = 0x04
         with pytest.raises(ProtocolError, match="version"):
             decode_frame(bytes(frame))
 
@@ -147,6 +158,23 @@ class TestFraming:
         frame = bytearray(encode_frame(FrameType.PING, {"id": 1}))
         frame[2] = 0x02
         assert decode_frame(bytes(frame)) == (FrameType.PING, {"id": 1})
+
+    def test_revision3_version_byte_accepted(self):
+        # Revision 3 (CANCEL/HEALTH) bumped the version byte again; a 0x03
+        # header on a revision-1 frame type decodes fine.
+        frame = bytearray(encode_frame(FrameType.PING, {"id": 1}))
+        frame[2] = 0x03
+        assert decode_frame(bytes(frame)) == (FrameType.PING, {"id": 1})
+
+    def test_cancel_and_health_require_revision3(self):
+        # CANCEL/HEALTH under an older version byte is the spec violation
+        # a pre-revision-3 receiver would reject as an unknown type.
+        for frame_type in (FrameType.CANCEL, FrameType.HEALTH):
+            frame = bytearray(encode_frame(frame_type, {}))
+            assert frame[2] == 0x03  # the encoder stamps revision 3 itself
+            frame[2] = 0x02
+            with pytest.raises(ProtocolError, match="requires"):
+                decode_frame(bytes(frame))
 
     def test_metrics_frame_requires_revision2(self):
         # METRICS under a revision-1 version byte is the spec violation a
@@ -225,6 +253,31 @@ class TestBackoffPolicy:
         assert _backoff_delay_s(20, 0.0, 0.01, 1.0) == 1.0
         assert _backoff_delay_s(0, 5.0, 0.01, 1.0) == 1.0
 
+    def test_full_jitter_spans_the_window_and_respects_floor_and_cap(self):
+        rng = random.Random(17)
+        window = 0.01 * (2.0**3)
+        draws = [_backoff_delay_s(3, 0.002, 0.01, 1.0, rng=rng) for _ in range(200)]
+        assert all(0.002 <= delay <= window for delay in draws)
+        # Full jitter actually uses the window (not clustered at an edge).
+        assert min(draws) < 0.25 * window
+        assert max(draws) > 0.75 * window
+
+    def test_jitter_never_undercuts_the_server_hint(self):
+        rng = random.Random(3)
+        for attempt in range(6):
+            assert _backoff_delay_s(attempt, 0.05, 0.001, 1.0, rng=rng) >= 0.05
+
+    def test_jitter_is_deterministic_under_a_seeded_rng(self):
+        one = [
+            _backoff_delay_s(n, 0.0, 0.01, 1.0, rng=random.Random(9))
+            for n in range(4)
+        ]
+        two = [
+            _backoff_delay_s(n, 0.0, 0.01, 1.0, rng=random.Random(9))
+            for n in range(4)
+        ]
+        assert one == two
+
 
 # --------------------------------------------------------------------- #
 # The spec contract: frames built from the documented byte layout only
@@ -282,7 +335,7 @@ class TestSpecByteLayout:
         )
 
     def test_spec_version_byte_rejected(self, gateway):
-        frame = b"\x52\x47" + bytes([0x03, 0x05]) + struct.pack(">I", 2) + b"{}"
+        frame = b"\x52\x47" + bytes([0x04, 0x05]) + struct.pack(">I", 2) + b"{}"
         with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
             sock.sendall(frame)
             ((frame_type, reply),) = recv_frames(sock, 1)
@@ -318,6 +371,47 @@ class TestSpecByteLayout:
             ((frame_type, reply),) = recv_frames(sock, 1)
             assert frame_type is FrameType.ERROR
             assert reply["code"] == "malformed_frame"
+
+    def test_spec_health_probe(self, gateway):
+        # The revision-3 HEALTH frame from §7 of docs/PROTOCOL.md, built
+        # byte-by-byte: version 0x03, type 0x0B, payload {"id": 7}.
+        body = json.dumps({"id": 7}).encode("utf-8")
+        assert body == b'{"id": 7}'  # the §7 worked example, 9 bytes
+        frame = b"\x52\x47" + bytes([0x03, 0x0B]) + struct.pack(">I", len(body)) + body
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(frame)
+            ((frame_type, reply),) = recv_frames(sock, 1)
+        assert frame_type is FrameType.HEALTH
+        assert reply["id"] == 7
+        assert reply["state"] == "ready"
+        assert reply["queue_limit"] == gateway.server.max_queue
+        assert reply["draining"] is False
+
+    def test_spec_cancel_unknown_target_acks_false(self, gateway):
+        # The revision-3 CANCEL frame from §4.9: version 0x03, type 0x0A,
+        # its own op id plus the target's id.  Nothing is queued, so the
+        # ack reports cancelled: false and nothing else happens.
+        body = json.dumps({"id": 8, "target_id": 1234}).encode("utf-8")
+        frame = b"\x52\x47" + bytes([0x03, 0x0A]) + struct.pack(">I", len(body)) + body
+        with socket.create_connection((gateway.server.host, gateway.server.port)) as sock:
+            sock.sendall(frame)
+            ((frame_type, reply),) = recv_frames(sock, 1)
+        assert frame_type is FrameType.CANCEL
+        assert reply == {"id": 8, "target_id": 1234, "cancelled": False}
+
+    def test_spec_cancel_and_health_under_revision2_are_malformed(self, gateway):
+        # Types 0x0A/0x0B under a version byte below 0x03 violate §2.1.
+        for type_code in (0x0A, 0x0B):
+            frame = (
+                b"\x52\x47" + bytes([0x02, type_code]) + struct.pack(">I", 2) + b"{}"
+            )
+            with socket.create_connection(
+                (gateway.server.host, gateway.server.port)
+            ) as sock:
+                sock.sendall(frame)
+                ((frame_type, reply),) = recv_frames(sock, 1)
+                assert frame_type is FrameType.ERROR
+                assert reply["code"] == "malformed_frame"
 
 
 # --------------------------------------------------------------------- #
@@ -551,6 +645,7 @@ class TestBackpressure:
                 backoff_base_s=0.01,
                 backoff_cap_s=10.0,
                 sleep=recorded.append,
+                rng=CeilingRng(),
             )
             with client:
                 with pytest.raises(GatewayBusyError) as info:
@@ -700,7 +795,12 @@ class TestAsyncClient:
 
             async def drive():
                 async with AsyncGatewayClient(
-                    host, port, retries=2, backoff_base_s=0.01, sleep=fake_sleep
+                    host,
+                    port,
+                    retries=2,
+                    backoff_base_s=0.01,
+                    sleep=fake_sleep,
+                    rng=CeilingRng(),
                 ) as client:
                     with pytest.raises(GatewayBusyError):
                         await client.predict("cnn", dataset.test_images[1:2])
