@@ -9,9 +9,11 @@
 #   make bench-full   the tracked benchmarks at full fidelity (the nightly
 #                     CI tier, locally; 10^6-request traces — minutes)
 #   make bench-check  compare results against benchmarks/baselines.json
+#   make scale-smoke  boot the gateway single-process and sharded
+#                     (--workers N) and assert ledger-sum parity
 #   make ci           the full GitHub Actions pipeline, locally:
 #                     lint -> docs links -> tests -> coverage ->
-#                     bench smoke -> regression
+#                     bench smoke -> regression -> scale smoke
 #   make docs-check   documentation-consistency tests only
 #   make docs-links   internal markdown link/anchor checker
 #   make chip-bench   just the sharded multi-macro scaling benchmark
@@ -31,12 +33,13 @@ TRACKED_BENCHES := benchmarks/bench_chip_scaling.py \
                    benchmarks/bench_event_kernel.py \
                    benchmarks/bench_gateway_throughput.py \
                    benchmarks/bench_gateway_resilience.py \
-                   benchmarks/bench_obs_overhead.py
+                   benchmarks/bench_obs_overhead.py \
+                   benchmarks/bench_fleet_workers.py
 
 #: Coverage floor the CI coverage job enforces (keep in sync with ci.yml).
-COV_FAIL_UNDER := 82
+COV_FAIL_UNDER := 83
 
-.PHONY: test lint coverage bench bench-smoke bench-full bench-check ci docs-check docs-links chip-bench examples clean
+.PHONY: test lint coverage bench bench-smoke bench-full bench-check scale-smoke ci docs-check docs-links chip-bench examples clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -67,6 +70,9 @@ bench-full:
 bench-check:
 	$(PYTHON) benchmarks/check_regression.py
 
+scale-smoke:
+	$(PYTHON) tools/scale_smoke.py
+
 # Recursive invocations keep the stages strictly ordered even under -jN
 # (bench-check must read the JSON bench-smoke just wrote).
 ci:
@@ -76,6 +82,7 @@ ci:
 	$(MAKE) coverage
 	$(MAKE) bench-smoke
 	$(MAKE) bench-check
+	$(MAKE) scale-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py --benchmark-only

@@ -19,6 +19,12 @@ Baselines live in ``benchmarks/baselines.json``::
           "tolerance": 0.2,                  # optional per-metric override
           "smoke_only": true,                # optional: skip unless the
                                              #   result file says "smoke": true
+          "full_only": true,                 # optional: skip when the
+                                             #   result file says "smoke": true
+          "min_cpus": 2,                     # optional: skip unless the
+                                             #   result's "cpu_count" stamp
+                                             #   is at least this (parallel
+                                             #   speedup gates)
           "check": "present"                 # optional: only require the
         }                                    #   path to exist (artifacts
       }                                      #   like registry snapshots)
@@ -71,6 +77,19 @@ def _check_metric(name, spec, results_dir, default_tolerance):
         return "error", f"unreadable {spec['file']}: {error}", None
     if spec.get("smoke_only") and not payload.get("smoke", False):
         return "skip", "baseline defined for smoke mode only", None
+    if spec.get("full_only") and payload.get("smoke", False):
+        return "skip", "baseline defined for full mode only", None
+    min_cpus = spec.get("min_cpus")
+    if min_cpus is not None and int(payload.get("cpu_count", 1)) < int(min_cpus):
+        # Parallelism speedup gates are physical claims about multi-core
+        # execution; on a box with fewer cores the measurement answers a
+        # different question, so it is skipped rather than flaked.
+        return (
+            "skip",
+            f"needs >= {min_cpus} CPUs (result ran on "
+            f"{payload.get('cpu_count', 1)})",
+            None,
+        )
     if spec.get("check") == "present":
         # Artifact check: the file must parse and the path must resolve —
         # used for non-numeric outputs like registry snapshots, which CI

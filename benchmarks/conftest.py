@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import functools
 import json
+import os
 import platform
 import subprocess
 from pathlib import Path
@@ -62,10 +63,12 @@ def write_results_json(results_dir):
     """Write one benchmark's machine-readable payload to results/<name>.json.
 
     Every dict payload is stamped with the same provenance envelope —
-    ``schema_version``, ``git_sha``, ``hostname`` — so results from
-    different machines/commits can be compared (or rejected) by scripts
-    without guessing where a JSON came from.  A payload's own keys win on
-    collision.
+    ``schema_version``, ``git_sha``, ``hostname``, ``cpu_count`` — so
+    results from different machines/commits can be compared (or rejected)
+    by scripts without guessing where a JSON came from.  ``cpu_count`` is
+    what lets the regression gate skip parallelism speedup metrics on
+    boxes that cannot physically show one (``min_cpus`` in
+    ``baselines.json``).  A payload's own keys win on collision.
     """
 
     def _write(name: str, payload) -> Path:
@@ -74,6 +77,7 @@ def write_results_json(results_dir):
             stamped.setdefault("schema_version", RESULTS_SCHEMA_VERSION)
             stamped.setdefault("git_sha", _git_sha())
             stamped.setdefault("hostname", platform.node())
+            stamped.setdefault("cpu_count", os.cpu_count() or 1)
             payload = stamped
         path = results_dir / f"{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")

@@ -37,6 +37,7 @@ from repro.cluster.node import (
     ExecutionMode,
     ForwardMemo,
     NodeDispatch,
+    NodeSpec,
     NodeState,
     RequestEstimate,
     model_weight_codes,
@@ -71,6 +72,7 @@ __all__ = [
     "ForwardMemo",
     "NoActiveNodesError",
     "NodeDispatch",
+    "NodeSpec",
     "NodeState",
     "NodeTelemetry",
     "PlacementDecision",

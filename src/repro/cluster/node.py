@@ -49,6 +49,7 @@ from repro.utils.validation import check_positive
 __all__ = [
     "ExecutionMode",
     "ForwardMemo",
+    "NodeSpec",
     "NodeState",
     "RequestEstimate",
     "NodeDispatch",
@@ -230,6 +231,66 @@ class NodeDispatch:
     spot_checked: bool = False
 
 
+@dataclass(frozen=True)
+class NodeSpec:
+    """A node's picklable construction recipe (the handle/state split).
+
+    A :class:`ClusterNode` itself cannot cross a process boundary — it owns
+    an :class:`~repro.core.chip.IMCChip`, a live engine, inference-server
+    threads and mutable ledgers.  The spec is the *recipe* side of that
+    split: everything needed to build an equivalent node from scratch, and
+    nothing that is runtime state.  ``node.spec()`` captures it,
+    :meth:`build` replays it — the idiom :mod:`repro.fleet` uses to shard
+    one fleet description across spawn-context worker processes while the
+    coordinator keeps its own replicas.
+
+    ``config`` is the node's *resolved* configuration: precision and the
+    variation-bin derate are already baked in (exactly what the node
+    itself retained), so :meth:`build` must not re-apply the bin — it is
+    attached to the rebuilt node for introspection/hazard only.
+    """
+
+    node_id: str
+    vdd: float
+    num_macros: int
+    max_batch_size: int
+    execution_mode: str
+    spot_check_every: int
+    config: MacroConfig
+    bin: Optional[object] = None
+
+    def build(
+        self,
+        forward_memo: Optional[ForwardMemo] = None,
+        node_cls: Optional[type] = None,
+    ) -> "ClusterNode":
+        """Construct a fresh node from the recipe.
+
+        Args:
+            forward_memo: Optional shared forward memo for the new node
+                (analytic mode); omitted, the node builds its own.
+            node_cls: The class to instantiate — :class:`ClusterNode` by
+                default; :class:`repro.fleet.ShadowNode` passes itself to
+                build coordinator-side replicas from the same recipe.
+        """
+        cls = node_cls if node_cls is not None else ClusterNode
+        node = cls(
+            self.node_id,
+            vdd=self.vdd,
+            num_macros=self.num_macros,
+            max_batch_size=self.max_batch_size,
+            config=self.config,
+            execution_mode=ExecutionMode(self.execution_mode),
+            forward_memo=forward_memo,
+            spot_check_every=self.spot_check_every,
+        )
+        # The resolved config already carries the bin derate; passing the
+        # bin through the constructor would derate twice (see ClusterNode).
+        node.bin = self.bin
+        node.chip.bin = self.bin
+        return node
+
+
 class ClusterNode:
     """One chip + engine + serving path pinned to an operating point."""
 
@@ -301,6 +362,29 @@ class ClusterNode:
         #: rebuilt (retune).  The columnar kernel registers a flush here so
         #: its deferred charges land on the engine they were priced against.
         self._pre_mutate_hooks: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Serialization (handle/state split)
+    # ------------------------------------------------------------------ #
+    def spec(self) -> NodeSpec:
+        """The node's picklable construction recipe.
+
+        Captures configuration, not runtime state: registered models,
+        ledger history, residency, degradation and lifecycle state stay
+        behind.  ``node.spec().build()`` yields a node that prices and
+        charges identically to this one when driven through the same
+        dispatch sequence (pinned by the fleet fidelity tests).
+        """
+        return NodeSpec(
+            node_id=self.node_id,
+            vdd=self.vdd,
+            num_macros=self.num_macros,
+            max_batch_size=self.max_batch_size,
+            execution_mode=self.execution_mode.value,
+            spot_check_every=self.spot_check_every,
+            config=self.config,
+            bin=self.bin,
+        )
 
     # ------------------------------------------------------------------ #
     # Operating point

@@ -1,0 +1,214 @@
+"""The worker process: real nodes, real forwards, no scheduling.
+
+``worker_main`` is the spawn-context entry point.  A worker owns the
+*real* :class:`~repro.cluster.node.ClusterNode` replicas of its shard
+(built from the pickled :class:`~repro.cluster.node.NodeSpec` recipes),
+resolves activation tensors through a :class:`~repro.fleet.shm.
+TensorReader`, and executes dispatch groups exactly as the coordinator's
+shadows charged them — same nodes, same order, same batch formation — so
+its ledgers are bit-identical to the shadows' and the sync-barrier
+cross-check can hold them to equality.
+
+The loop is single-threaded and message-driven (the event-style,
+non-threaded concurrency shape): receive one batch of messages, process
+them in order, send one batch of replies.  It never blocks on anything
+but the pipe, and it never makes a scheduling decision.
+
+``crash_after`` is the deterministic fault hook of the crash drills: the
+worker dies (hard ``os._exit`` from a process, soft pipe-close from a
+thread transport) *after* completing that many dispatch groups and
+*before* acknowledging the next — exactly the mid-batch window the
+coordinator's recovery has to cover.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cluster.node import NodeSpec
+from repro.fleet.messages import (
+    Completion,
+    Dispatch,
+    Hello,
+    RegisterModel,
+    Retune,
+    Shutdown,
+    Sync,
+    SyncReply,
+    WorkerFailure,
+)
+from repro.fleet.shm import TensorReader
+from repro.obs import MetricsRegistry
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs, picklable for the spawn context."""
+
+    rank: int
+    specs: Tuple[NodeSpec, ...]
+    log_path: Optional[str] = None
+    #: Crash drill: die after completing this many dispatch groups,
+    #: before acknowledging the next (``None`` = never).
+    crash_after: Optional[int] = None
+    #: ``True``: die with ``os._exit`` (spawn transport).  ``False``:
+    #: close the pipe and return (thread transport — an in-process
+    #: worker must not take the whole interpreter down with it).
+    hard_exit: bool = True
+
+
+def _log_writer(config: WorkerConfig):
+    if config.log_path is None:
+        return lambda line: None
+    handle = open(config.log_path, "a", encoding="utf-8", buffering=1)
+
+    def write(line: str) -> None:
+        handle.write(f"[worker {config.rank}] {line}\n")
+
+    return write
+
+
+def worker_main(config: WorkerConfig, conn) -> None:
+    """Serve one shard over a duplex pipe until Shutdown/EOF/crash drill.
+
+    Args:
+        config: The worker's shard and drill settings.
+        conn: The child end of a :func:`multiprocessing.Pipe`.
+    """
+    log = _log_writer(config)
+    nodes = {spec.node_id: spec.build() for spec in config.specs}
+    reader = TensorReader()
+    metrics = MetricsRegistry()
+    labels = {"rank": str(config.rank)}
+    groups_counter = metrics.counter(
+        "fleet_worker_dispatch_groups_total",
+        "Dispatch groups executed by this worker.",
+        labelnames=("rank",),
+    ).labels(**labels)
+    requests_counter = metrics.counter(
+        "fleet_worker_requests_total",
+        "Requests completed by this worker (group parts).",
+        labelnames=("rank",),
+    ).labels(**labels)
+    images_counter = metrics.counter(
+        "fleet_worker_images_total",
+        "Images executed by this worker.",
+        labelnames=("rank",),
+    ).labels(**labels)
+    tensor_fetches = metrics.counter(
+        "fleet_worker_tensor_fetches_total",
+        "TensorRef resolutions, by shared-memory cache outcome.",
+        labelnames=("rank", "outcome"),
+    )
+
+    groups_done = 0
+    log(f"online pid={os.getpid()} nodes={sorted(nodes)}")
+    conn.send([Hello(config.rank, os.getpid(), tuple(sorted(nodes)))])
+    try:
+        while True:
+            try:
+                batch = conn.recv()
+            except (EOFError, OSError):
+                log("pipe closed; exiting")
+                return
+            replies = []
+            for message in batch:
+                if isinstance(message, Dispatch):
+                    if (
+                        config.crash_after is not None
+                        and groups_done >= config.crash_after
+                    ):
+                        log(
+                            f"crash drill: dying mid-batch after "
+                            f"{groups_done} groups (seq {message.seq} unacked)"
+                        )
+                        if config.hard_exit:
+                            os._exit(3)
+                        conn.close()
+                        return
+                    node = nodes[message.node_id]
+                    hits_before, misses_before = reader.hits, reader.misses
+                    arrays = [reader.fetch(ref) for ref in message.parts]
+                    tensor_fetches.labels(rank=str(config.rank), outcome="hit").inc(
+                        reader.hits - hits_before
+                    )
+                    tensor_fetches.labels(rank=str(config.rank), outcome="miss").inc(
+                        reader.misses - misses_before
+                    )
+                    if len(arrays) == 1:
+                        dispatch = node.execute(
+                            message.model_id,
+                            arrays[0],
+                            input_digest=message.digests[0],
+                        )
+                        predictions = (dispatch.predictions,)
+                    else:
+                        parts, _ = node.execute_group(
+                            message.model_id,
+                            list(zip(arrays, message.digests)),
+                        )
+                        predictions = tuple(parts)
+                    groups_done += 1
+                    groups_counter.inc()
+                    requests_counter.inc(len(message.request_ids))
+                    images_counter.inc(sum(a.shape[0] for a in arrays))
+                    replies.append(Completion(message.seq, predictions))
+                elif isinstance(message, RegisterModel):
+                    for node in nodes.values():
+                        node.register_model(
+                            message.model_id,
+                            message.model,
+                            allow_transient=message.allow_transient,
+                        )
+                    log(f"registered model {message.model_id!r}")
+                elif isinstance(message, Retune):
+                    nodes[message.node_id].retune(message.vdd)
+                    log(f"retuned {message.node_id} to {message.vdd} V")
+                elif isinstance(message, Sync):
+                    replies.append(
+                        SyncReply(
+                            barrier_id=message.barrier_id,
+                            rank=config.rank,
+                            ledgers={
+                                node_id: node.ledger()
+                                for node_id, node in nodes.items()
+                            },
+                            metrics=metrics.snapshot(),
+                            dispatch_groups=groups_done,
+                        )
+                    )
+                    log(
+                        f"barrier {message.barrier_id}: {groups_done} groups "
+                        f"done, reader {reader.summary()}"
+                    )
+                elif isinstance(message, Shutdown):
+                    if replies:
+                        conn.send(replies)
+                    log("shutdown")
+                    conn.close()
+                    return
+                else:  # pragma: no cover - protocol misuse guard
+                    raise RuntimeError(f"unknown fleet message {message!r}")
+            if replies:
+                conn.send(replies)
+    except Exception as error:  # forward the failure, then die loudly
+        log(f"fatal: {error}\n{traceback.format_exc()}")
+        try:
+            conn.send(
+                [
+                    WorkerFailure(
+                        config.rank, str(error), traceback.format_exc()
+                    )
+                ]
+            )
+        except (OSError, ValueError):
+            pass
+        raise
+    finally:
+        for node in nodes.values():
+            node.shutdown()

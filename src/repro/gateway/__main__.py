@@ -11,6 +11,11 @@ fleet, registers the model as ``"cnn"`` and serves until interrupted.
 This is the entry point the operator guide (``docs/OPERATIONS.md``) walks
 through; production embeddings build their own router and hand it to
 :class:`~repro.gateway.server.GatewayServer` directly.
+
+``--workers N`` (N > 0) shards the fleet across N spawn-context worker
+processes via :class:`~repro.fleet.FleetCluster` — the exact forwards run
+in parallel while admission, scheduling and ledgers stay on the
+coordinator, bit-identical to the single-process fleet.
 """
 
 from __future__ import annotations
@@ -24,8 +29,13 @@ from repro.gateway.server import GatewayServer
 
 
 def build_demo_router(
-    nodes: int, num_macros: int, mode: str, coalesce: bool
-) -> ClusterRouter:
+    nodes: int,
+    num_macros: int,
+    mode: str,
+    coalesce: bool,
+    workers: int = 0,
+    worker_log_dir: str = None,
+):
     """Build the demo fleet the CLI serves.
 
     Args:
@@ -33,16 +43,23 @@ def build_demo_router(
         num_macros: Macros per chip.
         mode: ``"exact"`` or ``"analytic"`` execution mode.
         coalesce: Merge adjacent same-model requests into one dispatch.
+        workers: ``0`` serves single-process; ``N > 0`` shards the fleet
+            across N worker processes (forces exact mode — the fleet
+            workers *are* the exact executors).
+        worker_log_dir: Per-worker log directory (fleet mode only).
 
     Returns:
-        A router with the trained demo model registered as ``"cnn"``.
+        A router (or :class:`~repro.fleet.FleetCluster`) with the trained
+        demo model registered as ``"cnn"``.
     """
     dataset = make_pattern_image_dataset(samples=150, size=8, seed=13)
     cnn, _ = train_pattern_cnn(
         dataset, conv_channels=(1,), hidden_sizes=(4,), epochs=6, seed=13
     )
     execution_mode = (
-        ExecutionMode.ANALYTIC if mode == "analytic" else ExecutionMode.EXACT
+        ExecutionMode.ANALYTIC
+        if mode == "analytic" and workers <= 0
+        else ExecutionMode.EXACT
     )
     memo = ForwardMemo() if execution_mode is ExecutionMode.ANALYTIC else None
     fleet = [
@@ -56,7 +73,14 @@ def build_demo_router(
         )
         for index in range(nodes)
     ]
-    router = ClusterRouter(fleet, coalesce=coalesce)
+    if workers > 0:
+        from repro.fleet import FleetCluster
+
+        router = FleetCluster(
+            fleet, workers=workers, coalesce=coalesce, log_dir=worker_log_dir
+        )
+    else:
+        router = ClusterRouter(fleet, coalesce=coalesce)
     router.register_model("cnn", cnn)
     return router
 
@@ -64,7 +88,12 @@ def build_demo_router(
 async def _serve(arguments: argparse.Namespace) -> None:
     """Run the gateway until cancelled (Ctrl-C)."""
     router = build_demo_router(
-        arguments.nodes, arguments.num_macros, arguments.mode, arguments.coalesce
+        arguments.nodes,
+        arguments.num_macros,
+        arguments.mode,
+        arguments.coalesce,
+        workers=arguments.workers,
+        worker_log_dir=arguments.worker_log_dir,
     )
     server = GatewayServer(
         router,
@@ -76,10 +105,13 @@ async def _serve(arguments: argparse.Namespace) -> None:
         journal=arguments.journal,
     )
     await server.start()
+    sharding = (
+        f", {arguments.workers} fleet workers" if arguments.workers > 0 else ""
+    )
     print(
         f"gateway serving model 'cnn' on {server.host}:{server.port} "
         f"({arguments.nodes} nodes, {arguments.mode} mode, "
-        f"queue bound {arguments.max_queue})"
+        f"queue bound {arguments.max_queue}{sharding})"
     )
     if arguments.journal:
         print(f"admission journal: {arguments.journal}")
@@ -109,6 +141,20 @@ def main(argv=None) -> int:
     parser.add_argument("--admission-batch", type=int, default=128)
     parser.add_argument(
         "--no-coalesce", dest="coalesce", action="store_false", default=True
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard the fleet across N worker processes "
+        "(0 = single-process; N > 0 forces exact mode)",
+    )
+    parser.add_argument(
+        "--worker-log-dir",
+        default=None,
+        metavar="DIR",
+        help="per-worker log files (fleet mode; the CI crash artifacts)",
     )
     parser.add_argument(
         "--idle-timeout",

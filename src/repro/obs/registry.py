@@ -548,3 +548,18 @@ class MetricsRegistry:
         registry = cls()
         registry.merge_snapshot(snapshot)
         return registry
+
+    def merge_snapshots(self, snapshots: Iterable[dict]) -> None:
+        """Fold several serialised snapshots into this registry, in order.
+
+        The cross-process convenience around :meth:`merge_snapshot`: a
+        fleet coordinator collects one snapshot per worker at a sync
+        barrier and folds them in stable worker-rank order.  Because
+        counters and histograms *add* and each call is itself
+        order-invariant over disjoint label sets, the merged counter and
+        histogram totals do not depend on the iteration order — only
+        gauge last-writer-wins ties do, which the stable rank ordering
+        makes deterministic too.
+        """
+        for snapshot in snapshots:
+            self.merge_snapshot(snapshot)
